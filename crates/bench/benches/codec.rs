@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks for the block codec — the shuffle's
+//! serialization path (§5 credits SparkSQL-style serialization for part of
+//! DistME's win; this is our equivalent).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use distme_matrix::{codec, Block, CsrBlock, DenseBlock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dense_block(n: usize) -> Block {
+    let mut rng = StdRng::seed_from_u64(1);
+    Block::Dense(DenseBlock::from_fn(n, n, |_, _| rng.gen()))
+}
+
+fn sparse_block(n: usize, density: f64) -> Block {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut trips = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if rng.gen::<f64>() < density {
+                trips.push((i, j, rng.gen::<f64>() + 0.1));
+            }
+        }
+    }
+    Block::Sparse(CsrBlock::from_triplets(n, n, trips).expect("valid"))
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_encode");
+    for (label, block) in [
+        ("dense_256", dense_block(256)),
+        ("sparse_512_1pct", sparse_block(512, 0.01)),
+    ] {
+        group.throughput(Throughput::Bytes(codec::encoded_len(&block)));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &block, |bench, b| {
+            bench.iter(|| codec::encode(b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_decode");
+    for (label, block) in [
+        ("dense_256", dense_block(256)),
+        ("sparse_512_1pct", sparse_block(512, 0.01)),
+    ] {
+        let bytes = codec::encode(&block);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bytes, |bench, b| {
+            bench.iter(|| codec::decode(b.clone()).expect("valid payload"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

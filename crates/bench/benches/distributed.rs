@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the distributed paths: real end-to-end
+//! multiplies per method at laptop scale (the measured counterpart of the
+//! simulated figures), and the paper-scale simulation itself (which must
+//! be fast enough to sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distme_cluster::{ClusterConfig, LocalCluster, SimCluster};
+use distme_core::{real_exec, sim_exec, MatmulProblem, MulMethod};
+use distme_matrix::{BlockMatrix, MatrixGenerator, MatrixMeta};
+
+fn operands() -> (BlockMatrix, BlockMatrix) {
+    let am = MatrixMeta::dense(512, 512).with_block_size(128);
+    let bm = MatrixMeta::dense(512, 512).with_block_size(128);
+    (
+        MatrixGenerator::with_seed(1).generate(&am).expect("gen"),
+        MatrixGenerator::with_seed(2).generate(&bm).expect("gen"),
+    )
+}
+
+fn bench_real_methods(c: &mut Criterion) {
+    let (a, b) = operands();
+    let cluster = LocalCluster::new(ClusterConfig::laptop());
+    let mut group = c.benchmark_group("real_multiply_512");
+    group.sample_size(10);
+    for method in [
+        MulMethod::Bmm,
+        MulMethod::Cpmm,
+        MulMethod::Rmm,
+        MulMethod::CuboidAuto,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |bench, &m| {
+                bench.iter(|| real_exec::multiply(&cluster, &a, &b, m).expect("succeeds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_node_reference(c: &mut Criterion) {
+    let (a, b) = operands();
+    let mut group = c.benchmark_group("single_node_reference_512");
+    group.sample_size(10);
+    group.bench_function("block_matrix_multiply", |bench| {
+        bench.iter(|| a.multiply(&b).expect("succeeds"));
+    });
+    group.finish();
+}
+
+fn bench_simulation_speed(c: &mut Criterion) {
+    // One paper-scale simulated job must run in milliseconds so the
+    // harness can sweep entire figures.
+    let p = MatmulProblem::dense(100_000, 100_000, 100_000);
+    c.bench_function("simulate_cuboid_100K_cubed", |bench| {
+        bench.iter(|| {
+            let mut sim = SimCluster::new(ClusterConfig::paper_cluster_gpu());
+            sim_exec::simulate(&mut sim, &p, MulMethod::CuboidAuto).expect("succeeds")
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_real_methods,
+    bench_single_node_reference,
+    bench_simulation_speed
+);
+criterion_main!(benches);

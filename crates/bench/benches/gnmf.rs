@@ -1,0 +1,55 @@
+//! Criterion benchmarks for GNMF: one real multiplicative-update iteration
+//! at laptop scale, and one simulated iteration at paper scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distme_cluster::ClusterConfig;
+use distme_engine::gnmf::{self, GnmfConfig};
+use distme_engine::{RatingDataset, RealSession, SystemProfile};
+
+fn bench_real_iteration(c: &mut Criterion) {
+    let v = RatingDataset::MOVIELENS
+        .scaled(800)
+        .materialize(64, 42)
+        .expect("generates");
+    let mut group = c.benchmark_group("gnmf_real");
+    group.sample_size(10);
+    group.bench_function("one_iteration_movielens_scaled", |bench| {
+        bench.iter(|| {
+            let mut session = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+            gnmf::run_real(
+                &mut session,
+                &v,
+                &GnmfConfig {
+                    factor_dim: 16,
+                    iterations: 1,
+                },
+                7,
+            )
+            .expect("succeeds")
+        });
+    });
+    group.finish();
+}
+
+fn bench_simulated_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gnmf_sim");
+    group.sample_size(10);
+    group.bench_function("yahoo_two_iterations", |bench| {
+        bench.iter(|| {
+            gnmf::simulate(
+                ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX),
+                SystemProfile::DistMe,
+                &RatingDataset::YAHOO_MUSIC,
+                &GnmfConfig {
+                    factor_dim: 200,
+                    iterations: 2,
+                },
+            )
+            .expect("succeeds")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_real_iteration, bench_simulated_run);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the local kernels — the substitutes for
+//! MKL/cuBLAS/cuSPARSE whose throughput calibrates the simulator's
+//! compute-rate constants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use distme_matrix::kernels::{gemm, spgemm, spmm};
+use distme_matrix::{CsrBlock, DenseBlock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dense(rows: usize, cols: usize, seed: u64) -> DenseBlock {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseBlock::from_fn(rows, cols, |_, _| rng.gen::<f64>() - 0.5)
+}
+
+fn sparse(rows: usize, cols: usize, density: f64, seed: u64) -> CsrBlock {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trips = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            if rng.gen::<f64>() < density {
+                trips.push((i, j, rng.gen::<f64>() + 0.1));
+            }
+        }
+    }
+    CsrBlock::from_triplets(rows, cols, trips).expect("valid triplets")
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for n in [128usize, 256, 512] {
+        let a = dense(n, n, 1);
+        let b = dense(n, n, 2);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            let mut out = DenseBlock::zeros(n, n);
+            bench.iter(|| gemm::gemm(1.0, &a, &b, 0.0, &mut out).expect("dims match"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_dense");
+    for density in [0.01f64, 0.1] {
+        let a = sparse(512, 512, density, 3);
+        let b = dense(512, 128, 4);
+        group.throughput(Throughput::Elements((2 * a.nnz() * 128) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("density_{density}")),
+            &density,
+            |bench, _| {
+                bench.iter(|| spmm::csr_dense(&a, &b).expect("dims match"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_spgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spgemm");
+    let a = sparse(512, 512, 0.02, 5);
+    let b = sparse(512, 512, 0.02, 6);
+    group.bench_function("csr_csr_512_2pct", |bench| {
+        bench.iter(|| spgemm::csr_csr(&a, &b).expect("dims match"));
+    });
+    group.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let a = dense(512, 512, 7);
+    c.bench_function("dense_transpose_512", |bench| bench.iter(|| a.transpose()));
+}
+
+criterion_group!(benches, bench_gemm, bench_spmm, bench_spgemm, bench_transpose);
+criterion_main!(benches);

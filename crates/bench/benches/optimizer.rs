@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the CuboidMM parameter search — §3.2
+//! claims "determination of the optimal parameters takes only 0.3 seconds
+//! using a single thread" for 100K x 100K; these benches verify our search
+//! is comfortably inside that budget, plus the subcuboid search of §4.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distme_core::optimizer::{optimize, OptimizerConfig};
+use distme_core::subcuboid::{self, CuboidSides};
+use distme_core::MatmulProblem;
+
+fn paper_cfg() -> OptimizerConfig {
+    OptimizerConfig {
+        task_mem_bytes: 6_000_000_000,
+        min_parallelism: 90,
+    }
+}
+
+fn bench_cuboid_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cuboid_optimizer");
+    let cases = [
+        ("100K^3", MatmulProblem::dense(100_000, 100_000, 100_000)),
+        ("10K x 5M x 10K", MatmulProblem::dense(10_000, 5_000_000, 10_000)),
+        ("750K x 1K x 750K", MatmulProblem::dense(750_000, 1_000, 750_000)),
+    ];
+    for (label, problem) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &problem, |bench, p| {
+            bench.iter(|| optimize(p, &paper_cfg()).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_subcuboid_search(c: &mut Criterion) {
+    let sides = CuboidSides {
+        extents: (18, 12, 25),
+        a_block_bytes: 8_000_000,
+        b_block_bytes: 8_000_000,
+        c_block_bytes: 8_000_000,
+    };
+    c.bench_function("subcuboid_optimizer_theta_g_1GB", |bench| {
+        bench.iter(|| subcuboid::optimize(&sides, 1_000_000_000).expect("feasible"));
+    });
+}
+
+criterion_group!(benches, bench_cuboid_search, bench_subcuboid_search);
+criterion_main!(benches);

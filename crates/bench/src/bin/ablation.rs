@@ -1,0 +1,228 @@
+//! Ablations of the design choices DESIGN.md calls out — each knob turned
+//! off in isolation, measured on representative paper-scale workloads.
+//!
+//! 1. **GPU streaming** (Algorithm 1 vs the naive §4.3 schedule);
+//! 2. **Cuboid sharing** (CuboidMM vs RMM's voxel hashing vs CRMM's cubic
+//!    logical blocks — the related-work ablation of §7);
+//! 3. **Optimizer pruning floor** (`P·Q·R ≥ M·Tc` vs node-level `≥ M`);
+//! 4. **Multi-GPU per node** (the paper's future work);
+//! 5. **Dynamic load balancing** (future work) on a ragged cuboid grid;
+//! 6. **Block size** sweep around the paper's 1000 × 1000 default.
+//!
+//! Usage: `ablation [streaming|sharing|pruning|multi-gpu|balancing|block-size|all]`
+
+use distme_cluster::{ClusterConfig, SimCluster};
+use distme_core::optimizer::{self, OptimizerConfig};
+use distme_core::{sim_exec, MatmulProblem, MulMethod, ResolvedMethod};
+use distme_matrix::MatrixMeta;
+
+fn problem(i: u64, k: u64, j: u64) -> MatmulProblem {
+    MatmulProblem::new(MatrixMeta::sparse(i, k, 0.5), MatrixMeta::sparse(k, j, 0.5))
+        .expect("consistent")
+}
+
+fn elapsed(cfg: ClusterConfig, p: &MatmulProblem, m: MulMethod) -> String {
+    let mut sim = SimCluster::new(cfg);
+    match sim_exec::simulate(&mut sim, p, m) {
+        Ok(s) => format!("{:.0}s", s.elapsed_secs),
+        Err(e) => e.annotation().to_string(),
+    }
+}
+
+fn streaming() {
+    println!("\n== Ablation 1: GPU streaming (Algorithm 1) vs naive copy-then-compute ==");
+    let base = ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX);
+    let mut naive = base;
+    naive.gpu_streaming = false;
+    println!("{:<22} {:>12} {:>12} {:>10}", "workload", "streamed", "naive", "gain");
+    for (label, p) in [
+        ("70K^3", problem(70_000, 70_000, 70_000)),
+        ("100K^3", problem(100_000, 100_000, 100_000)),
+        ("10K x 1M x 10K", problem(10_000, 1_000_000, 10_000)),
+    ] {
+        let s = {
+            let mut sim = SimCluster::new(base);
+            sim_exec::simulate(&mut sim, &p, MulMethod::CuboidAuto)
+                .expect("runs")
+                .elapsed_secs
+        };
+        let n = {
+            let mut sim = SimCluster::new(naive);
+            sim_exec::simulate(&mut sim, &p, MulMethod::CuboidAuto)
+                .expect("runs")
+                .elapsed_secs
+        };
+        println!(
+            "{:<22} {:>11.0}s {:>11.0}s {:>9.1}%",
+            label,
+            s,
+            n,
+            (n - s) / n * 100.0
+        );
+    }
+    println!(
+        "(§4.3: with Tc tasks sharing each device through MPS, inter-task interleaving\n         already hides most copy time; the intra-task gain appears when one task owns\n         the device — see `cargo run --release --example gpu_streaming`)"
+    );
+}
+
+fn sharing() {
+    println!("\n== Ablation 2: communication sharing — CuboidMM vs CRMM vs RMM ==");
+    let cfg = ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX);
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "workload", "CuboidMM", "CRMM", "RMM"
+    );
+    for (label, p) in [
+        ("70K^3", problem(70_000, 70_000, 70_000)),
+        ("10K x 500K x 10K", problem(10_000, 500_000, 10_000)),
+        ("250K x 1K x 250K", problem(250_000, 1_000, 250_000)),
+    ] {
+        println!(
+            "{:<22} {:>12} {:>12} {:>12}",
+            label,
+            elapsed(cfg, &p, MulMethod::CuboidAuto),
+            elapsed(cfg, &p, MulMethod::Crmm),
+            elapsed(cfg, &p, MulMethod::Rmm),
+        );
+    }
+    println!("(§7: cubic logical blocks recover most of RMM's loss; free-form cuboids the rest)");
+}
+
+fn pruning() {
+    println!("\n== Ablation 3: optimizer parallelism floor ==");
+    println!(
+        "{:<22} {:>14} {:>14} {:>16} {:>16}",
+        "workload", ">=M*Tc spec", ">=M spec", "cost (>=M*Tc)", "cost (>=M)"
+    );
+    for (label, p) in [
+        ("10K x 100K x 10K", problem(10_000, 100_000, 10_000)),
+        ("10K x 1M x 10K", problem(10_000, 1_000_000, 10_000)),
+        ("100K x 1K x 100K", problem(100_000, 1_000, 100_000)),
+    ] {
+        let strict = optimizer::optimize(
+            &p,
+            &OptimizerConfig {
+                task_mem_bytes: 6_000_000_000,
+                min_parallelism: 90,
+            },
+        )
+        .expect("feasible");
+        let loose = optimizer::optimize(
+            &p,
+            &OptimizerConfig {
+                task_mem_bytes: 6_000_000_000,
+                min_parallelism: 9,
+            },
+        )
+        .expect("feasible");
+        println!(
+            "{:<22} {:>14} {:>14} {:>14.0}GB {:>14.0}GB",
+            label,
+            strict.spec.to_string(),
+            loose.spec.to_string(),
+            strict.cost_bytes as f64 / 1e9,
+            loose.cost_bytes as f64 / 1e9,
+        );
+    }
+    println!("(lower floor → fewer, bigger cuboids → less replication, less parallelism)");
+}
+
+fn multi_gpu() {
+    println!("\n== Ablation 4 (future work): multiple GPUs per node ==");
+    let p = problem(100_000, 100_000, 100_000);
+    println!("{:<12} {:>12} {:>12}", "GPUs/node", "elapsed", "speedup");
+    let mut baseline = None;
+    for gpus in [1usize, 2, 4] {
+        let mut cfg = ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX);
+        cfg.gpus_per_node = gpus;
+        let mut sim = SimCluster::new(cfg);
+        let secs = sim_exec::simulate(&mut sim, &p, MulMethod::CuboidAuto)
+            .expect("runs")
+            .elapsed_secs;
+        let base = *baseline.get_or_insert(secs);
+        println!("{:<12} {:>11.0}s {:>11.2}x", gpus, secs, base / secs);
+    }
+    println!("(kernel-bound workloads scale with devices until PCI-E/NIC dominate)");
+}
+
+fn balancing() {
+    println!("\n== Ablation 5 (future work): dynamic load balancing on a ragged grid ==");
+    // 95 x 95 x 95 blocks under (7, 7, 7): ceil width 14 makes the last
+    // slab only 11 blocks — static round-robin placement wastes slots.
+    let p = problem(95_000, 95_000, 95_000);
+    let spec = distme_core::CuboidSpec::new(7, 7, 7);
+    for dynamic in [false, true] {
+        let mut cfg = ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX);
+        cfg.dynamic_scheduling = dynamic;
+        let resolved = ResolvedMethod::resolve(
+            MulMethod::Cuboid(spec),
+            &p,
+            &OptimizerConfig::from_cluster(&cfg),
+        );
+        let mut sim = SimCluster::new(cfg);
+        let secs = sim_exec::simulate_resolved(&mut sim, &p, &resolved)
+            .expect("runs")
+            .elapsed_secs;
+        println!(
+            "{:<28} {:>10.0}s",
+            if dynamic {
+                "dynamic (earliest-free node)"
+            } else {
+                "static round-robin"
+            },
+            secs
+        );
+    }
+}
+
+fn block_size() {
+    println!("\n== Ablation 6: block size (paper default 1000 x 1000) ==");
+    println!("{:<12} {:>14} {:>14} {:>16}", "block", "(P*,Q*,R*)", "elapsed", "comm (GB)");
+    for bs in [500u64, 1000, 2000, 4000] {
+        let a = MatrixMeta::sparse(70_000, 70_000, 0.5).with_block_size(bs);
+        let b = MatrixMeta::sparse(70_000, 70_000, 0.5).with_block_size(bs);
+        let p = MatmulProblem::new(a, b).expect("consistent");
+        let cfg = ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX);
+        let spec = optimizer::optimize(&p, &OptimizerConfig::from_cluster(&cfg))
+            .map(|o| o.spec.to_string())
+            .unwrap_or_else(|| "infeasible".into());
+        let mut sim = SimCluster::new(cfg);
+        match sim_exec::simulate(&mut sim, &p, MulMethod::CuboidAuto) {
+            Ok(s) => println!(
+                "{:<12} {:>14} {:>13.0}s {:>16.0}",
+                bs,
+                spec,
+                s.elapsed_secs,
+                s.communication_bytes() as f64 / 1e9
+            ),
+            Err(e) => println!("{:<12} {:>14} {:>14}", bs, spec, e.annotation()),
+        }
+    }
+    println!("(finer blocks → finer cuboid granularity but more per-block overhead)");
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match arg.as_str() {
+        "streaming" => streaming(),
+        "sharing" => sharing(),
+        "pruning" => pruning(),
+        "multi-gpu" => multi_gpu(),
+        "balancing" => balancing(),
+        "block-size" => block_size(),
+        "all" => {
+            streaming();
+            sharing();
+            pruning();
+            multi_gpu();
+            balancing();
+            block_size();
+        }
+        other => {
+            eprintln!(
+                "unknown ablation '{other}'; use streaming|sharing|pruning|multi-gpu|balancing|block-size|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Table 5: comparison with ScaLAPACK and SciDB (§6.5).
+//!
+//! ScaLAPACK/SciDB run under the SUMMA model; DistME(C) runs CuboidMM on
+//! the CPU-only simulated cluster. Ten processes per node, no GPU, and no
+//! 4 000 s cap (the paper reports a 70-minute ScaLAPACK run).
+
+use distme_bench::{print_comparison, Cell, Paper};
+use distme_cluster::{ClusterConfig, SimCluster};
+use distme_core::summa::{self, HpcSystem, SummaConfig};
+use distme_core::{sim_exec, MatmulProblem, MulMethod};
+
+fn main() {
+    use Paper::*;
+    let cases: Vec<(&str, MatmulProblem, [Paper; 3])> = vec![
+        (
+            "10K^3",
+            MatmulProblem::dense(10_000, 10_000, 10_000),
+            [Reported(31.0), Reported(33.0), Reported(42.0)],
+        ),
+        (
+            "50K^3",
+            MatmulProblem::dense(50_000, 50_000, 50_000),
+            [Reported(1_865.0), Reported(1_998.0), Reported(1_663.0)],
+        ),
+        (
+            "5K x 1M x 5K",
+            MatmulProblem::dense(5_000, 1_000_000, 5_000),
+            [Reported(995.0), Reported(1_069.0), Reported(326.0)],
+        ),
+        (
+            "5K x 5M x 5K",
+            MatmulProblem::dense(5_000, 5_000_000, 5_000),
+            [Reported(4_200.0), Fails("O.O.M."), Reported(1_620.0)],
+        ),
+        (
+            "100K x 1K x 100K",
+            MatmulProblem::dense(100_000, 1_000, 100_000),
+            [Reported(248.0), Reported(332.0), Reported(122.0)],
+        ),
+        (
+            "500K x 1K x 500K",
+            MatmulProblem::dense(500_000, 1_000, 500_000),
+            [Fails("O.O.M."), Fails("O.O.M."), Reported(3_420.0)],
+        ),
+    ];
+
+    let cluster = ClusterConfig::paper_cluster().with_timeout(f64::MAX);
+    let summa_cfg = SummaConfig::default();
+
+    let mut rows = Vec::new();
+    for (label, problem, paper) in cases {
+        let sl = summa::simulate(&cluster, &problem, HpcSystem::ScaLapack, &summa_cfg);
+        let sd = summa::simulate(&cluster, &problem, HpcSystem::SciDb, &summa_cfg);
+        let mut sim = SimCluster::new(cluster);
+        let dm = sim_exec::simulate(&mut sim, &problem, MulMethod::CuboidAuto);
+        rows.push((
+            label.to_string(),
+            vec![
+                (paper[0], Cell::elapsed(&sl)),
+                (paper[1], Cell::elapsed(&sd)),
+                (paper[2], Cell::elapsed(&dm)),
+            ],
+        ));
+    }
+    print_comparison(
+        "Table 5: ScaLAPACK vs SciDB vs DistME(C) — elapsed time (s)",
+        &["ScaLAPACK", "SciDB", "DistME(C)"],
+        &rows,
+        0,
+    );
+    println!(
+        "paper prose checks:\n\
+         - 'In all experiments, ScaLAPACK shows a better performance than SciDB'\n\
+         - DistME(C) loses at 10K^3 but wins at 50K^3\n\
+         - DistME(C) ~3x faster on the common-large-dimension type\n\
+         - only DistME(C) completes 500K x 1K x 500K"
+    );
+}

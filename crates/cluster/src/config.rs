@@ -1,0 +1,243 @@
+//! Cluster topology and calibration.
+//!
+//! All absolute-time results of the simulated experiments derive from these
+//! constants. They are calibrated to the paper's testbed (§6.1):
+//!
+//! > "one master node and nine slave nodes ... connected via 10 Gbps
+//! > Ethernet. Each node is equipped with a six-core 3.5 GHz CPU, 64 GB main
+//! > memory, 500 GB SSD for Spark, 4 TB HDD for HDFS, and a single NVIDIA
+//! > GTX 1080 Ti GPU having 11 GB device memory. ... We set the number of
+//! > tasks per node to 10 (Tc = 10), and so, set θt = 6 GB and θg = 1 GB."
+//!
+//! Changing any constant rescales absolute seconds but preserves orderings
+//! and crossovers (tested by `tests/shape_invariance.rs`).
+
+use distme_gpu::GpuConfig;
+
+/// Static description of the (simulated or thread-backed) cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of worker nodes, `M` (paper: 9).
+    pub nodes: usize,
+    /// Concurrent task slots per node, `Tc` (paper: 10).
+    pub tasks_per_node: usize,
+    /// Per-task memory budget θt in bytes (paper: 6 GB = 64 GB/node with
+    /// headroom, divided by Tc).
+    pub task_mem_bytes: u64,
+    /// Total node memory, bytes (paper: 64 GB). Broadcast variables are
+    /// stored once per node and shared by its tasks, so BMM fails when |B|
+    /// exceeds *node* memory — which is why Fig. 6(a)'s BMM survives
+    /// N = 80K (|B| = 51 GB) and O.O.M.s at 90K (|B| = 65 GB).
+    pub node_mem_bytes: u64,
+    /// Per-node, per-direction NIC bandwidth in bytes/s
+    /// (10 GbE = 1.25 GB/s).
+    pub net_bytes_per_sec: f64,
+    /// Local disk streaming rate in bytes/s (500 GB SATA SSD ≈ 500 MB/s) —
+    /// used for HDFS reads, shuffle spills, and output writes.
+    pub disk_bytes_per_sec: f64,
+    /// Sustained f64 GEMM throughput of one node's CPU, FLOP/s. Six
+    /// 3.5 GHz cores with AVX2 FMA sustain ~25 GFLOP/s/core in MKL;
+    /// 160 GFLOP/s/node calibrates Fig. 7(a)'s DistME(C) times once the
+    /// repartition/serde overheads the simulator charges are added back.
+    pub node_cpu_flops_per_sec: f64,
+    /// Per-task (per-slot) serialization/deserialization throughput,
+    /// bytes/s — the SparkSQL codec cost DistME explicitly optimizes (§5).
+    /// Ten concurrent tasks share six cores, so the per-slot rate is a
+    /// fraction of the node's total codec throughput.
+    pub serde_bytes_per_sec: f64,
+    /// Shuffle wire-compression ratio (compressed/uncompressed), applied to
+    /// network and disk *time* for shuffled and broadcast data. Spark
+    /// compresses shuffle blocks with lz4 by default; the paper's synthetic
+    /// matrices (uniformly-placed non-zeros with low-entropy values)
+    /// compress by ~50x, which is how Fig. 6(d) reports single-digit GB for
+    /// multi-hundred-GB logical replication volumes. Reported byte counts
+    /// in `JobStats` stay *logical* (uncompressed).
+    pub wire_compression_ratio: f64,
+    /// Spark task-launch overhead, seconds per task.
+    pub task_launch_secs: f64,
+    /// Per-stage scheduling/driver overhead, seconds.
+    pub stage_overhead_secs: f64,
+    /// Serial driver-side cost of scheduling one task, seconds. Spark's
+    /// single-threaded driver becomes the bottleneck for stages with
+    /// hundreds of thousands of tasks — the effect behind "the setting of
+    /// T = I·J·K for RMM incurs some errors due to too many tasks in
+    /// Spark" (§6.2) and RMM's T.O. in Fig. 6(c).
+    pub driver_secs_per_task: f64,
+    /// Cluster-wide disk capacity available for intermediate (shuffle)
+    /// data, bytes. Paper: "> 36 TB" triggers E.D.C.
+    pub disk_capacity_bytes: u64,
+    /// Job time-out, seconds. Paper: "T.O. means time out (longer than
+    /// 4,000 seconds)" — Fig. 6. GNMF figures run past this, so it is
+    /// per-job and can be raised.
+    pub timeout_secs: f64,
+    /// Scheduler limit on tasks per stage. "The setting of T = I·J·K for
+    /// RMM incurs some errors due to too many tasks in Spark" (§6.2).
+    pub max_tasks: usize,
+    /// Per-node GPU, when the (G) variants are simulated.
+    pub gpu: Option<GpuConfig>,
+    /// GPUs per node (paper future work: "extend our GPU acceleration
+    /// method to exploit multiple GPUs per node"). Tasks on a node are
+    /// assigned to its devices round-robin.
+    pub gpus_per_node: usize,
+    /// Schedule each task onto the node whose slots free earliest instead
+    /// of static round-robin (paper future work: "achieve a better load
+    /// balancing by considering differences ... of cuboids"). Off by
+    /// default to match Spark's locality-driven static placement.
+    pub dynamic_scheduling: bool,
+    /// Use Algorithm 1's streamed GPU schedule; `false` selects the naive
+    /// copy-all-then-compute method of §4.3 (ablation).
+    pub gpu_streaming: bool,
+}
+
+impl ClusterConfig {
+    /// The paper's 9-node testbed, CPU-only (the "(C)" variants).
+    pub fn paper_cluster() -> Self {
+        ClusterConfig {
+            nodes: 9,
+            tasks_per_node: 10,
+            task_mem_bytes: 6_000_000_000,
+            node_mem_bytes: 64_000_000_000,
+            net_bytes_per_sec: 1.25e9,
+            disk_bytes_per_sec: 0.5e9,
+            node_cpu_flops_per_sec: 160.0e9,
+            serde_bytes_per_sec: 0.3e9,
+            wire_compression_ratio: 0.02,
+            task_launch_secs: 0.01,
+            stage_overhead_secs: 0.5,
+            driver_secs_per_task: 0.006,
+            disk_capacity_bytes: 36_000_000_000_000,
+            timeout_secs: 4_000.0,
+            max_tasks: 1_000_000,
+            gpu: None,
+            gpus_per_node: 1,
+            dynamic_scheduling: false,
+            gpu_streaming: true,
+        }
+    }
+
+    /// The paper's testbed with one GTX 1080 Ti per node (the "(G)"
+    /// variants).
+    pub fn paper_cluster_gpu() -> Self {
+        ClusterConfig {
+            gpu: Some(GpuConfig::gtx_1080_ti()),
+            ..Self::paper_cluster()
+        }
+    }
+
+    /// A small thread-backed cluster for laptop-scale real execution:
+    /// 4 virtual nodes × 2 slots. `task_mem_bytes` is deliberately small so
+    /// tests can provoke O.O.M. on matrices that fit in RAM.
+    pub fn laptop() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            tasks_per_node: 2,
+            task_mem_bytes: 256 << 20,
+            node_mem_bytes: 1 << 30,
+            net_bytes_per_sec: 1.0e9,
+            disk_bytes_per_sec: 0.5e9,
+            node_cpu_flops_per_sec: 10.0e9,
+            serde_bytes_per_sec: 1.0e9,
+            wire_compression_ratio: 1.0,
+            task_launch_secs: 0.0,
+            stage_overhead_secs: 0.0,
+            driver_secs_per_task: 0.0,
+            disk_capacity_bytes: 8 << 30,
+            timeout_secs: 3600.0,
+            max_tasks: 100_000,
+            gpu: None,
+            gpus_per_node: 1,
+            dynamic_scheduling: false,
+            gpu_streaming: true,
+        }
+    }
+
+    /// Total concurrent task slots in the cluster: `M · Tc`.
+    pub fn total_slots(&self) -> usize {
+        self.nodes * self.tasks_per_node
+    }
+
+    /// Per-slot CPU throughput: node FLOP/s divided evenly among `Tc` slots.
+    pub fn slot_flops_per_sec(&self) -> f64 {
+        self.node_cpu_flops_per_sec / self.tasks_per_node as f64
+    }
+
+    /// Fraction of uniformly-shuffled bytes that cross a node boundary:
+    /// `(M − 1) / M` under uniform task placement.
+    pub fn cross_node_fraction(&self) -> f64 {
+        (self.nodes as f64 - 1.0) / self.nodes as f64
+    }
+
+    /// Overrides the timeout (builder style); GNMF runs exceed the 4 000 s
+    /// matmul budget legitimately.
+    pub fn with_timeout(mut self, secs: f64) -> Self {
+        self.timeout_secs = secs;
+        self
+    }
+
+    /// Panics on nonsensical values (configuration is programmer input).
+    pub fn assert_valid(&self) {
+        assert!(self.nodes > 0 && self.tasks_per_node > 0, "empty cluster");
+        assert!(self.task_mem_bytes > 0, "zero task memory");
+        assert!(
+            self.node_mem_bytes >= self.task_mem_bytes,
+            "node memory below task budget"
+        );
+        assert!(
+            self.net_bytes_per_sec > 0.0
+                && self.disk_bytes_per_sec > 0.0
+                && self.node_cpu_flops_per_sec > 0.0
+                && self.serde_bytes_per_sec > 0.0,
+            "rates must be positive"
+        );
+        assert!(self.timeout_secs > 0.0 && self.max_tasks > 0);
+        assert!(self.gpus_per_node > 0, "need at least one GPU slot per node");
+        assert!(
+            self.wire_compression_ratio > 0.0 && self.wire_compression_ratio <= 1.0,
+            "compression ratio must be in (0, 1]"
+        );
+        if let Some(gpu) = &self.gpu {
+            gpu.assert_valid();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_matches_section_6_1() {
+        let c = ClusterConfig::paper_cluster();
+        c.assert_valid();
+        assert_eq!(c.nodes, 9);
+        assert_eq!(c.tasks_per_node, 10);
+        assert_eq!(c.total_slots(), 90);
+        assert_eq!(c.task_mem_bytes, 6_000_000_000);
+        assert_eq!(c.timeout_secs, 4_000.0);
+        assert!(c.gpu.is_none());
+        let g = ClusterConfig::paper_cluster_gpu();
+        assert_eq!(g.gpu.unwrap().task_mem_bytes, 1_000_000_000);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let c = ClusterConfig::paper_cluster();
+        assert!((c.slot_flops_per_sec() - 16.0e9).abs() < 1.0);
+        assert!((c.cross_node_fraction() - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laptop_is_valid_and_small() {
+        let c = ClusterConfig::laptop();
+        c.assert_valid();
+        assert!(c.total_slots() <= 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn zero_nodes_rejected() {
+        let mut c = ClusterConfig::laptop();
+        c.nodes = 0;
+        c.assert_valid();
+    }
+}

@@ -1,0 +1,326 @@
+//! Thread-backed execution with real blocks and real bytes.
+//!
+//! [`LocalCluster`] emulates a Spark cluster inside one process: `M`
+//! virtual nodes × `Tc` slots, tasks assigned round-robin, per-task memory
+//! budgets, and a [`ShuffleLedger`] that counts the serialized size of
+//! every block a task ships — including whether the movement crossed a
+//! virtual node boundary. This is the correctness path: the distributed
+//! methods in `distme-core` must produce bit-identical results to the
+//! single-node reference through this executor.
+
+use crate::config::ClusterConfig;
+use crate::failure::{JobError, TaskError};
+use crate::shuffle::ShuffleLedger;
+use crate::stats::Phase;
+use distme_matrix::{codec, Block};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-task execution context handed to stage closures.
+pub struct TaskCtx<'a> {
+    /// Task index within the stage.
+    pub task: usize,
+    /// Virtual node the task runs on.
+    pub node: usize,
+    mem_budget: u64,
+    mem_used: Cell<u64>,
+    mem_peak: Cell<u64>,
+    ledger: &'a ShuffleLedger,
+    cluster: &'a LocalCluster,
+}
+
+impl<'a> TaskCtx<'a> {
+    /// Charges `bytes` against the task's memory budget θt.
+    ///
+    /// # Errors
+    /// Returns [`TaskError::OutOfMemory`] when the running total would
+    /// exceed the budget — the O.O.M. that kills BMM/CPMM on large inputs.
+    pub fn alloc(&self, bytes: u64) -> Result<(), TaskError> {
+        let new = self.mem_used.get().saturating_add(bytes);
+        if new > self.mem_budget {
+            return Err(TaskError::OutOfMemory {
+                needed: new,
+                budget: self.mem_budget,
+            });
+        }
+        self.mem_used.set(new);
+        self.mem_peak.set(self.mem_peak.get().max(new));
+        Ok(())
+    }
+
+    /// Releases previously charged bytes.
+    pub fn free(&self, bytes: u64) {
+        self.mem_used.set(self.mem_used.get().saturating_sub(bytes));
+    }
+
+    /// Records shipping `block` to the task with stage-index `to_task`
+    /// during `phase`, and returns its serialized size. The caller moves
+    /// the block itself (blocks live in one address space); this is where
+    /// the byte accounting happens.
+    pub fn ship_block(&self, phase: Phase, to_task: usize, block: &Block) -> u64 {
+        let bytes = codec::encoded_len(block);
+        let to_node = self.cluster.node_of_task(to_task);
+        self.ledger.record_shuffle(phase, self.node, to_node, bytes);
+        bytes
+    }
+
+    /// Records shipping raw `bytes` (already-encoded payloads).
+    pub fn ship_bytes(&self, phase: Phase, to_task: usize, bytes: u64) {
+        let to_node = self.cluster.node_of_task(to_task);
+        self.ledger.record_shuffle(phase, self.node, to_node, bytes);
+    }
+
+    /// Memory budget θt.
+    pub fn budget(&self) -> u64 {
+        self.mem_budget
+    }
+
+    /// Peak memory the task has charged so far.
+    pub fn peak(&self) -> u64 {
+        self.mem_peak.get()
+    }
+}
+
+/// Result of one stage on the real executor.
+#[derive(Debug)]
+pub struct StageRun<O> {
+    /// Per-task outputs, in task order.
+    pub outputs: Vec<O>,
+    /// Largest task working set observed (bytes).
+    pub peak_task_mem_bytes: u64,
+    /// Wall-clock seconds of the stage.
+    pub wall_secs: f64,
+}
+
+/// An in-process "cluster" of `M` virtual nodes with real worker threads.
+pub struct LocalCluster {
+    cfg: ClusterConfig,
+    ledger: Arc<ShuffleLedger>,
+}
+
+impl LocalCluster {
+    /// Creates a cluster from a validated configuration.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        cfg.assert_valid();
+        LocalCluster {
+            cfg,
+            ledger: Arc::new(ShuffleLedger::new()),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The shared byte ledger.
+    pub fn ledger(&self) -> &ShuffleLedger {
+        &self.ledger
+    }
+
+    /// Virtual node a stage-task index runs on (round-robin, matching
+    /// Spark's even executor spread).
+    pub fn node_of_task(&self, task: usize) -> usize {
+        task % self.cfg.nodes
+    }
+
+    /// Records a broadcast of one `bytes`-sized object to every node.
+    pub fn broadcast(&self, phase: Phase, bytes: u64) {
+        self.ledger.record_broadcast(phase, bytes, self.cfg.nodes);
+    }
+
+    /// Runs one stage: `f` is applied to every input on a worker pool of at
+    /// most `M · Tc` threads (capped by host parallelism). Task memory is
+    /// enforced through [`TaskCtx::alloc`].
+    ///
+    /// # Errors
+    /// * [`JobError::TooManyTasks`] when `inputs.len()` exceeds the
+    ///   scheduler limit;
+    /// * the first task failure, promoted via [`JobError::from_task`]
+    ///   (lowest task index wins, deterministically).
+    pub fn run_stage<I, O, F>(&self, inputs: Vec<I>, f: F) -> Result<StageRun<O>, JobError>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(&TaskCtx<'_>, I) -> Result<O, TaskError> + Sync,
+    {
+        let n = inputs.len();
+        if n > self.cfg.max_tasks {
+            return Err(JobError::TooManyTasks {
+                requested: n,
+                limit: self.cfg.max_tasks,
+            });
+        }
+        let started = Instant::now();
+        let host_par = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        let workers = self.cfg.total_slots().min(n.max(1)).min(host_par * 2);
+
+        let work: Vec<parking_lot::Mutex<Option<I>>> = inputs
+            .into_iter()
+            .map(|i| parking_lot::Mutex::new(Some(i)))
+            .collect();
+        let results: Vec<parking_lot::Mutex<Option<Result<O, TaskError>>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let peak = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let item = work[idx]
+                        .lock()
+                        .take()
+                        .expect("each task input is claimed exactly once");
+                    let ctx = TaskCtx {
+                        task: idx,
+                        node: self.node_of_task(idx),
+                        mem_budget: self.cfg.task_mem_bytes,
+                        mem_used: Cell::new(0),
+                        mem_peak: Cell::new(0),
+                        ledger: &self.ledger,
+                        cluster: self,
+                    };
+                    let out = f(&ctx, item);
+                    peak.fetch_max(ctx.peak(), Ordering::Relaxed);
+                    *results[idx].lock() = Some(out);
+                });
+            }
+        });
+
+        let mut outputs = Vec::with_capacity(n);
+        for (idx, slot) in results.into_iter().enumerate() {
+            match slot.into_inner().expect("every task ran") {
+                Ok(o) => outputs.push(o),
+                Err(e) => return Err(JobError::from_task(idx, e)),
+            }
+        }
+        Ok(StageRun {
+            outputs,
+            peak_task_mem_bytes: peak.load(Ordering::Relaxed),
+            wall_secs: started.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distme_matrix::DenseBlock;
+
+    fn cluster() -> LocalCluster {
+        LocalCluster::new(ClusterConfig::laptop())
+    }
+
+    #[test]
+    fn stage_runs_all_tasks_in_order() {
+        let c = cluster();
+        let run = c
+            .run_stage((0..100).collect(), |ctx, x: i32| {
+                assert_eq!(ctx.task as i32, x);
+                Ok(x * 2)
+            })
+            .unwrap();
+        assert_eq!(run.outputs, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn node_assignment_is_round_robin() {
+        let c = cluster();
+        assert_eq!(c.node_of_task(0), 0);
+        assert_eq!(c.node_of_task(1), 1);
+        assert_eq!(c.node_of_task(4), 0);
+    }
+
+    #[test]
+    fn memory_budget_is_enforced() {
+        let c = cluster();
+        let budget = c.config().task_mem_bytes;
+        let err = c
+            .run_stage(vec![()], |ctx, ()| {
+                ctx.alloc(budget)?;
+                ctx.alloc(1)?; // over budget
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, JobError::OutOfMemory { task: 0, .. }));
+        assert_eq!(err.annotation(), "O.O.M.");
+    }
+
+    #[test]
+    fn free_restores_headroom_and_peak_persists() {
+        let c = cluster();
+        let run = c
+            .run_stage(vec![()], |ctx, ()| {
+                ctx.alloc(100)?;
+                ctx.free(100);
+                ctx.alloc(ctx.budget())?; // fits again
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(run.peak_task_mem_bytes, c.config().task_mem_bytes);
+    }
+
+    #[test]
+    fn lowest_failing_task_wins() {
+        let c = cluster();
+        let err = c
+            .run_stage((0..50).collect(), |_, x: i32| {
+                if x >= 10 {
+                    Err(TaskError::Compute(format!("boom {x}")))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, JobError::TaskFailed { task: 10, .. }));
+    }
+
+    #[test]
+    fn too_many_tasks_rejected() {
+        let mut cfg = ClusterConfig::laptop();
+        cfg.max_tasks = 5;
+        let c = LocalCluster::new(cfg);
+        let err = c.run_stage(vec![(); 6], |_, ()| Ok(())).unwrap_err();
+        assert_eq!(err.annotation(), "T.M.T.");
+    }
+
+    #[test]
+    fn ship_block_records_serialized_bytes() {
+        let c = cluster();
+        let block = Block::Dense(DenseBlock::zeros(4, 4));
+        let expect = codec::encoded_len(&block);
+        c.run_stage(vec![()], |ctx, ()| {
+            // Task 0 runs on node 0; ship to task 1 (node 1) and task 4
+            // (node 0 again — local).
+            let b = ctx.ship_block(Phase::Repartition, 1, &block);
+            assert_eq!(b, expect);
+            ctx.ship_block(Phase::Repartition, 4, &block);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(c.ledger().shuffle_bytes(Phase::Repartition), expect * 2);
+        assert_eq!(c.ledger().cross_node_bytes(Phase::Repartition), expect);
+    }
+
+    #[test]
+    fn broadcast_records_node_copies() {
+        let c = cluster();
+        c.broadcast(Phase::Repartition, 500);
+        assert_eq!(c.ledger().broadcast_bytes(Phase::Repartition), 2000); // 4 nodes
+    }
+
+    #[test]
+    fn empty_stage_is_fine() {
+        let c = cluster();
+        let run = c.run_stage(Vec::<()>::new(), |_, ()| Ok(0u8)).unwrap();
+        assert!(run.outputs.is_empty());
+    }
+}

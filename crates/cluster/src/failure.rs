@@ -1,0 +1,219 @@
+//! Failure modes of distributed jobs.
+//!
+//! The paper's figures annotate three failure classes: **O.O.M.** (task
+//! memory exceeds θt — how BMM and CPMM die on large matrices), **T.O.**
+//! (elapsed time beyond 4 000 s — how RMM dies on Fig. 6(c)), and
+//! **E.D.C.** (intermediate data exceeding the 36 TB cluster disk — how
+//! SystemML/MatFast die on Figs. 7(b,c)). These are first-class errors here
+//! so the benchmark harness can print the same annotations.
+
+use std::fmt;
+
+/// An error local to a single task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskError {
+    /// The task's working set exceeded the per-task budget θt (or θg on
+    /// the GPU).
+    OutOfMemory {
+        /// Bytes the task needed.
+        needed: u64,
+        /// The budget it had.
+        budget: u64,
+    },
+    /// A matrix kernel failed (dimension mismatch, corrupt block, ...).
+    Compute(String),
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::OutOfMemory { needed, budget } => {
+                write!(f, "O.O.M.: task needs {needed} B, budget is {budget} B")
+            }
+            TaskError::Compute(msg) => write!(f, "compute error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+impl From<distme_matrix::MatrixError> for TaskError {
+    fn from(e: distme_matrix::MatrixError) -> Self {
+        TaskError::Compute(e.to_string())
+    }
+}
+
+/// A job-level failure, matching the paper's figure annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// O.O.M. — some task exceeded its memory budget.
+    OutOfMemory {
+        /// Index of the first failing task.
+        task: usize,
+        /// Bytes it needed.
+        needed: u64,
+        /// Its budget.
+        budget: u64,
+    },
+    /// T.O. — the job exceeded the configured time-out.
+    Timeout {
+        /// Virtual seconds elapsed when the job was cut off.
+        elapsed_secs: f64,
+        /// The limit.
+        limit_secs: f64,
+    },
+    /// E.D.C. — intermediate data exceeded the cluster disk capacity.
+    ExceededDiskCapacity {
+        /// Bytes of intermediate data the job required.
+        needed: u64,
+        /// The cluster's capacity.
+        capacity: u64,
+    },
+    /// The stage needs more tasks than the scheduler supports (§6.2:
+    /// "T = I·J·K for RMM incurs some errors due to too many tasks").
+    TooManyTasks {
+        /// Tasks requested.
+        requested: usize,
+        /// Scheduler limit.
+        limit: usize,
+    },
+    /// A task failed with a non-memory error.
+    TaskFailed {
+        /// Index of the failing task.
+        task: usize,
+        /// Its error message.
+        message: String,
+    },
+}
+
+impl JobError {
+    /// The short annotation the paper prints on failed bars.
+    pub fn annotation(&self) -> &'static str {
+        match self {
+            JobError::OutOfMemory { .. } => "O.O.M.",
+            JobError::Timeout { .. } => "T.O.",
+            JobError::ExceededDiskCapacity { .. } => "E.D.C.",
+            JobError::TooManyTasks { .. } => "T.M.T.",
+            JobError::TaskFailed { .. } => "FAIL",
+        }
+    }
+
+    /// Promotes a task error at `task` to a job error.
+    pub fn from_task(task: usize, e: TaskError) -> Self {
+        match e {
+            TaskError::OutOfMemory { needed, budget } => JobError::OutOfMemory {
+                task,
+                needed,
+                budget,
+            },
+            TaskError::Compute(message) => JobError::TaskFailed { task, message },
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::OutOfMemory {
+                task,
+                needed,
+                budget,
+            } => write!(
+                f,
+                "O.O.M.: task {task} needs {needed} B, budget is {budget} B"
+            ),
+            JobError::Timeout {
+                elapsed_secs,
+                limit_secs,
+            } => write!(f, "T.O.: {elapsed_secs:.0}s exceeds limit {limit_secs:.0}s"),
+            JobError::ExceededDiskCapacity { needed, capacity } => write!(
+                f,
+                "E.D.C.: {needed} B of intermediate data exceeds {capacity} B of disk"
+            ),
+            JobError::TooManyTasks { requested, limit } => {
+                write!(f, "too many tasks: {requested} > scheduler limit {limit}")
+            }
+            JobError::TaskFailed { task, message } => {
+                write!(f, "task {task} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotations_match_paper() {
+        assert_eq!(
+            JobError::OutOfMemory {
+                task: 0,
+                needed: 1,
+                budget: 1
+            }
+            .annotation(),
+            "O.O.M."
+        );
+        assert_eq!(
+            JobError::Timeout {
+                elapsed_secs: 5000.0,
+                limit_secs: 4000.0
+            }
+            .annotation(),
+            "T.O."
+        );
+        assert_eq!(
+            JobError::ExceededDiskCapacity {
+                needed: 1,
+                capacity: 1
+            }
+            .annotation(),
+            "E.D.C."
+        );
+    }
+
+    #[test]
+    fn task_error_promotes_to_job_error() {
+        let e = JobError::from_task(
+            7,
+            TaskError::OutOfMemory {
+                needed: 10,
+                budget: 5,
+            },
+        );
+        assert_eq!(
+            e,
+            JobError::OutOfMemory {
+                task: 7,
+                needed: 10,
+                budget: 5
+            }
+        );
+        let e = JobError::from_task(3, TaskError::Compute("bad".into()));
+        assert!(matches!(e, JobError::TaskFailed { task: 3, .. }));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = JobError::Timeout {
+            elapsed_secs: 4500.0,
+            limit_secs: 4000.0,
+        };
+        assert!(e.to_string().contains("4500"));
+        let t = TaskError::OutOfMemory {
+            needed: 9,
+            budget: 4,
+        };
+        assert!(t.to_string().starts_with("O.O.M."));
+    }
+
+    #[test]
+    fn matrix_error_converts() {
+        let me = distme_matrix::MatrixError::Codec("x".into());
+        let te: TaskError = me.into();
+        assert!(matches!(te, TaskError::Compute(_)));
+    }
+}

@@ -1,0 +1,41 @@
+//! # distme-cluster — distributed data-parallel substrate
+//!
+//! DistME is built on Apache Spark: RDDs of `(BlockId, Block)` records,
+//! shuffle-based repartitioning, torrent broadcast, `Tc` concurrent task
+//! slots per node, and per-task memory budgets θt (§5, §6.1). No Spark
+//! cluster exists in this environment, so this crate *is* the substitute
+//! substrate — the pieces of a distributed data-parallel framework that the
+//! paper's method interacts with:
+//!
+//! * [`ClusterConfig`] — cluster topology and the calibration constants of
+//!   the paper's testbed (9 slaves, 10 tasks/node, 10 GbE, θt = 6 GB,
+//!   one GTX 1080 Ti per node);
+//! * [`PartitionScheme`] — the Row / Column / Hash / Grid block-partitioning
+//!   schemes of §2.1 (Fig. 1);
+//! * two executors sharing one task model:
+//!   * [`executor::real::LocalCluster`] runs stages on real threads with
+//!     real serialized blocks, counting every byte that crosses a (virtual)
+//!     node boundary — the correctness path and the source of measured
+//!     communication volumes at laptop scale;
+//!   * [`executor::sim::SimCluster`] replays the same stage structure in
+//!     virtual time against NIC / disk / CPU / GPU resource models — the
+//!     paper-scale path, including the O.O.M. / T.O. / E.D.C. failure modes
+//!     annotated in Figs. 6–8;
+//! * [`ShuffleLedger`] — byte accounting shared by both executors;
+//! * [`JobStats`] — per-phase elapsed/communication breakdowns backing
+//!   Figs. 6(d–f), 7(e–f) and Table 5.
+
+pub mod config;
+pub mod executor;
+pub mod failure;
+pub mod partitioner;
+pub mod shuffle;
+pub mod stats;
+
+pub use config::ClusterConfig;
+pub use executor::real::{LocalCluster, TaskCtx};
+pub use executor::sim::{ComputeWork, SimCluster, SimTask, StageOutcome};
+pub use failure::{JobError, TaskError};
+pub use partitioner::PartitionScheme;
+pub use shuffle::ShuffleLedger;
+pub use stats::{JobStats, Phase, PhaseStats};

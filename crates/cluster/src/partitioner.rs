@@ -1,0 +1,152 @@
+//! Block-partitioning schemes (§2.1, Fig. 1).
+//!
+//! A scheme maps a block's grid coordinates to a partition index; partitions
+//! map to task slots round-robin. Row/Column partitioning are what DMac and
+//! MatFast use for operand alignment; Hash is SystemML's default; Grid is
+//! the building block of (P,Q,R)-cuboid partitioning.
+
+use distme_matrix::BlockId;
+
+/// A block-partitioning scheme over an `I × J`-block matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// All blocks with the same block-row index land in one partition.
+    Row,
+    /// All blocks with the same block-column index land in one partition.
+    Column,
+    /// Blocks spread by hash over `partitions` buckets.
+    Hash {
+        /// Number of hash buckets.
+        partitions: u32,
+    },
+    /// `α × β` grid partitioning: the grid cell containing the block is the
+    /// partition (Fig. 1(d)).
+    Grid {
+        /// Number of partitions along the block-row axis (α).
+        rows: u32,
+        /// Number of partitions along the block-column axis (β).
+        cols: u32,
+    },
+}
+
+impl PartitionScheme {
+    /// Partition index of `block` within a matrix of `grid_rows × grid_cols`
+    /// blocks.
+    pub fn partition_of(&self, block: BlockId, grid_rows: u32, grid_cols: u32) -> u32 {
+        debug_assert!(block.row < grid_rows && block.col < grid_cols);
+        match *self {
+            PartitionScheme::Row => block.row,
+            PartitionScheme::Column => block.col,
+            PartitionScheme::Hash { partitions } => {
+                hash_u64(((block.row as u64) << 32) | block.col as u64) % partitions.max(1)
+            }
+            PartitionScheme::Grid { rows, cols } => {
+                let pr = cell_of(block.row, grid_rows, rows);
+                let pc = cell_of(block.col, grid_cols, cols);
+                pr * cols + pc
+            }
+        }
+    }
+
+    /// Number of partitions the scheme produces for an `I × J` block grid.
+    pub fn num_partitions(&self, grid_rows: u32, grid_cols: u32) -> u32 {
+        match *self {
+            PartitionScheme::Row => grid_rows,
+            PartitionScheme::Column => grid_cols,
+            PartitionScheme::Hash { partitions } => partitions.max(1),
+            PartitionScheme::Grid { rows, cols } => rows * cols,
+        }
+    }
+}
+
+/// Which of `parts` contiguous cells index `i` (of `n` total) falls into —
+/// cells are `ceil(n/parts)` wide, matching the paper's `⌈I/P⌉` cuboid
+/// extents.
+pub fn cell_of(i: u32, n: u32, parts: u32) -> u32 {
+    debug_assert!(parts > 0 && i < n);
+    let width = n.div_ceil(parts);
+    i / width
+}
+
+/// SplitMix64 finalizer — a well-mixed stateless integer hash.
+fn hash_u64(x: u64) -> u32 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (z ^ (z >> 31)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_and_column_schemes_follow_fig1() {
+        // Fig. 1: 4x4 blocks into 4 tasks.
+        for i in 0..4 {
+            for j in 0..4 {
+                let id = BlockId::new(i, j);
+                assert_eq!(PartitionScheme::Row.partition_of(id, 4, 4), i);
+                assert_eq!(PartitionScheme::Column.partition_of(id, 4, 4), j);
+            }
+        }
+        assert_eq!(PartitionScheme::Row.num_partitions(4, 4), 4);
+        assert_eq!(PartitionScheme::Column.num_partitions(4, 4), 4);
+    }
+
+    #[test]
+    fn grid_scheme_follows_fig1d() {
+        // 2x2 grid over 4x4 blocks: quadrants.
+        let g = PartitionScheme::Grid { rows: 2, cols: 2 };
+        assert_eq!(g.partition_of(BlockId::new(0, 0), 4, 4), 0);
+        assert_eq!(g.partition_of(BlockId::new(0, 3), 4, 4), 1);
+        assert_eq!(g.partition_of(BlockId::new(3, 0), 4, 4), 2);
+        assert_eq!(g.partition_of(BlockId::new(3, 3), 4, 4), 3);
+        assert_eq!(g.num_partitions(4, 4), 4);
+    }
+
+    #[test]
+    fn grid_scheme_ragged_cells() {
+        // 7 block-rows into 3 parts: widths ceil(7/3)=3 => cells 0..3 are
+        // rows {0,1,2},{3,4,5},{6}.
+        let g = PartitionScheme::Grid { rows: 3, cols: 1 };
+        assert_eq!(g.partition_of(BlockId::new(2, 0), 7, 1), 0);
+        assert_eq!(g.partition_of(BlockId::new(3, 0), 7, 1), 1);
+        assert_eq!(g.partition_of(BlockId::new(6, 0), 7, 1), 2);
+    }
+
+    #[test]
+    fn hash_scheme_spreads_blocks_roughly_evenly() {
+        let h = PartitionScheme::Hash { partitions: 8 };
+        let mut counts = [0usize; 8];
+        for i in 0..32 {
+            for j in 0..32 {
+                counts[h.partition_of(BlockId::new(i, j), 32, 32) as usize] += 1;
+            }
+        }
+        // 1024 blocks over 8 buckets: mean 128, allow generous skew.
+        assert!(counts.iter().all(|&c| c > 64 && c < 192), "{counts:?}");
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h = PartitionScheme::Hash { partitions: 13 };
+        let a = h.partition_of(BlockId::new(5, 9), 16, 16);
+        let b = h.partition_of(BlockId::new(5, 9), 16, 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cell_of_covers_all_indices() {
+        for n in 1..40u32 {
+            for parts in 1..=n {
+                for i in 0..n {
+                    let c = cell_of(i, n, parts);
+                    assert!(c < parts, "cell {c} out of {parts} for i={i}, n={n}");
+                }
+                // First and last indices map to first and last used cells.
+                assert_eq!(cell_of(0, n, parts), 0);
+            }
+        }
+    }
+}

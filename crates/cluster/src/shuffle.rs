@@ -1,0 +1,127 @@
+//! Shuffle byte accounting.
+//!
+//! Both executors record every block movement here; the benchmark figures'
+//! "amount of transferred data" series read these counters. Counters are
+//! atomic so the real executor's worker threads can record concurrently.
+
+use crate::stats::Phase;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe per-phase shuffle/broadcast byte counters.
+#[derive(Debug, Default)]
+pub struct ShuffleLedger {
+    shuffle: [AtomicU64; 3],
+    cross_node: [AtomicU64; 3],
+    broadcast: [AtomicU64; 3],
+}
+
+impl ShuffleLedger {
+    /// Creates a zeroed ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one block shuffled from `from_node` to `to_node` during
+    /// `phase`. Same-node movements count as shuffled (Spark still
+    /// serializes them through the shuffle files) but not as cross-node.
+    pub fn record_shuffle(&self, phase: Phase, from_node: usize, to_node: usize, bytes: u64) {
+        let i = phase.index();
+        self.shuffle[i].fetch_add(bytes, Ordering::Relaxed);
+        if from_node != to_node {
+            self.cross_node[i].fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a broadcast of `bytes_per_node` to `nodes` nodes (torrent
+    /// semantics: one copy lands on each node, §2.2.1's BMM).
+    pub fn record_broadcast(&self, phase: Phase, bytes_per_node: u64, nodes: usize) {
+        self.broadcast[phase.index()]
+            .fetch_add(bytes_per_node * nodes as u64, Ordering::Relaxed);
+    }
+
+    /// Total shuffled bytes in `phase`.
+    pub fn shuffle_bytes(&self, phase: Phase) -> u64 {
+        self.shuffle[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Cross-node shuffled bytes in `phase`.
+    pub fn cross_node_bytes(&self, phase: Phase) -> u64 {
+        self.cross_node[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Broadcast bytes in `phase`.
+    pub fn broadcast_bytes(&self, phase: Phase) -> u64 {
+        self.broadcast[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Sum over phases of shuffle + broadcast bytes.
+    pub fn total_communication(&self) -> u64 {
+        Phase::ALL
+            .iter()
+            .map(|&p| self.shuffle_bytes(p) + self.broadcast_bytes(p))
+            .sum()
+    }
+
+    /// Resets every counter (between jobs).
+    pub fn reset(&self) {
+        for i in 0..3 {
+            self.shuffle[i].store(0, Ordering::Relaxed);
+            self.cross_node[i].store(0, Ordering::Relaxed);
+            self.broadcast[i].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_split_by_phase_and_locality() {
+        let l = ShuffleLedger::new();
+        l.record_shuffle(Phase::Repartition, 0, 1, 100);
+        l.record_shuffle(Phase::Repartition, 2, 2, 50);
+        l.record_shuffle(Phase::Aggregation, 1, 0, 30);
+        assert_eq!(l.shuffle_bytes(Phase::Repartition), 150);
+        assert_eq!(l.cross_node_bytes(Phase::Repartition), 100);
+        assert_eq!(l.shuffle_bytes(Phase::Aggregation), 30);
+        assert_eq!(l.shuffle_bytes(Phase::LocalMult), 0);
+    }
+
+    #[test]
+    fn broadcast_counts_node_copies() {
+        let l = ShuffleLedger::new();
+        l.record_broadcast(Phase::Repartition, 1000, 9);
+        assert_eq!(l.broadcast_bytes(Phase::Repartition), 9000);
+        assert_eq!(l.total_communication(), 9000);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let l = ShuffleLedger::new();
+        l.record_shuffle(Phase::LocalMult, 0, 1, 7);
+        l.record_broadcast(Phase::LocalMult, 7, 2);
+        l.reset();
+        assert_eq!(l.total_communication(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        use std::sync::Arc;
+        let l = Arc::new(ShuffleLedger::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    l.record_shuffle(Phase::Repartition, t % 2, (t + 1) % 2, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.shuffle_bytes(Phase::Repartition), 8000);
+        assert_eq!(l.cross_node_bytes(Phase::Repartition), 8000);
+    }
+}

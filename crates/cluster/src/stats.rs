@@ -1,0 +1,216 @@
+//! Per-phase job statistics.
+//!
+//! The paper breaks distributed matrix multiplication into three steps —
+//! matrix repartition, local multiplication, matrix aggregation (§2.2) —
+//! and reports per-step elapsed-time ratios (Fig. 7(e)) and communication
+//! volumes (Figs. 6(d–f), 7(f)). [`JobStats`] carries exactly those
+//! measurements, filled in by either executor.
+
+/// The three steps of distributed matrix multiplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Step 1: repartition/broadcast inputs to tasks.
+    Repartition,
+    /// Step 2: multiply blocks within each task.
+    LocalMult,
+    /// Step 3: shuffle and reduce intermediate output blocks.
+    Aggregation,
+}
+
+impl Phase {
+    /// All phases, in execution order.
+    pub const ALL: [Phase; 3] = [Phase::Repartition, Phase::LocalMult, Phase::Aggregation];
+
+    /// Index into per-phase arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Repartition => 0,
+            Phase::LocalMult => 1,
+            Phase::Aggregation => 2,
+        }
+    }
+
+    /// Human-readable label used by the harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Repartition => "matrix repartition",
+            Phase::LocalMult => "local multiplication",
+            Phase::Aggregation => "matrix aggregation",
+        }
+    }
+}
+
+/// Measurements of one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseStats {
+    /// Elapsed (virtual or wall) seconds.
+    pub secs: f64,
+    /// Bytes moved through the shuffle in this phase (all copies counted,
+    /// matching the paper's "amount of transferred data").
+    pub shuffle_bytes: u64,
+    /// The subset of `shuffle_bytes` that crossed a node boundary.
+    pub cross_node_bytes: u64,
+    /// Bytes moved by broadcast (node-level copies).
+    pub broadcast_bytes: u64,
+    /// Tasks executed in this phase.
+    pub tasks: usize,
+}
+
+impl PhaseStats {
+    /// Merges another phase's measurements into this one (used when a query
+    /// runs several jobs).
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.secs += other.secs;
+        self.shuffle_bytes += other.shuffle_bytes;
+        self.cross_node_bytes += other.cross_node_bytes;
+        self.broadcast_bytes += other.broadcast_bytes;
+        self.tasks += other.tasks;
+    }
+}
+
+/// Measurements of a whole job (or accumulated query).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JobStats {
+    /// Per-phase measurements, indexed by [`Phase::index`].
+    pub phases: [PhaseStats; 3],
+    /// End-to-end elapsed seconds (≥ sum of phase times; includes stage
+    /// overheads).
+    pub elapsed_secs: f64,
+    /// Largest task working set observed, bytes.
+    pub peak_task_mem_bytes: u64,
+    /// Intermediate (shuffle) data written to disk, bytes — the E.D.C.
+    /// metric.
+    pub intermediate_bytes: u64,
+    /// Kernel-engine utilization of the GPUs during local multiplication,
+    /// `0..=1`, when GPUs were used (Fig. 7(g)).
+    pub gpu_utilization: Option<f64>,
+}
+
+impl JobStats {
+    /// Phase accessor.
+    pub fn phase(&self, p: Phase) -> &PhaseStats {
+        &self.phases[p.index()]
+    }
+
+    /// Mutable phase accessor.
+    pub fn phase_mut(&mut self, p: Phase) -> &mut PhaseStats {
+        &mut self.phases[p.index()]
+    }
+
+    /// Total bytes shuffled over all phases — the paper's "communication
+    /// cost (i.e., amount of transferred data in the matrix repartition and
+    /// aggregation steps)".
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.shuffle_bytes).sum()
+    }
+
+    /// Total broadcast bytes.
+    pub fn total_broadcast_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.broadcast_bytes).sum()
+    }
+
+    /// Communication cost: shuffle + broadcast bytes.
+    pub fn communication_bytes(&self) -> u64 {
+        self.total_shuffle_bytes() + self.total_broadcast_bytes()
+    }
+
+    /// Per-phase shares of the summed phase time — Fig. 7(e)'s "time ratio
+    /// of three steps". Returns zeros when no time was recorded.
+    pub fn time_ratios(&self) -> [f64; 3] {
+        let total: f64 = self.phases.iter().map(|p| p.secs).sum();
+        if total <= 0.0 {
+            return [0.0; 3];
+        }
+        [
+            self.phases[0].secs / total,
+            self.phases[1].secs / total,
+            self.phases[2].secs / total,
+        ]
+    }
+
+    /// Merges another job's stats (for multi-operation queries like GNMF).
+    pub fn merge(&mut self, other: &JobStats) {
+        for (a, b) in self.phases.iter_mut().zip(other.phases.iter()) {
+            a.merge(b);
+        }
+        self.elapsed_secs += other.elapsed_secs;
+        self.peak_task_mem_bytes = self.peak_task_mem_bytes.max(other.peak_task_mem_bytes);
+        self.intermediate_bytes += other.intermediate_bytes;
+        self.gpu_utilization = match (self.gpu_utilization, other.gpu_utilization) {
+            (Some(a), Some(b)) => Some((a + b) / 2.0),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobStats {
+        let mut s = JobStats::default();
+        s.phase_mut(Phase::Repartition).secs = 1.0;
+        s.phase_mut(Phase::Repartition).shuffle_bytes = 100;
+        s.phase_mut(Phase::Repartition).cross_node_bytes = 80;
+        s.phase_mut(Phase::LocalMult).secs = 8.0;
+        s.phase_mut(Phase::Aggregation).secs = 1.0;
+        s.phase_mut(Phase::Aggregation).shuffle_bytes = 50;
+        s.elapsed_secs = 10.5;
+        s.peak_task_mem_bytes = 1000;
+        s.intermediate_bytes = 150;
+        s
+    }
+
+    #[test]
+    fn totals_and_ratios() {
+        let s = sample();
+        assert_eq!(s.total_shuffle_bytes(), 150);
+        assert_eq!(s.communication_bytes(), 150);
+        let r = s.time_ratios();
+        assert!((r[0] - 0.1).abs() < 1e-12);
+        assert!((r[1] - 0.8).abs() < 1e-12);
+        assert!((r[2] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratios_are_zero() {
+        assert_eq!(JobStats::default().time_ratios(), [0.0; 3]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total_shuffle_bytes(), 300);
+        assert_eq!(a.elapsed_secs, 21.0);
+        assert_eq!(a.peak_task_mem_bytes, 1000);
+        assert_eq!(a.intermediate_bytes, 300);
+        assert_eq!(a.phase(Phase::LocalMult).secs, 16.0);
+    }
+
+    #[test]
+    fn phase_indexing_is_consistent() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Phase::LocalMult.label(), "local multiplication");
+    }
+
+    #[test]
+    fn gpu_utilization_merge() {
+        let mut a = JobStats {
+            gpu_utilization: Some(0.8),
+            ..Default::default()
+        };
+        let b = JobStats {
+            gpu_utilization: Some(0.4),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert!((a.gpu_utilization.unwrap() - 0.6).abs() < 1e-12);
+        let mut c = JobStats::default();
+        c.merge(&b);
+        assert_eq!(c.gpu_utilization, Some(0.4));
+    }
+}

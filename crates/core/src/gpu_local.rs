@@ -1,0 +1,298 @@
+//! Algorithm 1 — GPU-accelerated local multiplication of one cuboid
+//! (§4.3–4.4).
+//!
+//! Two faces of the same schedule:
+//!
+//! * [`plan_work`] derives the aggregate device work ([`GpuWork`]) the
+//!   schedule performs — H2D volume `Q2·|Am| + P2·|Bm|` (every subcuboid
+//!   copies its A side; B blocks stream per-stream), one D2H of `|Cm|`
+//!   (line 19–21: only the last k-iteration copies C back), `I'·J'·K'`
+//!   kernel launches, `J'` streams. The simulated executor feeds this to
+//!   the shared [`distme_gpu::GpuDevice`].
+//! * [`execute_cuboid_real`] *runs* the schedule with real blocks (kernels
+//!   execute on the CPU standing in for `cublasDgemm`/`cusparseDcsrmm`),
+//!   iterating subcuboids in `(p2, q2, r2)` order and keeping the `C'`
+//!   accumulator resident across the k-axis — proving the schedule computes
+//!   the same product as a plain loop.
+
+use crate::cuboid::Cuboid;
+use crate::subcuboid::{self, CuboidSides, SubcuboidSpec};
+use distme_cluster::TaskError;
+use distme_gpu::GpuWork;
+use distme_matrix::{kernels, BlockId, BlockMatrix, DenseBlock, MatrixMeta};
+
+/// Plans the device work for a cuboid of the given sides under θg.
+///
+/// Returns `None` when no subcuboid decomposition fits the GPU budget (the
+/// task must fall back to the CPU kernel).
+pub fn plan_work(
+    sides: &CuboidSides,
+    gpu_task_mem_bytes: u64,
+    flops: f64,
+    sparse: bool,
+) -> Option<(SubcuboidSpec, GpuWork)> {
+    let (spec, pcie_in) = subcuboid::optimize(sides, gpu_task_mem_bytes)?;
+    let (i, j, k) = sides.extents;
+    let voxels = i as u64 * j as u64 * k as u64;
+    let h2d_bytes = pcie_in - sides.c_bytes();
+    let work = GpuWork {
+        h2d_bytes,
+        d2h_bytes: sides.c_bytes(),
+        dense_flops: if sparse { 0.0 } else { flops },
+        sparse_flops: if sparse { flops } else { 0.0 },
+        kernel_calls: voxels,
+        streams: j.div_ceil(spec.q2) as usize,
+    };
+    Some((spec, work))
+}
+
+/// Result of running Algorithm 1 on real blocks.
+#[derive(Debug)]
+pub struct CuboidGpuResult {
+    /// Intermediate C blocks produced by this cuboid (block id → content).
+    pub blocks: Vec<(BlockId, DenseBlock)>,
+    /// Subcuboid iterations performed (`P2 · Q2 · R2`).
+    pub iterations: u64,
+    /// Kernel invocations (block-pair products).
+    pub kernel_calls: u64,
+    /// The chosen subcuboid partitioning.
+    pub spec: SubcuboidSpec,
+}
+
+/// Executes Algorithm 1 for `cuboid` against real operand matrices.
+///
+/// Blocks absent from sparse operands are treated as zero (their kernels
+/// are skipped, like a csrmm on an empty block). The `C'` accumulator for
+/// a `(p2, q2)` cell stays "device-resident" across the `r2` iterations and
+/// is emitted once at `r2 = R2 − 1`, exactly as lines 19–21 copy `BufC`
+/// back on the last k-subcuboid.
+///
+/// # Errors
+/// Returns [`TaskError::OutOfMemory`] when even single-voxel subcuboids
+/// exceed θg.
+pub fn execute_cuboid_real(
+    cuboid: &Cuboid,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    c_meta: &MatrixMeta,
+    gpu_task_mem_bytes: u64,
+) -> Result<CuboidGpuResult, TaskError> {
+    let sides = CuboidSides::of(
+        cuboid,
+        a.meta().block_bytes(),
+        b.meta().block_bytes(),
+        c_meta.block_bytes(),
+    );
+    let Some((spec, _)) = subcuboid::optimize(&sides, gpu_task_mem_bytes) else {
+        return Err(TaskError::OutOfMemory {
+            needed: subcuboid::mem_bytes(
+                &sides,
+                SubcuboidSpec {
+                    p2: sides.extents.0,
+                    q2: sides.extents.1,
+                    r2: sides.extents.2,
+                },
+            ),
+            budget: gpu_task_mem_bytes,
+        });
+    };
+
+    let (ie, je, ke) = cuboid.extents();
+    let (wi, wj, wk) = (
+        ie.div_ceil(spec.p2),
+        je.div_ceil(spec.q2),
+        ke.div_ceil(spec.r2),
+    );
+
+    let mut out: Vec<(BlockId, DenseBlock)> = Vec::new();
+    let mut iterations = 0u64;
+    let mut kernel_calls = 0u64;
+
+    // Algorithm 1 line 4: subcuboids sorted by (p2, q2, r2) — for a fixed
+    // (p2, q2) the r2 axis is innermost, so C' accumulates in place.
+    for p2 in 0..spec.p2 {
+        for q2 in 0..spec.q2 {
+            let i_lo = cuboid.i0 + p2 * wi;
+            let i_hi = (i_lo + wi).min(cuboid.i1);
+            let j_lo = cuboid.j0 + q2 * wj;
+            let j_hi = (j_lo + wj).min(cuboid.j1);
+            if i_lo >= i_hi || j_lo >= j_hi {
+                continue;
+            }
+            // BufC: accumulators for this (p2, q2) cell, "in GPU memory".
+            let mut bufc: Vec<Vec<Option<DenseBlock>>> =
+                vec![vec![None; (j_hi - j_lo) as usize]; (i_hi - i_lo) as usize];
+
+            for r2 in 0..spec.r2 {
+                let k_lo = cuboid.k0 + r2 * wk;
+                let k_hi = (k_lo + wk).min(cuboid.k1);
+                if k_lo >= k_hi {
+                    continue;
+                }
+                iterations += 1;
+                // Lines 13–18: per (k, j) copy B block, then I' kernels.
+                for k in k_lo..k_hi {
+                    for j in j_lo..j_hi {
+                        let Some(bblk) = b.get(k, j) else { continue };
+                        for i in i_lo..i_hi {
+                            let Some(ablk) = a.get(i, k) else { continue };
+                            let slot = &mut bufc[(i - i_lo) as usize][(j - j_lo) as usize];
+                            let acc = slot.get_or_insert_with(|| {
+                                let (r, c) = c_meta.block_dims(i, j);
+                                DenseBlock::zeros(r as usize, c as usize)
+                            });
+                            kernels::multiply_accumulate(acc, ablk, bblk)?;
+                            kernel_calls += 1;
+                        }
+                    }
+                }
+            }
+            // Lines 19–21: after the last k-subcuboid, copy C' back.
+            for (di, row) in bufc.into_iter().enumerate() {
+                for (dj, slot) in row.into_iter().enumerate() {
+                    if let Some(block) = slot {
+                        out.push((
+                            BlockId::new(i_lo + di as u32, j_lo + dj as u32),
+                            block,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(CuboidGpuResult {
+        blocks: out,
+        iterations,
+        kernel_calls,
+        spec,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuboid::{CuboidGrid, CuboidSpec};
+    use crate::problem::MatmulProblem;
+    use distme_matrix::{Block, MatrixGenerator, MatrixMeta};
+
+    fn setup(bs: u64) -> (BlockMatrix, BlockMatrix, MatmulProblem) {
+        let am = MatrixMeta::dense(4 * bs, 8 * bs).with_block_size(bs);
+        let bm = MatrixMeta::dense(8 * bs, 6 * bs).with_block_size(bs);
+        let a = MatrixGenerator::with_seed(1).generate(&am).unwrap();
+        let b = MatrixGenerator::with_seed(2).generate(&bm).unwrap();
+        let p = MatmulProblem::new(am, bm).unwrap();
+        (a, b, p)
+    }
+
+    #[test]
+    fn plan_work_matches_eq6() {
+        let sides = CuboidSides {
+            extents: (2, 3, 4),
+            a_block_bytes: 100,
+            b_block_bytes: 100,
+            c_block_bytes: 100,
+        };
+        // θg admitting (1,1,2) as in Fig. 5.
+        let (spec, work) = plan_work(&sides, 1600, 1000.0, false).unwrap();
+        assert_eq!(spec, SubcuboidSpec { p2: 1, q2: 1, r2: 2 });
+        // h2d = Q2|Am| + P2|Bm| = 800 + 1200.
+        assert_eq!(work.h2d_bytes, 2000);
+        assert_eq!(work.d2h_bytes, 600);
+        assert_eq!(work.kernel_calls, 24);
+        assert_eq!(work.streams, 3); // J' = ceil(3/1)
+        assert_eq!(work.dense_flops, 1000.0);
+    }
+
+    #[test]
+    fn plan_work_sparse_routes_flops() {
+        let sides = CuboidSides {
+            extents: (1, 1, 1),
+            a_block_bytes: 8,
+            b_block_bytes: 8,
+            c_block_bytes: 8,
+        };
+        let (_, work) = plan_work(&sides, 1000, 500.0, true).unwrap();
+        assert_eq!(work.sparse_flops, 500.0);
+        assert_eq!(work.dense_flops, 0.0);
+    }
+
+    #[test]
+    fn plan_work_infeasible_returns_none() {
+        let sides = CuboidSides {
+            extents: (1, 1, 1),
+            a_block_bytes: 1000,
+            b_block_bytes: 1000,
+            c_block_bytes: 1000,
+        };
+        assert!(plan_work(&sides, 100, 1.0, false).is_none());
+    }
+
+    #[test]
+    fn real_schedule_matches_reference_product() {
+        let (a, b, p) = setup(16);
+        let grid = CuboidGrid::new(&p, CuboidSpec::new(2, 2, 2));
+        let reference = a.multiply(&b).unwrap();
+        // θg small enough to force several iterations: a cuboid holds
+        // 8 A-blocks + 12 B-blocks + 6 C-blocks of 2 KiB each.
+        let theta_g = 20_000u64;
+        let mut c = BlockMatrix::new(p.c);
+        for cuboid in grid.cuboids() {
+            let res = execute_cuboid_real(&cuboid, &a, &b, &p.c, theta_g).unwrap();
+            assert!(res.iterations > 1, "θg should force multiple iterations");
+            for (id, blk) in res.blocks {
+                // Aggregate intermediate blocks across the R = 2 cuboids.
+                let merged = match c.get(id.row, id.col) {
+                    Some(prev) => prev.add(&Block::Dense(blk)).unwrap(),
+                    None => Block::Dense(blk),
+                };
+                c.put(id.row, id.col, merged).unwrap();
+            }
+        }
+        assert!(
+            c.max_abs_diff(&reference).unwrap() < 1e-9,
+            "Algorithm 1 result diverges from reference"
+        );
+    }
+
+    #[test]
+    fn kernel_calls_equal_voxels() {
+        let (a, b, p) = setup(8);
+        let grid = CuboidGrid::new(&p, CuboidSpec::new(1, 1, 1));
+        let cuboid = grid.cuboid(0, 0, 0);
+        let res =
+            execute_cuboid_real(&cuboid, &a, &b, &p.c, u64::MAX).unwrap();
+        assert_eq!(res.kernel_calls, cuboid.voxels());
+        assert_eq!(res.iterations, 1);
+        assert_eq!(res.spec.iterations(), 1);
+    }
+
+    #[test]
+    fn oom_when_theta_g_below_one_voxel() {
+        let (a, b, p) = setup(8);
+        let grid = CuboidGrid::new(&p, CuboidSpec::new(2, 2, 2));
+        let cuboid = grid.cuboid(0, 0, 0);
+        let err = execute_cuboid_real(&cuboid, &a, &b, &p.c, 16).unwrap_err();
+        assert!(matches!(err, TaskError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn missing_blocks_are_skipped_as_zero() {
+        let (_, b, p) = setup(8);
+        // A with only one materialized block.
+        let mut a = BlockMatrix::new(p.a);
+        let gen = MatrixGenerator::with_seed(3);
+        a.put(0, 0, gen.generate_block(&p.a, 0, 0).unwrap()).unwrap();
+        let grid = CuboidGrid::new(&p, CuboidSpec::new(1, 1, 1));
+        let res =
+            execute_cuboid_real(&grid.cuboid(0, 0, 0), &a, &b, &p.c, u64::MAX).unwrap();
+        let reference = a.multiply(&b).unwrap();
+        // Only C-row 0 blocks can be non-zero.
+        assert!(res.blocks.iter().all(|(id, _)| id.row == 0));
+        let mut c = BlockMatrix::new(p.c);
+        for (id, blk) in res.blocks {
+            c.put(id.row, id.col, Block::Dense(blk)).unwrap();
+        }
+        assert!(c.max_abs_diff(&reference).unwrap() < 1e-9);
+    }
+}

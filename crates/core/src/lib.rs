@@ -1,0 +1,45 @@
+//! # distme-core — CuboidMM and its GPU acceleration
+//!
+//! The paper's primary contribution (§3–§4), implemented over the
+//! `distme-cluster` substrate:
+//!
+//! * [`problem`] — the 3-dimensional `I × J × K` voxel model of a blocked
+//!   matrix multiplication (§2.2, Fig. 2);
+//! * [`cuboid`] — `(P, Q, R)`-cuboid partitioning of that model (§3.1,
+//!   Fig. 3): each cuboid is the unit of work of one task, and consecutive
+//!   voxels inside a cuboid *share* network communication;
+//! * [`optimizer`] — the exhaustive `(P*, Q*, R*)` search of §3.2 (Eq. 2–4)
+//!   minimizing communication cost under the per-task memory bound θt, with
+//!   the parallelism pruning rule `P·Q·R ≥ M·Tc`;
+//! * [`methods`] — BMM, CPMM, RMM (§2.2) and CRMM (Marlin, §7) expressed as
+//!   special cases / variants of cuboid partitioning, exactly as §3.1
+//!   observes ("CuboidMM is a generalization of the existing three
+//!   methods");
+//! * [`subcuboid`] — the `(P2, Q2, R2)`-subcuboid optimizer for GPU memory
+//!   θg (§4.2, Eq. 5–6);
+//! * [`gpu_local`] — Algorithm 1: the per-task GPU schedule that streams
+//!   B blocks against kernel calls and keeps `C` device-resident across
+//!   k-axis iterations (§4.3–4.4);
+//! * [`sim_exec`] — the three-step distributed pipeline (repartition →
+//!   local multiplication → aggregation) simulated at paper scale;
+//! * [`real_exec`] — the same pipeline executed with real blocks on the
+//!   thread-backed cluster, used to *prove* every method computes the same
+//!   product as the single-node reference;
+//! * [`summa`] — SUMMA on an MPI-style process grid, the ScaLAPACK/SciDB
+//!   comparison model of §6.5.
+
+pub mod cuboid;
+pub mod gpu_local;
+pub mod methods;
+pub mod optimizer;
+pub mod problem;
+pub mod real_exec;
+pub mod sim_exec;
+pub mod subcuboid;
+pub mod summa;
+
+pub use cuboid::{Cuboid, CuboidGrid, CuboidSpec};
+pub use methods::{MulMethod, ResolvedMethod};
+pub use optimizer::{OptimizerConfig, Optimum};
+pub use problem::MatmulProblem;
+pub use subcuboid::SubcuboidSpec;

@@ -1,0 +1,317 @@
+//! Distributed matrix-multiplication methods.
+//!
+//! §3.1: "CuboidMM is a generalization of the existing three methods, BMM,
+//! CPMM, and RMM, and so, can perform matrix multiplication like either
+//! BMM, CPMM, or RMM by changing the parameters P, Q, and R." Each method
+//! resolves to a [`ResolvedMethod`]: a cuboid grid plus the flags that
+//! distinguish the originals (BMM broadcasts B; RMM hashes voxels with no
+//! communication sharing; CRMM pays an extra shuffle to form logical
+//! blocks).
+
+use crate::cuboid::CuboidSpec;
+use crate::optimizer::{self, OptimizerConfig};
+use crate::problem::MatmulProblem;
+
+/// Method selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MulMethod {
+    /// Broadcast MM (§2.2.1): row-partition A, broadcast B, `T = I` tasks.
+    Bmm,
+    /// Cross-product MM (§2.2.2): column-partition A, row-partition B,
+    /// outer products, `T = K` tasks.
+    Cpmm,
+    /// Replication-based MM (§2.2.3): voxel-level replication with hash
+    /// partitioning; the paper's best setting `T = I·J`.
+    Rmm,
+    /// CuboidMM with explicit parameters.
+    Cuboid(CuboidSpec),
+    /// CuboidMM with `(P*, Q*, R*)` from the §3.2 optimizer.
+    CuboidAuto,
+    /// Marlin's CRMM (§7): RMM over larger *cubic* logical blocks formed by
+    /// an extra shuffle.
+    Crmm,
+}
+
+impl MulMethod {
+    /// Display name used in figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MulMethod::Bmm => "BMM",
+            MulMethod::Cpmm => "CPMM",
+            MulMethod::Rmm => "RMM",
+            MulMethod::Cuboid(_) => "CuboidMM",
+            MulMethod::CuboidAuto => "CuboidMM",
+            MulMethod::Crmm => "CRMM",
+        }
+    }
+}
+
+/// A method resolved against a concrete problem: everything the executors
+/// need to build the three-step pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedMethod {
+    /// Which method this came from.
+    pub method: MulMethod,
+    /// The cuboid grid shaping communication and computation.
+    pub spec: CuboidSpec,
+    /// Local-multiplication task count. Equal to the number of non-empty
+    /// cuboids, except for RMM/CRMM where voxels are *hash-grouped* into
+    /// this many tasks.
+    pub tasks: u64,
+    /// B is distributed by torrent broadcast instead of shuffle (BMM).
+    pub broadcast_b: bool,
+    /// Voxels are hashed to tasks with no consecutive-voxel communication
+    /// sharing (RMM/CRMM): every voxel fetches its own A and B copies.
+    pub voxel_hash: bool,
+    /// Extra bytes shuffled before repartition (CRMM's logical-block
+    /// formation: one full pass over A and B).
+    pub pre_shuffle_bytes: u64,
+    /// Whether a local-mult task holds its *entire* intermediate-C output
+    /// resident (Table 2's `|C|` term for CPMM). DistME streams output
+    /// blocks into the shuffle as they are produced, so this is false by
+    /// default; the SystemML/MatFast profiles set it — which is exactly
+    /// why MatFast's GNMF O.O.M.s at factor dimensions ≥ 500 (Fig. 8(d))
+    /// while DistME does not.
+    pub output_resident: bool,
+    /// Serialized-size overhead of the system's shuffle format relative to
+    /// DistME's SparkSQL-style columnar codec (§5: DistME "exploits the
+    /// data serialization ... of SparkSQL to reduce the amount of shuffled
+    /// data"). 1.0 for DistME; the legacy profiles use Java-serialized
+    /// block records at ~1.6x.
+    pub ser_overhead: f64,
+    /// Whether the planner may keep an operator on the CPU when the GPU's
+    /// estimated time (PCI-E + kernels) is worse (§5's CPU-or-GPU physical
+    /// plans). The GPU ports the paper grafted onto SystemML/MatFast run
+    /// every multiplication on the device unconditionally.
+    pub gpu_cost_based: bool,
+}
+
+impl ResolvedMethod {
+    /// Marks this resolution as holding task outputs resident (legacy
+    /// SystemML/MatFast execution semantics).
+    pub fn with_resident_output(mut self) -> Self {
+        self.output_resident = true;
+        self
+    }
+
+    /// Sets the serialized-size overhead factor (builder style).
+    pub fn with_ser_overhead(mut self, factor: f64) -> Self {
+        self.ser_overhead = factor;
+        self
+    }
+
+    /// Forces every operator onto the GPU when one is present (builder
+    /// style) — legacy GPU-port semantics.
+    pub fn with_unconditional_gpu(mut self) -> Self {
+        self.gpu_cost_based = false;
+        self
+    }
+
+    /// Resolves `method` for `problem` under the optimizer inputs.
+    ///
+    /// Never fails: when the CuboidMM optimizer finds no feasible
+    /// parameters, the minimum-memory spec `(I, J, K)` is returned and the
+    /// executor reports the O.O.M. (matching how the real systems fail at
+    /// run time rather than plan time).
+    pub fn resolve(method: MulMethod, problem: &MatmulProblem, cfg: &OptimizerConfig) -> Self {
+        let (i, j, k) = problem.dims();
+        match method {
+            MulMethod::Bmm => ResolvedMethod {
+                method,
+                spec: CuboidSpec::new(i, 1, 1),
+                tasks: i as u64,
+                broadcast_b: true,
+                voxel_hash: false,
+                pre_shuffle_bytes: 0,
+                output_resident: false,
+                ser_overhead: 1.0,
+                gpu_cost_based: true,
+            },
+            MulMethod::Cpmm => ResolvedMethod {
+                method,
+                spec: CuboidSpec::new(1, 1, k),
+                tasks: k as u64,
+                broadcast_b: false,
+                voxel_hash: false,
+                pre_shuffle_bytes: 0,
+                output_resident: false,
+                ser_overhead: 1.0,
+                gpu_cost_based: true,
+            },
+            MulMethod::Rmm => ResolvedMethod {
+                method,
+                spec: CuboidSpec::new(i, j, k),
+                // §6.2: "we set T = I·J for RMM, which is the best setting
+                // in terms of the aggregation performance".
+                tasks: i as u64 * j as u64,
+                broadcast_b: false,
+                voxel_hash: true,
+                pre_shuffle_bytes: 0,
+                output_resident: false,
+                ser_overhead: 1.0,
+                gpu_cost_based: true,
+            },
+            MulMethod::Cuboid(spec) => ResolvedMethod {
+                method,
+                spec: CuboidSpec::new(spec.p.min(i), spec.q.min(j), spec.r.min(k)),
+                tasks: spec.count(),
+                broadcast_b: false,
+                voxel_hash: false,
+                pre_shuffle_bytes: 0,
+                output_resident: false,
+                ser_overhead: 1.0,
+                gpu_cost_based: true,
+            },
+            MulMethod::CuboidAuto => {
+                let spec = optimizer::optimize(problem, cfg)
+                    .map(|o| o.spec)
+                    .unwrap_or(CuboidSpec::new(i, j, k));
+                ResolvedMethod {
+                    method,
+                    spec,
+                    tasks: spec.count(),
+                    broadcast_b: false,
+                    voxel_hash: false,
+                    pre_shuffle_bytes: 0,
+                    output_resident: false,
+                    ser_overhead: 1.0,
+                    gpu_cost_based: true,
+                }
+            }
+            MulMethod::Crmm => {
+                // Cubic logical blocks: the smallest side s with s^3 >= M·Tc
+                // parallelism, clamped to the model dims. The re-blocking
+                // shuffle costs one pass over both inputs.
+                let mut s = 1u32;
+                while (s as u64).pow(3) < cfg.min_parallelism {
+                    s += 1;
+                }
+                let spec = CuboidSpec::new(s.min(i), s.min(j), s.min(k));
+                ResolvedMethod {
+                    method,
+                    spec,
+                    tasks: spec.count(),
+                    broadcast_b: false,
+                    // Logical blocks *do* share communication within a cube
+                    // (that is CRMM's improvement over RMM); its remaining
+                    // handicaps are the cubic shape and the re-blocking
+                    // shuffle.
+                    voxel_hash: false,
+                    pre_shuffle_bytes: problem.a.total_bytes() + problem.b.total_bytes(),
+                    output_resident: false,
+                    ser_overhead: 1.0,
+                    gpu_cost_based: true,
+                }
+            }
+        }
+    }
+
+    /// Tasks actually runnable: for cuboid-grid methods, empty edge cuboids
+    /// don't become tasks.
+    pub fn effective_tasks(&self, problem: &MatmulProblem) -> u64 {
+        if self.voxel_hash {
+            self.tasks.min(problem.voxels())
+        } else {
+            crate::cuboid::CuboidGrid::new(problem, self.spec).task_count() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> OptimizerConfig {
+        OptimizerConfig {
+            task_mem_bytes: 6_000_000_000,
+            min_parallelism: 90,
+        }
+    }
+
+    fn problem() -> MatmulProblem {
+        MatmulProblem::dense(70_000, 70_000, 70_000)
+    }
+
+    #[test]
+    fn bmm_resolves_to_row_partition_with_broadcast() {
+        let r = ResolvedMethod::resolve(MulMethod::Bmm, &problem(), &cfg());
+        assert_eq!(r.spec, CuboidSpec::new(70, 1, 1));
+        assert_eq!(r.tasks, 70);
+        assert!(r.broadcast_b);
+        assert!(!r.voxel_hash);
+    }
+
+    #[test]
+    fn cpmm_resolves_to_k_outer_products() {
+        let r = ResolvedMethod::resolve(MulMethod::Cpmm, &problem(), &cfg());
+        assert_eq!(r.spec, CuboidSpec::new(1, 1, 70));
+        assert_eq!(r.tasks, 70);
+        assert!(!r.broadcast_b);
+    }
+
+    #[test]
+    fn rmm_hashes_voxels_into_ij_tasks() {
+        let r = ResolvedMethod::resolve(MulMethod::Rmm, &problem(), &cfg());
+        assert_eq!(r.spec, CuboidSpec::new(70, 70, 70));
+        assert_eq!(r.tasks, 4900);
+        assert!(r.voxel_hash);
+    }
+
+    #[test]
+    fn auto_uses_the_optimizer() {
+        let r = ResolvedMethod::resolve(MulMethod::CuboidAuto, &problem(), &cfg());
+        assert!(r.spec.count() >= 90);
+        let mem = optimizer::mem_bytes(&problem(), r.spec);
+        assert!(mem <= cfg().task_mem_bytes);
+    }
+
+    #[test]
+    fn auto_degrades_to_voxel_grid_when_infeasible() {
+        let tiny = OptimizerConfig {
+            task_mem_bytes: 1, // nothing fits
+            min_parallelism: 1,
+        };
+        let r = ResolvedMethod::resolve(MulMethod::CuboidAuto, &problem(), &tiny);
+        assert_eq!(r.spec, CuboidSpec::new(70, 70, 70));
+    }
+
+    #[test]
+    fn explicit_spec_is_clamped_to_dims() {
+        let r = ResolvedMethod::resolve(
+            MulMethod::Cuboid(CuboidSpec::new(500, 2, 3)),
+            &problem(),
+            &cfg(),
+        );
+        assert_eq!(r.spec.p, 70);
+    }
+
+    #[test]
+    fn crmm_builds_cubic_grid_with_pre_shuffle() {
+        let r = ResolvedMethod::resolve(MulMethod::Crmm, &problem(), &cfg());
+        assert_eq!(r.spec.p, r.spec.q);
+        assert_eq!(r.spec.q, r.spec.r);
+        assert!(r.spec.count() >= 90);
+        assert!(!r.voxel_hash);
+        let expected = problem().a.total_bytes() + problem().b.total_bytes();
+        assert_eq!(r.pre_shuffle_bytes, expected);
+    }
+
+    #[test]
+    fn effective_tasks_skips_empty_cuboids() {
+        // I = 5, P = 4: widths 2 => 3 non-empty row bands.
+        let p = MatmulProblem::dense(5_000, 2_000, 3_000);
+        let r = ResolvedMethod::resolve(
+            MulMethod::Cuboid(CuboidSpec::new(4, 1, 1)),
+            &p,
+            &cfg(),
+        );
+        assert_eq!(r.effective_tasks(&p), 3);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MulMethod::Bmm.name(), "BMM");
+        assert_eq!(MulMethod::CuboidAuto.name(), "CuboidMM");
+        assert_eq!(MulMethod::Crmm.name(), "CRMM");
+    }
+}

@@ -1,0 +1,207 @@
+//! The 3-dimensional model of a blocked matrix multiplication (§2.2).
+//!
+//! `C = A × B` with `A` of `I × K` blocks and `B` of `K × J` blocks spans a
+//! volume of `I × J × K` voxels; voxel `v(i,j,k)` is the block product
+//! `A[i,k] · B[k,j]` contributing to `C[i,j]` (Eq. 1, Fig. 2).
+
+use distme_matrix::{MatrixError, MatrixMeta};
+
+/// A distributed matrix-multiplication instance: operand descriptors plus
+/// the derived output descriptor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatmulProblem {
+    /// Left operand (the `ik`-plane).
+    pub a: MatrixMeta,
+    /// Right operand (the `kj`-plane).
+    pub b: MatrixMeta,
+    /// Output (the `ij`-plane), sized with the paper's worst-case density
+    /// estimate (§2.2.2).
+    pub c: MatrixMeta,
+}
+
+impl MatmulProblem {
+    /// Builds a problem from operand descriptors.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::DimensionMismatch`] when the inner dimensions
+    /// or block sizes disagree.
+    pub fn new(a: MatrixMeta, b: MatrixMeta) -> Result<Self, MatrixError> {
+        if a.cols != b.rows || a.block_size != b.block_size {
+            return Err(MatrixError::DimensionMismatch {
+                op: "matmul_problem",
+                lhs: (a.rows, a.cols),
+                rhs: (b.rows, b.cols),
+            });
+        }
+        Ok(MatmulProblem {
+            a,
+            b,
+            c: a.multiply_meta(&b),
+        })
+    }
+
+    /// Block-grid dimensions `(I, J, K)` of the voxel model.
+    pub fn dims(&self) -> (u32, u32, u32) {
+        (self.a.block_rows(), self.b.block_cols(), self.a.block_cols())
+    }
+
+    /// Total voxels, `I · J · K`.
+    pub fn voxels(&self) -> u64 {
+        let (i, j, k) = self.dims();
+        i as u64 * j as u64 * k as u64
+    }
+
+    /// FLOPs of one *average* voxel: `2 · (I̅ · J̅ · K̅)` where the bars are
+    /// average block extents (edge blocks of skinny matrices are narrower
+    /// than the nominal block size), scaled by the effective density the
+    /// local kernel actually visits — a sparse-stored operand skips its
+    /// zeros, a dense-stored one does not (even at 0.5 sparsity, `dgemm`
+    /// performs every multiply).
+    pub fn flops_per_voxel(&self) -> f64 {
+        let (i, j, k) = self.dims();
+        let mi = self.a.rows as f64 / i as f64;
+        let mj = self.b.cols as f64 / j as f64;
+        let mk = self.a.cols as f64 / k as f64;
+        2.0 * mi * mj * mk * self.effective_density()
+    }
+
+    /// Product of the operands' kernel-visible densities.
+    pub fn effective_density(&self) -> f64 {
+        let da = if self.a.is_dense_storage() {
+            1.0
+        } else {
+            self.a.sparsity
+        };
+        let db = if self.b.is_dense_storage() {
+            1.0
+        } else {
+            self.b.sparsity
+        };
+        da * db
+    }
+
+    /// Total FLOPs of the multiplication — identical for every method ("the
+    /// total number of low-level multiplication operations is the same
+    /// regardless of a method used", §1).
+    pub fn total_flops(&self) -> f64 {
+        self.voxels() as f64 * self.flops_per_voxel()
+    }
+
+    /// Whether either operand is stored sparse (selects csrmm-style
+    /// kernels).
+    pub fn uses_sparse_kernels(&self) -> bool {
+        !self.a.is_dense_storage() || !self.b.is_dense_storage()
+    }
+
+    /// Average serialized bytes of one block of `A` — exact for uniformly
+    /// skinny matrices (every block narrower than the nominal size) and a
+    /// faithful mean under ragged edges.
+    pub fn a_block_bytes(&self) -> u64 {
+        avg_block_bytes(&self.a)
+    }
+
+    /// Average serialized bytes of one block of `B`.
+    pub fn b_block_bytes(&self) -> u64 {
+        avg_block_bytes(&self.b)
+    }
+
+    /// Average serialized bytes of one block of `C` (worst-case density).
+    pub fn c_block_bytes(&self) -> u64 {
+        avg_block_bytes(&self.c)
+    }
+
+    /// Convenience constructor for the paper's synthetic workloads:
+    /// `I×K · K×J` dense matrices in elements, default 1000-blocks.
+    ///
+    /// # Panics
+    /// Panics when the implied problem is inconsistent (impossible here by
+    /// construction).
+    pub fn dense(rows_a: u64, common: u64, cols_b: u64) -> Self {
+        Self::new(
+            MatrixMeta::dense(rows_a, common),
+            MatrixMeta::dense(common, cols_b),
+        )
+        .expect("consistent by construction")
+    }
+}
+
+/// Mean bytes per block: total storage over block count.
+fn avg_block_bytes(m: &MatrixMeta) -> u64 {
+    (m.total_bytes() / m.num_blocks().max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_and_voxels() {
+        // Fig. 3(a): A is 4x8 blocks, B is 8x6 blocks (block size 1 for
+        // directness).
+        let a = MatrixMeta::dense(4, 8).with_block_size(1);
+        let b = MatrixMeta::dense(8, 6).with_block_size(1);
+        let p = MatmulProblem::new(a, b).unwrap();
+        assert_eq!(p.dims(), (4, 6, 8));
+        assert_eq!(p.voxels(), 192);
+        assert_eq!(p.c.rows, 4);
+        assert_eq!(p.c.cols, 6);
+    }
+
+    #[test]
+    fn mismatched_inner_dim_rejected() {
+        let a = MatrixMeta::dense(4, 8);
+        let b = MatrixMeta::dense(9, 6);
+        assert!(MatmulProblem::new(a, b).is_err());
+    }
+
+    #[test]
+    fn mismatched_block_size_rejected() {
+        let a = MatrixMeta::dense(4000, 8000);
+        let b = MatrixMeta::dense(8000, 6000).with_block_size(500);
+        assert!(MatmulProblem::new(a, b).is_err());
+    }
+
+    #[test]
+    fn paper_scale_flops() {
+        // 100K^3 dense: 2e15 flops.
+        let p = MatmulProblem::dense(100_000, 100_000, 100_000);
+        assert_eq!(p.dims(), (100, 100, 100));
+        assert!((p.total_flops() - 2.0e15).abs() / 2.0e15 < 1e-12);
+    }
+
+    #[test]
+    fn dense_stored_half_sparse_does_full_flops() {
+        let a = MatrixMeta::sparse(10_000, 10_000, 0.5); // dense storage
+        let b = MatrixMeta::sparse(10_000, 10_000, 0.5);
+        let p = MatmulProblem::new(a, b).unwrap();
+        assert_eq!(p.effective_density(), 1.0);
+        assert!(!p.uses_sparse_kernels());
+    }
+
+    #[test]
+    fn sparse_stored_operand_scales_flops() {
+        let a = MatrixMeta::sparse(500_000, 1_000_000, 0.0001);
+        let b = MatrixMeta::dense(1_000_000, 1_000);
+        let p = MatmulProblem::new(a, b).unwrap();
+        assert!((p.effective_density() - 0.0001).abs() < 1e-15);
+        assert!(p.uses_sparse_kernels());
+    }
+
+    #[test]
+    fn skinny_matrices_use_true_block_sizes() {
+        // W is 1.8M x 200: every block is 1000 x 200 = 1.6 MB, not 8 MB.
+        let p = MatmulProblem::dense(1_800_000, 200, 1_800_000);
+        assert_eq!(p.a_block_bytes(), 1_600_000);
+        // And flops per voxel reflect the thin common dimension.
+        let expect = 2.0 * 1000.0 * 1000.0 * 200.0;
+        assert!((p.flops_per_voxel() - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn output_is_worst_case_dense() {
+        let a = MatrixMeta::sparse(500_000, 1_000_000, 0.0001);
+        let b = MatrixMeta::dense(1_000_000, 1_000);
+        let p = MatmulProblem::new(a, b).unwrap();
+        assert!(p.c.sparsity > 0.99, "C sized as (almost) fully dense");
+    }
+}

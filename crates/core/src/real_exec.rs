@@ -1,0 +1,487 @@
+//! The three-step pipeline executed with real blocks (laptop scale).
+//!
+//! Same plan structure as [`crate::sim_exec`], but every block is
+//! materialized, every shuffle byte is counted from real serialized sizes,
+//! every task runs on a worker thread under its θt budget, and the output
+//! is compared against the single-node reference by the test suite. This
+//! is what makes the simulated numbers trustworthy: the communication
+//! volumes the simulator charges are exactly the volumes this executor
+//! measures on the same plans.
+
+use crate::cuboid::{Cuboid, CuboidGrid};
+use crate::gpu_local;
+use crate::methods::{MulMethod, ResolvedMethod};
+use crate::optimizer::OptimizerConfig;
+use crate::problem::MatmulProblem;
+use distme_cluster::{JobError, JobStats, LocalCluster, Phase, PhaseStats, TaskError};
+use distme_matrix::{codec, kernels, Block, BlockId, BlockMatrix, DenseBlock};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Options for real execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealExecOptions {
+    /// When set, local multiplication runs through Algorithm 1's subcuboid
+    /// schedule with this per-task device-memory budget θg (the schedule's
+    /// arithmetic runs on the CPU; see `distme-gpu`'s crate docs).
+    pub gpu_task_mem_bytes: Option<u64>,
+}
+
+/// Multiplies `a × b` distributed over `cluster` with `method`.
+///
+/// # Errors
+/// * [`JobError::TaskFailed`] on shape mismatch;
+/// * [`JobError::OutOfMemory`] when a task exceeds θt (or θg);
+/// * scheduler errors per [`LocalCluster::run_stage`].
+pub fn multiply(
+    cluster: &LocalCluster,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    method: MulMethod,
+) -> Result<(BlockMatrix, JobStats), JobError> {
+    multiply_with(cluster, a, b, method, RealExecOptions::default())
+}
+
+/// [`multiply`] with explicit options.
+pub fn multiply_with(
+    cluster: &LocalCluster,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    method: MulMethod,
+    opts: RealExecOptions,
+) -> Result<(BlockMatrix, JobStats), JobError> {
+    let problem = MatmulProblem::new(*a.meta(), *b.meta()).map_err(|e| JobError::TaskFailed {
+        task: 0,
+        message: e.to_string(),
+    })?;
+    let resolved = ResolvedMethod::resolve(
+        method,
+        &problem,
+        &OptimizerConfig::from_cluster(cluster.config()),
+    );
+    cluster.ledger().reset();
+
+    let b_encoded_total: u64 = b.blocks().map(|(_, blk)| codec::encoded_len(blk)).sum();
+
+    // ------------- Stage 1: repartition accounting -----------------------
+    // Input blocks start on their HDFS "home" node; shipping them to their
+    // local-mult tasks is the repartition shuffle. (Blocks physically stay
+    // in shared memory — the executor counts the bytes the movement would
+    // serialize.)
+    let rep_timer = Instant::now();
+    let work_items: Vec<WorkItem> = build_work_items(&problem, &resolved);
+    for (t, item) in work_items.iter().enumerate() {
+        let to_node = cluster.node_of_task(t);
+        for id in item.a_reads(&resolved) {
+            if let Some(blk) = a.get(id.row, id.col) {
+                cluster.ledger().record_shuffle(
+                    Phase::Repartition,
+                    home_node(id, 0, cluster.config().nodes),
+                    to_node,
+                    codec::encoded_len(blk),
+                );
+            }
+        }
+        if !resolved.broadcast_b {
+            for id in item.b_reads(&resolved) {
+                if let Some(blk) = b.get(id.row, id.col) {
+                    cluster.ledger().record_shuffle(
+                        Phase::Repartition,
+                        home_node(id, 1, cluster.config().nodes),
+                        to_node,
+                        codec::encoded_len(blk),
+                    );
+                }
+            }
+        }
+    }
+    if resolved.broadcast_b {
+        // Table 2 accounting: every task fetches its own copy of B.
+        for _ in 0..work_items.len().div_ceil(cluster.config().nodes.max(1)) {
+            cluster.broadcast(Phase::Repartition, b_encoded_total);
+        }
+    }
+    if resolved.pre_shuffle_bytes > 0 {
+        // CRMM's logical-block formation: one extra pass over both inputs.
+        for (id, blk) in a.blocks() {
+            let home = home_node(id, 0, cluster.config().nodes);
+            let dest = home_node(id, 2, cluster.config().nodes);
+            cluster
+                .ledger()
+                .record_shuffle(Phase::Repartition, home, dest, codec::encoded_len(blk));
+        }
+        for (id, blk) in b.blocks() {
+            let home = home_node(id, 1, cluster.config().nodes);
+            let dest = home_node(id, 3, cluster.config().nodes);
+            cluster
+                .ledger()
+                .record_shuffle(Phase::Repartition, home, dest, codec::encoded_len(blk));
+        }
+    }
+    let rep_secs = rep_timer.elapsed().as_secs_f64();
+
+    // ------------- Stage 2: local multiplication -------------------------
+    let needs_aggregation = resolved.spec.r > 1 || (resolved.voxel_hash && problem.dims().2 > 1);
+    let c_meta = problem.c;
+    // Broadcast variables are node-level: one shared copy per node.
+    if resolved.broadcast_b && b_encoded_total > cluster.config().node_mem_bytes {
+        return Err(JobError::OutOfMemory {
+            task: 0,
+            needed: b_encoded_total,
+            budget: cluster.config().node_mem_bytes,
+        });
+    }
+    let mult = cluster.run_stage(work_items, |ctx, item| {
+        match item {
+            WorkItem::Cuboid(cuboid) => {
+                let mut in_bytes = 0u64;
+                for id in cuboid.a_block_ids() {
+                    if let Some(blk) = a.get(id.row, id.col) {
+                        in_bytes += codec::encoded_len(blk);
+                    }
+                }
+                if !resolved.broadcast_b {
+                    for id in cuboid.b_block_ids() {
+                        if let Some(blk) = b.get(id.row, id.col) {
+                            in_bytes += codec::encoded_len(blk);
+                        }
+                    }
+                }
+                ctx.alloc(in_bytes)?;
+                let blocks = match opts.gpu_task_mem_bytes {
+                    Some(theta_g) => {
+                        let res = gpu_local::execute_cuboid_real(&cuboid, a, b, &c_meta, theta_g)?;
+                        res.blocks
+                    }
+                    None => multiply_cuboid_cpu(&cuboid, a, b, &problem)?,
+                };
+                let mut out = Vec::with_capacity(blocks.len());
+                for (id, dense) in blocks {
+                    ctx.alloc(dense.mem_bytes())?;
+                    out.push((id, Block::Dense(dense)));
+                }
+                Ok(out)
+            }
+            WorkItem::Voxels(voxels) => {
+                // RMM: one isolated block product per voxel, no sharing.
+                let mut out = Vec::with_capacity(voxels.len());
+                for (i, j, k) in voxels {
+                    let (Some(ab), Some(bb)) = (a.get(i, k), b.get(k, j)) else {
+                        continue;
+                    };
+                    ctx.alloc(codec::encoded_len(ab) + codec::encoded_len(bb))?;
+                    let prod = kernels::multiply(ab, bb)?;
+                    ctx.alloc(prod.mem_bytes())?;
+                    out.push((BlockId::new(i, j), prod));
+                }
+                Ok(out)
+            }
+        }
+    })?;
+    let mult_secs = mult.wall_secs;
+    let mult_peak = mult.peak_task_mem_bytes;
+
+    // ------------- Stage 3: aggregation ----------------------------------
+    let agg_timer = Instant::now();
+    let mut groups: BTreeMap<BlockId, Vec<(usize, Block)>> = BTreeMap::new();
+    for (producer, outputs) in mult.outputs.into_iter().enumerate() {
+        for (id, blk) in outputs {
+            groups.entry(id).or_default().push((producer, blk));
+        }
+    }
+    let group_list: Vec<(BlockId, Vec<(usize, Block)>)> = groups.into_iter().collect();
+    if needs_aggregation {
+        for (t, (_, parts)) in group_list.iter().enumerate() {
+            let to_node = cluster.node_of_task(t);
+            for (producer, blk) in parts {
+                cluster.ledger().record_shuffle(
+                    Phase::Aggregation,
+                    cluster.node_of_task(*producer),
+                    to_node,
+                    codec::encoded_len(blk),
+                );
+            }
+        }
+    }
+    let agg = cluster.run_stage(group_list, |ctx, (id, parts)| {
+        let mut acc: Option<Block> = None;
+        for (_, blk) in parts {
+            ctx.alloc(blk.mem_bytes())?;
+            acc = Some(match acc {
+                None => blk,
+                Some(prev) => prev.add(&blk)?,
+            });
+        }
+        let block = acc.expect("groups are non-empty by construction");
+        Ok((id, block.normalize()))
+    })?;
+    let agg_secs = agg_timer.elapsed().as_secs_f64();
+
+    let mut c = BlockMatrix::new(problem.c);
+    for (id, blk) in agg.outputs {
+        if blk.nnz() > 0 {
+            c.put(id.row, id.col, blk).map_err(|e| JobError::TaskFailed {
+                task: 0,
+                message: e.to_string(),
+            })?;
+        }
+    }
+
+    // ------------- Statistics --------------------------------------------
+    let ledger = cluster.ledger();
+    let mut stats = JobStats {
+        elapsed_secs: rep_secs + mult_secs + agg_secs,
+        peak_task_mem_bytes: mult_peak.max(agg.peak_task_mem_bytes),
+        intermediate_bytes: ledger.shuffle_bytes(Phase::Repartition)
+            + ledger.shuffle_bytes(Phase::Aggregation),
+        gpu_utilization: None,
+        ..Default::default()
+    };
+    *stats.phase_mut(Phase::Repartition) = PhaseStats {
+        secs: rep_secs,
+        shuffle_bytes: ledger.shuffle_bytes(Phase::Repartition),
+        cross_node_bytes: ledger.cross_node_bytes(Phase::Repartition),
+        broadcast_bytes: ledger.broadcast_bytes(Phase::Repartition),
+        tasks: resolved.effective_tasks(&problem) as usize,
+    };
+    *stats.phase_mut(Phase::LocalMult) = PhaseStats {
+        secs: mult_secs,
+        shuffle_bytes: 0,
+        cross_node_bytes: 0,
+        broadcast_bytes: 0,
+        tasks: resolved.effective_tasks(&problem) as usize,
+    };
+    *stats.phase_mut(Phase::Aggregation) = PhaseStats {
+        secs: agg_secs,
+        shuffle_bytes: ledger.shuffle_bytes(Phase::Aggregation),
+        cross_node_bytes: ledger.cross_node_bytes(Phase::Aggregation),
+        broadcast_bytes: 0,
+        tasks: if needs_aggregation {
+            problem.c.num_blocks() as usize
+        } else {
+            0
+        },
+    };
+    Ok((c, stats))
+}
+
+/// A local-multiplication work item: a cuboid, or (for RMM) a hashed set of
+/// voxels.
+enum WorkItem {
+    Cuboid(Cuboid),
+    Voxels(Vec<(u32, u32, u32)>),
+}
+
+impl WorkItem {
+    fn a_reads(&self, _resolved: &ResolvedMethod) -> Vec<BlockId> {
+        match self {
+            WorkItem::Cuboid(c) => c.a_block_ids().collect(),
+            WorkItem::Voxels(vs) => vs.iter().map(|&(i, _, k)| BlockId::new(i, k)).collect(),
+        }
+    }
+
+    fn b_reads(&self, _resolved: &ResolvedMethod) -> Vec<BlockId> {
+        match self {
+            WorkItem::Cuboid(c) => c.b_block_ids().collect(),
+            WorkItem::Voxels(vs) => vs.iter().map(|&(_, j, k)| BlockId::new(k, j)).collect(),
+        }
+    }
+}
+
+fn build_work_items(problem: &MatmulProblem, resolved: &ResolvedMethod) -> Vec<WorkItem> {
+    if resolved.voxel_hash {
+        let t = resolved.tasks.min(problem.voxels()).max(1) as usize;
+        let (i, j, k) = problem.dims();
+        let mut buckets: Vec<Vec<(u32, u32, u32)>> = (0..t).map(|_| Vec::new()).collect();
+        for vi in 0..i {
+            for vj in 0..j {
+                for vk in 0..k {
+                    let h = voxel_hash(vi, vj, vk) as usize % t;
+                    buckets[h].push((vi, vj, vk));
+                }
+            }
+        }
+        buckets.into_iter().map(WorkItem::Voxels).collect()
+    } else {
+        CuboidGrid::new(problem, resolved.spec)
+            .cuboids()
+            .map(WorkItem::Cuboid)
+            .collect()
+    }
+}
+
+fn multiply_cuboid_cpu(
+    cuboid: &Cuboid,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    problem: &MatmulProblem,
+) -> Result<Vec<(BlockId, DenseBlock)>, TaskError> {
+    let mut out = Vec::new();
+    for i in cuboid.i0..cuboid.i1 {
+        for j in cuboid.j0..cuboid.j1 {
+            let (rows, cols) = problem.c.block_dims(i, j);
+            let mut acc = DenseBlock::zeros(rows as usize, cols as usize);
+            let mut any = false;
+            for k in cuboid.k0..cuboid.k1 {
+                let (Some(ab), Some(bb)) = (a.get(i, k), b.get(k, j)) else {
+                    continue;
+                };
+                kernels::multiply_accumulate(&mut acc, ab, bb)?;
+                any = true;
+            }
+            if any {
+                out.push((BlockId::new(i, j), acc));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// HDFS "home" node of an input block (`which` salts A/B/destination
+/// spaces apart).
+fn home_node(id: BlockId, which: u64, nodes: usize) -> usize {
+    let mut z = (((id.row as u64) << 32) | id.col as u64)
+        .wrapping_add(which.wrapping_mul(0xA24BAED4963EE407))
+        .wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (z ^ (z >> 31)) as usize % nodes
+}
+
+fn voxel_hash(i: u32, j: u32, k: u32) -> u64 {
+    let mut z = ((i as u64) << 42 | (j as u64) << 21 | k as u64)
+        .wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuboid::CuboidSpec;
+    use distme_cluster::ClusterConfig;
+    use distme_matrix::{MatrixGenerator, MatrixMeta};
+
+    fn cluster() -> LocalCluster {
+        LocalCluster::new(ClusterConfig::laptop())
+    }
+
+    fn operands(bs: u64, sparsity: f64) -> (BlockMatrix, BlockMatrix, BlockMatrix) {
+        let am = MatrixMeta::sparse(5 * bs, 4 * bs, sparsity).with_block_size(bs);
+        let bm = MatrixMeta::sparse(4 * bs, 3 * bs, sparsity).with_block_size(bs);
+        let a = MatrixGenerator::with_seed(11).generate(&am).unwrap();
+        let b = MatrixGenerator::with_seed(22).generate(&bm).unwrap();
+        let reference = a.multiply(&b).unwrap();
+        (a, b, reference)
+    }
+
+    #[test]
+    fn every_method_computes_the_reference_product() {
+        let (a, b, reference) = operands(16, 1.0);
+        for method in [
+            MulMethod::Bmm,
+            MulMethod::Cpmm,
+            MulMethod::Rmm,
+            MulMethod::CuboidAuto,
+            MulMethod::Cuboid(CuboidSpec::new(2, 2, 2)),
+            MulMethod::Crmm,
+        ] {
+            let c = cluster();
+            let (prod, _) = multiply(&c, &a, &b, method)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", method.name()));
+            let diff = prod.max_abs_diff(&reference).unwrap();
+            assert!(diff < 1e-9, "{}: diff {diff}", method.name());
+        }
+    }
+
+    #[test]
+    fn sparse_operands_work_across_methods() {
+        let (a, b, reference) = operands(16, 0.08);
+        for method in [MulMethod::Cpmm, MulMethod::Rmm, MulMethod::CuboidAuto] {
+            let c = cluster();
+            let (prod, _) = multiply(&c, &a, &b, method).unwrap();
+            assert!(prod.max_abs_diff(&reference).unwrap() < 1e-9, "{}", method.name());
+        }
+    }
+
+    #[test]
+    fn gpu_schedule_matches_cpu_path() {
+        let (a, b, reference) = operands(16, 1.0);
+        let c = cluster();
+        let opts = RealExecOptions {
+            // Small θg: forces several subcuboid iterations per cuboid.
+            gpu_task_mem_bytes: Some(40_000),
+        };
+        let (prod, _) =
+            multiply_with(&c, &a, &b, MulMethod::CuboidAuto, opts).unwrap();
+        assert!(prod.max_abs_diff(&reference).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn measured_communication_ordering_matches_table2() {
+        // RMM must shuffle strictly more than CuboidMM; BMM must broadcast.
+        let (a, b, _) = operands(16, 1.0);
+        let mut comm = std::collections::HashMap::new();
+        for method in [MulMethod::Rmm, MulMethod::CuboidAuto, MulMethod::Bmm] {
+            let c = cluster();
+            let (_, stats) = multiply(&c, &a, &b, method).unwrap();
+            comm.insert(method.name().to_string(), stats);
+        }
+        assert!(
+            comm["RMM"].total_shuffle_bytes() > comm["CuboidMM"].total_shuffle_bytes(),
+            "RMM {} vs CuboidMM {}",
+            comm["RMM"].total_shuffle_bytes(),
+            comm["CuboidMM"].total_shuffle_bytes()
+        );
+        assert!(comm["BMM"].total_broadcast_bytes() > 0);
+        assert_eq!(comm["CuboidMM"].total_broadcast_bytes(), 0);
+    }
+
+    #[test]
+    fn task_memory_budget_produces_oom() {
+        let (a, b, _) = operands(16, 1.0);
+        let mut cfg = ClusterConfig::laptop();
+        cfg.task_mem_bytes = 10_000; // smaller than one BMM task's |B|
+        let c = LocalCluster::new(cfg);
+        let err = multiply(&c, &a, &b, MulMethod::Bmm).unwrap_err();
+        assert_eq!(err.annotation(), "O.O.M.");
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let am = MatrixMeta::dense(32, 32).with_block_size(16);
+        let bm = MatrixMeta::dense(48, 32).with_block_size(16);
+        let a = MatrixGenerator::with_seed(1).generate(&am).unwrap();
+        let b = MatrixGenerator::with_seed(2).generate(&bm).unwrap();
+        assert!(matches!(
+            multiply(&cluster(), &a, &b, MulMethod::CuboidAuto),
+            Err(JobError::TaskFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregation_bytes_zero_when_r_is_one() {
+        let (a, b, _) = operands(16, 1.0);
+        let c = cluster();
+        let (_, stats) =
+            multiply(&c, &a, &b, MulMethod::Cuboid(CuboidSpec::new(2, 2, 1))).unwrap();
+        assert_eq!(stats.phase(Phase::Aggregation).shuffle_bytes, 0);
+        // And CPMM (R = K) must aggregate.
+        let c = cluster();
+        let (_, stats) = multiply(&c, &a, &b, MulMethod::Cpmm).unwrap();
+        assert!(stats.phase(Phase::Aggregation).shuffle_bytes > 0);
+    }
+
+    #[test]
+    fn stats_report_intermediate_bytes() {
+        let (a, b, _) = operands(16, 1.0);
+        let c = cluster();
+        let (_, stats) = multiply(&c, &a, &b, MulMethod::Cpmm).unwrap();
+        assert_eq!(
+            stats.intermediate_bytes,
+            stats.phase(Phase::Repartition).shuffle_bytes
+                + stats.phase(Phase::Aggregation).shuffle_bytes
+        );
+    }
+}

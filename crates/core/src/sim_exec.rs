@@ -1,0 +1,508 @@
+//! The three-step distributed multiplication pipeline, simulated at paper
+//! scale (§2.2, Fig. 4).
+//!
+//! A multiplication job is three Spark-style stages:
+//!
+//! 1. **matrix repartition** — map tasks read the operands from HDFS and
+//!    write the *replicated* copies into the shuffle (`Q·|A| + P·|B|`
+//!    bytes; BMM broadcasts B instead);
+//! 2. **local multiplication** — one task per (non-empty) cuboid fetches
+//!    its blocks and multiplies them, on the CPU or through Algorithm 1 on
+//!    the node's GPU;
+//! 3. **matrix aggregation** — only when `R > 1`: intermediate C blocks are
+//!    shuffled by `(i, j)` and reduced (`R·|C|` bytes).
+//!
+//! Nothing is materialized: each task is a byte/FLOP summary executed by
+//! [`SimCluster`] against its resource models, which is what lets the
+//! harness replay the paper's 80 GB-to-multi-TB workloads.
+
+use crate::cuboid::CuboidGrid;
+use crate::gpu_local;
+use crate::methods::{MulMethod, ResolvedMethod};
+use crate::optimizer::OptimizerConfig;
+use crate::problem::MatmulProblem;
+use crate::subcuboid::CuboidSides;
+use distme_cluster::{ComputeWork, JobError, JobStats, Phase, SimCluster, SimTask};
+use distme_gpu::GpuWork;
+
+/// Fraction of a *resident* intermediate output that actually occupies the
+/// task heap: Spark's external sorter spills part of a materialized
+/// partition before the heap limit, so a legacy (MatFast-style) CPMM task
+/// holding |C| dies once ~75% of |C| exceeds θt — calibrated so Fig. 7(a)'s
+/// MatFast survives 30K (|C| = 7.2 GB) and O.O.M.s at 40K (12.8 GB).
+pub const RESIDENT_OUTPUT_FRACTION: f64 = 0.75;
+
+/// Simulates `problem` with `method` on `cluster` (GPU is used when the
+/// cluster has one), returning per-phase statistics.
+///
+/// # Errors
+/// Propagates the cluster's failure modes — the O.O.M. / T.O. / E.D.C. /
+/// too-many-tasks annotations of Figs. 6–8.
+pub fn simulate(
+    cluster: &mut SimCluster,
+    problem: &MatmulProblem,
+    method: MulMethod,
+) -> Result<JobStats, JobError> {
+    let resolved = ResolvedMethod::resolve(
+        method,
+        problem,
+        &OptimizerConfig::from_cluster(cluster.config()),
+    );
+    simulate_resolved(cluster, problem, &resolved)
+}
+
+/// [`simulate`] with a pre-resolved method (used by the parameter-sweep
+/// benches of Fig. 9).
+pub fn simulate_resolved(
+    cluster: &mut SimCluster,
+    problem: &MatmulProblem,
+    resolved: &ResolvedMethod,
+) -> Result<JobStats, JobError> {
+    cluster.start_job();
+    let cfg = *cluster.config();
+    let use_gpu = cfg.gpu.is_some();
+    let grid = CuboidGrid::new(problem, resolved.spec);
+
+    let a_total = problem.a.total_bytes();
+    let b_total = problem.b.total_bytes();
+    let c_total = problem.c.total_bytes();
+    let ab = problem.a_block_bytes();
+    let bb = problem.b_block_bytes();
+    let cb = problem.c_block_bytes();
+    let fpv = problem.flops_per_voxel();
+    let sparse = problem.uses_sparse_kernels();
+
+    // ---------------- Stage 1: matrix repartition (map side) -------------
+    let rep_a = grid.a_replication() as u64 * a_total;
+    let rep_b = if resolved.broadcast_b {
+        0
+    } else {
+        grid.b_replication() as u64 * b_total
+    };
+    let rep_total = scale(
+        rep_a + rep_b + resolved.pre_shuffle_bytes,
+        resolved.ser_overhead,
+    );
+    let input_blocks = problem.a.num_blocks() + problem.b.num_blocks();
+    let t_map = (cfg.total_slots() as u64).min(input_blocks).max(1);
+    let map_task = |share: u64, read: u64| SimTask {
+        shuffle_in_bytes: 0,
+        local_read_bytes: read,
+        compute: ComputeWork::None,
+        shuffle_out_bytes: share,
+        local_write_bytes: 0,
+        mem_bytes: 4 * ab.max(bb),
+    };
+    let map_tasks: Vec<SimTask> = (0..t_map)
+        .map(|i| {
+            map_task(
+                split_share(rep_total, t_map, i),
+                split_share(a_total + b_total, t_map, i),
+            )
+        })
+        .collect();
+    let s1 = cluster.run_stage(&map_tasks, 0)?;
+
+    // ---------------- Stage 2: local multiplication ----------------------
+    let broadcast = if resolved.broadcast_b { b_total } else { 0 };
+    let mut mult_tasks: Vec<SimTask> = Vec::new();
+    if resolved.voxel_hash {
+        // RMM: voxels hashed over `tasks` buckets; no communication
+        // sharing — each voxel fetches its own pair of blocks and ships
+        // its own intermediate block.
+        let t = resolved.tasks.min(problem.voxels()).max(1);
+        let voxels = problem.voxels();
+        // With K = 1 every voxel's product is final — nothing is shuffled
+        // to an aggregation stage (no k-axis to reduce over).
+        let k_depth = problem.dims().2;
+        for idx in 0..t {
+            let vox = split_share(voxels, t, idx);
+            let in_bytes = scale(vox * (ab + bb), resolved.ser_overhead);
+            let out_bytes = if k_depth > 1 {
+                scale(vox * cb, resolved.ser_overhead)
+            } else {
+                0
+            };
+            let flops = vox as f64 * fpv;
+            let compute = if use_gpu {
+                // §6.2: "RMM cannot perform cuboid-level GPU computation,
+                // but simple block-level GPU computation due to its hash
+                // partitioning" — no C residence, one stream.
+                ComputeWork::Gpu(GpuWork {
+                    h2d_bytes: in_bytes,
+                    d2h_bytes: out_bytes,
+                    dense_flops: if sparse { 0.0 } else { flops },
+                    sparse_flops: if sparse { flops } else { 0.0 },
+                    kernel_calls: vox,
+                    streams: 1,
+                })
+            } else {
+                ComputeWork::Cpu { flops }
+            };
+            mult_tasks.push(SimTask {
+                shuffle_in_bytes: in_bytes,
+                local_read_bytes: 0,
+                compute,
+                shuffle_out_bytes: out_bytes,
+                local_write_bytes: 0,
+                // An RMM task iterates its voxels sequentially — only a
+                // few blocks are live at once (which is precisely why RMM
+                // "can process without out of memory", §2.2.4).
+                mem_bytes: 3 * (ab + bb + cb)
+                    + if resolved.output_resident {
+                        (out_bytes as f64 * RESIDENT_OUTPUT_FRACTION) as u64
+                    } else {
+                        0
+                    },
+            });
+        }
+    } else {
+        for cuboid in grid.cuboids() {
+            let a_bytes = cuboid.a_blocks() * ab;
+            let b_bytes = cuboid.b_blocks() * bb;
+            let c_bytes = cuboid.c_blocks() * cb;
+            let flops = cuboid.voxels() as f64 * fpv;
+            let shuffle_in = scale(
+                a_bytes + if resolved.broadcast_b { 0 } else { b_bytes },
+                resolved.ser_overhead,
+            );
+            // Memory model: a broadcast B is stored once per node and
+            // shared (checked against node memory by the executor).
+            // Intermediate C blocks (R > 1) stream into the shuffle as
+            // they are produced; *final* C blocks (R = 1) are collected in
+            // the task before being emitted, so the whole C side is
+            // resident — which is exactly why BMM O.O.M.s at
+            // 750K x 1K x 750K (a 6 GB C row per task) while surviving
+            // 500K (4 GB), Fig. 6(c). Legacy systems also hold
+            // intermediate C resident (`output_resident`).
+            // Output residency: a BMM (mapmm-style) task computes its
+            // whole final output row-partition inside the map call before
+            // writing — the 6 GB C row that kills BMM at 750K x 1K x 750K
+            // (Fig. 6(c)). Shuffle-based methods emit C blocks one at a
+            // time; MatFast's naive CPMM additionally materializes most of
+            // its intermediate |C| (see RESIDENT_OUTPUT_FRACTION).
+            let resident_c = if resolved.broadcast_b && resolved.spec.r == 1 {
+                c_bytes
+            } else if resolved.output_resident {
+                (c_bytes as f64 * RESIDENT_OUTPUT_FRACTION) as u64
+            } else {
+                cb
+            };
+            let mem = a_bytes
+                + if resolved.broadcast_b { 0 } else { b_bytes }
+                + resident_c;
+            let compute = if use_gpu {
+                let gpu_cfg = cfg.gpu.expect("use_gpu implies config");
+                let sides = CuboidSides::of(&cuboid, ab, bb, cb);
+                match gpu_local::plan_work(&sides, gpu_cfg.task_mem_bytes, flops, sparse) {
+                    // §5: the plan generator produces "a physical plan that
+                    // can be executed in either CPU or GPU" — pick the GPU
+                    // only when its estimated time (PCI-E + kernels) beats
+                    // the CPU kernel. Data-movement-dominated operators
+                    // (GNMF's skinny products) stay on the CPU.
+                    Some((_, work)) => {
+                        let kernel_rate = if sparse {
+                            gpu_cfg.sparse_flops_per_sec
+                        } else {
+                            gpu_cfg.kernel_flops_per_sec
+                        };
+                        let gpu_secs = work.h2d_bytes as f64 / gpu_cfg.h2d_bytes_per_sec
+                            + flops / kernel_rate
+                            + work.d2h_bytes as f64 / gpu_cfg.d2h_bytes_per_sec;
+                        let cpu_secs = flops / cfg.slot_flops_per_sec();
+                        if gpu_secs < cpu_secs || !resolved.gpu_cost_based {
+                            ComputeWork::Gpu(work)
+                        } else {
+                            ComputeWork::Cpu { flops }
+                        }
+                    }
+                    // Cuboid unusable on the GPU: CPU fallback.
+                    None => ComputeWork::Cpu { flops },
+                }
+            } else {
+                ComputeWork::Cpu { flops }
+            };
+            // Final C is consumed by a count-style action (the paper does
+            // not pay an HDFS write in its matmul timings), so R = 1
+            // produces no writes at all.
+            let shuffle_out = if resolved.spec.r > 1 {
+                scale(c_bytes, resolved.ser_overhead)
+            } else {
+                0
+            };
+            let local_write = 0;
+            mult_tasks.push(SimTask {
+                shuffle_in_bytes: shuffle_in,
+                local_read_bytes: 0,
+                compute,
+                shuffle_out_bytes: shuffle_out,
+                local_write_bytes: local_write,
+                mem_bytes: mem,
+            });
+        }
+    }
+    let s2 = cluster.run_stage(&mult_tasks, broadcast)?;
+
+    // ---------------- Stage 3: matrix aggregation ------------------------
+    let needs_aggregation = resolved.spec.r > 1;
+    let s3 = if needs_aggregation {
+        let r = grid.c_replication() as u64;
+        let c_blocks = problem.c.num_blocks();
+        let t_agg = c_blocks
+            .min((cfg.total_slots() as u64).max(resolved.spec.count()))
+            .max(1);
+        let agg_tasks: Vec<SimTask> = (0..t_agg)
+            .map(|i| {
+                let in_bytes = scale(split_share(r * c_total, t_agg, i), resolved.ser_overhead);
+                let out_bytes = split_share(c_total, t_agg, i);
+                // One add per element per extra copy.
+                let adds = (r - 1) as f64 * split_share(problem.c.elements(), t_agg, i) as f64;
+                SimTask {
+                    shuffle_in_bytes: in_bytes,
+                    local_read_bytes: 0,
+                    compute: ComputeWork::Cpu { flops: adds },
+                    shuffle_out_bytes: 0,
+                    // Aggregated C is consumed, not written back to HDFS.
+                    local_write_bytes: 0,
+                    mem_bytes: out_bytes + cb,
+                }
+            })
+            .collect();
+        Some(cluster.run_stage(&agg_tasks, 0)?)
+    } else {
+        None
+    };
+
+    // ---------------- Assemble statistics --------------------------------
+    let mut stats = JobStats {
+        elapsed_secs: cluster.job_elapsed_secs(),
+        peak_task_mem_bytes: s1
+            .peak_task_mem_bytes
+            .max(s2.peak_task_mem_bytes)
+            .max(s3.map_or(0, |s| s.peak_task_mem_bytes)),
+        intermediate_bytes: s1.shuffle_write_bytes + s2.shuffle_write_bytes,
+        gpu_utilization: s2.gpu_utilization,
+        ..Default::default()
+    };
+    *stats.phase_mut(Phase::Repartition) = distme_cluster::PhaseStats {
+        secs: s1.secs,
+        shuffle_bytes: s1.shuffle_write_bytes,
+        cross_node_bytes: s2.cross_node_bytes,
+        // Communication accounting follows Table 2: a broadcast costs
+        // `T·|B|` (every executor process fetches and deserializes its own
+        // copy), even though the torrent protocol moves only one copy per
+        // node over the wire (the *time* model uses the latter).
+        broadcast_bytes: if resolved.broadcast_b {
+            b_total * mult_tasks.len() as u64
+        } else {
+            0
+        },
+        tasks: s1.tasks,
+    };
+    *stats.phase_mut(Phase::LocalMult) = distme_cluster::PhaseStats {
+        secs: s2.secs,
+        shuffle_bytes: 0,
+        cross_node_bytes: 0,
+        broadcast_bytes: 0,
+        tasks: s2.tasks,
+    };
+    if let Some(s3) = s3 {
+        *stats.phase_mut(Phase::Aggregation) = distme_cluster::PhaseStats {
+            secs: s3.secs,
+            shuffle_bytes: s3.shuffle_read_bytes,
+            cross_node_bytes: s3.cross_node_bytes,
+            broadcast_bytes: 0,
+            tasks: s3.tasks,
+        };
+    }
+    Ok(stats)
+}
+
+/// Applies a serialization-format overhead factor to a byte volume.
+fn scale(bytes: u64, factor: f64) -> u64 {
+    if factor == 1.0 {
+        bytes
+    } else {
+        (bytes as f64 * factor) as u64
+    }
+}
+
+/// Splits `total` into `parts` near-equal integer shares; share `idx` gets
+/// the remainder spread over the first `total % parts` parts.
+fn split_share(total: u64, parts: u64, idx: u64) -> u64 {
+    let base = total / parts;
+    let rem = total % parts;
+    base + u64::from(idx < rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distme_cluster::ClusterConfig;
+
+    fn paper_sim() -> SimCluster {
+        SimCluster::new(ClusterConfig::paper_cluster())
+    }
+
+    fn paper_sim_gpu() -> SimCluster {
+        SimCluster::new(ClusterConfig::paper_cluster_gpu())
+    }
+
+    #[test]
+    fn split_share_conserves_total() {
+        for total in [0u64, 1, 7, 100, 101] {
+            for parts in [1u64, 3, 7, 13] {
+                let sum: u64 = (0..parts).map(|i| split_share(total, parts, i)).sum();
+                assert_eq!(sum, total, "total {total}, parts {parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn cuboidmm_beats_all_baselines_at_70k() {
+        // Fig. 6(a)/(d) at N = 70K: CuboidMM wins on elapsed time and
+        // communication; BMM/CPMM/RMM all succeed at this size.
+        let p = MatmulProblem::dense(70_000, 70_000, 70_000);
+        let mut results = Vec::new();
+        for m in [
+            MulMethod::Bmm,
+            MulMethod::Cpmm,
+            MulMethod::Rmm,
+            MulMethod::CuboidAuto,
+        ] {
+            let mut sim = paper_sim_gpu();
+            let stats = simulate(&mut sim, &p, m).unwrap_or_else(|e| {
+                panic!("{} failed at 70K: {e}", m.name());
+            });
+            results.push((m.name(), stats));
+        }
+        let cuboid = &results[3].1;
+        for (name, stats) in &results[..3] {
+            assert!(
+                cuboid.elapsed_secs < stats.elapsed_secs,
+                "CuboidMM ({:.0}s) not faster than {name} ({:.0}s)",
+                cuboid.elapsed_secs,
+                stats.elapsed_secs
+            );
+            assert!(
+                cuboid.communication_bytes() < stats.communication_bytes(),
+                "CuboidMM comm not lower than {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn bmm_ooms_on_large_general_matrices() {
+        // Fig. 6(a): BMM fails with O.O.M. when N > 80K (|B| no longer fits
+        // beside a task's A share).
+        let p = MatmulProblem::dense(100_000, 100_000, 100_000);
+        let err = simulate(&mut paper_sim(), &p, MulMethod::Bmm).unwrap_err();
+        assert_eq!(err.annotation(), "O.O.M.");
+    }
+
+    #[test]
+    fn cpmm_ooms_on_two_large_dimensions() {
+        // Fig. 6(c): CPMM fails for N x 1K x N at N = 500K (|C| per task).
+        let p = MatmulProblem::dense(500_000, 1_000, 500_000);
+        let err = simulate(&mut paper_sim(), &p, MulMethod::Cpmm).unwrap_err();
+        assert_eq!(err.annotation(), "O.O.M.");
+    }
+
+    #[test]
+    fn rmm_never_ooms_but_is_slow() {
+        let p = MatmulProblem::dense(100_000, 100_000, 100_000);
+        let mut rmm_sim = SimCluster::new(ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX));
+        let rmm = simulate(&mut rmm_sim, &p, MulMethod::Rmm).unwrap();
+        let cuboid = simulate(&mut paper_sim_gpu(), &p, MulMethod::CuboidAuto).unwrap();
+        assert!(rmm.elapsed_secs > 2.0 * cuboid.elapsed_secs);
+        assert!(rmm.communication_bytes() > 5 * cuboid.communication_bytes());
+    }
+
+    #[test]
+    fn cuboidmm_runs_where_everything_else_fails() {
+        // Fig. 6(c) at 750K x 1K x 750K: BMM/CPMM O.O.M., RMM T.O.,
+        // CuboidMM succeeds.
+        let p = MatmulProblem::dense(750_000, 1_000, 750_000);
+        assert_eq!(
+            simulate(&mut paper_sim_gpu(), &p, MulMethod::Bmm)
+                .unwrap_err()
+                .annotation(),
+            "O.O.M."
+        );
+        assert_eq!(
+            simulate(&mut paper_sim_gpu(), &p, MulMethod::Cpmm)
+                .unwrap_err()
+                .annotation(),
+            "O.O.M."
+        );
+        let rmm = simulate(&mut paper_sim_gpu(), &p, MulMethod::Rmm);
+        assert!(rmm.is_err(), "RMM should T.O. at 750K: {rmm:?}");
+        let ok = simulate(&mut paper_sim_gpu(), &p, MulMethod::CuboidAuto);
+        assert!(ok.is_ok(), "CuboidMM must survive 750K: {ok:?}");
+    }
+
+    #[test]
+    fn aggregation_skipped_when_r_is_one() {
+        let p = MatmulProblem::dense(500_000, 1_000, 500_000);
+        let mut sim = SimCluster::new(ClusterConfig::paper_cluster().with_timeout(f64::MAX));
+        let stats = simulate(&mut sim, &p, MulMethod::CuboidAuto).unwrap();
+        assert_eq!(stats.phase(Phase::Aggregation).secs, 0.0);
+        assert_eq!(stats.phase(Phase::Aggregation).shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn bmm_has_no_aggregation_and_broadcast_bytes() {
+        let p = MatmulProblem::dense(30_000, 30_000, 30_000);
+        let stats = simulate(&mut paper_sim(), &p, MulMethod::Bmm).unwrap();
+        assert_eq!(stats.phase(Phase::Aggregation).shuffle_bytes, 0);
+        // Table 2 accounting: T·|B| with T = I = 30 tasks.
+        assert_eq!(stats.total_broadcast_bytes(), 30 * p.b.total_bytes());
+    }
+
+    #[test]
+    fn gpu_strictly_helps_compute_bound_jobs() {
+        let p = MatmulProblem::dense(40_000, 40_000, 40_000);
+        let cpu = simulate(&mut paper_sim(), &p, MulMethod::CuboidAuto).unwrap();
+        let gpu = simulate(&mut paper_sim_gpu(), &p, MulMethod::CuboidAuto).unwrap();
+        assert!(
+            gpu.elapsed_secs < cpu.elapsed_secs,
+            "GPU {:.0}s vs CPU {:.0}s",
+            gpu.elapsed_secs,
+            cpu.elapsed_secs
+        );
+        assert!(gpu.gpu_utilization.is_some());
+        assert!(cpu.gpu_utilization.is_none());
+    }
+
+    #[test]
+    fn communication_matches_cost_model_shape() {
+        // Measured repartition bytes must equal Q|A| + P|B| exactly for a
+        // shuffled cuboid method.
+        let p = MatmulProblem::dense(70_000, 70_000, 70_000);
+        let spec = crate::cuboid::CuboidSpec::new(4, 7, 4);
+        let mut sim = SimCluster::new(ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX));
+        let stats = simulate(&mut sim, &p, MulMethod::Cuboid(spec)).unwrap();
+        let expect_rep = 7 * p.a.total_bytes() + 4 * p.b.total_bytes();
+        assert_eq!(stats.phase(Phase::Repartition).shuffle_bytes, expect_rep);
+        let expect_agg = 4 * p.c.total_bytes();
+        assert_eq!(stats.phase(Phase::Aggregation).shuffle_bytes, expect_agg);
+    }
+
+    #[test]
+    fn crmm_pays_reblocking_but_beats_rmm() {
+        let p = MatmulProblem::dense(70_000, 70_000, 70_000);
+        let crmm = simulate(&mut paper_sim_gpu(), &p, MulMethod::Crmm).unwrap();
+        let rmm = simulate(&mut paper_sim_gpu(), &p, MulMethod::Rmm).unwrap();
+        let cuboid = simulate(&mut paper_sim_gpu(), &p, MulMethod::CuboidAuto).unwrap();
+        assert!(crmm.communication_bytes() < rmm.communication_bytes());
+        assert!(cuboid.communication_bytes() < crmm.communication_bytes());
+    }
+
+    #[test]
+    fn deterministic_simulation() {
+        let p = MatmulProblem::dense(50_000, 50_000, 50_000);
+        let a = simulate(&mut paper_sim_gpu(), &p, MulMethod::CuboidAuto).unwrap();
+        let b = simulate(&mut paper_sim_gpu(), &p, MulMethod::CuboidAuto).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,242 @@
+//! `(P2, Q2, R2)`-subcuboid partitioning for GPU memory (§4.1–4.2).
+//!
+//! A task's cuboid usually exceeds the per-task GPU budget θg, so it is cut
+//! again — with the same grid scheme — into subcuboids that fit, processed
+//! sequentially as *iterations*. The optimizer solves Eq. 5: minimize the
+//! PCI-E traffic `Costm(P2,Q2,R2) = Q2·|Am| + P2·|Bm| + |Cm|` (Eq. 6 — note
+//! the missing `R2` on `|Cm|`: intermediate C stays resident in device
+//! memory across k-axis iterations) subject to `Memm ≤ θg`.
+
+use crate::cuboid::Cuboid;
+
+/// Subcuboid partitioning parameters within one cuboid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubcuboidSpec {
+    /// Partitions of the cuboid along the i-axis.
+    pub p2: u32,
+    /// Partitions along the j-axis.
+    pub q2: u32,
+    /// Partitions along the k-axis.
+    pub r2: u32,
+}
+
+impl SubcuboidSpec {
+    /// Iterations a task performs: `P2 · Q2 · R2`.
+    pub fn iterations(&self) -> u64 {
+        self.p2 as u64 * self.q2 as u64 * self.r2 as u64
+    }
+}
+
+impl std::fmt::Display for SubcuboidSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})", self.p2, self.q2, self.r2)
+    }
+}
+
+/// Byte sizes of one task's cuboid sides (`|Am|`, `|Bm|`, `|Cm|` — §4.2:
+/// "Memm considers the sizes of A and B within the given cuboid processed
+/// by the task tm").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CuboidSides {
+    /// Cuboid extents in blocks, `(I', J', K')` before subdivision.
+    pub extents: (u32, u32, u32),
+    /// Bytes of one A block.
+    pub a_block_bytes: u64,
+    /// Bytes of one B block.
+    pub b_block_bytes: u64,
+    /// Bytes of one C block.
+    pub c_block_bytes: u64,
+}
+
+impl CuboidSides {
+    /// Builds the sides description from a cuboid and per-block byte sizes.
+    pub fn of(cuboid: &Cuboid, a_block: u64, b_block: u64, c_block: u64) -> Self {
+        CuboidSides {
+            extents: cuboid.extents(),
+            a_block_bytes: a_block,
+            b_block_bytes: b_block,
+            c_block_bytes: c_block,
+        }
+    }
+
+    /// `|Am|`: bytes of the cuboid's A side.
+    pub fn a_bytes(&self) -> u64 {
+        let (i, _, k) = self.extents;
+        i as u64 * k as u64 * self.a_block_bytes
+    }
+
+    /// `|Bm|`: bytes of the cuboid's B side.
+    pub fn b_bytes(&self) -> u64 {
+        let (_, j, k) = self.extents;
+        k as u64 * j as u64 * self.b_block_bytes
+    }
+
+    /// `|Cm|`: bytes of the cuboid's C side.
+    pub fn c_bytes(&self) -> u64 {
+        let (i, j, _) = self.extents;
+        i as u64 * j as u64 * self.c_block_bytes
+    }
+}
+
+/// `Memm(P2, Q2, R2)` — block-granular device-memory footprint of one
+/// subcuboid (BufA + BufB + BufC of Algorithm 1, line 7).
+pub fn mem_bytes(sides: &CuboidSides, spec: SubcuboidSpec) -> u64 {
+    let (i, j, k) = sides.extents;
+    let si = i.div_ceil(spec.p2) as u64;
+    let sj = j.div_ceil(spec.q2) as u64;
+    let sk = k.div_ceil(spec.r2) as u64;
+    si * sk * sides.a_block_bytes + sk * sj * sides.b_block_bytes + si * sj * sides.c_block_bytes
+}
+
+/// `Costm(P2, Q2, R2)` — Eq. 6: PCI-E bytes moved for the whole cuboid.
+/// `|Cm|` is *not* multiplied by `R2`: C stays in GPU memory across k-axis
+/// iterations and is copied back once.
+pub fn cost_bytes(sides: &CuboidSides, spec: SubcuboidSpec) -> u64 {
+    spec.q2 as u64 * sides.a_bytes() + spec.p2 as u64 * sides.b_bytes() + sides.c_bytes()
+}
+
+/// Solves Eq. 5 exhaustively. Returns `None` when even single-voxel
+/// subcuboids exceed θg (the task cannot use the GPU; DistME would fall
+/// back to the CPU kernel).
+pub fn optimize(sides: &CuboidSides, gpu_task_mem_bytes: u64) -> Option<(SubcuboidSpec, u64)> {
+    let (i, j, k) = sides.extents;
+    let mut best: Option<(SubcuboidSpec, u64)> = None;
+    for p2 in 1..=i {
+        for q2 in 1..=j {
+            // Mem shrinks as R2 grows while cost is R2-independent, so take
+            // the smallest feasible R2 (fewest iterations).
+            for r2 in 1..=k {
+                let spec = SubcuboidSpec { p2, q2, r2 };
+                if mem_bytes(sides, spec) > gpu_task_mem_bytes {
+                    continue;
+                }
+                let cost = cost_bytes(sides, spec);
+                let better = match &best {
+                    None => true,
+                    Some((bs, bc)) => {
+                        cost < *bc || (cost == *bc && spec.iterations() < bs.iterations())
+                    }
+                };
+                if better {
+                    best = Some((spec, cost));
+                }
+                break;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 10 x 12 x 20-block cuboid of 8 MB blocks (1000x1000 f64 dense).
+    fn sides() -> CuboidSides {
+        CuboidSides {
+            extents: (10, 12, 20),
+            a_block_bytes: 8_000_000,
+            b_block_bytes: 8_000_000,
+            c_block_bytes: 8_000_000,
+        }
+    }
+
+    #[test]
+    fn side_byte_arithmetic() {
+        let s = sides();
+        assert_eq!(s.a_bytes(), 10 * 20 * 8_000_000);
+        assert_eq!(s.b_bytes(), 20 * 12 * 8_000_000);
+        assert_eq!(s.c_bytes(), 10 * 12 * 8_000_000);
+    }
+
+    #[test]
+    fn paper_tendency_is_1_1_r2() {
+        // §4.2: "the optimization of Eq.(5) tends to produce (1,1,R2)".
+        // θg = 2 GB: |Cm| (960 MB) fits beside thin k-slices.
+        let (spec, _) = optimize(&sides(), 2_000_000_000).unwrap();
+        assert_eq!((spec.p2, spec.q2), (1, 1), "got {spec}");
+        assert!(spec.r2 > 1);
+        assert!(mem_bytes(&sides(), spec) <= 2_000_000_000);
+    }
+
+    #[test]
+    fn large_c_forces_p2_q2_above_one() {
+        // §4.2: when |Cm| alone exceeds θg, "larger parameters of P2 > 1
+        // and Q2 > 1 are picked". Make C huge relative to θg.
+        let s = CuboidSides {
+            extents: (30, 30, 1),
+            a_block_bytes: 1_000,
+            b_block_bytes: 1_000,
+            c_block_bytes: 8_000_000,
+        };
+        // |Cm| = 900 * 8 MB = 7.2 GB; θg = 1 GB.
+        let (spec, _) = optimize(&s, 1_000_000_000).unwrap();
+        assert!(spec.p2 > 1 || spec.q2 > 1, "got {spec}");
+        assert!(mem_bytes(&s, spec) <= 1_000_000_000);
+    }
+
+    #[test]
+    fn cost_omits_r2_on_c() {
+        let s = sides();
+        let small_r = SubcuboidSpec { p2: 1, q2: 1, r2: 2 };
+        let big_r = SubcuboidSpec { p2: 1, q2: 1, r2: 20 };
+        assert_eq!(cost_bytes(&s, small_r), cost_bytes(&s, big_r));
+    }
+
+    #[test]
+    fn cost_is_optimal_among_feasible() {
+        let s = sides();
+        let theta_g = 1_000_000_000u64;
+        let (best, best_cost) = optimize(&s, theta_g).unwrap();
+        for p2 in 1..=10 {
+            for q2 in 1..=12 {
+                for r2 in 1..=20 {
+                    let spec = SubcuboidSpec { p2, q2, r2 };
+                    if mem_bytes(&s, spec) <= theta_g {
+                        assert!(
+                            cost_bytes(&s, spec) >= best_cost,
+                            "{spec} beats chosen {best}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_when_three_blocks_exceed_theta_g() {
+        let s = CuboidSides {
+            extents: (2, 2, 2),
+            a_block_bytes: 8_000_000,
+            b_block_bytes: 8_000_000,
+            c_block_bytes: 8_000_000,
+        };
+        assert!(optimize(&s, 10_000_000).is_none()); // 3 blocks = 24 MB > 10 MB
+        assert!(optimize(&s, 24_000_000).is_some());
+    }
+
+    #[test]
+    fn whole_cuboid_fits_in_one_iteration() {
+        let s = sides();
+        // θg larger than the entire cuboid: (1,1,1).
+        let total = s.a_bytes() + s.b_bytes() + s.c_bytes();
+        let (spec, _) = optimize(&s, total).unwrap();
+        assert_eq!(spec.iterations(), 1);
+    }
+
+    #[test]
+    fn fig5_example_shape() {
+        // Fig. 5(a): cuboid of 2 x 3 x 4 voxels split (1,1,2) into two
+        // 2 x 3 x 2 subcuboids. Choose θg to admit exactly half the k range.
+        let s = CuboidSides {
+            extents: (2, 3, 4),
+            a_block_bytes: 100,
+            b_block_bytes: 100,
+            c_block_bytes: 100,
+        };
+        // Full cuboid: A 800 + B 1200 + C 600 = 2600. Half-k: A 400 +
+        // B 600 + C 600 = 1600.
+        let (spec, _) = optimize(&s, 1600).unwrap();
+        assert_eq!(spec, SubcuboidSpec { p2: 1, q2: 1, r2: 2 });
+    }
+}

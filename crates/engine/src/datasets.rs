@@ -1,0 +1,141 @@
+//! The evaluation's rating datasets (Table 3) as synthetic equivalents.
+//!
+//! The real MovieLens/Netflix/YahooMusic files are not redistributable
+//! here; GNMF's runtime behaviour depends only on the rating matrix's
+//! shape and non-zero count, both of which Table 3 specifies exactly. The
+//! synthetic matrices have uniformly-placed non-zeros with rating-like
+//! values in `[1, 5]`.
+
+use distme_matrix::{BlockMatrix, MatrixError, MatrixGenerator, MatrixMeta};
+
+/// A users × items rating dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatingDataset {
+    /// Dataset name as the paper prints it.
+    pub name: &'static str,
+    /// Number of users (rows of V).
+    pub users: u64,
+    /// Number of items (columns of V).
+    pub items: u64,
+    /// Number of ratings (non-zeros of V).
+    pub ratings: u64,
+}
+
+impl RatingDataset {
+    /// MovieLens (small): 27 753 444 ratings, 283 228 users, 58 098 items.
+    pub const MOVIELENS: RatingDataset = RatingDataset {
+        name: "MovieLens",
+        users: 283_228,
+        items: 58_098,
+        ratings: 27_753_444,
+    };
+
+    /// Netflix (medium): 100 480 507 ratings, 480 189 users, 17 770 items.
+    pub const NETFLIX: RatingDataset = RatingDataset {
+        name: "Netflix",
+        users: 480_189,
+        items: 17_770,
+        ratings: 100_480_507,
+    };
+
+    /// YahooMusic (large): 717 872 016 ratings, 1 823 179 users,
+    /// 136 736 items.
+    pub const YAHOO_MUSIC: RatingDataset = RatingDataset {
+        name: "YahooMusic",
+        users: 1_823_179,
+        items: 136_736,
+        ratings: 717_872_016,
+    };
+
+    /// The three datasets in the paper's small → large order.
+    pub const ALL: [RatingDataset; 3] =
+        [Self::MOVIELENS, Self::NETFLIX, Self::YAHOO_MUSIC];
+
+    /// Fraction of non-zero cells.
+    pub fn density(&self) -> f64 {
+        self.ratings as f64 / (self.users as f64 * self.items as f64)
+    }
+
+    /// Descriptor of the rating matrix `V` at full scale (for simulation).
+    pub fn meta(&self) -> MatrixMeta {
+        MatrixMeta::sparse(self.users, self.items, self.density())
+    }
+
+    /// A shape-preserving scaled-down copy (for real execution): rows,
+    /// columns shrink by `factor`, density is preserved.
+    pub fn scaled(&self, factor: u64) -> RatingDataset {
+        let users = (self.users / factor).max(1);
+        let items = (self.items / factor).max(1);
+        RatingDataset {
+            name: self.name,
+            users,
+            items,
+            ratings: ((users * items) as f64 * self.density()).round() as u64,
+        }
+    }
+
+    /// Materializes the (synthetic) rating matrix with the given block
+    /// size — call on scaled-down instances only.
+    ///
+    /// # Errors
+    /// Propagates generator errors.
+    pub fn materialize(&self, block_size: u64, seed: u64) -> Result<BlockMatrix, MatrixError> {
+        let meta = self.meta().with_block_size(block_size);
+        MatrixGenerator::with_seed(seed)
+            .value_range(1.0, 5.0)
+            .generate(&meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_statistics() {
+        assert_eq!(RatingDataset::MOVIELENS.ratings, 27_753_444);
+        assert_eq!(RatingDataset::NETFLIX.users, 480_189);
+        assert_eq!(RatingDataset::YAHOO_MUSIC.items, 136_736);
+    }
+
+    #[test]
+    fn densities_are_sparse() {
+        for d in RatingDataset::ALL {
+            let rho = d.density();
+            assert!(rho > 1e-4 && rho < 0.02, "{}: {rho}", d.name);
+            assert!(!d.meta().is_dense_storage());
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_density() {
+        let d = RatingDataset::NETFLIX;
+        let s = d.scaled(100);
+        assert!((s.density() - d.density()).abs() / d.density() < 0.05);
+        assert_eq!(s.users, 4_801);
+    }
+
+    #[test]
+    fn materialized_matrix_matches_stats() {
+        let d = RatingDataset::MOVIELENS.scaled(500);
+        let v = d.materialize(128, 42).unwrap();
+        assert_eq!(v.meta().rows, d.users);
+        assert_eq!(v.meta().cols, d.items);
+        let nnz = v.nnz();
+        let expect = d.ratings;
+        // Per-block rounding keeps us within a few percent.
+        assert!(
+            (nnz as f64 - expect as f64).abs() / expect as f64 <= 0.10,
+            "nnz {nnz} vs expected {expect}"
+        );
+        // Rating-like values.
+        let (id, blk) = v.blocks().next().unwrap();
+        let _ = id;
+        let d0 = blk.to_dense();
+        assert!(d0
+            .data()
+            .iter()
+            .filter(|v| **v != 0.0)
+            .all(|v| (1.0..5.0).contains(v)));
+    }
+}

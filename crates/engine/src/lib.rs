@@ -1,0 +1,38 @@
+//! # distme-engine — the DistME matrix computation engine
+//!
+//! The user-facing engine of §5, plus the comparison-system emulation the
+//! evaluation needs:
+//!
+//! * [`expr`] — a matrix-expression API (the stand-in for DistME's Scala
+//!   API): build `W.t().matmul(&V)`-style trees and evaluate them;
+//! * [`session`] — evaluation contexts: [`session::SimSession`] runs
+//!   operators against the paper-scale simulated cluster,
+//!   [`session::RealSession`] runs them with real blocks on the
+//!   thread-backed cluster;
+//! * [`systems`] — planner profiles for every system in §6: DistME
+//!   (CuboidMM), SystemML (BMM/CPMM/RMM heuristic), MatFast-naive (CPMM),
+//!   DMac (CPMM + dependency-aware partitioning), each in CPU "(C)" and
+//!   GPU "(G)" variants, plus ScaLAPACK and SciDB via the SUMMA model;
+//! * [`ops`] — the non-multiply operators (transpose, element-wise) in both
+//!   execution modes;
+//! * [`gnmf`] — Gaussian Non-negative Matrix Factorization (Appendix A),
+//!   the paper's complex-query benchmark, with a real numeric
+//!   implementation (multiplicative updates, monotone objective) and a
+//!   paper-scale simulation;
+//! * [`datasets`] — the Table 3 rating datasets (MovieLens, Netflix,
+//!   YahooMusic) as synthetic equivalents with matching shape and nnz;
+//! * [`algorithms`] — more of §1's motivating workloads on the engine:
+//!   power iteration, PageRank, ridge regression.
+
+pub mod algorithms;
+pub mod datasets;
+pub mod expr;
+pub mod gnmf;
+pub mod ops;
+pub mod session;
+pub mod systems;
+
+pub use datasets::RatingDataset;
+pub use gnmf::{GnmfConfig, GnmfReport};
+pub use session::{RealSession, SimSession};
+pub use systems::SystemProfile;

@@ -1,0 +1,224 @@
+//! Evaluation sessions: the engine's execution contexts.
+
+use crate::ops;
+use crate::systems::SystemProfile;
+use distme_cluster::{ClusterConfig, JobError, JobStats, LocalCluster, SimCluster};
+use distme_core::{real_exec, sim_exec, MatmulProblem};
+use distme_matrix::elementwise::EwOp;
+use distme_matrix::{BlockMatrix, MatrixMeta};
+
+/// A paper-scale session: operators run against the simulated cluster and
+/// only *descriptors* flow; per-operator statistics accumulate.
+pub struct SimSession {
+    cluster: SimCluster,
+    profile: SystemProfile,
+    accumulated: JobStats,
+    ops_run: usize,
+}
+
+impl SimSession {
+    /// Creates a session for `profile` on a cluster configuration.
+    pub fn new(cfg: ClusterConfig, profile: SystemProfile) -> Self {
+        SimSession {
+            cluster: SimCluster::new(cfg),
+            profile,
+            accumulated: JobStats::default(),
+            ops_run: 0,
+        }
+    }
+
+    /// The session's system profile.
+    pub fn profile(&self) -> SystemProfile {
+        self.profile
+    }
+
+    /// Statistics accumulated over every operator run so far.
+    pub fn stats(&self) -> &JobStats {
+        &self.accumulated
+    }
+
+    /// Number of operators executed.
+    pub fn ops_run(&self) -> usize {
+        self.ops_run
+    }
+
+    /// Resets the accumulated statistics (e.g. between GNMF iterations).
+    pub fn reset_stats(&mut self) {
+        self.accumulated = JobStats::default();
+        self.ops_run = 0;
+    }
+
+    /// Distributed multiply `a × b` with the profile's planner.
+    ///
+    /// # Errors
+    /// Propagates shape errors and the cluster failure modes.
+    pub fn matmul(&mut self, a: &MatrixMeta, b: &MatrixMeta) -> Result<MatrixMeta, JobError> {
+        let problem = MatmulProblem::new(*a, *b).map_err(|e| JobError::TaskFailed {
+            task: 0,
+            message: e.to_string(),
+        })?;
+        let resolved = self.profile.resolve(&problem, self.cluster.config());
+        let stats = sim_exec::simulate_resolved(&mut self.cluster, &problem, &resolved)?;
+        self.absorb(stats);
+        Ok(problem.c)
+    }
+
+    /// Distributed transpose.
+    ///
+    /// # Errors
+    /// Propagates cluster failure modes.
+    pub fn transpose(&mut self, x: &MatrixMeta) -> Result<MatrixMeta, JobError> {
+        let (out, stats) =
+            ops::sim_transpose(&mut self.cluster, x, self.profile.reuses_partitioning())?;
+        self.absorb(stats);
+        Ok(out)
+    }
+
+    /// Element-wise combination of co-partitioned matrices.
+    ///
+    /// # Errors
+    /// Returns a task failure on shape mismatch.
+    pub fn elementwise(&mut self, x: &MatrixMeta, y: &MatrixMeta) -> Result<MatrixMeta, JobError> {
+        let (out, stats) = ops::sim_elementwise(&mut self.cluster, x, y)?;
+        self.absorb(stats);
+        Ok(out)
+    }
+
+    fn absorb(&mut self, stats: JobStats) {
+        self.accumulated.merge(&stats);
+        self.ops_run += 1;
+    }
+}
+
+/// A laptop-scale session: operators run with real blocks on the
+/// thread-backed cluster; values are actual [`BlockMatrix`]es.
+pub struct RealSession {
+    cluster: LocalCluster,
+    profile: SystemProfile,
+    accumulated: JobStats,
+}
+
+impl RealSession {
+    /// Creates a session for `profile`.
+    pub fn new(cfg: ClusterConfig, profile: SystemProfile) -> Self {
+        RealSession {
+            cluster: LocalCluster::new(cfg),
+            profile,
+            accumulated: JobStats::default(),
+        }
+    }
+
+    /// The underlying cluster (ledger access for tests).
+    pub fn cluster(&self) -> &LocalCluster {
+        &self.cluster
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &JobStats {
+        &self.accumulated
+    }
+
+    /// Distributed multiply with the profile's planner.
+    ///
+    /// # Errors
+    /// Propagates shape errors, O.O.M., and scheduler failures.
+    pub fn matmul(&mut self, a: &BlockMatrix, b: &BlockMatrix) -> Result<BlockMatrix, JobError> {
+        let problem =
+            MatmulProblem::new(*a.meta(), *b.meta()).map_err(|e| JobError::TaskFailed {
+                task: 0,
+                message: e.to_string(),
+            })?;
+        let method = self.profile.method_for(&problem, self.cluster.config());
+        let (c, stats) = real_exec::multiply(&self.cluster, a, b, method)?;
+        self.accumulated.merge(&stats);
+        Ok(c)
+    }
+
+    /// Transpose with shuffle accounting.
+    pub fn transpose(&mut self, x: &BlockMatrix) -> BlockMatrix {
+        let (out, stats) =
+            ops::real_transpose(&self.cluster, x, self.profile.reuses_partitioning());
+        self.accumulated.merge(&stats);
+        out
+    }
+
+    /// Element-wise combination.
+    ///
+    /// # Errors
+    /// Returns a task failure on shape mismatch.
+    pub fn elementwise(
+        &mut self,
+        x: &BlockMatrix,
+        op: EwOp,
+        y: &BlockMatrix,
+    ) -> Result<BlockMatrix, JobError> {
+        let (out, stats) = ops::real_elementwise(x, op, y)?;
+        self.accumulated.merge(&stats);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distme_matrix::MatrixGenerator;
+
+    #[test]
+    fn sim_session_accumulates_stats() {
+        let mut s = SimSession::new(ClusterConfig::paper_cluster(), SystemProfile::DistMe);
+        let a = MatrixMeta::dense(20_000, 20_000);
+        let b = MatrixMeta::dense(20_000, 20_000);
+        let c = s.matmul(&a, &b).unwrap();
+        assert_eq!((c.rows, c.cols), (20_000, 20_000));
+        let after_one = s.stats().elapsed_secs;
+        assert!(after_one > 0.0);
+        let _ = s.matmul(&c, &b).unwrap();
+        assert!(s.stats().elapsed_secs > after_one);
+        assert_eq!(s.ops_run(), 2);
+        s.reset_stats();
+        assert_eq!(s.stats().elapsed_secs, 0.0);
+    }
+
+    #[test]
+    fn sim_session_chains_transpose_and_ew() {
+        let mut s = SimSession::new(ClusterConfig::paper_cluster(), SystemProfile::SystemMl);
+        let x = MatrixMeta::dense(10_000, 4_000);
+        let xt = s.transpose(&x).unwrap();
+        assert_eq!(xt.rows, 4_000);
+        let y = s.elementwise(&x, &x).unwrap();
+        assert_eq!(y.rows, 10_000);
+        assert_eq!(s.ops_run(), 2);
+    }
+
+    #[test]
+    fn real_session_multiplies_correctly_per_profile() {
+        let meta_a = MatrixMeta::dense(80, 64).with_block_size(16);
+        let meta_b = MatrixMeta::dense(64, 48).with_block_size(16);
+        let a = MatrixGenerator::with_seed(5).generate(&meta_a).unwrap();
+        let b = MatrixGenerator::with_seed(6).generate(&meta_b).unwrap();
+        let reference = a.multiply(&b).unwrap();
+        for profile in SystemProfile::ALL {
+            let mut s = RealSession::new(ClusterConfig::laptop(), profile);
+            let c = s.matmul(&a, &b).unwrap();
+            assert!(
+                c.max_abs_diff(&reference).unwrap() < 1e-9,
+                "{} diverged",
+                profile.name()
+            );
+        }
+    }
+
+    #[test]
+    fn real_session_full_expression() {
+        // (A^T)^T * A element-multiplied with A*... exercise chaining.
+        let meta = MatrixMeta::dense(48, 48).with_block_size(16);
+        let a = MatrixGenerator::with_seed(7).generate(&meta).unwrap();
+        let mut s = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+        let at = s.transpose(&a);
+        let sym = s.matmul(&at, &a).unwrap(); // A^T A is symmetric
+        let symt = s.transpose(&sym);
+        assert!(sym.max_abs_diff(&symt).unwrap() < 1e-9);
+        let hadamard = s.elementwise(&sym, EwOp::Mul, &symt).unwrap();
+        assert!(hadamard.get_element(0, 0) >= 0.0); // squares
+    }
+}

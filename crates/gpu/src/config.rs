@@ -1,0 +1,108 @@
+//! GPU device configuration and the paper's calibration.
+
+/// Configuration of a simulated GPU device.
+///
+/// Defaults are calibrated to the paper's testbed: one NVIDIA GTX 1080 Ti
+/// per node (11 GB device memory) on PCI-E 3.0 x16, with `Tc = 10`
+/// concurrent tasks sharing the device through MPS so θg = 1 GB (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuConfig {
+    /// Total device memory in bytes (GTX 1080 Ti: 11 GB).
+    pub device_mem_bytes: u64,
+    /// Per-task device-memory budget θg in bytes (paper: 1 GB with Tc = 10).
+    pub task_mem_bytes: u64,
+    /// Effective host-to-device copy bandwidth, bytes/s. PCI-E 3.0 x16 is
+    /// 16 GB/s nominal; ~11 GB/s is a realistic pinned-memory rate ("the
+    /// bandwidth of PCI-E bus ... is usually up to 16 GB/s", §4.2).
+    pub h2d_bytes_per_sec: f64,
+    /// Effective device-to-host copy bandwidth, bytes/s.
+    pub d2h_bytes_per_sec: f64,
+    /// Sustained f64 GEMM throughput of the SM array, FLOP/s. The GTX
+    /// 1080 Ti's nominal FP64 rate is 1/32 of FP32 ≈ 0.35 TFLOP/s; the
+    /// paper's measured CuboidMM times imply an effective local-mult rate
+    /// of ~0.5 TFLOP/s per device (copy/kernel overlap plus mixed
+    /// dense/sparse kernels on 0.5-sparse blocks), which this default
+    /// calibrates to.
+    pub kernel_flops_per_sec: f64,
+    /// Sustained f64 sparse (csrmm) throughput, FLOP/s — csrmm on
+    /// hypersparse blocks is memory-latency-bound, two orders below the
+    /// dense rate (calibrated against Fig. 7(g)'s sparse utilization).
+    pub sparse_flops_per_sec: f64,
+    /// Fixed per-kernel-launch overhead, seconds (~5 µs CUDA launch +
+    /// cuBLAS setup).
+    pub kernel_launch_secs: f64,
+    /// Limit on concurrently resident streams per device ("there is usually
+    /// a limitation on the number of concurrent streams per GPU (e.g. 32)",
+    /// §4.4).
+    pub max_concurrent_streams: usize,
+}
+
+impl GpuConfig {
+    /// The paper's per-node device: GTX 1080 Ti shared by `Tc = 10` tasks.
+    pub fn gtx_1080_ti() -> Self {
+        GpuConfig {
+            device_mem_bytes: 11 * 1_000_000_000,
+            task_mem_bytes: 1_000_000_000,
+            h2d_bytes_per_sec: 11.0e9,
+            d2h_bytes_per_sec: 11.0e9,
+            kernel_flops_per_sec: 0.5e12,
+            sparse_flops_per_sec: 0.025e12,
+            kernel_launch_secs: 10.0e-6,
+            max_concurrent_streams: 32,
+        }
+    }
+
+    /// A tiny device for laptop-scale tests: forces multi-subcuboid
+    /// iteration on small matrices.
+    pub fn tiny(task_mem_bytes: u64) -> Self {
+        GpuConfig {
+            device_mem_bytes: task_mem_bytes * 4,
+            task_mem_bytes,
+            h2d_bytes_per_sec: 1.0e9,
+            d2h_bytes_per_sec: 1.0e9,
+            kernel_flops_per_sec: 1.0e9,
+            sparse_flops_per_sec: 0.2e9,
+            kernel_launch_secs: 1.0e-6,
+            max_concurrent_streams: 4,
+        }
+    }
+
+    /// Validates the configuration, panicking on nonsensical values
+    /// (configuration is programmer input, not user data).
+    pub fn assert_valid(&self) {
+        assert!(self.device_mem_bytes > 0, "device memory must be positive");
+        assert!(
+            self.task_mem_bytes > 0 && self.task_mem_bytes <= self.device_mem_bytes,
+            "per-task budget must fit the device"
+        );
+        assert!(self.h2d_bytes_per_sec > 0.0 && self.d2h_bytes_per_sec > 0.0);
+        assert!(self.kernel_flops_per_sec > 0.0 && self.sparse_flops_per_sec > 0.0);
+        assert!(self.max_concurrent_streams > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_device_is_valid() {
+        let c = GpuConfig::gtx_1080_ti();
+        c.assert_valid();
+        assert_eq!(c.task_mem_bytes, 1_000_000_000);
+        assert_eq!(c.max_concurrent_streams, 32);
+    }
+
+    #[test]
+    fn tiny_device_is_valid() {
+        GpuConfig::tiny(1 << 20).assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "per-task budget")]
+    fn oversized_task_budget_rejected() {
+        let mut c = GpuConfig::gtx_1080_ti();
+        c.task_mem_bytes = c.device_mem_bytes + 1;
+        c.assert_valid();
+    }
+}

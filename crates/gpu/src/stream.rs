@@ -1,0 +1,175 @@
+//! CUDA-stream semantics on the simulated device.
+//!
+//! Algorithm 1 creates `J'` streams per task and, per B-block, issues an
+//! async H2D copy followed by `I'` kernel calls on the *same* stream (§4.3,
+//! Fig. 5(b)). A stream is an ordered queue: each operation starts no
+//! earlier than the completion of the previous operation on that stream,
+//! while different streams overlap — subject to the shared engines
+//! (one H2D copy engine, one kernel engine).
+
+use crate::device::GpuDevice;
+use distme_sim::SimTime;
+
+/// A set of virtual CUDA streams owned by one task.
+///
+/// If more streams are requested than the device supports concurrently, the
+/// extras wrap onto existing streams — "these streams are arranged and
+/// executed by the GPU scheduler" (§4.4).
+#[derive(Debug, Clone)]
+pub struct StreamSet {
+    /// Completion time of the last operation issued on each stream.
+    tails: Vec<SimTime>,
+}
+
+impl StreamSet {
+    /// Creates `requested` streams on a device allowing
+    /// `max_concurrent_streams`.
+    pub fn new(requested: usize, device: &GpuDevice) -> Self {
+        let n = requested
+            .max(1)
+            .min(device.config().max_concurrent_streams);
+        StreamSet {
+            tails: vec![SimTime::ZERO; n],
+        }
+    }
+
+    /// Number of physical streams backing the set.
+    pub fn len(&self) -> usize {
+        self.tails.len()
+    }
+
+    /// True when the set has no streams (never happens in practice).
+    pub fn is_empty(&self) -> bool {
+        self.tails.is_empty()
+    }
+
+    fn slot(&self, stream: usize) -> usize {
+        stream % self.tails.len()
+    }
+
+    /// Issues an H2D copy on `stream`, not before `ready`. Returns its
+    /// completion time.
+    pub fn h2d(&mut self, device: &mut GpuDevice, stream: usize, ready: SimTime, bytes: u64) -> SimTime {
+        let s = self.slot(stream);
+        let issue = ready.max(self.tails[s]);
+        let (_, done) = device.h2d_copy(issue, bytes);
+        self.tails[s] = done;
+        done
+    }
+
+    /// Issues a kernel on `stream`. Returns its completion time.
+    pub fn kernel(
+        &mut self,
+        device: &mut GpuDevice,
+        stream: usize,
+        ready: SimTime,
+        flops: f64,
+        sparse: bool,
+    ) -> SimTime {
+        self.kernel_batch(device, stream, ready, flops, 1, sparse)
+    }
+
+    /// Issues `calls` consecutive kernels on `stream` as one batch (they
+    /// would serialize on the stream regardless). Returns the completion
+    /// time of the last.
+    pub fn kernel_batch(
+        &mut self,
+        device: &mut GpuDevice,
+        stream: usize,
+        ready: SimTime,
+        flops: f64,
+        calls: u64,
+        sparse: bool,
+    ) -> SimTime {
+        let s = self.slot(stream);
+        let issue = ready.max(self.tails[s]);
+        let (_, done) = device.launch_kernel_batch(issue, flops, calls, sparse);
+        self.tails[s] = done;
+        done
+    }
+
+    /// Issues a D2H copy on `stream`. Returns its completion time.
+    pub fn d2h(&mut self, device: &mut GpuDevice, stream: usize, ready: SimTime, bytes: u64) -> SimTime {
+        let s = self.slot(stream);
+        let issue = ready.max(self.tails[s]);
+        let (_, done) = device.d2h_copy(issue, bytes);
+        self.tails[s] = done;
+        done
+    }
+
+    /// Synchronization barrier: time when every stream has drained.
+    pub fn sync_all(&self) -> SimTime {
+        self.tails
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+
+    fn device() -> GpuDevice {
+        let mut cfg = GpuConfig::tiny(1 << 20);
+        cfg.h2d_bytes_per_sec = 100.0;
+        cfg.d2h_bytes_per_sec = 100.0;
+        cfg.kernel_flops_per_sec = 100.0;
+        cfg.kernel_launch_secs = 0.0;
+        cfg.max_concurrent_streams = 4;
+        GpuDevice::new(cfg)
+    }
+
+    #[test]
+    fn stream_orders_its_own_ops() {
+        let mut dev = device();
+        let mut ss = StreamSet::new(2, &dev);
+        let copy_done = ss.h2d(&mut dev, 0, SimTime::ZERO, 100); // [0,1]
+        let k_done = ss.kernel(&mut dev, 0, SimTime::ZERO, 100.0, false);
+        // Kernel waits for its stream's copy even though engine was free.
+        assert_eq!(copy_done.as_secs(), 1.0);
+        assert_eq!(k_done.as_secs(), 2.0);
+    }
+
+    #[test]
+    fn streams_overlap_copy_and_kernel() {
+        let mut dev = device();
+        let mut ss = StreamSet::new(2, &dev);
+        // Stream 0: copy [0,1], kernel [1,2].
+        ss.h2d(&mut dev, 0, SimTime::ZERO, 100);
+        ss.kernel(&mut dev, 0, SimTime::ZERO, 100.0, false);
+        // Stream 1: copy [1,2] (H2D engine serialized), kernel [2,3].
+        ss.h2d(&mut dev, 1, SimTime::ZERO, 100);
+        let done = ss.kernel(&mut dev, 1, SimTime::ZERO, 100.0, false);
+        // Stream 1's copy overlapped stream 0's kernel: total 3s, not 4s.
+        assert_eq!(done.as_secs(), 3.0);
+        assert_eq!(ss.sync_all().as_secs(), 3.0);
+    }
+
+    #[test]
+    fn stream_wrap_respects_device_limit() {
+        let dev = device();
+        let ss = StreamSet::new(100, &dev);
+        assert_eq!(ss.len(), 4);
+    }
+
+    #[test]
+    fn wrapped_streams_share_a_tail() {
+        let mut dev = device();
+        let mut ss = StreamSet::new(1, &dev);
+        ss.h2d(&mut dev, 0, SimTime::ZERO, 100);
+        // Stream index 5 wraps onto stream 0 and must queue behind it.
+        let done = ss.h2d(&mut dev, 5, SimTime::ZERO, 100);
+        assert_eq!(done.as_secs(), 2.0);
+    }
+
+    #[test]
+    fn d2h_ordered_after_stream_work() {
+        let mut dev = device();
+        let mut ss = StreamSet::new(1, &dev);
+        ss.kernel(&mut dev, 0, SimTime::ZERO, 200.0, false); // [0,2]
+        let done = ss.d2h(&mut dev, 0, SimTime::ZERO, 100);
+        assert_eq!(done.as_secs(), 3.0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Single-node blocked matrix: the correctness reference for every
+//! distributed method, and the local representation examples operate on.
+
+use crate::block::{Block, BlockId};
+use crate::dense::DenseBlock;
+use crate::elementwise::{ew, EwOp};
+use crate::error::{MatrixError, Result};
+use crate::kernels;
+use crate::meta::MatrixMeta;
+use std::collections::BTreeMap;
+
+/// A matrix stored as a grid of blocks on a single node.
+///
+/// Missing blocks are implicitly zero (common for very sparse matrices).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMatrix {
+    meta: MatrixMeta,
+    blocks: BTreeMap<BlockId, Block>,
+}
+
+impl BlockMatrix {
+    /// Creates an empty (all-zero) matrix with the given shape descriptor.
+    pub fn new(meta: MatrixMeta) -> Self {
+        BlockMatrix {
+            meta,
+            blocks: BTreeMap::new(),
+        }
+    }
+
+    /// Shape descriptor.
+    pub fn meta(&self) -> &MatrixMeta {
+        &self.meta
+    }
+
+    /// Inserts/replaces the block at `(bi, bj)`.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::BlockOutOfBounds`] for coordinates outside the
+    /// grid, and [`MatrixError::DimensionMismatch`] if the block's shape
+    /// differs from what the grid slot requires.
+    pub fn put(&mut self, bi: u32, bj: u32, block: Block) -> Result<()> {
+        if bi >= self.meta.block_rows() || bj >= self.meta.block_cols() {
+            return Err(MatrixError::BlockOutOfBounds {
+                id: (bi, bj),
+                grid: (self.meta.block_rows(), self.meta.block_cols()),
+            });
+        }
+        let (r, c) = self.meta.block_dims(bi, bj);
+        if block.rows() as u64 != r || block.cols() as u64 != c {
+            return Err(MatrixError::DimensionMismatch {
+                op: "put_block",
+                lhs: (block.rows() as u64, block.cols() as u64),
+                rhs: (r, c),
+            });
+        }
+        self.blocks.insert(BlockId::new(bi, bj), block);
+        Ok(())
+    }
+
+    /// Returns the block at `(bi, bj)` if materialized.
+    pub fn get(&self, bi: u32, bj: u32) -> Option<&Block> {
+        self.blocks.get(&BlockId::new(bi, bj))
+    }
+
+    /// Iterates over materialized blocks in (row, col) order.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().map(|(id, b)| (*id, b))
+    }
+
+    /// Consumes the matrix, yielding its blocks.
+    pub fn into_blocks(self) -> impl Iterator<Item = (BlockId, Block)> {
+        self.blocks.into_iter()
+    }
+
+    /// Number of materialized blocks.
+    pub fn num_materialized(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total non-zeros over materialized blocks.
+    pub fn nnz(&self) -> u64 {
+        self.blocks.values().map(|b| b.nnz() as u64).sum()
+    }
+
+    /// Total in-memory bytes over materialized blocks.
+    pub fn mem_bytes(&self) -> u64 {
+        self.blocks.values().map(Block::mem_bytes).sum()
+    }
+
+    /// Element accessor (slow; tests and small examples only).
+    pub fn get_element(&self, i: u64, j: u64) -> f64 {
+        let bs = self.meta.block_size;
+        let (bi, bj) = ((i / bs) as u32, (j / bs) as u32);
+        match self.get(bi, bj) {
+            Some(b) => b.get((i % bs) as usize, (j % bs) as usize),
+            None => 0.0,
+        }
+    }
+
+    /// Single-node reference matrix multiplication: `self × rhs`, computing
+    /// each output block by Eq. (1): `C[i,j] = Σ_k A[i,k] · B[k,j]`.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::DimensionMismatch`] when inner dimensions or
+    /// block sizes differ.
+    pub fn multiply(&self, rhs: &BlockMatrix) -> Result<BlockMatrix> {
+        if self.meta.cols != rhs.meta.rows || self.meta.block_size != rhs.meta.block_size {
+            return Err(MatrixError::DimensionMismatch {
+                op: "matrix_multiply",
+                lhs: (self.meta.rows, self.meta.cols),
+                rhs: (rhs.meta.rows, rhs.meta.cols),
+            });
+        }
+        let out_meta = self.meta.multiply_meta(&rhs.meta);
+        let mut out = BlockMatrix::new(out_meta);
+        let kdim = self.meta.block_cols();
+        for bi in 0..self.meta.block_rows() {
+            for bj in 0..rhs.meta.block_cols() {
+                let (orows, ocols) = out_meta.block_dims(bi, bj);
+                let mut acc = DenseBlock::zeros(orows as usize, ocols as usize);
+                let mut any = false;
+                for bk in 0..kdim {
+                    let (Some(a), Some(b)) = (self.get(bi, bk), rhs.get(bk, bj)) else {
+                        continue;
+                    };
+                    kernels::multiply_accumulate(&mut acc, a, b)?;
+                    any = true;
+                }
+                if any {
+                    out.put(bi, bj, Block::Dense(acc).normalize())?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise combination with another matrix of identical shape.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::DimensionMismatch`] when shapes differ.
+    pub fn elementwise(&self, op: EwOp, rhs: &BlockMatrix) -> Result<BlockMatrix> {
+        if self.meta.rows != rhs.meta.rows
+            || self.meta.cols != rhs.meta.cols
+            || self.meta.block_size != rhs.meta.block_size
+        {
+            return Err(MatrixError::DimensionMismatch {
+                op: "elementwise",
+                lhs: (self.meta.rows, self.meta.cols),
+                rhs: (rhs.meta.rows, rhs.meta.cols),
+            });
+        }
+        let mut out = BlockMatrix::new(self.meta);
+        for bi in 0..self.meta.block_rows() {
+            for bj in 0..self.meta.block_cols() {
+                let (r, c) = self.meta.block_dims(bi, bj);
+                let zero = || Block::Dense(DenseBlock::zeros(r as usize, c as usize));
+                let result = match (self.get(bi, bj), rhs.get(bi, bj)) {
+                    (None, None) => continue,
+                    (Some(a), Some(b)) => ew(op, a, b)?,
+                    (Some(a), None) => ew(op, a, &zero())?,
+                    (None, Some(b)) => ew(op, &zero(), b)?,
+                };
+                if result.nnz() > 0 {
+                    out.put(bi, bj, result)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed matrix (blocks transposed and re-gridded).
+    pub fn transpose(&self) -> BlockMatrix {
+        let mut out = BlockMatrix::new(self.meta.transposed());
+        for (id, b) in self.blocks() {
+            out.put(id.col, id.row, b.transpose())
+                .expect("transpose grid positions are always valid");
+        }
+        out
+    }
+
+    /// Maximum absolute element difference; `None` on shape mismatch.
+    pub fn max_abs_diff(&self, other: &BlockMatrix) -> Option<f64> {
+        if self.meta.rows != other.meta.rows || self.meta.cols != other.meta.cols {
+            return None;
+        }
+        let mut worst = 0.0f64;
+        for bi in 0..self.meta.block_rows() {
+            for bj in 0..self.meta.block_cols() {
+                let (r, c) = self.meta.block_dims(bi, bj);
+                let d = match (self.get(bi, bj), other.get(bi, bj)) {
+                    (None, None) => 0.0,
+                    (Some(a), Some(b)) => a.max_abs_diff(b)?,
+                    (Some(x), None) | (None, Some(x)) => x
+                        .max_abs_diff(&Block::Dense(DenseBlock::zeros(r as usize, c as usize)))?,
+                };
+                worst = worst.max(d);
+            }
+        }
+        Some(worst)
+    }
+
+    /// Frobenius norm over materialized blocks.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.blocks
+            .values()
+            .map(|b| {
+                let d = b.to_dense();
+                d.data().iter().map(|v| v * v).sum::<f64>()
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::MatrixGenerator;
+
+    fn gen(rows: u64, cols: u64, bs: u64, sparsity: f64, seed: u64) -> BlockMatrix {
+        let meta = MatrixMeta::sparse(rows, cols, sparsity).with_block_size(bs);
+        MatrixGenerator::with_seed(seed).generate(&meta).unwrap()
+    }
+
+    /// Element-level naive reference.
+    fn naive_multiply(a: &BlockMatrix, b: &BlockMatrix) -> Vec<Vec<f64>> {
+        let (m, k, n) = (a.meta().rows, a.meta().cols, b.meta().cols);
+        let mut c = vec![vec![0.0; n as usize]; m as usize];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.get_element(i, kk) * b.get_element(kk, j);
+                }
+                c[i as usize][j as usize] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn multiply_matches_element_reference() {
+        let a = gen(50, 70, 20, 1.0, 1);
+        let b = gen(70, 30, 20, 1.0, 2);
+        let c = a.multiply(&b).unwrap();
+        let expect = naive_multiply(&a, &b);
+        for i in 0..50 {
+            for j in 0..30 {
+                assert!(
+                    (c.get_element(i, j) - expect[i as usize][j as usize]).abs() < 1e-9,
+                    "mismatch at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_sparse_inputs() {
+        let a = gen(40, 60, 16, 0.05, 3);
+        let b = gen(60, 24, 16, 0.05, 4);
+        let c = a.multiply(&b).unwrap();
+        let expect = naive_multiply(&a, &b);
+        for i in 0..40 {
+            for j in 0..24 {
+                assert!((c.get_element(i, j) - expect[i as usize][j as usize]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_dim_mismatch() {
+        let a = gen(10, 10, 5, 1.0, 1);
+        let b = gen(11, 10, 5, 1.0, 2);
+        assert!(a.multiply(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip_and_property() {
+        let a = gen(30, 50, 16, 0.3, 9);
+        let t = a.transpose();
+        assert_eq!(t.meta().rows, 50);
+        for i in 0..30 {
+            for j in 0..50 {
+                assert_eq!(a.get_element(i, j), t.get_element(j, i));
+            }
+        }
+        assert!(a.max_abs_diff(&t.transpose()).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn transpose_of_product_property() {
+        // (A·B)^T == B^T · A^T
+        let a = gen(24, 36, 12, 1.0, 5);
+        let b = gen(36, 18, 12, 1.0, 6);
+        let lhs = a.multiply(&b).unwrap().transpose();
+        let rhs = b.transpose().multiply(&a.transpose()).unwrap();
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn elementwise_add_sub_roundtrip() {
+        let a = gen(25, 25, 10, 0.5, 7);
+        let b = gen(25, 25, 10, 0.5, 8);
+        let sum = a.elementwise(EwOp::Add, &b).unwrap();
+        let back = sum.elementwise(EwOp::Sub, &b).unwrap();
+        assert!(a.max_abs_diff(&back).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn elementwise_with_missing_blocks() {
+        let meta = MatrixMeta::dense(20, 20).with_block_size(10);
+        let mut a = BlockMatrix::new(meta);
+        a.put(0, 0, Block::Dense(DenseBlock::from_fn(10, 10, |_, _| 2.0)))
+            .unwrap();
+        let mut b = BlockMatrix::new(meta);
+        b.put(1, 1, Block::Dense(DenseBlock::from_fn(10, 10, |_, _| 3.0)))
+            .unwrap();
+        let sum = a.elementwise(EwOp::Add, &b).unwrap();
+        assert_eq!(sum.get_element(0, 0), 2.0);
+        assert_eq!(sum.get_element(15, 15), 3.0);
+        assert_eq!(sum.get_element(5, 15), 0.0);
+    }
+
+    #[test]
+    fn put_validates_bounds_and_shape() {
+        let meta = MatrixMeta::dense(20, 20).with_block_size(10);
+        let mut m = BlockMatrix::new(meta);
+        assert!(m
+            .put(5, 0, Block::Dense(DenseBlock::zeros(10, 10)))
+            .is_err());
+        assert!(m.put(0, 0, Block::Dense(DenseBlock::zeros(3, 10))).is_err());
+        assert!(m.put(0, 0, Block::Dense(DenseBlock::zeros(10, 10))).is_ok());
+    }
+
+    #[test]
+    fn missing_blocks_read_as_zero() {
+        let meta = MatrixMeta::dense(20, 20).with_block_size(10);
+        let m = BlockMatrix::new(meta);
+        assert_eq!(m.get_element(7, 13), 0.0);
+        assert_eq!(m.nnz(), 0);
+    }
+}

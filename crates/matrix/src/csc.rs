@@ -1,0 +1,255 @@
+//! Compressed Sparse Column (CSC) blocks.
+//!
+//! §2.1 names CSC alongside CSR as the sparse block formats distributed
+//! matrix systems use. CSC is the column-major dual of CSR: it is the
+//! natural layout for the *right* operand of a product (its columns are
+//! contiguous) and for column-wise access patterns like per-item
+//! aggregates over a ratings matrix.
+
+use crate::dense::DenseBlock;
+use crate::error::{MatrixError, Result};
+use crate::sparse::CsrBlock;
+
+/// A sparse block in CSC format.
+///
+/// Invariants mirror [`CsrBlock`]'s with rows and columns swapped:
+/// `col_ptr.len() == cols + 1`, non-decreasing, row indices strictly
+/// increasing within a column and `< rows`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscBlock {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<u32>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CscBlock {
+    /// An empty (all-zero) CSC block.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        CscBlock {
+            rows,
+            cols,
+            col_ptr: vec![0; cols + 1],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSC block from `(row, col, value)` triplets (unordered;
+    /// duplicates summed; zeros dropped).
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::InvalidSparseStructure`] for out-of-range
+    /// coordinates.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Result<Self> {
+        // Reuse the validated CSR construction on the transpose.
+        let swapped = triplets.into_iter().map(|(r, c, v)| (c, r, v));
+        let csr_of_t = CsrBlock::from_triplets(cols, rows, swapped)?;
+        Ok(Self::from_csr_of_transpose(csr_of_t))
+    }
+
+    /// Converts a CSR block to CSC (same logical matrix).
+    pub fn from_csr(csr: &CsrBlock) -> Self {
+        Self::from_csr_of_transpose(csr.transpose())
+    }
+
+    /// Converts to CSR (same logical matrix).
+    pub fn to_csr(&self) -> CsrBlock {
+        // Our (col_ptr, row_idx, values) are exactly the CSR arrays of the
+        // transposed matrix; transposing that recovers the original.
+        let csr_of_t = CsrBlock::from_raw_parts(
+            self.cols,
+            self.rows,
+            self.col_ptr.clone(),
+            self.row_idx.clone(),
+            self.values.clone(),
+        )
+        .expect("CSC invariants imply CSR invariants of the transpose");
+        csr_of_t.transpose()
+    }
+
+    /// Interprets a CSR block's arrays as the CSC of its transpose —
+    /// zero-cost dual view.
+    fn from_csr_of_transpose(csr_of_t: CsrBlock) -> Self {
+        let rows = csr_of_t.cols();
+        let cols = csr_of_t.rows();
+        CscBlock {
+            rows,
+            cols,
+            col_ptr: csr_of_t.row_ptr().to_vec(),
+            row_idx: csr_of_t.col_idx().to_vec(),
+            values: csr_of_t.values().to_vec(),
+        }
+    }
+
+    /// Converts to dense.
+    pub fn to_dense(&self) -> DenseBlock {
+        let mut d = DenseBlock::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            let (s, e) = (self.col_ptr[j] as usize, self.col_ptr[j + 1] as usize);
+            for k in s..e {
+                d.set(self.row_idx[k] as usize, j, self.values[k]);
+            }
+        }
+        d
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column-pointer array (`cols + 1` entries).
+    pub fn col_ptr(&self) -> &[u32] {
+        &self.col_ptr
+    }
+
+    /// Row indices, column-major within columns.
+    pub fn row_idx(&self) -> &[u32] {
+        &self.row_idx
+    }
+
+    /// Non-zero values, parallel to [`Self::row_idx`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates `(row, col, value)` in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.cols).flat_map(move |j| {
+            let (s, e) = (self.col_ptr[j] as usize, self.col_ptr[j + 1] as usize);
+            (s..e).map(move |k| (self.row_idx[k] as usize, j, self.values[k]))
+        })
+    }
+
+    /// Per-column non-zero counts — the access pattern CSC exists for.
+    pub fn col_nnz(&self) -> Vec<usize> {
+        self.col_ptr
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .collect()
+    }
+
+    /// Sums each column (e.g. total rating mass per item).
+    pub fn col_sums(&self) -> Vec<f64> {
+        (0..self.cols)
+            .map(|j| {
+                let (s, e) = (self.col_ptr[j] as usize, self.col_ptr[j + 1] as usize);
+                self.values[s..e].iter().sum()
+            })
+            .collect()
+    }
+
+    /// Validates the CSC invariants.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::InvalidSparseStructure`] on the first
+    /// violation.
+    pub fn validate(&self) -> Result<()> {
+        CsrBlock::from_raw_parts(
+            self.cols,
+            self.rows,
+            self.col_ptr.clone(),
+            self.row_idx.clone(),
+            self.values.clone(),
+        )
+        .map(|_| ())
+        .map_err(|e| match e {
+            MatrixError::InvalidSparseStructure(msg) => {
+                MatrixError::InvalidSparseStructure(format!("(as CSC) {msg}"))
+            }
+            other => other,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscBlock {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        CscBlock::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+            .unwrap()
+    }
+
+    #[test]
+    fn construction_and_layout() {
+        let b = sample();
+        b.validate().unwrap();
+        assert_eq!(b.nnz(), 4);
+        assert_eq!(b.col_ptr(), &[0, 2, 3, 4]);
+        assert_eq!(b.row_idx(), &[0, 2, 2, 0]);
+        assert_eq!(b.values(), &[1.0, 3.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_matrix() {
+        let csc = sample();
+        let csr = csc.to_csr();
+        assert_eq!(csr.to_dense(), csc.to_dense());
+        let back = CscBlock::from_csr(&csr);
+        assert_eq!(back, csc);
+    }
+
+    #[test]
+    fn dense_agreement() {
+        let d = sample().to_dense();
+        assert_eq!(d.get(0, 2), 2.0);
+        assert_eq!(d.get(2, 1), 4.0);
+        assert_eq!(d.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn iter_is_column_major() {
+        let got: Vec<_> = sample().iter().collect();
+        assert_eq!(
+            got,
+            vec![(0, 0, 1.0), (2, 0, 3.0), (2, 1, 4.0), (0, 2, 2.0)]
+        );
+    }
+
+    #[test]
+    fn column_aggregates() {
+        let b = sample();
+        assert_eq!(b.col_nnz(), vec![2, 1, 1]);
+        assert_eq!(b.col_sums(), vec![4.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn duplicates_merge_and_zeros_drop() {
+        let b = CscBlock::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 0.0)])
+            .unwrap();
+        assert_eq!(b.nnz(), 1);
+        assert_eq!(b.values(), &[3.0]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(CscBlock::from_triplets(2, 2, vec![(5, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn empty_is_valid() {
+        let b = CscBlock::empty(3, 4);
+        b.validate().unwrap();
+        assert_eq!(b.col_nnz(), vec![0; 4]);
+    }
+}

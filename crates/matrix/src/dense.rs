@@ -1,0 +1,278 @@
+//! Dense block storage: a row-major `Vec<f64>` of `rows × cols` elements.
+
+use crate::error::{MatrixError, Result};
+
+/// A dense matrix block in row-major order.
+///
+/// Blocks at the right/bottom edge of a matrix may be smaller than the
+/// nominal block size, so `rows`/`cols` are stored per block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseBlock {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseBlock {
+    /// Creates a zero-filled block.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseBlock {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::InvalidParameter`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::InvalidParameter(format!(
+                "buffer of {} elements cannot back a {rows}x{cols} block",
+                data.len()
+            )));
+        }
+        Ok(DenseBlock { rows, cols, data })
+    }
+
+    /// Builds a block from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DenseBlock { rows, cols, data }
+    }
+
+    /// An identity block (ones on the main diagonal).
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows in this block.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns in this block.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the row-major element buffer.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major element buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the block, returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element accessor (debug/tests; kernels index the raw slice).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Number of stored elements (`rows × cols`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the block has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of non-zero elements (exact scan).
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// In-memory footprint in bytes (element payload only).
+    pub fn mem_bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Returns the transposed block.
+    pub fn transpose(&self) -> DenseBlock {
+        let mut out = DenseBlock::zeros(self.cols, self.rows);
+        // Tile the transpose to stay cache-friendly for 1000x1000 blocks.
+        const TILE: usize = 32;
+        for ib in (0..self.rows).step_by(TILE) {
+            for jb in (0..self.cols).step_by(TILE) {
+                let imax = (ib + TILE).min(self.rows);
+                let jmax = (jb + TILE).min(self.cols);
+                for i in ib..imax {
+                    for j in jb..jmax {
+                        out.data[j * self.rows + i] = self.data[i * self.cols + j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `self += other`, element-wise.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::DimensionMismatch`] when shapes differ.
+    pub fn add_assign(&mut self, other: &DenseBlock) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "add",
+                lhs: (self.rows as u64, self.cols as u64),
+                rhs: (other.rows as u64, other.cols as u64),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+        Ok(())
+    }
+
+    /// Scales every element by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Maximum absolute element difference against `other`; `None` when
+    /// shapes differ. Used by tests for approximate equality.
+    pub fn max_abs_diff(&self, other: &DenseBlock) -> Option<f64> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+
+    /// Frobenius norm of the block.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape_and_content() {
+        let b = DenseBlock::zeros(3, 5);
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b.cols(), 5);
+        assert_eq!(b.len(), 15);
+        assert!(b.data().iter().all(|&v| v == 0.0));
+        assert_eq!(b.nnz(), 0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(DenseBlock::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(DenseBlock::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut b = DenseBlock::zeros(4, 4);
+        b.set(2, 3, 7.5);
+        assert_eq!(b.get(2, 3), 7.5);
+        assert_eq!(b.nnz(), 1);
+    }
+
+    #[test]
+    fn transpose_small() {
+        let b = DenseBlock::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        let t = b.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(b.get(i, j), t.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution_on_rectangular_block() {
+        let b = DenseBlock::from_fn(67, 41, |i, j| (i as f64) * 0.5 - (j as f64) * 1.25);
+        let tt = b.transpose().transpose();
+        assert_eq!(b, tt);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = DenseBlock::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = DenseBlock::from_fn(2, 2, |_, _| 1.0);
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(1, 1), 3.0);
+        a.scale(2.0);
+        assert_eq!(a.get(1, 1), 6.0);
+    }
+
+    #[test]
+    fn add_assign_shape_mismatch_errors() {
+        let mut a = DenseBlock::zeros(2, 2);
+        let b = DenseBlock::zeros(2, 3);
+        assert!(matches!(
+            a.add_assign(&b),
+            Err(MatrixError::DimensionMismatch { op: "add", .. })
+        ));
+    }
+
+    #[test]
+    fn identity_matmul_property_via_get() {
+        let id = DenseBlock::identity(5);
+        assert_eq!(id.nnz(), 5);
+        assert_eq!(id.get(3, 3), 1.0);
+        assert_eq!(id.get(3, 2), 0.0);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_hand_computation() {
+        let b = DenseBlock::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        assert!((b.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_shape_mismatch_and_values() {
+        let a = DenseBlock::zeros(2, 2);
+        let b = DenseBlock::zeros(3, 2);
+        assert!(a.max_abs_diff(&b).is_none());
+        let mut c = DenseBlock::zeros(2, 2);
+        c.set(0, 1, 0.25);
+        assert_eq!(a.max_abs_diff(&c), Some(0.25));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for the matrix substrate.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+/// Errors raised by matrix construction, kernels, and the block codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Short name of the operation ("gemm", "add", ...).
+        op: &'static str,
+        /// Left operand shape (rows, cols).
+        lhs: (u64, u64),
+        /// Right operand shape (rows, cols).
+        rhs: (u64, u64),
+    },
+    /// A block index is outside the matrix's block grid.
+    BlockOutOfBounds {
+        /// Offending block coordinates.
+        id: (u32, u32),
+        /// Grid dimensions in blocks.
+        grid: (u32, u32),
+    },
+    /// CSR structure is internally inconsistent (row pointers not
+    /// monotone, column index out of range, ...).
+    InvalidSparseStructure(String),
+    /// The codec encountered a malformed byte stream.
+    Codec(String),
+    /// A parameter is outside its legal range (e.g. sparsity not in [0, 1]).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::BlockOutOfBounds { id, grid } => write!(
+                f,
+                "block ({}, {}) outside grid of {}x{} blocks",
+                id.0, id.1, grid.0, grid.1
+            ),
+            MatrixError::InvalidSparseStructure(msg) => {
+                write!(f, "invalid sparse structure: {msg}")
+            }
+            MatrixError::Codec(msg) => write!(f, "codec error: {msg}"),
+            MatrixError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_readable() {
+        let e = MatrixError::DimensionMismatch {
+            op: "gemm",
+            lhs: (3, 4),
+            rhs: (5, 6),
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in gemm: lhs is 3x4, rhs is 5x6"
+        );
+        let e = MatrixError::BlockOutOfBounds {
+            id: (9, 9),
+            grid: (4, 4),
+        };
+        assert!(e.to_string().contains("outside grid"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MatrixError>();
+    }
+}

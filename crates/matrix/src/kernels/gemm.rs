@@ -1,0 +1,378 @@
+//! Dense general matrix multiply: `C = alpha * A * B + beta * C`.
+//!
+//! A cache-tiled implementation with a register-blocked 4×4 micro-kernel,
+//! standing in for MKL `dgemm` / `cublasDgemm`. Tiling parameters follow the
+//! usual L1/L2 blocking recipe; on 1000 × 1000 f64 blocks this runs within a
+//! small factor of vendor BLAS single-threaded throughput — good enough that
+//! compute/communication ratios in the benchmarks are realistic.
+
+use crate::dense::DenseBlock;
+use crate::error::{MatrixError, Result};
+
+/// Tile size along the k dimension (panel depth).
+const KC: usize = 256;
+/// Tile size along the m dimension (panel height).
+const MC: usize = 64;
+/// Register block: the micro-kernel computes an `MR × NR` sub-tile.
+const MR: usize = 4;
+/// See [`MR`].
+const NR: usize = 4;
+
+/// `c = alpha * a * b + beta * c`.
+///
+/// # Errors
+/// Returns [`MatrixError::DimensionMismatch`] when operand shapes are
+/// incompatible.
+pub fn gemm(alpha: f64, a: &DenseBlock, b: &DenseBlock, beta: f64, c: &mut DenseBlock) -> Result<()> {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    if k != kb || c.rows() != m || c.cols() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "gemm",
+            lhs: (m as u64, k as u64),
+            rhs: (kb as u64, n as u64),
+        });
+    }
+
+    if beta != 1.0 {
+        for v in c.data_mut() {
+            *v *= beta;
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+
+    let av = a.data();
+    let bv = b.data();
+    let cv = c.data_mut();
+
+    // Loop nest: pack-free tiled SAXPY-style kernel. For each (mc, kc) panel
+    // of A we stream B rows, accumulating into C with a 4x4 register block.
+    let mut kk = 0;
+    while kk < k {
+        let kc = KC.min(k - kk);
+        let mut ii = 0;
+        while ii < m {
+            let mc = MC.min(m - ii);
+            macro_kernel(
+                alpha,
+                av,
+                bv,
+                cv,
+                ii,
+                kk,
+                mc,
+                kc,
+                n,
+                k,
+            );
+            ii += mc;
+        }
+        kk += kc;
+    }
+    Ok(())
+}
+
+/// Computes `C[ii..ii+mc, :] += alpha * A[ii..ii+mc, kk..kk+kc] * B[kk..kk+kc, :]`.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    ii: usize,
+    kk: usize,
+    mc: usize,
+    kc: usize,
+    n: usize,
+    lda_k: usize,
+) {
+    let mut i = 0;
+    while i + MR <= mc {
+        let mut j = 0;
+        while j + NR <= n {
+            micro_kernel_4x4(alpha, a, b, c, ii + i, kk, kc, j, n, lda_k);
+            j += NR;
+        }
+        // Remainder columns.
+        if j < n {
+            edge_kernel(alpha, a, b, c, ii + i, kk, MR, kc, j, n - j, n, lda_k);
+        }
+        i += MR;
+    }
+    // Remainder rows.
+    if i < mc {
+        edge_kernel(alpha, a, b, c, ii + i, kk, mc - i, kc, 0, n, n, lda_k);
+    }
+}
+
+/// 4×4 register-blocked inner kernel over a kc-deep panel.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel_4x4(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    i0: usize,
+    kk: usize,
+    kc: usize,
+    j0: usize,
+    n: usize,
+    lda_k: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    // Hoist row bases so the inner loop indexes with constant offsets.
+    let a0 = i0 * lda_k + kk;
+    let a1 = a0 + lda_k;
+    let a2 = a1 + lda_k;
+    let a3 = a2 + lda_k;
+    for p in 0..kc {
+        let brow = (kk + p) * n + j0;
+        let bs = &b[brow..brow + NR];
+        let av = [a[a0 + p], a[a1 + p], a[a2 + p], a[a3 + p]];
+        for (r, &ar) in av.iter().enumerate() {
+            acc[r][0] += ar * bs[0];
+            acc[r][1] += ar * bs[1];
+            acc[r][2] += ar * bs[2];
+            acc[r][3] += ar * bs[3];
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let crow = (i0 + r) * n + j0;
+        let cs = &mut c[crow..crow + NR];
+        for (q, &v) in accr.iter().enumerate() {
+            cs[q] += alpha * v;
+        }
+    }
+}
+
+/// Scalar fallback for tile edges.
+#[allow(clippy::too_many_arguments)]
+fn edge_kernel(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    i0: usize,
+    kk: usize,
+    mr: usize,
+    kc: usize,
+    j0: usize,
+    nr: usize,
+    n: usize,
+    lda_k: usize,
+) {
+    for i in 0..mr {
+        let arow = (i0 + i) * lda_k + kk;
+        let crow = (i0 + i) * n + j0;
+        for p in 0..kc {
+            let av = alpha * a[arow + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = (kk + p) * n + j0;
+            let (bs, cs) = (&b[brow..brow + nr], &mut c[crow..crow + nr]);
+            for q in 0..nr {
+                cs[q] += av * bs[q];
+            }
+        }
+    }
+}
+
+/// `c = alpha * aᵀ * b + beta * c` without materializing `aᵀ`.
+///
+/// The `WᵀV` / `WᵀW` pattern of GNMF and the Gram-matrix pattern of least
+/// squares both left-multiply by a transpose; walking `A` column-wise here
+/// saves the transpose pass and its temporary.
+///
+/// # Errors
+/// Returns [`MatrixError::DimensionMismatch`] when operand shapes are
+/// incompatible (`a` is `k × m`, `b` is `k × n`, `c` is `m × n`).
+pub fn gemm_tn(
+    alpha: f64,
+    a: &DenseBlock,
+    b: &DenseBlock,
+    beta: f64,
+    c: &mut DenseBlock,
+) -> Result<()> {
+    let (k, m) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    if k != kb || c.rows() != m || c.cols() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "gemm_tn",
+            lhs: (k as u64, m as u64),
+            rhs: (kb as u64, n as u64),
+        });
+    }
+    if beta != 1.0 {
+        for v in c.data_mut() {
+            *v *= beta;
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+    let av = a.data();
+    let bv = b.data();
+    let cv = c.data_mut();
+    // Row p of A contributes the outer product aᵀ[., p] ⊗ b[p, .]:
+    // perfectly sequential reads of both operands.
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aip) in arow.iter().enumerate() {
+            let w = alpha * aip;
+            if w == 0.0 {
+                continue;
+            }
+            let crow = &mut cv[i * n..(i + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                *cj += w * bj;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &DenseBlock, b: &DenseBlock) -> DenseBlock {
+        let mut c = DenseBlock::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        c
+    }
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> DenseBlock {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        DenseBlock::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = pseudo_random(17, 17, 3);
+        let id = DenseBlock::identity(17);
+        let mut c = DenseBlock::zeros(17, 17);
+        gemm(1.0, &a, &id, 0.0, &mut c).unwrap();
+        assert!(c.max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_on_awkward_shapes() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 4, 4),
+            (5, 3, 9),
+            (64, 64, 64),
+            (65, 63, 67),
+            (130, 70, 10),
+            (10, 300, 6),
+        ] {
+            let a = pseudo_random(m, k, (m * 31 + k) as u64);
+            let b = pseudo_random(k, n, (k * 17 + n) as u64);
+            let expect = naive(&a, &b);
+            let mut c = DenseBlock::zeros(m, n);
+            gemm(1.0, &a, &b, 0.0, &mut c).unwrap();
+            assert!(
+                c.max_abs_diff(&expect).unwrap() < 1e-9,
+                "mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let a = pseudo_random(6, 6, 1);
+        let b = pseudo_random(6, 6, 2);
+        let mut c = pseudo_random(6, 6, 3);
+        let c0 = c.clone();
+        let ab = naive(&a, &b);
+        gemm(2.0, &a, &b, 0.5, &mut c).unwrap();
+        for i in 0..6 {
+            for j in 0..6 {
+                let expect = 2.0 * ab.get(i, j) + 0.5 * c0.get(i, j);
+                assert!((c.get(i, j) - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_zero_only_scales_c() {
+        let a = pseudo_random(4, 4, 9);
+        let b = pseudo_random(4, 4, 10);
+        let mut c = pseudo_random(4, 4, 11);
+        let mut expect = c.clone();
+        expect.scale(3.0);
+        gemm(0.0, &a, &b, 3.0, &mut c).unwrap();
+        assert!(c.max_abs_diff(&expect).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let a = DenseBlock::zeros(2, 3);
+        let b = DenseBlock::zeros(2, 3);
+        let mut c = DenseBlock::zeros(2, 3);
+        assert!(gemm(1.0, &a, &b, 0.0, &mut c).is_err());
+        let b2 = DenseBlock::zeros(3, 3);
+        let mut c_bad = DenseBlock::zeros(3, 3);
+        assert!(gemm(1.0, &a, &b2, 0.0, &mut c_bad).is_err());
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        for &(k, m, n) in &[(5usize, 3usize, 7usize), (64, 32, 16), (33, 65, 9)] {
+            let a = pseudo_random(k, m, 71);
+            let b = pseudo_random(k, n, 72);
+            let mut expect = DenseBlock::zeros(m, n);
+            gemm(1.0, &a.transpose(), &b, 0.0, &mut expect).unwrap();
+            let mut got = DenseBlock::zeros(m, n);
+            gemm_tn(1.0, &a, &b, 0.0, &mut got).unwrap();
+            assert!(got.max_abs_diff(&expect).unwrap() < 1e-9, "{k}x{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn gemm_tn_alpha_beta_and_dims() {
+        let a = pseudo_random(4, 3, 1);
+        let b = pseudo_random(4, 2, 2);
+        let mut c = pseudo_random(3, 2, 3);
+        let c0 = c.clone();
+        let mut ab = DenseBlock::zeros(3, 2);
+        gemm(1.0, &a.transpose(), &b, 0.0, &mut ab).unwrap();
+        gemm_tn(3.0, &a, &b, 0.5, &mut c).unwrap();
+        for i in 0..3 {
+            for j in 0..2 {
+                let expect = 3.0 * ab.get(i, j) + 0.5 * c0.get(i, j);
+                assert!((c.get(i, j) - expect).abs() < 1e-9);
+            }
+        }
+        // Shape checks.
+        let mut bad = DenseBlock::zeros(2, 2);
+        assert!(gemm_tn(1.0, &a, &b, 0.0, &mut bad).is_err());
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let a = DenseBlock::zeros(0, 4);
+        let b = DenseBlock::zeros(4, 3);
+        let mut c = DenseBlock::zeros(0, 3);
+        gemm(1.0, &a, &b, 0.0, &mut c).unwrap();
+    }
+}

@@ -1,0 +1,132 @@
+//! Sparse × sparse multiplication (SpGEMM) via Gustavson's row-wise
+//! algorithm with a dense accumulator workspace.
+
+use crate::error::{MatrixError, Result};
+use crate::sparse::CsrBlock;
+
+/// `C = A_csr · B_csr`, returning a CSR block.
+///
+/// Gustavson's algorithm: for each row `i` of `A`, scatter-accumulate the
+/// scaled rows of `B` into a dense workspace, then gather the touched
+/// columns in sorted order. Complexity `O(flops + rows + cols)`, workspace
+/// `O(cols)` reused across rows.
+///
+/// # Errors
+/// Returns [`MatrixError::DimensionMismatch`] when `a.cols() != b.rows()`.
+pub fn csr_csr(a: &CsrBlock, b: &CsrBlock) -> Result<CsrBlock> {
+    if a.cols() != b.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "spgemm",
+            lhs: (a.rows() as u64, a.cols() as u64),
+            rhs: (b.rows() as u64, b.cols() as u64),
+        });
+    }
+    let m = a.rows();
+    let n = b.cols();
+
+    let mut workspace = vec![0.0f64; n];
+    let mut touched: Vec<u32> = Vec::with_capacity(n.min(1024));
+
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    row_ptr.push(0u32);
+
+    let (ap, ac, av) = (a.row_ptr(), a.col_idx(), a.values());
+    let (bp, bc, bv) = (b.row_ptr(), b.col_idx(), b.values());
+
+    for i in 0..m {
+        let (s, e) = (ap[i] as usize, ap[i + 1] as usize);
+        for idx in s..e {
+            let k = ac[idx] as usize;
+            let aik = av[idx];
+            let (bs, be) = (bp[k] as usize, bp[k + 1] as usize);
+            for bidx in bs..be {
+                let j = bc[bidx] as usize;
+                if workspace[j] == 0.0 && !touched.contains(&(j as u32)) {
+                    touched.push(j as u32);
+                }
+                workspace[j] += aik * bv[bidx];
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            let v = workspace[j as usize];
+            if v != 0.0 {
+                col_idx.push(j);
+                values.push(v);
+            }
+            workspace[j as usize] = 0.0;
+        }
+        touched.clear();
+        row_ptr.push(col_idx.len() as u32);
+    }
+
+    CsrBlock::from_raw_parts(m, n, row_ptr, col_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseBlock;
+    use crate::kernels::gemm::gemm;
+
+    fn sparse(rows: usize, cols: usize, every: usize, seed: u64) -> CsrBlock {
+        let mut trips = Vec::new();
+        let mut state = seed | 1;
+        for i in 0..rows {
+            for j in 0..cols {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                if (state >> 33) as usize % every == 0 {
+                    trips.push((i, j, 1.0 + ((state >> 40) % 9) as f64));
+                }
+            }
+        }
+        CsrBlock::from_triplets(rows, cols, trips).unwrap()
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let a = sparse(19, 23, 4, 3);
+        let b = sparse(23, 15, 3, 8);
+        let c = csr_csr(&a, &b).unwrap();
+        c.validate().unwrap();
+        let mut expect = DenseBlock::zeros(19, 15);
+        gemm(1.0, &a.to_dense(), &b.to_dense(), 0.0, &mut expect).unwrap();
+        assert!(c.to_dense().max_abs_diff(&expect).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn empty_times_anything_is_empty() {
+        let a = CsrBlock::empty(4, 5);
+        let b = sparse(5, 6, 2, 1);
+        let c = csr_csr(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!((c.rows(), c.cols()), (4, 6));
+    }
+
+    #[test]
+    fn cancellation_produces_no_stored_zero() {
+        // A row [1, 1] times B columns that cancel: [x; -x].
+        let a = CsrBlock::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        let b = CsrBlock::from_triplets(2, 1, vec![(0, 0, 2.5), (1, 0, -2.5)]).unwrap();
+        let c = csr_csr(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let a = CsrBlock::empty(4, 5);
+        let b = CsrBlock::empty(6, 3);
+        assert!(csr_csr(&a, &b).is_err());
+    }
+
+    #[test]
+    fn identity_spgemm() {
+        let a = sparse(10, 10, 3, 5);
+        let id = CsrBlock::from_dense(&DenseBlock::identity(10));
+        let c = csr_csr(&a, &id).unwrap();
+        assert_eq!(c, a);
+    }
+}

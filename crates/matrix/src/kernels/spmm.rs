@@ -1,0 +1,178 @@
+//! Sparse × dense kernels (the `cusparseDcsrmm` stand-in).
+
+use crate::dense::DenseBlock;
+use crate::error::{MatrixError, Result};
+use crate::sparse::CsrBlock;
+
+/// `C = A_csr · B_dense`, returning a dense block.
+///
+/// Row-wise SpMM: for each non-zero `A[i,k]`, axpy row `k` of `B` into row
+/// `i` of `C`. This is the classic CSR-row formulation with good locality on
+/// B's rows.
+///
+/// # Errors
+/// Returns [`MatrixError::DimensionMismatch`] when `a.cols() != b.rows()`.
+pub fn csr_dense(a: &CsrBlock, b: &DenseBlock) -> Result<DenseBlock> {
+    let mut c = DenseBlock::zeros(a.rows(), b.cols());
+    csr_dense_acc(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// `C += A_csr · B_dense` with a caller-provided accumulator.
+///
+/// # Errors
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch.
+pub fn csr_dense_acc(a: &CsrBlock, b: &DenseBlock, c: &mut DenseBlock) -> Result<()> {
+    if a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "csr_dense",
+            lhs: (a.rows() as u64, a.cols() as u64),
+            rhs: (b.rows() as u64, b.cols() as u64),
+        });
+    }
+    let n = b.cols();
+    let bv = b.data();
+    let cv = c.data_mut();
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    for i in 0..a.rows() {
+        let crow = &mut cv[i * n..(i + 1) * n];
+        let (s, e) = (row_ptr[i] as usize, row_ptr[i + 1] as usize);
+        for idx in s..e {
+            let k = col_idx[idx] as usize;
+            let v = values[idx];
+            let brow = &bv[k * n..(k + 1) * n];
+            for (cj, bj) in crow.iter_mut().zip(brow.iter()) {
+                *cj += v * *bj;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `C = A_dense · B_csr`, returning a dense block.
+///
+/// Implemented as scatter along B's rows: for each non-zero `B[k,j]`, axpy
+/// column `k` of `A` into column `j` of `C`. Iterates A row-major in the
+/// outer loop to keep writes sequential.
+///
+/// # Errors
+/// Returns [`MatrixError::DimensionMismatch`] when `a.cols() != b.rows()`.
+pub fn dense_csr(a: &DenseBlock, b: &CsrBlock) -> Result<DenseBlock> {
+    if a.cols() != b.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "dense_csr",
+            lhs: (a.rows() as u64, a.cols() as u64),
+            rhs: (b.rows() as u64, b.cols() as u64),
+        });
+    }
+    let m = a.rows();
+    let kdim = a.cols();
+    let n = b.cols();
+    let mut c = DenseBlock::zeros(m, n);
+    let av = a.data();
+    let cv = c.data_mut();
+    let row_ptr = b.row_ptr();
+    let col_idx = b.col_idx();
+    let values = b.values();
+    for i in 0..m {
+        let arow = &av[i * kdim..(i + 1) * kdim];
+        let crow = &mut cv[i * n..(i + 1) * n];
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let (s, e) = (row_ptr[k] as usize, row_ptr[k + 1] as usize);
+            for idx in s..e {
+                crow[col_idx[idx] as usize] += aik * values[idx];
+            }
+        }
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gemm::gemm;
+
+    fn pseudo_random_sparse(rows: usize, cols: usize, every: usize, seed: u64) -> CsrBlock {
+        let mut trips = Vec::new();
+        let mut state = seed | 1;
+        for i in 0..rows {
+            for j in 0..cols {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if (state >> 33) as usize % every == 0 {
+                    trips.push((i, j, ((state >> 40) as f64 % 17.0) - 8.0));
+                }
+            }
+        }
+        CsrBlock::from_triplets(rows, cols, trips).unwrap()
+    }
+
+    fn pseudo_random_dense(rows: usize, cols: usize, seed: u64) -> DenseBlock {
+        let mut state = seed | 1;
+        DenseBlock::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            ((state >> 35) % 100) as f64 / 50.0 - 1.0
+        })
+    }
+
+    fn reference(a: &DenseBlock, b: &DenseBlock) -> DenseBlock {
+        let mut c = DenseBlock::zeros(a.rows(), b.cols());
+        gemm(1.0, a, b, 0.0, &mut c).unwrap();
+        c
+    }
+
+    #[test]
+    fn csr_dense_matches_gemm() {
+        let a = pseudo_random_sparse(23, 31, 5, 7);
+        let b = pseudo_random_dense(31, 11, 9);
+        let c = csr_dense(&a, &b).unwrap();
+        let expect = reference(&a.to_dense(), &b);
+        assert!(c.max_abs_diff(&expect).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn dense_csr_matches_gemm() {
+        let a = pseudo_random_dense(13, 29, 21);
+        let b = pseudo_random_sparse(29, 17, 4, 5);
+        let c = dense_csr(&a, &b).unwrap();
+        let expect = reference(&a, &b.to_dense());
+        assert!(c.max_abs_diff(&expect).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn accumulate_adds_onto_existing() {
+        let a = pseudo_random_sparse(8, 8, 3, 11);
+        let b = pseudo_random_dense(8, 8, 13);
+        let mut c = pseudo_random_dense(8, 8, 15);
+        let c0 = c.clone();
+        csr_dense_acc(&a, &b, &mut c).unwrap();
+        let prod = reference(&a.to_dense(), &b);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!((c.get(i, j) - (c0.get(i, j) + prod.get(i, j))).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sparse_yields_zero() {
+        let a = CsrBlock::empty(5, 6);
+        let b = pseudo_random_dense(6, 4, 3);
+        let c = csr_dense(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn dim_mismatches_rejected() {
+        let a = CsrBlock::empty(5, 6);
+        let b = pseudo_random_dense(7, 4, 3);
+        assert!(csr_dense(&a, &b).is_err());
+        let d = pseudo_random_dense(4, 9, 3);
+        let s = CsrBlock::empty(5, 6);
+        assert!(dense_csr(&d, &s).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Virtual matrix descriptors.
+//!
+//! The paper's experiments run on matrices up to 5 000 000 × 10 000 doubles —
+//! far beyond what can be materialized here. [`MatrixMeta`] describes such a
+//! matrix symbolically (shape, block size, sparsity) so the planner and the
+//! discrete-event simulator can compute block counts, per-block byte sizes,
+//! memory footprints, and communication volumes without allocating data.
+
+use crate::{CSR_NNZ_BYTES, DEFAULT_BLOCK_SIZE, ELEM_BYTES};
+
+/// Shape/size descriptor of a (possibly virtual) blocked matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixMeta {
+    /// Total rows (elements).
+    pub rows: u64,
+    /// Total columns (elements).
+    pub cols: u64,
+    /// Block side length (blocks are `block_size × block_size`, except at the
+    /// right/bottom edges).
+    pub block_size: u64,
+    /// Fraction of non-zero elements in `[0, 1]`; `1.0` means fully dense.
+    /// The paper calls this "sparsity" with 1.0 = fully dense (§6.1).
+    pub sparsity: f64,
+}
+
+impl MatrixMeta {
+    /// Dense matrix descriptor with the paper's default 1000 × 1000 blocks.
+    pub fn dense(rows: u64, cols: u64) -> Self {
+        MatrixMeta {
+            rows,
+            cols,
+            block_size: DEFAULT_BLOCK_SIZE,
+            sparsity: 1.0,
+        }
+    }
+
+    /// Sparse matrix descriptor with the paper's default block size.
+    pub fn sparse(rows: u64, cols: u64, sparsity: f64) -> Self {
+        MatrixMeta {
+            rows,
+            cols,
+            block_size: DEFAULT_BLOCK_SIZE,
+            sparsity,
+        }
+    }
+
+    /// Overrides the block size (builder style).
+    pub fn with_block_size(mut self, block_size: u64) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Number of block rows: `I` (or `K`) in the paper's notation.
+    pub fn block_rows(&self) -> u32 {
+        self.rows.div_ceil(self.block_size) as u32
+    }
+
+    /// Number of block columns.
+    pub fn block_cols(&self) -> u32 {
+        self.cols.div_ceil(self.block_size) as u32
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.block_rows() as u64 * self.block_cols() as u64
+    }
+
+    /// Total number of elements, `|A|` in the paper.
+    pub fn elements(&self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// Estimated number of non-zeros.
+    pub fn nnz_estimate(&self) -> u64 {
+        (self.elements() as f64 * self.sparsity).round() as u64
+    }
+
+    /// True when the matrix should be stored densely (density at or above
+    /// the SystemML-style 0.4 crossover).
+    pub fn is_dense_storage(&self) -> bool {
+        self.sparsity >= crate::block::DENSE_THRESHOLD
+    }
+
+    /// Element dimensions of the block at grid position `(bi, bj)` —
+    /// edge blocks may be smaller.
+    pub fn block_dims(&self, bi: u32, bj: u32) -> (u64, u64) {
+        let r = (self.rows - bi as u64 * self.block_size).min(self.block_size);
+        let c = (self.cols - bj as u64 * self.block_size).min(self.block_size);
+        (r, c)
+    }
+
+    /// Estimated serialized/in-memory bytes of one *full* block in this
+    /// matrix's natural storage format.
+    pub fn block_bytes(&self) -> u64 {
+        let cells = self.block_size * self.block_size;
+        if self.is_dense_storage() {
+            cells * ELEM_BYTES
+        } else {
+            ((cells as f64 * self.sparsity) as u64) * CSR_NNZ_BYTES + (self.block_size + 1) * 4
+        }
+    }
+
+    /// Estimated total bytes of the whole matrix in its natural storage
+    /// format. This is the `|A|` of the paper's cost formulas expressed in
+    /// bytes rather than element counts.
+    pub fn total_bytes(&self) -> u64 {
+        if self.is_dense_storage() {
+            self.elements() * ELEM_BYTES
+        } else {
+            self.nnz_estimate() * CSR_NNZ_BYTES + self.rows.saturating_add(1) * 4
+        }
+    }
+
+    /// Descriptor of the transposed matrix.
+    pub fn transposed(&self) -> MatrixMeta {
+        MatrixMeta {
+            rows: self.cols,
+            cols: self.rows,
+            ..*self
+        }
+    }
+
+    /// Descriptor of the product `self × rhs`, using the worst-case density
+    /// estimate the paper adopts for intermediate results (§2.2.2): the
+    /// output is sized as fully dense unless both inputs are extremely
+    /// sparse, in which case the union bound `1 - (1 - sa·sb)^K` applies.
+    pub fn multiply_meta(&self, rhs: &MatrixMeta) -> MatrixMeta {
+        let k = self.cols as f64;
+        let p_nonzero = 1.0 - (1.0 - self.sparsity * rhs.sparsity).powf(k);
+        MatrixMeta {
+            rows: self.rows,
+            cols: rhs.cols,
+            block_size: self.block_size,
+            sparsity: p_nonzero.clamp(0.0, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_grid_counts() {
+        let m = MatrixMeta::dense(70_000, 70_000);
+        assert_eq!(m.block_rows(), 70);
+        assert_eq!(m.block_cols(), 70);
+        assert_eq!(m.num_blocks(), 4900);
+    }
+
+    #[test]
+    fn ragged_edges() {
+        let m = MatrixMeta::dense(2500, 1001);
+        assert_eq!(m.block_rows(), 3);
+        assert_eq!(m.block_cols(), 2);
+        assert_eq!(m.block_dims(2, 1), (500, 1));
+        assert_eq!(m.block_dims(0, 0), (1000, 1000));
+    }
+
+    #[test]
+    fn paper_scale_sizes() {
+        // 100K x 100K dense f64 = 80 GB.
+        let m = MatrixMeta::dense(100_000, 100_000);
+        assert_eq!(m.total_bytes(), 80_000_000_000);
+        assert_eq!(m.block_bytes(), 8_000_000);
+    }
+
+    #[test]
+    fn sparse_storage_estimates() {
+        let m = MatrixMeta::sparse(1_000_000, 1_000, 0.001);
+        assert!(!m.is_dense_storage());
+        assert_eq!(m.nnz_estimate(), 1_000_000);
+        // 12 bytes per nnz + row pointer overhead.
+        assert!(m.total_bytes() >= 12_000_000);
+        assert!(m.total_bytes() < 20_000_000);
+    }
+
+    #[test]
+    fn dense_threshold_boundary() {
+        assert!(MatrixMeta::sparse(10, 10, 0.4).is_dense_storage());
+        assert!(!MatrixMeta::sparse(10, 10, 0.39).is_dense_storage());
+    }
+
+    #[test]
+    fn multiply_meta_worst_case_densifies() {
+        // Even a 1e-3-sparse times dense product over K = 1M is ~dense.
+        let a = MatrixMeta::sparse(500_000, 1_000_000, 0.0001);
+        let b = MatrixMeta::dense(1_000_000, 1_000);
+        let c = a.multiply_meta(&b);
+        assert_eq!(c.rows, 500_000);
+        assert_eq!(c.cols, 1_000);
+        assert!(c.sparsity > 0.99);
+    }
+
+    #[test]
+    fn multiply_meta_keeps_tiny_products_sparse() {
+        let a = MatrixMeta::sparse(1000, 1000, 1e-6).with_block_size(100);
+        let b = MatrixMeta::sparse(1000, 1000, 1e-6).with_block_size(100);
+        let c = a.multiply_meta(&b);
+        assert!(c.sparsity < 0.01);
+        assert_eq!(c.block_size, 100);
+    }
+
+    #[test]
+    fn transposed_swaps_dims() {
+        let m = MatrixMeta::dense(10, 20).transposed();
+        assert_eq!((m.rows, m.cols), (20, 10));
+    }
+}

@@ -1,0 +1,406 @@
+//! Sparse block storage in Compressed Sparse Row (CSR) format.
+//!
+//! CSR is the format the paper's systems use for sparse blocks (§2.1) and the
+//! input format of `cusparseDcsrmm`, the sparse kernel DistME calls on the
+//! GPU (§4.4).
+
+use crate::dense::DenseBlock;
+use crate::error::{MatrixError, Result};
+
+/// A sparse matrix block in CSR format.
+///
+/// Invariants (checked by [`CsrBlock::validate`], enforced by constructors):
+/// * `row_ptr.len() == rows + 1`, `row_ptr[0] == 0`,
+///   `row_ptr[rows] == col_idx.len() == values.len()`;
+/// * `row_ptr` is non-decreasing;
+/// * within each row, column indices are strictly increasing and `< cols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrBlock {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrBlock {
+    /// An empty (all-zero) sparse block.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        CsrBlock {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds a CSR block from `(row, col, value)` triplets.
+    ///
+    /// Triplets may be unordered; duplicates are summed (the usual COO→CSR
+    /// semantics). Explicit zeros are dropped.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::InvalidSparseStructure`] when an index is out of
+    /// range.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Result<Self> {
+        let mut items: Vec<(usize, usize, f64)> = triplets.into_iter().collect();
+        for &(r, c, _) in &items {
+            if r >= rows || c >= cols {
+                return Err(MatrixError::InvalidSparseStructure(format!(
+                    "triplet ({r}, {c}) outside {rows}x{cols} block"
+                )));
+            }
+        }
+        items.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Merge duplicates (sum), dropping explicit/cancelled zeros below.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(items.len());
+        for (r, c, v) in items {
+            match merged.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+
+        let mut row_ptr = vec![0u32; rows + 1];
+        let mut col_idx: Vec<u32> = Vec::with_capacity(merged.len());
+        let mut values: Vec<f64> = Vec::with_capacity(merged.len());
+        for (r, c, v) in merged {
+            if v == 0.0 {
+                continue;
+            }
+            col_idx.push(c as u32);
+            values.push(v);
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let out = CsrBlock {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        out.validate()?;
+        Ok(out)
+    }
+
+    /// Builds a CSR block from raw parts, validating the structure.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::InvalidSparseStructure`] when the CSR invariants
+    /// do not hold.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        let b = CsrBlock {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        b.validate()?;
+        Ok(b)
+    }
+
+    /// Converts a dense block to CSR, dropping zeros.
+    pub fn from_dense(d: &DenseBlock) -> Self {
+        let rows = d.rows();
+        let cols = d.cols();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0u32);
+        let data = d.data();
+        for i in 0..rows {
+            for j in 0..cols {
+                let v = data[i * cols + j];
+                if v != 0.0 {
+                    col_idx.push(j as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        CsrBlock {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Converts to a dense block.
+    pub fn to_dense(&self) -> DenseBlock {
+        let mut d = DenseBlock::zeros(self.rows, self.cols);
+        let out = d.data_mut();
+        for i in 0..self.rows {
+            let (s, e) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            for k in s..e {
+                out[i * self.cols + self.col_idx[k] as usize] = self.values[k];
+            }
+        }
+        d
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row-pointer array (`rows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// Column indices, row-major within rows.
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Non-zero values, parallel to [`Self::col_idx`].
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterator over `(row, col, value)` of stored non-zeros.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            let (s, e) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            (s..e).map(move |k| (i, self.col_idx[k] as usize, self.values[k]))
+        })
+    }
+
+    /// In-memory footprint in bytes (values + indices + row pointers).
+    pub fn mem_bytes(&self) -> u64 {
+        (self.values.len() * 8 + self.col_idx.len() * 4 + self.row_ptr.len() * 4) as u64
+    }
+
+    /// Fraction of non-zero elements, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// Returns the transpose (CSR of the transposed matrix), built with a
+    /// counting pass — O(nnz + rows + cols).
+    pub fn transpose(&self) -> CsrBlock {
+        let mut counts = vec![0u32; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for j in 0..self.cols {
+            counts[j + 1] += counts[j];
+        }
+        let row_ptr = counts.clone();
+        let mut cursor = counts;
+        let nnz = self.nnz();
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![0.0f64; nnz];
+        for (i, j, v) in self.iter() {
+            let pos = cursor[j] as usize;
+            col_idx[pos] = i as u32;
+            values[pos] = v;
+            cursor[j] += 1;
+        }
+        CsrBlock {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Checks the CSR invariants.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::InvalidSparseStructure`] describing the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        if self.row_ptr.len() != self.rows + 1 {
+            return Err(MatrixError::InvalidSparseStructure(format!(
+                "row_ptr has {} entries, expected {}",
+                self.row_ptr.len(),
+                self.rows + 1
+            )));
+        }
+        if self.row_ptr[0] != 0 {
+            return Err(MatrixError::InvalidSparseStructure(
+                "row_ptr[0] must be 0".into(),
+            ));
+        }
+        if *self.row_ptr.last().unwrap() as usize != self.values.len()
+            || self.col_idx.len() != self.values.len()
+        {
+            return Err(MatrixError::InvalidSparseStructure(
+                "row_ptr tail, col_idx and values lengths disagree".into(),
+            ));
+        }
+        for w in self.row_ptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(MatrixError::InvalidSparseStructure(
+                    "row_ptr must be non-decreasing".into(),
+                ));
+            }
+        }
+        for i in 0..self.rows {
+            let (s, e) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            let mut prev: Option<u32> = None;
+            for k in s..e {
+                let c = self.col_idx[k];
+                if c as usize >= self.cols {
+                    return Err(MatrixError::InvalidSparseStructure(format!(
+                        "column index {c} out of range in row {i}"
+                    )));
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(MatrixError::InvalidSparseStructure(format!(
+                            "column indices not strictly increasing in row {i}"
+                        )));
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(())
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrBlock {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        CsrBlock::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+            .unwrap()
+    }
+
+    #[test]
+    fn from_triplets_builds_valid_csr() {
+        let b = sample();
+        assert_eq!(b.nnz(), 4);
+        assert_eq!(b.row_ptr(), &[0, 2, 2, 4]);
+        assert_eq!(b.col_idx(), &[0, 2, 0, 1]);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_range() {
+        assert!(CsrBlock::from_triplets(2, 2, vec![(2, 0, 1.0)]).is_err());
+        assert!(CsrBlock::from_triplets(2, 2, vec![(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn from_triplets_merges_duplicates() {
+        let b = CsrBlock::from_triplets(2, 2, vec![(0, 0, 1.5), (0, 0, 2.5)]).unwrap();
+        assert_eq!(b.nnz(), 1);
+        assert_eq!(b.values(), &[4.0]);
+    }
+
+    #[test]
+    fn from_triplets_drops_explicit_and_cancelled_zeros() {
+        let b = CsrBlock::from_triplets(2, 2, vec![(0, 1, 0.0), (1, 1, 3.0), (1, 1, -3.0)]).unwrap();
+        assert_eq!(b.nnz(), 0);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let b = sample();
+        let d = b.to_dense();
+        assert_eq!(d.get(0, 2), 2.0);
+        assert_eq!(d.get(1, 1), 0.0);
+        assert_eq!(d.get(2, 1), 4.0);
+        let b2 = CsrBlock::from_dense(&d);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let b = sample();
+        let t = b.transpose();
+        t.validate().unwrap();
+        assert_eq!(t.to_dense(), b.to_dense().transpose());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let b = sample();
+        assert_eq!(b.transpose().transpose(), b);
+    }
+
+    #[test]
+    fn density_and_mem_bytes() {
+        let b = sample();
+        assert!((b.density() - 4.0 / 9.0).abs() < 1e-12);
+        assert_eq!(b.mem_bytes(), 4 * 8 + 4 * 4 + 4 * 4);
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_structures() {
+        // Non-monotone row_ptr.
+        assert!(CsrBlock::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+        // Column out of range.
+        assert!(CsrBlock::from_raw_parts(1, 2, vec![0, 1], vec![7], vec![1.0]).is_err());
+        // Unsorted columns within a row.
+        assert!(
+            CsrBlock::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err()
+        );
+        // Length disagreement.
+        assert!(CsrBlock::from_raw_parts(1, 2, vec![0, 2], vec![0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_block_is_valid() {
+        let b = CsrBlock::empty(4, 7);
+        b.validate().unwrap();
+        assert_eq!(b.nnz(), 0);
+        assert_eq!(b.density(), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_sorted_triplets() {
+        let b = sample();
+        let got: Vec<_> = b.iter().collect();
+        assert_eq!(
+            got,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
+    }
+}

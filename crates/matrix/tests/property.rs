@@ -1,0 +1,169 @@
+//! Property-based tests over the matrix substrate: structural invariants
+//! and algebraic laws that must hold for arbitrary inputs.
+
+use distme_matrix::elementwise::{ew, EwOp};
+use distme_matrix::kernels;
+use distme_matrix::{codec, Block, BlockMatrix, CscBlock, CsrBlock, DenseBlock, MatrixGenerator, MatrixMeta};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary dense block up to 24 x 24.
+fn dense_block() -> impl Strategy<Value = DenseBlock> {
+    (1usize..24, 1usize..24, any::<u64>()).prop_map(|(r, c, seed)| {
+        let mut state = seed | 1;
+        DenseBlock::from_fn(r, c, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 2000) as f64 / 100.0 - 10.0
+        })
+    })
+}
+
+/// Strategy: an arbitrary sparse block up to 24 x 24.
+fn sparse_block() -> impl Strategy<Value = CsrBlock> {
+    (1usize..24, 1usize..24, any::<u64>(), 1usize..6).prop_map(|(r, c, seed, every)| {
+        let mut state = seed | 1;
+        let mut trips = Vec::new();
+        for i in 0..r {
+            for j in 0..c {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                if (state >> 33) as usize % every == 0 {
+                    trips.push((i, j, ((state >> 40) % 19) as f64 - 9.0));
+                }
+            }
+        }
+        CsrBlock::from_triplets(r, c, trips).expect("valid triplets")
+    })
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrips_dense(b in dense_block()) {
+        let block = Block::Dense(b);
+        let bytes = codec::encode(&block);
+        prop_assert_eq!(bytes.len() as u64, codec::encoded_len(&block));
+        let back = codec::decode(bytes).expect("decodes");
+        prop_assert_eq!(block, back);
+    }
+
+    #[test]
+    fn codec_roundtrips_sparse(s in sparse_block()) {
+        let block = Block::Sparse(s);
+        let bytes = codec::encode(&block);
+        prop_assert_eq!(bytes.len() as u64, codec::encoded_len(&block));
+        let back = codec::decode(bytes).expect("decodes");
+        prop_assert_eq!(block, back);
+    }
+
+    #[test]
+    fn codec_never_panics_on_truncation(s in sparse_block(), cut in 0usize..64) {
+        let bytes = codec::encode(&Block::Sparse(s));
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        // Truncated input must error, never panic.
+        prop_assert!(codec::decode(bytes.slice(0..cut)).is_err());
+    }
+
+    #[test]
+    fn csr_dense_csr_roundtrip(s in sparse_block()) {
+        let back = CsrBlock::from_dense(&s.to_dense());
+        prop_assert_eq!(s, back);
+    }
+
+    #[test]
+    fn csc_is_a_faithful_dual(s in sparse_block()) {
+        let csc = CscBlock::from_csr(&s);
+        csc.validate().expect("valid CSC");
+        prop_assert_eq!(csc.nnz(), s.nnz());
+        prop_assert_eq!(csc.to_dense(), s.to_dense());
+        prop_assert_eq!(csc.to_csr(), s);
+    }
+
+    #[test]
+    fn transpose_is_an_involution(s in sparse_block(), d in dense_block()) {
+        prop_assert_eq!(s.transpose().transpose(), s);
+        prop_assert_eq!(d.transpose().transpose(), d);
+    }
+
+    #[test]
+    fn sparse_and_dense_kernels_agree(a in sparse_block(), d in dense_block()) {
+        // Make shapes compatible: use a x a_dense where inner dims match.
+        let b = DenseBlock::from_fn(a.cols(), d.rows().min(8), |i, j| {
+            ((i * 7 + j * 3) % 11) as f64 - 5.0
+        });
+        let via_sparse = kernels::multiply(&Block::Sparse(a.clone()), &Block::Dense(b.clone()))
+            .expect("multiplies");
+        let via_dense = kernels::multiply(
+            &Block::Dense(a.to_dense()),
+            &Block::Dense(b),
+        ).expect("multiplies");
+        let diff = via_sparse.max_abs_diff(&via_dense).expect("same shape");
+        prop_assert!(diff < 1e-9);
+    }
+
+    #[test]
+    fn elementwise_mul_commutes_on_values(a in dense_block()) {
+        let b = DenseBlock::from_fn(a.rows(), a.cols(), |i, j| ((i + 2 * j) % 7) as f64 - 3.0);
+        let ab = ew(EwOp::Mul, &Block::Dense(a.clone()), &Block::Dense(b.clone())).expect("ew");
+        let ba = ew(EwOp::Mul, &Block::Dense(b), &Block::Dense(a)).expect("ew");
+        prop_assert!(ab.max_abs_diff(&ba).expect("same shape") < 1e-12);
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        dims in (1u64..4, 1u64..4, 1u64..4, 1u64..4),
+        seed in 0u64..10_000,
+    ) {
+        let bs = 8u64;
+        let (i, k, l, j) = dims;
+        let gen = |rows: u64, cols: u64, s: u64| {
+            MatrixGenerator::with_seed(s)
+                .value_range(-1.0, 1.0)
+                .generate(&MatrixMeta::dense(rows * bs, cols * bs).with_block_size(bs))
+                .expect("generates")
+        };
+        let a = gen(i, k, seed);
+        let b = gen(k, l, seed ^ 1);
+        let c = gen(l, j, seed ^ 2);
+        let left = a.multiply(&b).expect("ab").multiply(&c).expect("(ab)c");
+        let right = a.multiply(&b.multiply(&c).expect("bc")).expect("a(bc)");
+        prop_assert!(left.max_abs_diff(&right).expect("same shape") < 1e-7);
+    }
+
+    #[test]
+    fn distribution_law_holds(seed in 0u64..10_000) {
+        // A (B + C) == A B + A C over block matrices.
+        let bs = 8u64;
+        let meta_a = MatrixMeta::dense(2 * bs, 3 * bs).with_block_size(bs);
+        let meta_bc = MatrixMeta::dense(3 * bs, 2 * bs).with_block_size(bs);
+        let a = MatrixGenerator::with_seed(seed).generate(&meta_a).expect("a");
+        let b = MatrixGenerator::with_seed(seed ^ 5).generate(&meta_bc).expect("b");
+        let c = MatrixGenerator::with_seed(seed ^ 9).generate(&meta_bc).expect("c");
+        let lhs = a
+            .multiply(&b.elementwise(EwOp::Add, &c).expect("b+c"))
+            .expect("a(b+c)");
+        let rhs = a
+            .multiply(&b)
+            .expect("ab")
+            .elementwise(EwOp::Add, &a.multiply(&c).expect("ac"))
+            .expect("ab+ac");
+        prop_assert!(lhs.max_abs_diff(&rhs).expect("same shape") < 1e-8);
+    }
+
+    #[test]
+    fn row_sums_match_ones_product(seed in 0u64..10_000, sparsity in 0.05f64..1.0) {
+        // row_sums(A) == A · 1.
+        let bs = 8u64;
+        let meta = MatrixMeta::sparse(3 * bs, 2 * bs, sparsity).with_block_size(bs);
+        let a = MatrixGenerator::with_seed(seed).generate(&meta).expect("a");
+        let ones_meta = MatrixMeta::dense(2 * bs, 1).with_block_size(bs);
+        let mut ones = BlockMatrix::new(ones_meta);
+        for bi in 0..ones_meta.block_rows() {
+            let (r, c) = ones_meta.block_dims(bi, 0);
+            ones.put(bi, 0, Block::Dense(DenseBlock::from_fn(r as usize, c as usize, |_, _| 1.0)))
+                .expect("in grid");
+        }
+        let product = a.multiply(&ones).expect("a*1");
+        let sums = a.row_sums();
+        for (idx, s) in sums.iter().enumerate() {
+            prop_assert!((s - product.get_element(idx as u64, 0)).abs() < 1e-9);
+        }
+    }
+}

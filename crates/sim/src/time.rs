@@ -1,0 +1,117 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in seconds from simulation start.
+///
+/// Stored as `f64`; all simulation arithmetic is deterministic (no wall-clock
+/// involvement), so equal inputs always give bit-equal times.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point at `secs` seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative or NaN — virtual time is always a valid
+    /// forward offset (internal invariant).
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs >= 0.0 && secs.is_finite(), "invalid sim time {secs}");
+        SimTime(secs)
+    }
+
+    /// Seconds since simulation start.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The later of two time points.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The earlier of two time points.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Duration from `earlier` to `self`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, secs: f64) -> SimTime {
+        debug_assert!(secs >= 0.0, "cannot move time backwards by {secs}");
+        SimTime(self.0 + secs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, secs: f64) {
+        *self = *self + secs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1.5) + 2.5;
+        assert_eq!(t.as_secs(), 4.0);
+        assert_eq!(t - SimTime::from_secs(1.0), 3.0);
+        assert_eq!(t.since(SimTime::from_secs(10.0)), 0.0);
+    }
+
+    #[test]
+    fn ordering_helpers() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(a < b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sim time")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_secs(1.23456).to_string(), "1.235s");
+    }
+}

@@ -1,0 +1,71 @@
+//! A small recommender built on GNMF (Appendix A) — the paper's
+//! motivating application class (collaborative filtering on rating
+//! matrices, §1).
+//!
+//! Factorizes a MovieLens-shaped synthetic rating matrix `V ≈ W × H` with
+//! the distributed engine, shows the reconstruction error dropping per
+//! iteration, and uses the factors to "recommend": for a user, rank the
+//! unrated items by the predicted rating `(W H)[user, item]`.
+//!
+//! Run with: `cargo run --release --example gnmf_recommender`
+
+use distme::prelude::*;
+
+fn main() {
+    // A MovieLens-like demo dataset. Scaling MovieLens down preserves its
+    // *density* but leaves too few ratings per user for a visible demo, so
+    // this uses a denser miniature with the same shape family.
+    let dataset = RatingDataset {
+        name: "MovieLens-mini",
+        users: 640,
+        items: 192,
+        ratings: 12_288, // 10% dense
+    };
+    println!(
+        "dataset: {} — {} users x {} items, {} ratings ({:.2}% dense)",
+        dataset.name,
+        dataset.users,
+        dataset.items,
+        dataset.ratings,
+        dataset.density() * 100.0
+    );
+    let v = dataset.materialize(64, 2024).expect("materialize V");
+
+    let mut session = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+    let config = GnmfConfig {
+        factor_dim: 24,
+        iterations: 8,
+    };
+    let result = gnmf::run_real(&mut session, &v, &config, 99).expect("GNMF converges");
+
+    println!("\nGNMF objective ‖V − WH‖F per iteration:");
+    for (i, obj) in result.objective.iter().enumerate() {
+        println!("  iteration {:>2}: {obj:.3}", i + 1);
+    }
+    let first = result.objective.first().expect("ran iterations");
+    let last = result.objective.last().expect("ran iterations");
+    println!("  improvement: {:.1}%", (1.0 - last / first) * 100.0);
+
+    // Recommend for user 0: predicted ratings = row 0 of W times H.
+    let user = 0u64;
+    let wh = result.w.multiply(&result.h).expect("W x H");
+    let mut scored: Vec<(u64, f64, bool)> = (0..dataset.items)
+        .map(|item| {
+            let rated = v.get_element(user, item) != 0.0;
+            (item, wh.get_element(user, item), rated)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+
+    println!("\ntop-5 unrated items for user {user} (predicted rating):");
+    for (item, score, _) in scored.iter().filter(|(_, _, rated)| !rated).take(5) {
+        println!("  item {item:>4}: {score:.2}");
+    }
+
+    println!(
+        "\nengine ran {} distributed multiplies; total shuffled: {:.1} MB",
+        config.iterations * 6,
+        session.stats().total_shuffle_bytes() as f64 / 1e6
+    );
+    println!("Paper-scale GNMF comparison: `cargo run -p distme-bench --release --bin fig8`");
+}

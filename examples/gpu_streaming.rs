@@ -1,0 +1,94 @@
+//! Algorithm 1 up close: subcuboid partitioning and GPU streaming (§4).
+//!
+//! Part 1 runs Algorithm 1 *for real*: a cuboid too big for the (virtual)
+//! device memory θg is split into subcuboids, iterated with a
+//! device-resident C accumulator, and the result is verified against the
+//! plain product — while θg shrinks and the iteration count grows.
+//!
+//! Part 2 replays the schedule on the simulated GTX 1080 Ti and compares
+//! the paper's streamed schedule (§4.3) against the naive
+//! copy-everything-then-compute method — the ablation behind the claim
+//! that streaming "could hide some memory access latency".
+//!
+//! Run with: `cargo run --release --example gpu_streaming`
+
+use distme::core::cuboid::{CuboidGrid, CuboidSpec};
+use distme::core::{gpu_local, subcuboid::CuboidSides, MatmulProblem};
+use distme::gpu::{work, GpuConfig, GpuDevice, GpuWork};
+use distme::prelude::*;
+use distme::sim::SimTime;
+
+fn main() {
+    // ---- Part 1: real execution under shrinking θg -----------------------
+    let bs = 32u64;
+    let am = MatrixMeta::dense(8 * bs, 12 * bs).with_block_size(bs);
+    let bm = MatrixMeta::dense(12 * bs, 6 * bs).with_block_size(bs);
+    let a = MatrixGenerator::with_seed(5).generate(&am).expect("gen A");
+    let b = MatrixGenerator::with_seed(6).generate(&bm).expect("gen B");
+    let problem = MatmulProblem::new(am, bm).expect("shapes agree");
+    let grid = CuboidGrid::new(&problem, CuboidSpec::new(1, 1, 1));
+    let cuboid = grid.cuboid(0, 0, 0);
+    let reference = a.multiply(&b).expect("reference");
+
+    let block_bytes = 8 * bs * bs;
+    println!("cuboid: {:?} blocks of {} KiB", cuboid.extents(), block_bytes >> 10);
+    println!(
+        "{:>14} {:>14} {:>12} {:>12} {:>10}",
+        "θg (blocks)", "(P2,Q2,R2)", "iterations", "kernels", "max |err|"
+    );
+    for blocks_budget in [200u64, 48, 24, 12, 6] {
+        let theta_g = blocks_budget * block_bytes;
+        let result = gpu_local::execute_cuboid_real(&cuboid, &a, &b, &problem.c, theta_g)
+            .expect("feasible budget");
+        let mut c = BlockMatrix::new(problem.c);
+        for (id, blk) in result.blocks {
+            c.put(id.row, id.col, Block::Dense(blk)).expect("in grid");
+        }
+        let err = c.max_abs_diff(&reference).expect("same shape");
+        println!(
+            "{:>14} {:>14} {:>12} {:>12} {:>10.1e}",
+            blocks_budget,
+            result.spec.to_string(),
+            result.iterations,
+            result.kernel_calls,
+            err
+        );
+        assert!(err < 1e-9);
+    }
+    println!("same product at every θg — the schedule only changes *when* data moves.\n");
+
+    // ---- Part 2: streamed vs naive on the simulated device ---------------
+    let sides = CuboidSides::of(
+        &cuboid,
+        problem.a_block_bytes(),
+        problem.b_block_bytes(),
+        problem.c_block_bytes(),
+    );
+    let theta_g = 24 * block_bytes;
+    let flops = cuboid.voxels() as f64 * problem.flops_per_voxel();
+    let (spec, gpu_work) =
+        gpu_local::plan_work(&sides, theta_g, flops, false).expect("feasible");
+    // Scale the device down so this toy cuboid is actually interesting.
+    let mut cfg = GpuConfig::tiny(theta_g);
+    cfg.h2d_bytes_per_sec = 50.0e6;
+    cfg.d2h_bytes_per_sec = 50.0e6;
+    cfg.kernel_flops_per_sec = 1.0e9;
+    println!(
+        "simulated device: subcuboid {spec}, {} kernel calls over {} streams",
+        gpu_work.kernel_calls, gpu_work.streams
+    );
+    let run = |schedule: fn(&mut GpuDevice, SimTime, &GpuWork) -> work::GpuTaskReport| {
+        let mut dev = GpuDevice::new(cfg);
+        let report = schedule(&mut dev, SimTime::ZERO, &gpu_work);
+        (report.elapsed_secs(), dev.kernel_busy_secs())
+    };
+    let (naive_secs, busy) = run(work::execute_naive);
+    let (streamed_secs, _) = run(work::execute_streamed);
+    println!("naive    (§4.3 strawman): {naive_secs:.3}s  (kernel busy {busy:.3}s)");
+    println!("streamed (Algorithm 1)  : {streamed_secs:.3}s");
+    println!(
+        "streaming hides {:.0}% of the PCI-E time behind kernels",
+        (1.0 - streamed_secs / naive_secs) * 100.0
+    );
+    assert!(streamed_secs < naive_secs);
+}

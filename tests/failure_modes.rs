@@ -1,0 +1,177 @@
+//! Paper-scale failure matrix: every O.O.M. / T.O. / E.D.C. boundary the
+//! paper's figures annotate, reproduced on the simulated cluster.
+
+use distme::prelude::*;
+
+fn sim(gpu: bool) -> SimCluster {
+    SimCluster::new(if gpu {
+        ClusterConfig::paper_cluster_gpu()
+    } else {
+        ClusterConfig::paper_cluster()
+    })
+}
+
+fn run(cluster: &mut SimCluster, n: (u64, u64, u64), m: MulMethod) -> Result<JobStats, JobError> {
+    let p = MatmulProblem::new(
+        MatrixMeta::sparse(n.0, n.1, 0.5),
+        MatrixMeta::sparse(n.1, n.2, 0.5),
+    )
+    .expect("consistent");
+    sim_exec::simulate(cluster, &p, m)
+}
+
+#[test]
+fn fig6a_bmm_oom_boundary_is_between_80k_and_90k() {
+    // "The BMM method fails due to O.O.M. when N is larger than 80K" —
+    // |B| crosses the 64 GB node memory between 80K (51 GB) and 90K (65 GB).
+    assert!(run(&mut sim(true), (80_000, 80_000, 80_000), MulMethod::Bmm).is_ok());
+    let err = run(&mut sim(true), (90_000, 90_000, 90_000), MulMethod::Bmm).unwrap_err();
+    assert_eq!(err.annotation(), "O.O.M.");
+}
+
+#[test]
+fn fig6b_bmm_oom_boundary_is_between_500k_and_1m() {
+    // "BMM fails due to O.O.M. when N is larger than 500K" (10K x N x 10K).
+    assert!(run(&mut sim(true), (10_000, 500_000, 10_000), MulMethod::Bmm).is_ok());
+    let err = run(&mut sim(true), (10_000, 1_000_000, 10_000), MulMethod::Bmm).unwrap_err();
+    assert_eq!(err.annotation(), "O.O.M.");
+}
+
+#[test]
+fn fig6c_cpmm_oom_boundary_is_between_250k_and_500k() {
+    // "CPMM fails due to O.O.M. even for the case of N = 500K" but ran at
+    // 250K — the single k-task's |A| + |B| crosses θt at N ≈ 375K.
+    assert!(run(&mut sim(true), (250_000, 1_000, 250_000), MulMethod::Cpmm).is_ok());
+    let err = run(&mut sim(true), (500_000, 1_000, 500_000), MulMethod::Cpmm).unwrap_err();
+    assert_eq!(err.annotation(), "O.O.M.");
+}
+
+#[test]
+fn fig6c_bmm_oom_boundary_is_between_500k_and_750k() {
+    // BMM's per-task final C row crosses θt = 6 GB exactly at N = 750K.
+    assert!(run(&mut sim(true), (500_000, 1_000, 500_000), MulMethod::Bmm).is_ok());
+    let err = run(&mut sim(true), (750_000, 1_000, 750_000), MulMethod::Bmm).unwrap_err();
+    assert_eq!(err.annotation(), "O.O.M.");
+}
+
+#[test]
+fn fig6c_rmm_times_out_at_750k_but_not_500k() {
+    assert!(run(&mut sim(true), (500_000, 1_000, 500_000), MulMethod::Rmm).is_ok());
+    let err = run(&mut sim(true), (750_000, 1_000, 750_000), MulMethod::Rmm).unwrap_err();
+    assert_eq!(err.annotation(), "T.O.");
+}
+
+#[test]
+fn cuboidmm_survives_every_fig6_extreme() {
+    for dims in [
+        (100_000, 100_000, 100_000),
+        (10_000, 5_000_000, 10_000),
+        (750_000, 1_000, 750_000),
+    ] {
+        let res = run(&mut sim(true), dims, MulMethod::CuboidAuto);
+        assert!(res.is_ok(), "{dims:?}: {res:?}");
+    }
+}
+
+#[test]
+fn fig7c_systemml_edc_boundary_is_between_1m_and_1_5m() {
+    // SystemML (RMM on N x 1K x 1M) writes J·|A| + I·|B| of replicated
+    // data: ~26 TB at 1M fits the 36 TB disk, ~38 TB at 1.5M does not.
+    let cfg = ClusterConfig::paper_cluster().with_timeout(f64::MAX);
+    let mk_problem = |n: u64| {
+        MatmulProblem::new(
+            MatrixMeta::sparse(n, 1_000, 0.5),
+            MatrixMeta::sparse(1_000, 1_000_000, 0.5),
+        )
+        .expect("consistent")
+    };
+    let run_sysml = |n: u64| {
+        let p = mk_problem(n);
+        let resolved = SystemProfile::SystemMl.resolve(&p, &cfg);
+        let mut sim = SimCluster::new(cfg);
+        sim_exec::simulate_resolved(&mut sim, &p, &resolved)
+    };
+    assert!(run_sysml(1_000_000).is_ok());
+    assert_eq!(run_sysml(1_500_000).unwrap_err().annotation(), "E.D.C.");
+    assert_eq!(run_sysml(2_000_000).unwrap_err().annotation(), "E.D.C.");
+}
+
+#[test]
+fn fig7a_matfast_oom_boundary_is_between_30k_and_40k() {
+    let cfg = ClusterConfig::paper_cluster().with_timeout(f64::MAX);
+    let run_matfast = |n: u64| {
+        let p = MatmulProblem::new(
+            MatrixMeta::sparse(n, n, 0.5),
+            MatrixMeta::sparse(n, n, 0.5),
+        )
+        .expect("consistent");
+        let resolved = SystemProfile::MatFast.resolve(&p, &cfg);
+        let mut sim = SimCluster::new(cfg);
+        sim_exec::simulate_resolved(&mut sim, &p, &resolved)
+    };
+    assert!(run_matfast(30_000).is_ok());
+    assert_eq!(run_matfast(40_000).unwrap_err().annotation(), "O.O.M.");
+}
+
+#[test]
+fn fig8d_matfast_gnmf_oom_boundary_is_factor_500() {
+    // V·Hᵀ aside, the decisive op is W x (HHᵀ): CPMM with K = 1 block puts
+    // the whole |W| = 1.8M x f x 8 B into one task — over θt from f = 500.
+    let cfg = ClusterConfig::paper_cluster().with_timeout(f64::MAX);
+    let run_gnmf = |f: u64| {
+        gnmf::simulate(
+            cfg,
+            SystemProfile::MatFast,
+            &RatingDataset::YAHOO_MUSIC,
+            &GnmfConfig {
+                factor_dim: f,
+                iterations: 1,
+            },
+        )
+    };
+    assert!(run_gnmf(200).is_ok());
+    assert_eq!(run_gnmf(500).unwrap_err().annotation(), "O.O.M.");
+    assert_eq!(run_gnmf(1000).unwrap_err().annotation(), "O.O.M.");
+    // DistME survives the full sweep.
+    for f in [200, 500, 1000] {
+        let res = gnmf::simulate(
+            ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX),
+            SystemProfile::DistMe,
+            &RatingDataset::YAHOO_MUSIC,
+            &GnmfConfig {
+                factor_dim: f,
+                iterations: 1,
+            },
+        );
+        assert!(res.is_ok(), "DistME died at f = {f}: {res:?}");
+    }
+}
+
+#[test]
+fn table5_hpc_oom_rows() {
+    use distme::core::summa::{self, HpcSystem, SummaConfig};
+    let cfg = ClusterConfig::paper_cluster().with_timeout(f64::MAX);
+    // 500K x 1K x 500K: both HPC systems O.O.M. (whole-array local C).
+    let p = MatmulProblem::dense(500_000, 1_000, 500_000);
+    for sys in [HpcSystem::ScaLapack, HpcSystem::SciDb] {
+        let err = summa::simulate(&cfg, &p, sys, &SummaConfig::default()).unwrap_err();
+        assert_eq!(err.annotation(), "O.O.M.");
+    }
+    // 5K x 5M x 5K: SciDB O.O.M. (double storage), ScaLAPACK survives.
+    let p = MatmulProblem::dense(5_000, 5_000_000, 5_000);
+    assert!(summa::simulate(&cfg, &p, HpcSystem::ScaLapack, &SummaConfig::default()).is_ok());
+    assert_eq!(
+        summa::simulate(&cfg, &p, HpcSystem::SciDb, &SummaConfig::default())
+            .unwrap_err()
+            .annotation(),
+        "O.O.M."
+    );
+    // And DistME(C) completes both.
+    for p in [
+        MatmulProblem::dense(500_000, 1_000, 500_000),
+        MatmulProblem::dense(5_000, 5_000_000, 5_000),
+    ] {
+        let mut sim = SimCluster::new(cfg);
+        assert!(sim_exec::simulate(&mut sim, &p, MulMethod::CuboidAuto).is_ok());
+    }
+}

@@ -1,0 +1,149 @@
+//! GNMF end-to-end: the real factorization's numeric guarantees and the
+//! engine's behaviour across profiles and execution modes.
+
+use distme::prelude::*;
+use proptest::prelude::*;
+
+fn rating_matrix(users: u64, items: u64, density: f64, seed: u64) -> BlockMatrix {
+    let meta = MatrixMeta::sparse(users, items, density).with_block_size(16);
+    MatrixGenerator::with_seed(seed)
+        .value_range(1.0, 5.0)
+        .generate(&meta)
+        .expect("generation succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// The multiplicative-update objective never increases, for arbitrary
+    /// rating matrices, ranks, and seeds (Lee & Seung's guarantee, which
+    /// the engine's distributed operators must preserve).
+    #[test]
+    fn objective_monotone_for_arbitrary_inputs(
+        users in 2u64..5,
+        items in 2u64..5,
+        density in 0.1f64..0.6,
+        rank in 4u64..16,
+        seed in 0u64..500,
+    ) {
+        let v = rating_matrix(users * 16, items * 16, density, seed);
+        let mut s = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+        let res = gnmf::run_real(
+            &mut s,
+            &v,
+            &GnmfConfig { factor_dim: rank, iterations: 5 },
+            seed,
+        ).expect("gnmf runs");
+        for w in res.objective.windows(2) {
+            prop_assert!(w[1] <= w[0] * (1.0 + 1e-9), "objective rose: {:?}", res.objective);
+        }
+    }
+
+    /// Every system profile computes the same factorization (they differ
+    /// only in planning, never in results).
+    #[test]
+    fn profiles_agree_on_the_factorization(seed in 0u64..200) {
+        let v = rating_matrix(64, 48, 0.3, seed);
+        let cfg = GnmfConfig { factor_dim: 8, iterations: 3 };
+        let mut reference: Option<Vec<f64>> = None;
+        for profile in SystemProfile::ALL {
+            let mut s = RealSession::new(ClusterConfig::laptop(), profile);
+            let res = gnmf::run_real(&mut s, &v, &cfg, seed).expect("gnmf runs");
+            match &reference {
+                None => reference = Some(res.objective.clone()),
+                Some(expect) => {
+                    for (a, b) in expect.iter().zip(res.objective.iter()) {
+                        prop_assert!(
+                            (a - b).abs() < 1e-6 * a.max(1.0),
+                            "{} diverged: {a} vs {b}",
+                            profile.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn simulated_gnmf_scales_with_dataset_size() {
+    // Larger Table 3 datasets take longer per iteration, in order.
+    let mut totals = Vec::new();
+    for dataset in &RatingDataset::ALL {
+        let mut cfg = ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX);
+        cfg.wire_compression_ratio = 0.5;
+        let report = gnmf::simulate(
+            cfg,
+            SystemProfile::DistMe,
+            dataset,
+            &GnmfConfig {
+                factor_dim: 200,
+                iterations: 2,
+            },
+        )
+        .expect("runs");
+        totals.push((dataset.name, report.total_secs()));
+    }
+    assert!(
+        totals[0].1 < totals[2].1,
+        "MovieLens must be faster than YahooMusic: {totals:?}"
+    );
+}
+
+#[test]
+fn expression_api_builds_one_gnmf_numerator() {
+    // The Wᵀ V piece of the H update through the lazy expression API,
+    // evaluated in both modes.
+    let v = rating_matrix(64, 48, 0.3, 3);
+    let w_meta = MatrixMeta::dense(64, 16).with_block_size(16);
+    let w = MatrixGenerator::with_seed(9)
+        .value_range(0.1, 1.0)
+        .generate(&w_meta)
+        .expect("gen W");
+
+    // Real evaluation.
+    let expect = w.transpose().multiply(&v).expect("reference");
+    let query = Expr::value(w).t().matmul(Expr::value(v.clone()));
+    let mut real = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+    let got = query.eval_real(&mut real).expect("evaluates");
+    assert!(got.max_abs_diff(&expect).expect("same shape") < 1e-9);
+
+    // Simulated evaluation at paper scale.
+    let sim_q = Expr::virtual_input(MatrixMeta::dense(1_823_179, 200))
+        .t()
+        .matmul(Expr::virtual_input(RatingDataset::YAHOO_MUSIC.meta()));
+    let mut sim = SimSession::new(
+        ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX),
+        SystemProfile::DistMe,
+    );
+    let out = sim_q.eval_sim(&mut sim).expect("simulates");
+    assert_eq!((out.rows, out.cols), (200, 136_736));
+    assert!(sim.stats().elapsed_secs > 0.0);
+}
+
+#[test]
+fn gnmf_handles_empty_rows_and_columns() {
+    // Users with no ratings / items nobody rated must not break the
+    // updates (their factor rows simply stay put or go to zero).
+    let meta = MatrixMeta::sparse(48, 48, 0.0).with_block_size(16);
+    let mut v = BlockMatrix::new(meta);
+    // One lonely rating.
+    v.put(0, 0, {
+        let mut d = DenseBlock::zeros(16, 16);
+        d.set(3, 5, 4.0);
+        Block::Dense(d).normalize()
+    })
+    .expect("in grid");
+    let mut s = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+    let res = gnmf::run_real(
+        &mut s,
+        &v,
+        &GnmfConfig {
+            factor_dim: 4,
+            iterations: 3,
+        },
+        1,
+    )
+    .expect("gnmf runs");
+    assert!(res.objective.iter().all(|o| o.is_finite()));
+}

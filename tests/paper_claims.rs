@@ -1,0 +1,181 @@
+//! The paper's headline quantitative claims, checked against this
+//! reproduction's measurements (loose bounds — we assert the claimed
+//! effect exists and points the right way, not the exact factor; see
+//! EXPERIMENTS.md for the exact numbers).
+
+use distme::prelude::*;
+
+fn simulate(n: (u64, u64, u64), m: MulMethod) -> Result<JobStats, JobError> {
+    let p = MatmulProblem::new(
+        MatrixMeta::sparse(n.0, n.1, 0.5),
+        MatrixMeta::sparse(n.1, n.2, 0.5),
+    )
+    .expect("consistent");
+    let mut sim = SimCluster::new(ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX));
+    sim_exec::simulate(&mut sim, &p, m)
+}
+
+#[test]
+fn abstract_claim_speedup_up_to_3_92x_over_second_best() {
+    // "CuboidMM improves the elapsed time up to by 3.92 times ... compared
+    // with the existing methods" — measured at 10K x 5M x 10K vs CPMM.
+    let cuboid = simulate((10_000, 5_000_000, 10_000), MulMethod::CuboidAuto).expect("runs");
+    let cpmm = simulate((10_000, 5_000_000, 10_000), MulMethod::Cpmm).expect("runs");
+    let speedup = cpmm.elapsed_secs / cuboid.elapsed_secs;
+    assert!(
+        speedup > 1.5,
+        "expected a substantial speedup at 5M (paper: 3.92x), got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn abstract_claim_comm_reduction_up_to_60x() {
+    // "reduces the communication cost up to by 60.39 times" — same point.
+    let cuboid = simulate((10_000, 5_000_000, 10_000), MulMethod::CuboidAuto).expect("runs");
+    let cpmm = simulate((10_000, 5_000_000, 10_000), MulMethod::Cpmm).expect("runs");
+    let reduction = cpmm.communication_bytes() as f64 / cuboid.communication_bytes() as f64;
+    // Paper: 60.39x (K = 5000 partitions vs R* ≈ 176). Our optimizer picks
+    // a similar R*, so the reduction should be within the same decade.
+    assert!(
+        reduction > 4.0,
+        "expected large communication reduction (paper: 60.4x), got {reduction:.1}x"
+    );
+}
+
+#[test]
+fn section_6_2_comm_reduction_at_100k_cubed() {
+    // "When N = 100K, CuboidMM reduces the amount of transferred data by
+    // 8.17 times compared with CPMM and 19.46 times compared with RMM."
+    let cuboid = simulate((100_000, 100_000, 100_000), MulMethod::CuboidAuto).expect("runs");
+    let cpmm = simulate((100_000, 100_000, 100_000), MulMethod::Cpmm).expect("runs");
+    let rmm = simulate((100_000, 100_000, 100_000), MulMethod::Rmm).expect("runs");
+    let vs_cpmm = cpmm.communication_bytes() as f64 / cuboid.communication_bytes() as f64;
+    let vs_rmm = rmm.communication_bytes() as f64 / cuboid.communication_bytes() as f64;
+    assert!(vs_cpmm > 2.0, "vs CPMM: {vs_cpmm:.1}x (paper 8.17x)");
+    assert!(vs_rmm > 5.0, "vs RMM: {vs_rmm:.1}x (paper 19.46x)");
+    assert!(vs_rmm > vs_cpmm, "RMM must shuffle more than CPMM");
+}
+
+#[test]
+fn section_6_2_gap_grows_with_matrix_size() {
+    // "the improvement of CuboidMM compared with the existing methods
+    // becomes more marked as the matrix sizes get larger" (3.86x at 70K
+    // up to 6.11x at 100K vs RMM).
+    let ratio = |n: u64| {
+        let cuboid = simulate((n, n, n), MulMethod::CuboidAuto).expect("runs");
+        let rmm = simulate((n, n, n), MulMethod::Rmm).expect("runs");
+        rmm.elapsed_secs / cuboid.elapsed_secs
+    };
+    let at_70k = ratio(70_000);
+    let at_100k = ratio(100_000);
+    assert!(at_70k > 2.0, "70K speedup {at_70k:.2}x (paper 3.86x)");
+    assert!(
+        at_100k > at_70k,
+        "speedup must grow with N: {at_70k:.2}x -> {at_100k:.2}x"
+    );
+}
+
+#[test]
+fn section_6_3_distme_outperforms_both_systems() {
+    // Fig. 7(a) at 40K: DistME beats SystemML in both variants, and the
+    // GPU improves DistME more than it improves SystemML.
+    let cfgs = [
+        ClusterConfig::paper_cluster().with_timeout(f64::MAX),
+        ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX),
+    ];
+    let p = MatmulProblem::new(
+        MatrixMeta::sparse(40_000, 40_000, 0.5),
+        MatrixMeta::sparse(40_000, 40_000, 0.5),
+    )
+    .expect("consistent");
+    let mut results = Vec::new();
+    for cfg in cfgs {
+        for profile in [SystemProfile::SystemMl, SystemProfile::DistMe] {
+            let resolved = profile.resolve(&p, &cfg);
+            let mut sim = SimCluster::new(cfg);
+            let stats = sim_exec::simulate_resolved(&mut sim, &p, &resolved).expect("runs");
+            results.push(stats.elapsed_secs);
+        }
+    }
+    let (sysml_c, distme_c, sysml_g, distme_g) = (results[0], results[1], results[2], results[3]);
+    assert!(distme_c < sysml_c, "CPU: DistME {distme_c:.0} vs SystemML {sysml_c:.0}");
+    assert!(distme_g < sysml_g, "GPU: DistME {distme_g:.0} vs SystemML {sysml_g:.0}");
+    let distme_gain = distme_c / distme_g;
+    assert!(distme_gain > 1.5, "GPU should clearly accelerate DistME: {distme_gain:.2}x");
+}
+
+#[test]
+fn section_6_3_gpu_utilization_ordering() {
+    // Fig. 7(g): DistME's GPU utilization beats MatFast's and SystemML's
+    // on dense workloads (98.4 vs 72.8 / 69.2 in the paper).
+    let cfg = ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX);
+    let p = MatmulProblem::new(
+        MatrixMeta::sparse(30_000, 30_000, 0.5),
+        MatrixMeta::sparse(30_000, 30_000, 0.5),
+    )
+    .expect("consistent");
+    let util = |profile: SystemProfile| {
+        let resolved = profile.resolve(&p, &cfg);
+        let mut sim = SimCluster::new(cfg);
+        sim_exec::simulate_resolved(&mut sim, &p, &resolved)
+            .expect("runs")
+            .gpu_utilization
+            .expect("gpu ran")
+    };
+    let distme = util(SystemProfile::DistMe);
+    let sysml = util(SystemProfile::SystemMl);
+    let matfast = util(SystemProfile::MatFast);
+    assert!(distme > sysml, "DistME {distme:.2} vs SystemML {sysml:.2}");
+    assert!(distme > matfast, "DistME {distme:.2} vs MatFast {matfast:.2}");
+}
+
+#[test]
+fn section_6_4_gnmf_ordering_and_scaling() {
+    // Fig. 8: DistME(G) fastest on every dataset; the gap grows with
+    // dataset size ("the performance gap gets larger as the data size
+    // increases": 1.2x on MovieLens -> 1.92x on YahooMusic vs SystemML).
+    let speedup = |dataset: &RatingDataset| {
+        let mk = || {
+            let mut c = ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX);
+            c.wire_compression_ratio = 0.5;
+            c
+        };
+        let gnmf_cfg = GnmfConfig {
+            factor_dim: 200,
+            iterations: 2,
+        };
+        let distme =
+            gnmf::simulate(mk(), SystemProfile::DistMe, dataset, &gnmf_cfg).expect("runs");
+        let sysml =
+            gnmf::simulate(mk(), SystemProfile::SystemMl, dataset, &gnmf_cfg).expect("runs");
+        sysml.total_secs() / distme.total_secs()
+    };
+    let movielens = speedup(&RatingDataset::MOVIELENS);
+    let yahoo = speedup(&RatingDataset::YAHOO_MUSIC);
+    assert!(movielens > 1.0, "MovieLens speedup {movielens:.2}x");
+    assert!(yahoo > movielens, "gap must grow: {movielens:.2}x -> {yahoo:.2}x");
+}
+
+#[test]
+fn section_6_5_distme_vs_hpc_crossover() {
+    use distme::core::summa::{self, HpcSystem, SummaConfig};
+    // Table 5: ScaLAPACK wins at 10K^3; DistME wins from 50K^3 up and is
+    // ~3x faster on the common-large-dimension type.
+    let cfg = ClusterConfig::paper_cluster().with_timeout(f64::MAX);
+    let sl = |p: &MatmulProblem| {
+        summa::simulate(&cfg, p, HpcSystem::ScaLapack, &SummaConfig::default())
+            .expect("runs")
+            .elapsed_secs
+    };
+    let dm = |p: &MatmulProblem| {
+        let mut sim = SimCluster::new(cfg);
+        sim_exec::simulate(&mut sim, p, MulMethod::CuboidAuto)
+            .expect("runs")
+            .elapsed_secs
+    };
+    let big = MatmulProblem::dense(50_000, 50_000, 50_000);
+    assert!(dm(&big) < sl(&big), "DistME must win at 50K^3");
+    let common = MatmulProblem::dense(5_000, 1_000_000, 5_000);
+    let ratio = sl(&common) / dm(&common);
+    assert!(ratio > 2.0, "common-dim speedup {ratio:.2}x (paper ~3x)");
+}

@@ -1,0 +1,109 @@
+//! Shape invariance: the headline *orderings* of the evaluation must not
+//! depend on the exact calibration constants. DESIGN.md promises that
+//! perturbing the hardware model rescales absolute seconds but preserves
+//! who wins — this test perturbs every major rate by ±50% and re-checks
+//! the core claims.
+
+use distme::prelude::*;
+
+/// Perturbs the paper cluster's rates by the given factor.
+fn perturbed(factor: f64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_cluster_gpu();
+    cfg.net_bytes_per_sec *= factor;
+    cfg.disk_bytes_per_sec *= factor;
+    cfg.node_cpu_flops_per_sec *= factor;
+    cfg.serde_bytes_per_sec *= factor;
+    let mut gpu = cfg.gpu.expect("gpu config");
+    gpu.kernel_flops_per_sec *= factor;
+    gpu.h2d_bytes_per_sec *= factor;
+    gpu.d2h_bytes_per_sec *= factor;
+    cfg.gpu = Some(gpu);
+    // Keep failure thresholds fixed; relax the timeout so slow variants
+    // still produce a time to compare.
+    cfg.with_timeout(f64::MAX)
+}
+
+fn elapsed(cfg: ClusterConfig, n: u64, m: MulMethod) -> Option<f64> {
+    let p = MatmulProblem::new(
+        MatrixMeta::sparse(n, n, 0.5),
+        MatrixMeta::sparse(n, n, 0.5),
+    )
+    .expect("consistent");
+    let mut sim = SimCluster::new(cfg);
+    sim_exec::simulate(&mut sim, &p, m).ok().map(|s| s.elapsed_secs)
+}
+
+#[test]
+fn cuboidmm_wins_under_any_calibration() {
+    for factor in [0.5, 1.0, 2.0] {
+        let cfg = perturbed(factor);
+        let cuboid = elapsed(cfg, 70_000, MulMethod::CuboidAuto).expect("runs");
+        for m in [MulMethod::Cpmm, MulMethod::Rmm] {
+            let other = elapsed(cfg, 70_000, m).expect("runs");
+            assert!(
+                cuboid < other,
+                "factor {factor}: CuboidMM {cuboid:.0}s vs {} {other:.0}s",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn rmm_is_always_slowest_of_the_shuffling_methods() {
+    for factor in [0.5, 1.0, 2.0] {
+        let cfg = perturbed(factor);
+        let rmm = elapsed(cfg, 70_000, MulMethod::Rmm).expect("runs");
+        let cpmm = elapsed(cfg, 70_000, MulMethod::Cpmm).expect("runs");
+        assert!(rmm > cpmm, "factor {factor}: RMM {rmm:.0}s vs CPMM {cpmm:.0}s");
+    }
+}
+
+#[test]
+fn communication_volumes_are_calibration_independent() {
+    // Byte counts come from the plan, not the rates: identical across
+    // calibrations.
+    let volumes = |factor: f64| {
+        let p = MatmulProblem::dense(50_000, 50_000, 50_000);
+        let mut sim = SimCluster::new(perturbed(factor));
+        let stats = sim_exec::simulate(&mut sim, &p, MulMethod::CuboidAuto).expect("runs");
+        (
+            stats.total_shuffle_bytes(),
+            stats.total_broadcast_bytes(),
+            stats.intermediate_bytes,
+        )
+    };
+    assert_eq!(volumes(0.5), volumes(2.0));
+}
+
+#[test]
+fn failure_outcomes_are_rate_independent() {
+    // O.O.M. depends on θt and sizes only — any rate calibration gives the
+    // same annotation.
+    for factor in [0.5, 2.0] {
+        let cfg = perturbed(factor);
+        let p = MatmulProblem::dense(100_000, 100_000, 100_000);
+        let mut sim = SimCluster::new(cfg);
+        let err = sim_exec::simulate(&mut sim, &p, MulMethod::Bmm).unwrap_err();
+        assert_eq!(err.annotation(), "O.O.M.");
+    }
+}
+
+#[test]
+fn gpu_still_beats_cpu_after_perturbation() {
+    for factor in [0.5, 2.0] {
+        let mut cpu_cfg = ClusterConfig::paper_cluster().with_timeout(f64::MAX);
+        cpu_cfg.node_cpu_flops_per_sec *= factor;
+        let gpu_cfg = perturbed(factor);
+        let p = MatmulProblem::dense(40_000, 40_000, 40_000);
+        let mut cpu_sim = SimCluster::new(cpu_cfg);
+        let cpu = sim_exec::simulate(&mut cpu_sim, &p, MulMethod::CuboidAuto)
+            .expect("runs")
+            .elapsed_secs;
+        let mut gpu_sim = SimCluster::new(gpu_cfg);
+        let gpu = sim_exec::simulate(&mut gpu_sim, &p, MulMethod::CuboidAuto)
+            .expect("runs")
+            .elapsed_secs;
+        assert!(gpu < cpu, "factor {factor}: GPU {gpu:.0}s vs CPU {cpu:.0}s");
+    }
+}
