@@ -1,0 +1,22 @@
+# Development entry points. `make ci` is the gate every change must pass.
+
+CARGO ?= cargo
+
+.PHONY: ci fmt lint test build bench
+
+ci: fmt lint test
+
+fmt:
+	$(CARGO) fmt --all --check
+
+lint:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+test:
+	$(CARGO) test -q --workspace
+
+build:
+	$(CARGO) build --release
+
+bench:
+	$(CARGO) bench --workspace

@@ -72,5 +72,11 @@ fn bench_transpose(c: &mut Criterion) {
     c.bench_function("dense_transpose_512", |bench| bench.iter(|| a.transpose()));
 }
 
-criterion_group!(benches, bench_gemm, bench_spmm, bench_spgemm, bench_transpose);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_spmm,
+    bench_spgemm,
+    bench_transpose
+);
 criterion_main!(benches);

@@ -19,8 +19,14 @@ fn bench_cuboid_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("cuboid_optimizer");
     let cases = [
         ("100K^3", MatmulProblem::dense(100_000, 100_000, 100_000)),
-        ("10K x 5M x 10K", MatmulProblem::dense(10_000, 5_000_000, 10_000)),
-        ("750K x 1K x 750K", MatmulProblem::dense(750_000, 1_000, 750_000)),
+        (
+            "10K x 5M x 10K",
+            MatmulProblem::dense(10_000, 5_000_000, 10_000),
+        ),
+        (
+            "750K x 1K x 750K",
+            MatmulProblem::dense(750_000, 1_000, 750_000),
+        ),
     ];
     for (label, problem) in cases {
         group.bench_with_input(BenchmarkId::from_parameter(label), &problem, |bench, p| {

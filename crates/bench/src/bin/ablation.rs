@@ -34,7 +34,10 @@ fn streaming() {
     let base = ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX);
     let mut naive = base;
     naive.gpu_streaming = false;
-    println!("{:<22} {:>12} {:>12} {:>10}", "workload", "streamed", "naive", "gain");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "workload", "streamed", "naive", "gain"
+    );
     for (label, p) in [
         ("70K^3", problem(70_000, 70_000, 70_000)),
         ("100K^3", problem(100_000, 100_000, 100_000)),
@@ -177,7 +180,10 @@ fn balancing() {
 
 fn block_size() {
     println!("\n== Ablation 6: block size (paper default 1000 x 1000) ==");
-    println!("{:<12} {:>14} {:>14} {:>16}", "block", "(P*,Q*,R*)", "elapsed", "comm (GB)");
+    println!(
+        "{:<12} {:>14} {:>14} {:>16}",
+        "block", "(P*,Q*,R*)", "elapsed", "comm (GB)"
+    );
     for bs in [500u64, 1000, 2000, 4000] {
         let a = MatrixMeta::sparse(70_000, 70_000, 0.5).with_block_size(bs);
         let b = MatrixMeta::sparse(70_000, 70_000, 0.5).with_block_size(bs);

@@ -24,14 +24,14 @@ const METHOD_NAMES: [&str; 4] = ["RMM", "CPMM", "BMM", "CuboidMM"];
 /// The paper runs Fig. 6 at sparsity 0.5, which is stored dense (§2.1's
 /// 0.4 crossover) but serialized/compressed by Spark.
 fn problem(i: u64, k: u64, j: u64) -> MatmulProblem {
-    MatmulProblem::new(
-        MatrixMeta::sparse(i, k, 0.5),
-        MatrixMeta::sparse(k, j, 0.5),
-    )
-    .expect("shapes consistent")
+    MatmulProblem::new(MatrixMeta::sparse(i, k, 0.5), MatrixMeta::sparse(k, j, 0.5))
+        .expect("shapes consistent")
 }
 
-fn run(p: &MatmulProblem, m: MulMethod) -> Result<distme_cluster::JobStats, distme_cluster::JobError> {
+fn run(
+    p: &MatmulProblem,
+    m: MulMethod,
+) -> Result<distme_cluster::JobStats, distme_cluster::JobError> {
     // Fig. 6 enforces the 4 000 s T.O. budget.
     let mut sim = SimCluster::new(ClusterConfig::paper_cluster_gpu());
     sim_exec::simulate(&mut sim, p, m)
@@ -86,16 +86,56 @@ fn general() {
         .map(|&n| problem(n, n, n))
         .collect();
     let time = [
-        [Reported(796.0), Reported(434.0), Reported(390.0), Reported(206.0)],
-        [Reported(1185.0), Reported(594.0), Unreported, Reported(247.0)],
-        [Reported(1757.0), Reported(797.0), Fails("O.O.M."), Reported(329.0)],
-        [Reported(2712.0), Reported(1236.0), Fails("O.O.M."), Reported(444.0)],
+        [
+            Reported(796.0),
+            Reported(434.0),
+            Reported(390.0),
+            Reported(206.0),
+        ],
+        [
+            Reported(1185.0),
+            Reported(594.0),
+            Unreported,
+            Reported(247.0),
+        ],
+        [
+            Reported(1757.0),
+            Reported(797.0),
+            Fails("O.O.M."),
+            Reported(329.0),
+        ],
+        [
+            Reported(2712.0),
+            Reported(1236.0),
+            Fails("O.O.M."),
+            Reported(444.0),
+        ],
     ];
     let comm = [
-        [Reported(39_921.0), Reported(17_285.0), Reported(22_253.0), Reported(1_730.0)],
-        [Reported(59_651.0), Reported(27_379.0), Unreported, Reported(2_751.0)],
-        [Reported(84_731.0), Reported(35_637.0), Fails("O.O.M."), Reported(3_602.0)],
-        [Reported(116_231.0), Reported(48_786.0), Fails("O.O.M."), Reported(5_974.0)],
+        [
+            Reported(39_921.0),
+            Reported(17_285.0),
+            Reported(22_253.0),
+            Reported(1_730.0),
+        ],
+        [
+            Reported(59_651.0),
+            Reported(27_379.0),
+            Unreported,
+            Reported(2_751.0),
+        ],
+        [
+            Reported(84_731.0),
+            Reported(35_637.0),
+            Fails("O.O.M."),
+            Reported(3_602.0),
+        ],
+        [
+            Reported(116_231.0),
+            Reported(48_786.0),
+            Fails("O.O.M."),
+            Reported(5_974.0),
+        ],
     ];
     panel(
         "Fig. 6(a): two general matrices (N x N x N) — elapsed time (s)",
@@ -115,16 +155,51 @@ fn common_dim() {
         .map(|&n| problem(10_000, n, 10_000))
         .collect();
     let time = [
-        [Reported(37.0), Reported(26.0), Reported(28.0), Reported(19.0)],
+        [
+            Reported(37.0),
+            Reported(26.0),
+            Reported(28.0),
+            Reported(19.0),
+        ],
         [Reported(153.0), Reported(94.0), Unreported, Reported(63.0)],
-        [Reported(382.0), Reported(251.0), Fails("O.O.M."), Reported(75.0)],
-        [Reported(2292.0), Reported(1281.0), Fails("O.O.M."), Reported(327.0)],
+        [
+            Reported(382.0),
+            Reported(251.0),
+            Fails("O.O.M."),
+            Reported(75.0),
+        ],
+        [
+            Reported(2292.0),
+            Reported(1281.0),
+            Fails("O.O.M."),
+            Reported(327.0),
+        ],
     ];
     let comm = [
-        [Reported(1_232.0), Reported(428.0), Reported(401.0), Reported(291.0)],
-        [Reported(5_982.0), Reported(1_872.0), Unreported, Reported(512.0)],
-        [Reported(35_728.0), Reported(27_893.0), Fails("O.O.M."), Reported(1_235.0)],
-        [Reported(440_983.0), Reported(350_973.0), Fails("O.O.M."), Reported(5_812.0)],
+        [
+            Reported(1_232.0),
+            Reported(428.0),
+            Reported(401.0),
+            Reported(291.0),
+        ],
+        [
+            Reported(5_982.0),
+            Reported(1_872.0),
+            Unreported,
+            Reported(512.0),
+        ],
+        [
+            Reported(35_728.0),
+            Reported(27_893.0),
+            Fails("O.O.M."),
+            Reported(1_235.0),
+        ],
+        [
+            Reported(440_983.0),
+            Reported(350_973.0),
+            Fails("O.O.M."),
+            Reported(5_812.0),
+        ],
     ];
     panel(
         "Fig. 6(b): common large dimension (10K x N x 10K) — elapsed time (s)",
@@ -144,16 +219,56 @@ fn two_large() {
         .map(|&n| problem(n, 1_000, n))
         .collect();
     let time = [
-        [Reported(44.0), Reported(138.0), Reported(23.0), Reported(18.0)],
-        [Reported(379.0), Reported(883.0), Reported(248.0), Reported(62.0)],
-        [Reported(1_440.0), Fails("O.O.M."), Reported(390.0), Reported(240.0)],
-        [Fails("T.O."), Fails("O.O.M."), Fails("O.O.M."), Reported(357.0)],
+        [
+            Reported(44.0),
+            Reported(138.0),
+            Reported(23.0),
+            Reported(18.0),
+        ],
+        [
+            Reported(379.0),
+            Reported(883.0),
+            Reported(248.0),
+            Reported(62.0),
+        ],
+        [
+            Reported(1_440.0),
+            Fails("O.O.M."),
+            Reported(390.0),
+            Reported(240.0),
+        ],
+        [
+            Fails("T.O."),
+            Fails("O.O.M."),
+            Fails("O.O.M."),
+            Reported(357.0),
+        ],
     ];
     let comm = [
-        [Reported(1_102.0), Reported(21.0), Reported(7.0), Reported(7.0)],
-        [Reported(6_983.0), Reported(402.0), Unreported, Reported(231.0)],
-        [Reported(21_903.0), Fails("O.O.M."), Reported(2_404.0), Reported(839.0)],
-        [Fails("T.O."), Fails("O.O.M."), Fails("O.O.M."), Reported(1_814.0)],
+        [
+            Reported(1_102.0),
+            Reported(21.0),
+            Reported(7.0),
+            Reported(7.0),
+        ],
+        [
+            Reported(6_983.0),
+            Reported(402.0),
+            Unreported,
+            Reported(231.0),
+        ],
+        [
+            Reported(21_903.0),
+            Fails("O.O.M."),
+            Reported(2_404.0),
+            Reported(839.0),
+        ],
+        [
+            Fails("T.O."),
+            Fails("O.O.M."),
+            Fails("O.O.M."),
+            Reported(1_814.0),
+        ],
     ];
     panel(
         "Fig. 6(c): two large dimensions (N x 1K x N) — elapsed time (s)",

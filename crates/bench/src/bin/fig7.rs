@@ -48,9 +48,7 @@ fn sweep(title: &str, labels: &[&str], problems: &[MatmulProblem], paper: &[[Pap
         let cells: Vec<(Paper, Cell)> = SYSTEMS
             .iter()
             .enumerate()
-            .map(|(s, &(_, profile, gpu))| {
-                (paper[idx][s], Cell::elapsed(&run(p, profile, gpu)))
-            })
+            .map(|(s, &(_, profile, gpu))| (paper[idx][s], Cell::elapsed(&run(p, profile, gpu))))
             .collect();
         rows.push((labels[idx].to_string(), cells));
     }

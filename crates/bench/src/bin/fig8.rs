@@ -39,7 +39,10 @@ fn dataset_panel(dataset: &RatingDataset) {
         "\n== Fig. 8 ({}): GNMF accumulated time over 10 iterations, factor dim 200 ==",
         dataset.name
     );
-    println!("{:<14} {:>12} {:>40}", "system", "total (s)", "per-iteration cumulative");
+    println!(
+        "{:<14} {:>12} {:>40}",
+        "system", "total (s)", "per-iteration cumulative"
+    );
     let gcfg = GnmfConfig::default();
     let mut totals: Vec<(&str, Option<f64>)> = Vec::new();
     for (name, profile, gpu) in SYSTEMS {
@@ -66,11 +69,7 @@ fn dataset_panel(dataset: &RatingDataset) {
         }
     }
     let get = |n: &str| totals.iter().find(|t| t.0 == n).and_then(|t| t.1);
-    if let (Some(d), Some(s), Some(m)) = (
-        get("DistME(G)"),
-        get("SystemML(G)"),
-        get("MatFast(G)"),
-    ) {
+    if let (Some(d), Some(s), Some(m)) = (get("DistME(G)"), get("SystemML(G)"), get("MatFast(G)")) {
         let (paper_s, paper_m) = match dataset.name {
             "MovieLens" => (1.2, 1.56),
             "Netflix" => (1.7, 3.5),
@@ -112,11 +111,11 @@ fn factor_dim_panel() {
                 factor_dim: f,
                 iterations: 10,
             };
-            let ours = match gnmf::simulate(cluster(gpu), profile, &RatingDataset::YAHOO_MUSIC, &gcfg)
-            {
-                Ok(r) => format!("{:.0}", r.total_secs()),
-                Err(e) => e.annotation().to_string(),
-            };
+            let ours =
+                match gnmf::simulate(cluster(gpu), profile, &RatingDataset::YAHOO_MUSIC, &gcfg) {
+                    Ok(r) => format!("{:.0}", r.total_secs()),
+                    Err(e) => e.annotation().to_string(),
+                };
             let paper_cell = paper[idx].1[fi].unwrap_or("?");
             cells.push(format!("{paper_cell} / {ours}"));
         }

@@ -128,6 +128,10 @@ fn main() {
         "minimum-communication point (ours): {:?}  [paper: (4,7,4)]",
         min.0
     );
-    assert_eq!(min.0, (4, 7, 4), "the optimum must minimize measured communication");
+    assert_eq!(
+        min.0,
+        (4, 7, 4),
+        "the optimum must minimize measured communication"
+    );
     println!("ok: (4,7,4) minimizes measured communication, matching Fig. 9(b)");
 }

@@ -72,7 +72,8 @@ fn main() {
             "{:<22} {:>12} {:>14} {:>14} {:>10.1}GB {:>10.1}GB   ({search_secs:.3}s search)",
             case.label,
             format!("{paper_spec}"),
-            o90.map(|o| o.spec.to_string()).unwrap_or_else(|| "-".into()),
+            o90.map(|o| o.spec.to_string())
+                .unwrap_or_else(|| "-".into()),
             ours.spec.to_string(),
             paper_cost,
             ours_cost,
@@ -85,5 +86,7 @@ fn main() {
     println!(
         "\nrows where our Eq.2 search costs more than the paper's parameters: {worse} (expect 0)"
     );
-    println!("note: '§3.2 says the search itself takes 0.3 s for 100K x 100K; ours is shown per row'");
+    println!(
+        "note: '§3.2 says the search itself takes 0.3 s for 100K x 100K; ours is shown per row'"
+    );
 }

@@ -1,0 +1,68 @@
+//! The backend abstraction shared by both executors.
+//!
+//! A backend is "a place a physical plan can run": the simulated cluster
+//! (paper scale, virtual time) or the thread-backed local cluster (laptop
+//! scale, real blocks). Everything either executor needs from the
+//! substrate — topology, slot counts, memory budgets — flows through the
+//! one [`ClusterConfig`] this trait exposes, which is what lets plan
+//! construction happen once, backend-agnostically.
+
+use crate::config::ClusterConfig;
+use crate::executor::real::LocalCluster;
+use crate::executor::sim::SimCluster;
+
+/// A cluster a physical plan can be lowered onto.
+pub trait ExecutionBackend {
+    /// Short backend name for logs and harness output.
+    const NAME: &'static str;
+
+    /// Builds the backend from a cluster configuration.
+    fn from_config(config: ClusterConfig) -> Self;
+
+    /// The configuration the backend runs with (the same one plans must be
+    /// built against).
+    fn config(&self) -> &ClusterConfig;
+}
+
+impl ExecutionBackend for SimCluster {
+    const NAME: &'static str = "sim";
+
+    fn from_config(config: ClusterConfig) -> Self {
+        SimCluster::new(config)
+    }
+
+    fn config(&self) -> &ClusterConfig {
+        SimCluster::config(self)
+    }
+}
+
+impl ExecutionBackend for LocalCluster {
+    const NAME: &'static str = "real";
+
+    fn from_config(config: ClusterConfig) -> Self {
+        LocalCluster::new(config)
+    }
+
+    fn config(&self) -> &ClusterConfig {
+        LocalCluster::config(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config_roundtrip<B: ExecutionBackend>(cfg: ClusterConfig) {
+        let backend = B::from_config(cfg);
+        assert_eq!(backend.config().nodes, cfg.nodes);
+        assert_eq!(backend.config().task_mem_bytes, cfg.task_mem_bytes);
+    }
+
+    #[test]
+    fn both_backends_expose_their_config() {
+        config_roundtrip::<SimCluster>(ClusterConfig::paper_cluster());
+        config_roundtrip::<LocalCluster>(ClusterConfig::laptop());
+        assert_eq!(<SimCluster as ExecutionBackend>::NAME, "sim");
+        assert_eq!(<LocalCluster as ExecutionBackend>::NAME, "real");
+    }
+}

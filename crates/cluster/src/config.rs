@@ -190,7 +190,10 @@ impl ClusterConfig {
             "rates must be positive"
         );
         assert!(self.timeout_secs > 0.0 && self.max_tasks > 0);
-        assert!(self.gpus_per_node > 0, "need at least one GPU slot per node");
+        assert!(
+            self.gpus_per_node > 0,
+            "need at least one GPU slot per node"
+        );
         assert!(
             self.wire_compression_ratio > 0.0 && self.wire_compression_ratio <= 1.0,
             "compression ratio must be in (0, 1]"

@@ -15,7 +15,7 @@ use crate::stats::Phase;
 use distme_matrix::{codec, Block};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Per-task execution context handed to stage closures.
@@ -159,12 +159,9 @@ impl LocalCluster {
             .unwrap_or(4);
         let workers = self.cfg.total_slots().min(n.max(1)).min(host_par * 2);
 
-        let work: Vec<parking_lot::Mutex<Option<I>>> = inputs
-            .into_iter()
-            .map(|i| parking_lot::Mutex::new(Some(i)))
-            .collect();
-        let results: Vec<parking_lot::Mutex<Option<Result<O, TaskError>>>> =
-            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let work: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let results: Vec<Mutex<Option<Result<O, TaskError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let peak = AtomicU64::new(0);
 
@@ -177,6 +174,7 @@ impl LocalCluster {
                     }
                     let item = work[idx]
                         .lock()
+                        .expect("no worker panics while holding a work lock")
                         .take()
                         .expect("each task input is claimed exactly once");
                     let ctx = TaskCtx {
@@ -190,14 +188,20 @@ impl LocalCluster {
                     };
                     let out = f(&ctx, item);
                     peak.fetch_max(ctx.peak(), Ordering::Relaxed);
-                    *results[idx].lock() = Some(out);
+                    *results[idx]
+                        .lock()
+                        .expect("no worker panics while holding a result lock") = Some(out);
                 });
             }
         });
 
         let mut outputs = Vec::with_capacity(n);
         for (idx, slot) in results.into_iter().enumerate() {
-            match slot.into_inner().expect("every task ran") {
+            match slot
+                .into_inner()
+                .expect("no worker panicked")
+                .expect("every task ran")
+            {
                 Ok(o) => outputs.push(o),
                 Err(e) => return Err(JobError::from_task(idx, e)),
             }
@@ -266,6 +270,59 @@ mod tests {
             })
             .unwrap();
         assert_eq!(run.peak_task_mem_bytes, c.config().task_mem_bytes);
+    }
+
+    #[test]
+    fn alloc_tracks_peak_across_frees() {
+        let c = cluster();
+        let run = c
+            .run_stage(vec![()], |ctx, ()| {
+                ctx.alloc(300)?;
+                assert_eq!(ctx.peak(), 300);
+                ctx.free(200);
+                ctx.alloc(50)?; // used = 150, below the earlier peak
+                assert_eq!(ctx.peak(), 300);
+                ctx.alloc(400)?; // used = 550, new peak
+                assert_eq!(ctx.peak(), 550);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(run.peak_task_mem_bytes, 550);
+    }
+
+    #[test]
+    fn alloc_saturates_near_u64_max() {
+        let mut cfg = ClusterConfig::laptop();
+        cfg.task_mem_bytes = u64::MAX;
+        cfg.node_mem_bytes = u64::MAX;
+        let c = LocalCluster::new(cfg);
+        let run = c
+            .run_stage(vec![()], |ctx, ()| {
+                ctx.alloc(u64::MAX - 10)?;
+                // Saturates to u64::MAX instead of wrapping to a tiny
+                // total that would sail under the budget.
+                ctx.alloc(u64::MAX)?;
+                assert_eq!(ctx.peak(), u64::MAX);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(run.peak_task_mem_bytes, u64::MAX);
+    }
+
+    #[test]
+    fn failed_alloc_leaves_mem_used_unchanged() {
+        let c = cluster();
+        let budget = c.config().task_mem_bytes;
+        c.run_stage(vec![()], |ctx, ()| {
+            ctx.alloc(budget - 10)?;
+            assert!(ctx.alloc(11).is_err());
+            // The failed charge must not count: exactly 10 bytes of
+            // headroom remain and the peak never saw the rejected total.
+            ctx.alloc(10)?;
+            assert_eq!(ctx.peak(), budget);
+            Ok(())
+        })
+        .unwrap();
     }
 
     #[test]

@@ -276,8 +276,7 @@ impl SimCluster {
             let remote = (t.shuffle_in_bytes as f64 * cross).round();
             let local = t.shuffle_in_bytes as f64 - remote;
             let (_, t1) = self.rx[node].request(t0, remote * wire);
-            let (_, t2) = self.disk[node]
-                .request(t1, (local + t.local_read_bytes as f64) * wire);
+            let (_, t2) = self.disk[node].request(t1, (local + t.local_read_bytes as f64) * wire);
 
             // Deserialization of everything read, at *logical* volume —
             // including the broadcast variable, which each task
@@ -321,8 +320,12 @@ impl SimCluster {
         outcome.secs = stage_end.since(submitted);
 
         if any_gpu {
-            let busy: f64 =
-                self.gpus.iter().map(GpuDevice::kernel_busy_secs).sum::<f64>() - gpu_busy_before;
+            let busy: f64 = self
+                .gpus
+                .iter()
+                .map(GpuDevice::kernel_busy_secs)
+                .sum::<f64>()
+                - gpu_busy_before;
             outcome.gpu_busy_secs = busy;
             let window = stage_end.since(stage_start);
             let active_gpus = tasks.len().min(nodes * self.cfg.gpus_per_node) as f64;

@@ -25,6 +25,7 @@
 //! * [`JobStats`] — per-phase elapsed/communication breakdowns backing
 //!   Figs. 6(d–f), 7(e–f) and Table 5.
 
+pub mod backend;
 pub mod config;
 pub mod executor;
 pub mod failure;
@@ -32,6 +33,7 @@ pub mod partitioner;
 pub mod shuffle;
 pub mod stats;
 
+pub use backend::ExecutionBackend;
 pub use config::ClusterConfig;
 pub use executor::real::{LocalCluster, TaskCtx};
 pub use executor::sim::{ComputeWork, SimCluster, SimTask, StageOutcome};

@@ -10,9 +10,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Thread-safe per-phase shuffle/broadcast byte counters.
 #[derive(Debug, Default)]
 pub struct ShuffleLedger {
-    shuffle: [AtomicU64; 3],
-    cross_node: [AtomicU64; 3],
-    broadcast: [AtomicU64; 3],
+    shuffle: [AtomicU64; Phase::COUNT],
+    cross_node: [AtomicU64; Phase::COUNT],
+    broadcast: [AtomicU64; Phase::COUNT],
 }
 
 impl ShuffleLedger {
@@ -33,10 +33,13 @@ impl ShuffleLedger {
     }
 
     /// Records a broadcast of `bytes_per_node` to `nodes` nodes (torrent
-    /// semantics: one copy lands on each node, §2.2.1's BMM).
+    /// semantics: one copy lands on each node, §2.2.1's BMM). Saturates
+    /// rather than overflowing for pathological byte × node products.
     pub fn record_broadcast(&self, phase: Phase, bytes_per_node: u64, nodes: usize) {
-        self.broadcast[phase.index()]
-            .fetch_add(bytes_per_node * nodes as u64, Ordering::Relaxed);
+        self.broadcast[phase.index()].fetch_add(
+            bytes_per_node.saturating_mul(nodes as u64),
+            Ordering::Relaxed,
+        );
     }
 
     /// Total shuffled bytes in `phase`.
@@ -64,7 +67,7 @@ impl ShuffleLedger {
 
     /// Resets every counter (between jobs).
     pub fn reset(&self) {
-        for i in 0..3 {
+        for i in 0..Phase::COUNT {
             self.shuffle[i].store(0, Ordering::Relaxed);
             self.cross_node[i].store(0, Ordering::Relaxed);
             self.broadcast[i].store(0, Ordering::Relaxed);
@@ -103,6 +106,13 @@ mod tests {
         l.record_broadcast(Phase::LocalMult, 7, 2);
         l.reset();
         assert_eq!(l.total_communication(), 0);
+    }
+
+    #[test]
+    fn broadcast_saturates_instead_of_overflowing() {
+        let l = ShuffleLedger::new();
+        l.record_broadcast(Phase::Repartition, u64::MAX / 2, 9);
+        assert_eq!(l.broadcast_bytes(Phase::Repartition), u64::MAX);
     }
 
     #[test]

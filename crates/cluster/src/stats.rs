@@ -18,8 +18,13 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Number of phases — the one source of truth for per-phase array
+    /// lengths, so adding a stage kind cannot silently corrupt counters.
+    pub const COUNT: usize = 3;
+
     /// All phases, in execution order.
-    pub const ALL: [Phase; 3] = [Phase::Repartition, Phase::LocalMult, Phase::Aggregation];
+    pub const ALL: [Phase; Phase::COUNT] =
+        [Phase::Repartition, Phase::LocalMult, Phase::Aggregation];
 
     /// Index into per-phase arrays.
     pub fn index(self) -> usize {
@@ -72,7 +77,7 @@ impl PhaseStats {
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct JobStats {
     /// Per-phase measurements, indexed by [`Phase::index`].
-    pub phases: [PhaseStats; 3],
+    pub phases: [PhaseStats; Phase::COUNT],
     /// End-to-end elapsed seconds (≥ sum of phase times; includes stage
     /// overheads).
     pub elapsed_secs: f64,
@@ -116,10 +121,10 @@ impl JobStats {
 
     /// Per-phase shares of the summed phase time — Fig. 7(e)'s "time ratio
     /// of three steps". Returns zeros when no time was recorded.
-    pub fn time_ratios(&self) -> [f64; 3] {
+    pub fn time_ratios(&self) -> [f64; Phase::COUNT] {
         let total: f64 = self.phases.iter().map(|p| p.secs).sum();
         if total <= 0.0 {
-            return [0.0; 3];
+            return [0.0; Phase::COUNT];
         }
         [
             self.phases[0].secs / total,

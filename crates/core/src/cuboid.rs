@@ -97,22 +97,19 @@ impl Cuboid {
     /// Iterates the A-block ids the cuboid reads.
     pub fn a_block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
         let (j0, j1) = (self.k0, self.k1);
-        (self.i0..self.i1)
-            .flat_map(move |i| (j0..j1).map(move |k| BlockId::new(i, k)))
+        (self.i0..self.i1).flat_map(move |i| (j0..j1).map(move |k| BlockId::new(i, k)))
     }
 
     /// Iterates the B-block ids the cuboid reads.
     pub fn b_block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
         let (j0, j1) = (self.j0, self.j1);
-        (self.k0..self.k1)
-            .flat_map(move |k| (j0..j1).map(move |j| BlockId::new(k, j)))
+        (self.k0..self.k1).flat_map(move |k| (j0..j1).map(move |j| BlockId::new(k, j)))
     }
 
     /// Iterates the C-block ids the cuboid produces.
     pub fn c_block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
         let (j0, j1) = (self.j0, self.j1);
-        (self.i0..self.i1)
-            .flat_map(move |i| (j0..j1).map(move |j| BlockId::new(i, j)))
+        (self.i0..self.i1).flat_map(move |i| (j0..j1).map(move |j| BlockId::new(i, j)))
     }
 }
 

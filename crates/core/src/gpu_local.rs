@@ -151,10 +151,7 @@ pub fn execute_cuboid_real(
             for (di, row) in bufc.into_iter().enumerate() {
                 for (dj, slot) in row.into_iter().enumerate() {
                     if let Some(block) = slot {
-                        out.push((
-                            BlockId::new(i_lo + di as u32, j_lo + dj as u32),
-                            block,
-                        ));
+                        out.push((BlockId::new(i_lo + di as u32, j_lo + dj as u32), block));
                     }
                 }
             }
@@ -195,7 +192,14 @@ mod tests {
         };
         // θg admitting (1,1,2) as in Fig. 5.
         let (spec, work) = plan_work(&sides, 1600, 1000.0, false).unwrap();
-        assert_eq!(spec, SubcuboidSpec { p2: 1, q2: 1, r2: 2 });
+        assert_eq!(
+            spec,
+            SubcuboidSpec {
+                p2: 1,
+                q2: 1,
+                r2: 2
+            }
+        );
         // h2d = Q2|Am| + P2|Bm| = 800 + 1200.
         assert_eq!(work.h2d_bytes, 2000);
         assert_eq!(work.d2h_bytes, 600);
@@ -260,8 +264,7 @@ mod tests {
         let (a, b, p) = setup(8);
         let grid = CuboidGrid::new(&p, CuboidSpec::new(1, 1, 1));
         let cuboid = grid.cuboid(0, 0, 0);
-        let res =
-            execute_cuboid_real(&cuboid, &a, &b, &p.c, u64::MAX).unwrap();
+        let res = execute_cuboid_real(&cuboid, &a, &b, &p.c, u64::MAX).unwrap();
         assert_eq!(res.kernel_calls, cuboid.voxels());
         assert_eq!(res.iterations, 1);
         assert_eq!(res.spec.iterations(), 1);
@@ -282,10 +285,10 @@ mod tests {
         // A with only one materialized block.
         let mut a = BlockMatrix::new(p.a);
         let gen = MatrixGenerator::with_seed(3);
-        a.put(0, 0, gen.generate_block(&p.a, 0, 0).unwrap()).unwrap();
+        a.put(0, 0, gen.generate_block(&p.a, 0, 0).unwrap())
+            .unwrap();
         let grid = CuboidGrid::new(&p, CuboidSpec::new(1, 1, 1));
-        let res =
-            execute_cuboid_real(&grid.cuboid(0, 0, 0), &a, &b, &p.c, u64::MAX).unwrap();
+        let res = execute_cuboid_real(&grid.cuboid(0, 0, 0), &a, &b, &p.c, u64::MAX).unwrap();
         let reference = a.multiply(&b).unwrap();
         // Only C-row 0 blocks can be non-zero.
         assert!(res.blocks.iter().all(|(id, _)| id.row == 0));

@@ -20,11 +20,17 @@
 //! * [`gpu_local`] — Algorithm 1: the per-task GPU schedule that streams
 //!   B blocks against kernel calls and keeps `C` device-resident across
 //!   k-axis iterations (§4.3–4.4);
-//! * [`sim_exec`] — the three-step distributed pipeline (repartition →
-//!   local multiplication → aggregation) simulated at paper scale;
-//! * [`real_exec`] — the same pipeline executed with real blocks on the
-//!   thread-backed cluster, used to *prove* every method computes the same
-//!   product as the single-node reference;
+//! * [`plan`] — the backend-agnostic physical plan IR: the three-step
+//!   pipeline (repartition → local multiplication → aggregation) built
+//!   *once* per job as routed block movements plus per-task resource
+//!   summaries;
+//! * [`sim_exec`] — lowers each plan task's summary onto the simulated
+//!   cluster at paper scale;
+//! * [`real_exec`] — materializes each plan task's blocks on the
+//!   thread-backed cluster and charges the ledger from the plan's routing,
+//!   used to *prove* every method computes the same product as the
+//!   single-node reference — and that both backends report bit-identical
+//!   communication bytes;
 //! * [`summa`] — SUMMA on an MPI-style process grid, the ScaLAPACK/SciDB
 //!   comparison model of §6.5.
 
@@ -32,6 +38,7 @@ pub mod cuboid;
 pub mod gpu_local;
 pub mod methods;
 pub mod optimizer;
+pub mod plan;
 pub mod problem;
 pub mod real_exec;
 pub mod sim_exec;
@@ -41,5 +48,8 @@ pub mod summa;
 pub use cuboid::{Cuboid, CuboidGrid, CuboidSpec};
 pub use methods::{MulMethod, ResolvedMethod};
 pub use optimizer::{OptimizerConfig, Optimum};
+pub use plan::{
+    BlockMove, BroadcastPlan, JobPlan, Operand, PhaseComm, PlanStage, TaskSpec, TaskWork,
+};
 pub use problem::MatmulProblem;
 pub use subcuboid::SubcuboidSpec;

@@ -205,16 +205,6 @@ impl ResolvedMethod {
             }
         }
     }
-
-    /// Tasks actually runnable: for cuboid-grid methods, empty edge cuboids
-    /// don't become tasks.
-    pub fn effective_tasks(&self, problem: &MatmulProblem) -> u64 {
-        if self.voxel_hash {
-            self.tasks.min(problem.voxels())
-        } else {
-            crate::cuboid::CuboidGrid::new(problem, self.spec).task_count() as u64
-        }
-    }
 }
 
 #[cfg(test)]
@@ -294,18 +284,6 @@ mod tests {
         assert!(!r.voxel_hash);
         let expected = problem().a.total_bytes() + problem().b.total_bytes();
         assert_eq!(r.pre_shuffle_bytes, expected);
-    }
-
-    #[test]
-    fn effective_tasks_skips_empty_cuboids() {
-        // I = 5, P = 4: widths 2 => 3 non-empty row bands.
-        let p = MatmulProblem::dense(5_000, 2_000, 3_000);
-        let r = ResolvedMethod::resolve(
-            MulMethod::Cuboid(CuboidSpec::new(4, 1, 1)),
-            &p,
-            &cfg(),
-        );
-        assert_eq!(r.effective_tasks(&p), 3);
     }
 
     #[test]

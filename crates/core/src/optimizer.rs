@@ -81,6 +81,8 @@ pub fn cost_bytes(problem: &MatmulProblem, spec: CuboidSpec) -> u64 {
 /// θt — no cuboid decomposition can run without O.O.M. (a single voxel's
 /// three blocks don't fit).
 pub fn optimize(problem: &MatmulProblem, cfg: &OptimizerConfig) -> Option<Optimum> {
+    #[cfg(test)]
+    instrument::record_call();
     let (i, j, k) = problem.dims();
     let voxels = i as u64 * j as u64 * k as u64;
 
@@ -115,9 +117,7 @@ pub fn optimize(problem: &MatmulProblem, cfg: &OptimizerConfig) -> Option<Optimu
                 let cost = cost_bytes(problem, spec);
                 let better = match &best {
                     None => true,
-                    Some(b) => {
-                        cost < b.cost_bytes || (cost == b.cost_bytes && mem < b.mem_bytes)
-                    }
+                    Some(b) => cost < b.cost_bytes || (cost == b.cost_bytes && mem < b.mem_bytes),
                 };
                 if better {
                     best = Some(Optimum {
@@ -182,6 +182,7 @@ pub mod table2 {
     }
 
     /// CuboidMM with `(P, Q, R)` over an `I × J × K` model, `T = P·Q·R`.
+    #[allow(clippy::too_many_arguments)]
     pub fn cuboid(a: f64, b: f64, c: f64, p: u64, q: u64, r: u64, i: u64, j: u64, k: u64) -> Row {
         let t = (p * q * r) as f64;
         Row {
@@ -193,10 +194,30 @@ pub mod table2 {
     }
 }
 
+/// Test-only instrumentation: counts [`optimize`] invocations so plan-level
+/// regression tests can assert method resolution happens exactly once per
+/// job (not once per stage or once per executor).
+#[cfg(test)]
+pub(crate) mod instrument {
+    use std::cell::Cell;
+
+    thread_local! {
+        static CALLS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Optimizer invocations on this thread so far.
+    pub(crate) fn optimize_calls() -> u64 {
+        CALLS.with(|c| c.get())
+    }
+
+    pub(crate) fn record_call() {
+        CALLS.with(|c| c.set(c.get() + 1));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use distme_matrix::MatrixMeta;
 
     fn paper_optimizer() -> OptimizerConfig {
         OptimizerConfig {
@@ -223,7 +244,8 @@ mod tests {
     fn optimum_is_feasible_and_no_worse_than_table4() {
         // Table 4 rows: our exhaustive search must find parameters whose
         // cost is <= the paper's choice while respecting θt.
-        let cases: [(u64, u64, u64, (u32, u32, u32)); 6] = [
+        type Case = (u64, u64, u64, (u32, u32, u32));
+        let cases: [Case; 6] = [
             (70_000, 70_000, 70_000, (4, 7, 4)),
             (100_000, 100_000, 100_000, (7, 9, 5)),
             (10_000, 100_000, 10_000, (1, 1, 9)),
@@ -300,7 +322,7 @@ mod tests {
     #[test]
     fn mem_is_block_granular() {
         let prob = problem(5_000, 5_000, 5_000); // 5x5x5 blocks of 8 MB
-        // (2,2,2): ceil(5/2) = 3 => A 3x3 + B 3x3 + C 3x3 = 27 blocks.
+                                                 // (2,2,2): ceil(5/2) = 3 => A 3x3 + B 3x3 + C 3x3 = 27 blocks.
         let m = mem_bytes(&prob, CuboidSpec::new(2, 2, 2));
         assert_eq!(m, 27 * 8_000_000);
     }

@@ -42,7 +42,11 @@ impl MatmulProblem {
 
     /// Block-grid dimensions `(I, J, K)` of the voxel model.
     pub fn dims(&self) -> (u32, u32, u32) {
-        (self.a.block_rows(), self.b.block_cols(), self.a.block_cols())
+        (
+            self.a.block_rows(),
+            self.b.block_cols(),
+            self.a.block_cols(),
+        )
     }
 
     /// Total voxels, `I · J · K`.

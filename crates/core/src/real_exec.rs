@@ -1,17 +1,20 @@
-//! The three-step pipeline executed with real blocks (laptop scale).
+//! The real backend: executes a [`JobPlan`] with materialized blocks
+//! (laptop scale).
 //!
-//! Same plan structure as [`crate::sim_exec`], but every block is
-//! materialized, every shuffle byte is counted from real serialized sizes,
-//! every task runs on a worker thread under its θt budget, and the output
-//! is compared against the single-node reference by the test suite. This
-//! is what makes the simulated numbers trustworthy: the communication
-//! volumes the simulator charges are exactly the volumes this executor
-//! measures on the same plans.
+//! All plan construction lives in [`crate::plan`]; this module only
+//! materializes each task's blocks on [`LocalCluster`] worker threads
+//! (under the θt budget) and charges the shuffle ledger **from the plan's
+//! routing** — the same [`crate::plan::BlockMove`]s whose bytes the
+//! simulator reports. That is what makes the simulated numbers
+//! trustworthy: the communication volumes the simulator charges are
+//! bit-identical to the volumes this executor measures on the same plans
+//! (enforced by `tests/plan_parity.rs`), and the computed product is
+//! compared against the single-node reference by the test suite.
 
-use crate::cuboid::{Cuboid, CuboidGrid};
+use crate::cuboid::Cuboid;
 use crate::gpu_local;
 use crate::methods::{MulMethod, ResolvedMethod};
-use crate::optimizer::OptimizerConfig;
+use crate::plan::{JobPlan, TaskWork};
 use crate::problem::MatmulProblem;
 use distme_cluster::{JobError, JobStats, LocalCluster, Phase, PhaseStats, TaskError};
 use distme_matrix::{codec, kernels, Block, BlockId, BlockMatrix, DenseBlock};
@@ -50,97 +53,100 @@ pub fn multiply_with(
     method: MulMethod,
     opts: RealExecOptions,
 ) -> Result<(BlockMatrix, JobStats), JobError> {
-    let problem = MatmulProblem::new(*a.meta(), *b.meta()).map_err(|e| JobError::TaskFailed {
+    let problem = problem_of(a, b)?;
+    let plan = JobPlan::build(&problem, method, cluster.config());
+    execute_plan(cluster, a, b, &plan, opts)
+}
+
+/// [`multiply`] with a pre-resolved method (system profiles with legacy
+/// execution semantics, parameter sweeps).
+pub fn multiply_resolved(
+    cluster: &LocalCluster,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    resolved: &ResolvedMethod,
+    opts: RealExecOptions,
+) -> Result<(BlockMatrix, JobStats), JobError> {
+    let problem = problem_of(a, b)?;
+    let plan = JobPlan::from_resolved(&problem, resolved, cluster.config());
+    execute_plan(cluster, a, b, &plan, opts)
+}
+
+fn problem_of(a: &BlockMatrix, b: &BlockMatrix) -> Result<MatmulProblem, JobError> {
+    MatmulProblem::new(*a.meta(), *b.meta()).map_err(|e| JobError::TaskFailed {
         task: 0,
         message: e.to_string(),
-    })?;
-    let resolved = ResolvedMethod::resolve(
-        method,
-        &problem,
-        &OptimizerConfig::from_cluster(cluster.config()),
-    );
+    })
+}
+
+/// Executes `plan` against materialized operands.
+///
+/// # Errors
+/// See [`multiply`].
+pub fn execute_plan(
+    cluster: &LocalCluster,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    plan: &JobPlan,
+    opts: RealExecOptions,
+) -> Result<(BlockMatrix, JobStats), JobError> {
+    let problem = &plan.problem;
+    let resolved = &plan.resolved;
     cluster.ledger().reset();
 
-    let b_encoded_total: u64 = b.blocks().map(|(_, blk)| codec::encoded_len(blk)).sum();
+    // Broadcast variables are node-level: one shared copy per node must
+    // fit. The admission check uses the *backend-local* encoded sizes (the
+    // bytes this process would actually pin), not the plan's meta model.
+    if resolved.broadcast_b {
+        let b_encoded_total: u64 = b.blocks().map(|(_, blk)| codec::encoded_len(blk)).sum();
+        if b_encoded_total > cluster.config().node_mem_bytes {
+            return Err(JobError::OutOfMemory {
+                task: 0,
+                needed: b_encoded_total,
+                budget: cluster.config().node_mem_bytes,
+            });
+        }
+    }
 
     // ------------- Stage 1: repartition accounting -----------------------
-    // Input blocks start on their HDFS "home" node; shipping them to their
-    // local-mult tasks is the repartition shuffle. (Blocks physically stay
-    // in shared memory — the executor counts the bytes the movement would
-    // serialize.)
+    // Blocks physically stay in shared memory — the executor charges the
+    // ledger with the movements the plan routed, which is exactly what the
+    // simulator reports for the same plan.
     let rep_timer = Instant::now();
-    let work_items: Vec<WorkItem> = build_work_items(&problem, &resolved);
-    for (t, item) in work_items.iter().enumerate() {
-        let to_node = cluster.node_of_task(t);
-        for id in item.a_reads(&resolved) {
-            if let Some(blk) = a.get(id.row, id.col) {
-                cluster.ledger().record_shuffle(
-                    Phase::Repartition,
-                    home_node(id, 0, cluster.config().nodes),
-                    to_node,
-                    codec::encoded_len(blk),
-                );
-            }
-        }
-        if !resolved.broadcast_b {
-            for id in item.b_reads(&resolved) {
-                if let Some(blk) = b.get(id.row, id.col) {
-                    cluster.ledger().record_shuffle(
-                        Phase::Repartition,
-                        home_node(id, 1, cluster.config().nodes),
-                        to_node,
-                        codec::encoded_len(blk),
-                    );
-                }
+    for stage in &plan.stages {
+        for task in &stage.tasks {
+            for m in &task.inputs {
+                cluster
+                    .ledger()
+                    .record_shuffle(stage.input_phase, m.from_node, m.to_node, m.bytes);
             }
         }
     }
-    if resolved.broadcast_b {
+    if let Some(bc) = plan.broadcast {
         // Table 2 accounting: every task fetches its own copy of B.
-        for _ in 0..work_items.len().div_ceil(cluster.config().nodes.max(1)) {
-            cluster.broadcast(Phase::Repartition, b_encoded_total);
-        }
-    }
-    if resolved.pre_shuffle_bytes > 0 {
-        // CRMM's logical-block formation: one extra pass over both inputs.
-        for (id, blk) in a.blocks() {
-            let home = home_node(id, 0, cluster.config().nodes);
-            let dest = home_node(id, 2, cluster.config().nodes);
-            cluster
-                .ledger()
-                .record_shuffle(Phase::Repartition, home, dest, codec::encoded_len(blk));
-        }
-        for (id, blk) in b.blocks() {
-            let home = home_node(id, 1, cluster.config().nodes);
-            let dest = home_node(id, 3, cluster.config().nodes);
-            cluster
-                .ledger()
-                .record_shuffle(Phase::Repartition, home, dest, codec::encoded_len(blk));
-        }
+        cluster.ledger().record_broadcast(
+            Phase::Repartition,
+            bc.bytes_per_copy,
+            bc.copies as usize,
+        );
     }
     let rep_secs = rep_timer.elapsed().as_secs_f64();
 
     // ------------- Stage 2: local multiplication -------------------------
-    let needs_aggregation = resolved.spec.r > 1 || (resolved.voxel_hash && problem.dims().2 > 1);
     let c_meta = problem.c;
-    // Broadcast variables are node-level: one shared copy per node.
-    if resolved.broadcast_b && b_encoded_total > cluster.config().node_mem_bytes {
-        return Err(JobError::OutOfMemory {
-            task: 0,
-            needed: b_encoded_total,
-            budget: cluster.config().node_mem_bytes,
-        });
-    }
-    let mult = cluster.run_stage(work_items, |ctx, item| {
+    let mult_stage = plan.stage(Phase::LocalMult).expect("plans always multiply");
+    let work: Vec<TaskWork> = mult_stage.tasks.iter().map(|t| t.work.clone()).collect();
+    let broadcast_b = resolved.broadcast_b;
+    let mult = cluster.run_stage(work, |ctx, item| {
         match item {
-            WorkItem::Cuboid(cuboid) => {
+            TaskWork::Cuboid(cuboid) => {
                 let mut in_bytes = 0u64;
                 for id in cuboid.a_block_ids() {
                     if let Some(blk) = a.get(id.row, id.col) {
                         in_bytes += codec::encoded_len(blk);
                     }
                 }
-                if !resolved.broadcast_b {
+                if !broadcast_b {
                     for id in cuboid.b_block_ids() {
                         if let Some(blk) = b.get(id.row, id.col) {
                             in_bytes += codec::encoded_len(blk);
@@ -153,7 +159,7 @@ pub fn multiply_with(
                         let res = gpu_local::execute_cuboid_real(&cuboid, a, b, &c_meta, theta_g)?;
                         res.blocks
                     }
-                    None => multiply_cuboid_cpu(&cuboid, a, b, &problem)?,
+                    None => multiply_cuboid_cpu(&cuboid, a, b, problem)?,
                 };
                 let mut out = Vec::with_capacity(blocks.len());
                 for (id, dense) in blocks {
@@ -162,7 +168,7 @@ pub fn multiply_with(
                 }
                 Ok(out)
             }
-            WorkItem::Voxels(voxels) => {
+            TaskWork::Voxels(voxels) => {
                 // RMM: one isolated block product per voxel, no sharing.
                 let mut out = Vec::with_capacity(voxels.len());
                 for (i, j, k) in voxels {
@@ -176,6 +182,8 @@ pub fn multiply_with(
                 }
                 Ok(out)
             }
+            // Map and aggregation work never reaches the mult stage.
+            TaskWork::MapRead | TaskWork::Aggregate(_) => Ok(Vec::new()),
         }
     })?;
     let mult_secs = mult.wall_secs;
@@ -183,52 +191,62 @@ pub fn multiply_with(
 
     // ------------- Stage 3: aggregation ----------------------------------
     let agg_timer = Instant::now();
-    let mut groups: BTreeMap<BlockId, Vec<(usize, Block)>> = BTreeMap::new();
-    for (producer, outputs) in mult.outputs.into_iter().enumerate() {
+    let mut groups: BTreeMap<BlockId, Vec<Block>> = BTreeMap::new();
+    for outputs in mult.outputs {
         for (id, blk) in outputs {
-            groups.entry(id).or_default().push((producer, blk));
+            groups.entry(id).or_default().push(blk);
         }
     }
-    let group_list: Vec<(BlockId, Vec<(usize, Block)>)> = groups.into_iter().collect();
-    if needs_aggregation {
-        for (t, (_, parts)) in group_list.iter().enumerate() {
-            let to_node = cluster.node_of_task(t);
-            for (producer, blk) in parts {
-                cluster.ledger().record_shuffle(
-                    Phase::Aggregation,
-                    cluster.node_of_task(*producer),
-                    to_node,
-                    codec::encoded_len(blk),
-                );
+    // Group the intermediate copies by the plan's aggregation tasks when
+    // the plan has that stage; with R = 1 each group is a single final
+    // block and one normalize task per block suffices.
+    let agg_items: Vec<Vec<(BlockId, Vec<Block>)>> = match plan.stage(Phase::Aggregation) {
+        Some(stage) => stage
+            .tasks
+            .iter()
+            .map(|t| {
+                let TaskWork::Aggregate(ids) = &t.work else {
+                    return Vec::new();
+                };
+                ids.iter()
+                    .filter_map(|id| groups.remove(id).map(|parts| (*id, parts)))
+                    .collect()
+            })
+            .collect(),
+        None => groups.into_iter().map(|g| vec![g]).collect(),
+    };
+    let agg = cluster.run_stage(agg_items, |ctx, items| {
+        let mut out = Vec::with_capacity(items.len());
+        for (id, parts) in items {
+            let mut acc: Option<Block> = None;
+            for blk in parts {
+                ctx.alloc(blk.mem_bytes())?;
+                acc = Some(match acc {
+                    None => blk,
+                    Some(prev) => prev.add(&blk)?,
+                });
             }
+            let block = acc.expect("groups are non-empty by construction");
+            out.push((id, block.normalize()));
         }
-    }
-    let agg = cluster.run_stage(group_list, |ctx, (id, parts)| {
-        let mut acc: Option<Block> = None;
-        for (_, blk) in parts {
-            ctx.alloc(blk.mem_bytes())?;
-            acc = Some(match acc {
-                None => blk,
-                Some(prev) => prev.add(&blk)?,
-            });
-        }
-        let block = acc.expect("groups are non-empty by construction");
-        Ok((id, block.normalize()))
+        Ok(out)
     })?;
     let agg_secs = agg_timer.elapsed().as_secs_f64();
 
     let mut c = BlockMatrix::new(problem.c);
-    for (id, blk) in agg.outputs {
+    for (id, blk) in agg.outputs.into_iter().flatten() {
         if blk.nnz() > 0 {
-            c.put(id.row, id.col, blk).map_err(|e| JobError::TaskFailed {
-                task: 0,
-                message: e.to_string(),
-            })?;
+            c.put(id.row, id.col, blk)
+                .map_err(|e| JobError::TaskFailed {
+                    task: 0,
+                    message: e.to_string(),
+                })?;
         }
     }
 
     // ------------- Statistics --------------------------------------------
     let ledger = cluster.ledger();
+    let agg_tasks = plan.stage(Phase::Aggregation).map_or(0, |s| s.tasks.len());
     let mut stats = JobStats {
         elapsed_secs: rep_secs + mult_secs + agg_secs,
         peak_task_mem_bytes: mult_peak.max(agg.peak_task_mem_bytes),
@@ -242,72 +260,23 @@ pub fn multiply_with(
         shuffle_bytes: ledger.shuffle_bytes(Phase::Repartition),
         cross_node_bytes: ledger.cross_node_bytes(Phase::Repartition),
         broadcast_bytes: ledger.broadcast_bytes(Phase::Repartition),
-        tasks: resolved.effective_tasks(&problem) as usize,
+        tasks: plan.stage(Phase::Repartition).map_or(0, |s| s.tasks.len()),
     };
     *stats.phase_mut(Phase::LocalMult) = PhaseStats {
         secs: mult_secs,
         shuffle_bytes: 0,
         cross_node_bytes: 0,
         broadcast_bytes: 0,
-        tasks: resolved.effective_tasks(&problem) as usize,
+        tasks: mult_stage.tasks.len(),
     };
     *stats.phase_mut(Phase::Aggregation) = PhaseStats {
         secs: agg_secs,
         shuffle_bytes: ledger.shuffle_bytes(Phase::Aggregation),
         cross_node_bytes: ledger.cross_node_bytes(Phase::Aggregation),
         broadcast_bytes: 0,
-        tasks: if needs_aggregation {
-            problem.c.num_blocks() as usize
-        } else {
-            0
-        },
+        tasks: agg_tasks,
     };
     Ok((c, stats))
-}
-
-/// A local-multiplication work item: a cuboid, or (for RMM) a hashed set of
-/// voxels.
-enum WorkItem {
-    Cuboid(Cuboid),
-    Voxels(Vec<(u32, u32, u32)>),
-}
-
-impl WorkItem {
-    fn a_reads(&self, _resolved: &ResolvedMethod) -> Vec<BlockId> {
-        match self {
-            WorkItem::Cuboid(c) => c.a_block_ids().collect(),
-            WorkItem::Voxels(vs) => vs.iter().map(|&(i, _, k)| BlockId::new(i, k)).collect(),
-        }
-    }
-
-    fn b_reads(&self, _resolved: &ResolvedMethod) -> Vec<BlockId> {
-        match self {
-            WorkItem::Cuboid(c) => c.b_block_ids().collect(),
-            WorkItem::Voxels(vs) => vs.iter().map(|&(_, j, k)| BlockId::new(k, j)).collect(),
-        }
-    }
-}
-
-fn build_work_items(problem: &MatmulProblem, resolved: &ResolvedMethod) -> Vec<WorkItem> {
-    if resolved.voxel_hash {
-        let t = resolved.tasks.min(problem.voxels()).max(1) as usize;
-        let (i, j, k) = problem.dims();
-        let mut buckets: Vec<Vec<(u32, u32, u32)>> = (0..t).map(|_| Vec::new()).collect();
-        for vi in 0..i {
-            for vj in 0..j {
-                for vk in 0..k {
-                    let h = voxel_hash(vi, vj, vk) as usize % t;
-                    buckets[h].push((vi, vj, vk));
-                }
-            }
-        }
-        buckets.into_iter().map(WorkItem::Voxels).collect()
-    } else {
-        CuboidGrid::new(problem, resolved.spec)
-            .cuboids()
-            .map(WorkItem::Cuboid)
-            .collect()
-    }
 }
 
 fn multiply_cuboid_cpu(
@@ -335,25 +304,6 @@ fn multiply_cuboid_cpu(
         }
     }
     Ok(out)
-}
-
-/// HDFS "home" node of an input block (`which` salts A/B/destination
-/// spaces apart).
-fn home_node(id: BlockId, which: u64, nodes: usize) -> usize {
-    let mut z = (((id.row as u64) << 32) | id.col as u64)
-        .wrapping_add(which.wrapping_mul(0xA24BAED4963EE407))
-        .wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    (z ^ (z >> 31)) as usize % nodes
-}
-
-fn voxel_hash(i: u32, j: u32, k: u32) -> u64 {
-    let mut z = ((i as u64) << 42 | (j as u64) << 21 | k as u64)
-        .wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -401,7 +351,11 @@ mod tests {
         for method in [MulMethod::Cpmm, MulMethod::Rmm, MulMethod::CuboidAuto] {
             let c = cluster();
             let (prod, _) = multiply(&c, &a, &b, method).unwrap();
-            assert!(prod.max_abs_diff(&reference).unwrap() < 1e-9, "{}", method.name());
+            assert!(
+                prod.max_abs_diff(&reference).unwrap() < 1e-9,
+                "{}",
+                method.name()
+            );
         }
     }
 
@@ -413,8 +367,7 @@ mod tests {
             // Small θg: forces several subcuboid iterations per cuboid.
             gpu_task_mem_bytes: Some(40_000),
         };
-        let (prod, _) =
-            multiply_with(&c, &a, &b, MulMethod::CuboidAuto, opts).unwrap();
+        let (prod, _) = multiply_with(&c, &a, &b, MulMethod::CuboidAuto, opts).unwrap();
         assert!(prod.max_abs_diff(&reference).unwrap() < 1e-9);
     }
 
@@ -464,8 +417,7 @@ mod tests {
     fn aggregation_bytes_zero_when_r_is_one() {
         let (a, b, _) = operands(16, 1.0);
         let c = cluster();
-        let (_, stats) =
-            multiply(&c, &a, &b, MulMethod::Cuboid(CuboidSpec::new(2, 2, 1))).unwrap();
+        let (_, stats) = multiply(&c, &a, &b, MulMethod::Cuboid(CuboidSpec::new(2, 2, 1))).unwrap();
         assert_eq!(stats.phase(Phase::Aggregation).shuffle_bytes, 0);
         // And CPMM (R = K) must aggregate.
         let c = cluster();
@@ -483,5 +435,14 @@ mod tests {
             stats.phase(Phase::Repartition).shuffle_bytes
                 + stats.phase(Phase::Aggregation).shuffle_bytes
         );
+    }
+
+    #[test]
+    fn resolution_happens_once_for_a_real_multiply() {
+        let (a, b, _) = operands(16, 1.0);
+        let c = cluster();
+        let before = crate::optimizer::instrument::optimize_calls();
+        let _ = multiply(&c, &a, &b, MulMethod::CuboidAuto).unwrap();
+        assert_eq!(crate::optimizer::instrument::optimize_calls() - before, 1);
     }
 }

@@ -1,36 +1,22 @@
-//! The three-step distributed multiplication pipeline, simulated at paper
-//! scale (§2.2, Fig. 4).
+//! The simulated backend: lowers a [`JobPlan`] onto [`SimCluster`].
 //!
-//! A multiplication job is three Spark-style stages:
+//! All plan construction — grid enumeration, the BMM broadcast special
+//! case, the `R > 1` aggregation stage, θt/θg admission — lives in
+//! [`crate::plan`]. This module only walks the plan's stages, hands each
+//! stage's task *summaries* to the simulated cluster's resource models,
+//! and assembles [`JobStats`]. Communication bytes are read back from the
+//! plan's *routing* view, so they are bit-identical to what the real
+//! executor's shuffle ledger measures for the same plan.
 //!
-//! 1. **matrix repartition** — map tasks read the operands from HDFS and
-//!    write the *replicated* copies into the shuffle (`Q·|A| + P·|B|`
-//!    bytes; BMM broadcasts B instead);
-//! 2. **local multiplication** — one task per (non-empty) cuboid fetches
-//!    its blocks and multiplies them, on the CPU or through Algorithm 1 on
-//!    the node's GPU;
-//! 3. **matrix aggregation** — only when `R > 1`: intermediate C blocks are
-//!    shuffled by `(i, j)` and reduced (`R·|C|` bytes).
-//!
-//! Nothing is materialized: each task is a byte/FLOP summary executed by
-//! [`SimCluster`] against its resource models, which is what lets the
-//! harness replay the paper's 80 GB-to-multi-TB workloads.
+//! Nothing is materialized: each task is a byte/FLOP summary, which is
+//! what lets the harness replay the paper's 80 GB-to-multi-TB workloads.
 
-use crate::cuboid::CuboidGrid;
-use crate::gpu_local;
 use crate::methods::{MulMethod, ResolvedMethod};
-use crate::optimizer::OptimizerConfig;
+use crate::plan::JobPlan;
 use crate::problem::MatmulProblem;
-use crate::subcuboid::CuboidSides;
-use distme_cluster::{ComputeWork, JobError, JobStats, Phase, SimCluster, SimTask};
-use distme_gpu::GpuWork;
+use distme_cluster::{JobError, JobStats, Phase, SimCluster, SimTask};
 
-/// Fraction of a *resident* intermediate output that actually occupies the
-/// task heap: Spark's external sorter spills part of a materialized
-/// partition before the heap limit, so a legacy (MatFast-style) CPMM task
-/// holding |C| dies once ~75% of |C| exceeds θt — calibrated so Fig. 7(a)'s
-/// MatFast survives 30K (|C| = 7.2 GB) and O.O.M.s at 40K (12.8 GB).
-pub const RESIDENT_OUTPUT_FRACTION: f64 = 0.75;
+pub use crate::plan::RESIDENT_OUTPUT_FRACTION;
 
 /// Simulates `problem` with `method` on `cluster` (GPU is used when the
 /// cluster has one), returning per-phase statistics.
@@ -43,12 +29,8 @@ pub fn simulate(
     problem: &MatmulProblem,
     method: MulMethod,
 ) -> Result<JobStats, JobError> {
-    let resolved = ResolvedMethod::resolve(
-        method,
-        problem,
-        &OptimizerConfig::from_cluster(cluster.config()),
-    );
-    simulate_resolved(cluster, problem, &resolved)
+    let plan = JobPlan::build(problem, method, cluster.config());
+    simulate_plan(cluster, &plan)
 }
 
 /// [`simulate`] with a pre-resolved method (used by the parameter-sweep
@@ -58,281 +40,50 @@ pub fn simulate_resolved(
     problem: &MatmulProblem,
     resolved: &ResolvedMethod,
 ) -> Result<JobStats, JobError> {
+    let plan = JobPlan::from_resolved(problem, resolved, cluster.config());
+    simulate_plan(cluster, &plan)
+}
+
+/// Lowers each stage of `plan` onto the cluster's resource models.
+///
+/// # Errors
+/// Propagates the cluster's failure modes (O.O.M., T.O., E.D.C., ...).
+pub fn simulate_plan(cluster: &mut SimCluster, plan: &JobPlan) -> Result<JobStats, JobError> {
     cluster.start_job();
-    let cfg = *cluster.config();
-    let use_gpu = cfg.gpu.is_some();
-    let grid = CuboidGrid::new(problem, resolved.spec);
-
-    let a_total = problem.a.total_bytes();
-    let b_total = problem.b.total_bytes();
-    let c_total = problem.c.total_bytes();
-    let ab = problem.a_block_bytes();
-    let bb = problem.b_block_bytes();
-    let cb = problem.c_block_bytes();
-    let fpv = problem.flops_per_voxel();
-    let sparse = problem.uses_sparse_kernels();
-
-    // ---------------- Stage 1: matrix repartition (map side) -------------
-    let rep_a = grid.a_replication() as u64 * a_total;
-    let rep_b = if resolved.broadcast_b {
-        0
-    } else {
-        grid.b_replication() as u64 * b_total
-    };
-    let rep_total = scale(
-        rep_a + rep_b + resolved.pre_shuffle_bytes,
-        resolved.ser_overhead,
-    );
-    let input_blocks = problem.a.num_blocks() + problem.b.num_blocks();
-    let t_map = (cfg.total_slots() as u64).min(input_blocks).max(1);
-    let map_task = |share: u64, read: u64| SimTask {
-        shuffle_in_bytes: 0,
-        local_read_bytes: read,
-        compute: ComputeWork::None,
-        shuffle_out_bytes: share,
-        local_write_bytes: 0,
-        mem_bytes: 4 * ab.max(bb),
-    };
-    let map_tasks: Vec<SimTask> = (0..t_map)
-        .map(|i| {
-            map_task(
-                split_share(rep_total, t_map, i),
-                split_share(a_total + b_total, t_map, i),
-            )
-        })
-        .collect();
-    let s1 = cluster.run_stage(&map_tasks, 0)?;
-
-    // ---------------- Stage 2: local multiplication ----------------------
-    let broadcast = if resolved.broadcast_b { b_total } else { 0 };
-    let mut mult_tasks: Vec<SimTask> = Vec::new();
-    if resolved.voxel_hash {
-        // RMM: voxels hashed over `tasks` buckets; no communication
-        // sharing — each voxel fetches its own pair of blocks and ships
-        // its own intermediate block.
-        let t = resolved.tasks.min(problem.voxels()).max(1);
-        let voxels = problem.voxels();
-        // With K = 1 every voxel's product is final — nothing is shuffled
-        // to an aggregation stage (no k-axis to reduce over).
-        let k_depth = problem.dims().2;
-        for idx in 0..t {
-            let vox = split_share(voxels, t, idx);
-            let in_bytes = scale(vox * (ab + bb), resolved.ser_overhead);
-            let out_bytes = if k_depth > 1 {
-                scale(vox * cb, resolved.ser_overhead)
-            } else {
-                0
-            };
-            let flops = vox as f64 * fpv;
-            let compute = if use_gpu {
-                // §6.2: "RMM cannot perform cuboid-level GPU computation,
-                // but simple block-level GPU computation due to its hash
-                // partitioning" — no C residence, one stream.
-                ComputeWork::Gpu(GpuWork {
-                    h2d_bytes: in_bytes,
-                    d2h_bytes: out_bytes,
-                    dense_flops: if sparse { 0.0 } else { flops },
-                    sparse_flops: if sparse { flops } else { 0.0 },
-                    kernel_calls: vox,
-                    streams: 1,
-                })
-            } else {
-                ComputeWork::Cpu { flops }
-            };
-            mult_tasks.push(SimTask {
-                shuffle_in_bytes: in_bytes,
-                local_read_bytes: 0,
-                compute,
-                shuffle_out_bytes: out_bytes,
-                local_write_bytes: 0,
-                // An RMM task iterates its voxels sequentially — only a
-                // few blocks are live at once (which is precisely why RMM
-                // "can process without out of memory", §2.2.4).
-                mem_bytes: 3 * (ab + bb + cb)
-                    + if resolved.output_resident {
-                        (out_bytes as f64 * RESIDENT_OUTPUT_FRACTION) as u64
-                    } else {
-                        0
-                    },
-            });
-        }
-    } else {
-        for cuboid in grid.cuboids() {
-            let a_bytes = cuboid.a_blocks() * ab;
-            let b_bytes = cuboid.b_blocks() * bb;
-            let c_bytes = cuboid.c_blocks() * cb;
-            let flops = cuboid.voxels() as f64 * fpv;
-            let shuffle_in = scale(
-                a_bytes + if resolved.broadcast_b { 0 } else { b_bytes },
-                resolved.ser_overhead,
-            );
-            // Memory model: a broadcast B is stored once per node and
-            // shared (checked against node memory by the executor).
-            // Intermediate C blocks (R > 1) stream into the shuffle as
-            // they are produced; *final* C blocks (R = 1) are collected in
-            // the task before being emitted, so the whole C side is
-            // resident — which is exactly why BMM O.O.M.s at
-            // 750K x 1K x 750K (a 6 GB C row per task) while surviving
-            // 500K (4 GB), Fig. 6(c). Legacy systems also hold
-            // intermediate C resident (`output_resident`).
-            // Output residency: a BMM (mapmm-style) task computes its
-            // whole final output row-partition inside the map call before
-            // writing — the 6 GB C row that kills BMM at 750K x 1K x 750K
-            // (Fig. 6(c)). Shuffle-based methods emit C blocks one at a
-            // time; MatFast's naive CPMM additionally materializes most of
-            // its intermediate |C| (see RESIDENT_OUTPUT_FRACTION).
-            let resident_c = if resolved.broadcast_b && resolved.spec.r == 1 {
-                c_bytes
-            } else if resolved.output_resident {
-                (c_bytes as f64 * RESIDENT_OUTPUT_FRACTION) as u64
-            } else {
-                cb
-            };
-            let mem = a_bytes
-                + if resolved.broadcast_b { 0 } else { b_bytes }
-                + resident_c;
-            let compute = if use_gpu {
-                let gpu_cfg = cfg.gpu.expect("use_gpu implies config");
-                let sides = CuboidSides::of(&cuboid, ab, bb, cb);
-                match gpu_local::plan_work(&sides, gpu_cfg.task_mem_bytes, flops, sparse) {
-                    // §5: the plan generator produces "a physical plan that
-                    // can be executed in either CPU or GPU" — pick the GPU
-                    // only when its estimated time (PCI-E + kernels) beats
-                    // the CPU kernel. Data-movement-dominated operators
-                    // (GNMF's skinny products) stay on the CPU.
-                    Some((_, work)) => {
-                        let kernel_rate = if sparse {
-                            gpu_cfg.sparse_flops_per_sec
-                        } else {
-                            gpu_cfg.kernel_flops_per_sec
-                        };
-                        let gpu_secs = work.h2d_bytes as f64 / gpu_cfg.h2d_bytes_per_sec
-                            + flops / kernel_rate
-                            + work.d2h_bytes as f64 / gpu_cfg.d2h_bytes_per_sec;
-                        let cpu_secs = flops / cfg.slot_flops_per_sec();
-                        if gpu_secs < cpu_secs || !resolved.gpu_cost_based {
-                            ComputeWork::Gpu(work)
-                        } else {
-                            ComputeWork::Cpu { flops }
-                        }
-                    }
-                    // Cuboid unusable on the GPU: CPU fallback.
-                    None => ComputeWork::Cpu { flops },
-                }
-            } else {
-                ComputeWork::Cpu { flops }
-            };
-            // Final C is consumed by a count-style action (the paper does
-            // not pay an HDFS write in its matmul timings), so R = 1
-            // produces no writes at all.
-            let shuffle_out = if resolved.spec.r > 1 {
-                scale(c_bytes, resolved.ser_overhead)
-            } else {
-                0
-            };
-            let local_write = 0;
-            mult_tasks.push(SimTask {
-                shuffle_in_bytes: shuffle_in,
-                local_read_bytes: 0,
-                compute,
-                shuffle_out_bytes: shuffle_out,
-                local_write_bytes: local_write,
-                mem_bytes: mem,
-            });
-        }
-    }
-    let s2 = cluster.run_stage(&mult_tasks, broadcast)?;
-
-    // ---------------- Stage 3: matrix aggregation ------------------------
-    let needs_aggregation = resolved.spec.r > 1;
-    let s3 = if needs_aggregation {
-        let r = grid.c_replication() as u64;
-        let c_blocks = problem.c.num_blocks();
-        let t_agg = c_blocks
-            .min((cfg.total_slots() as u64).max(resolved.spec.count()))
-            .max(1);
-        let agg_tasks: Vec<SimTask> = (0..t_agg)
-            .map(|i| {
-                let in_bytes = scale(split_share(r * c_total, t_agg, i), resolved.ser_overhead);
-                let out_bytes = split_share(c_total, t_agg, i);
-                // One add per element per extra copy.
-                let adds = (r - 1) as f64 * split_share(problem.c.elements(), t_agg, i) as f64;
-                SimTask {
-                    shuffle_in_bytes: in_bytes,
-                    local_read_bytes: 0,
-                    compute: ComputeWork::Cpu { flops: adds },
-                    shuffle_out_bytes: 0,
-                    // Aggregated C is consumed, not written back to HDFS.
-                    local_write_bytes: 0,
-                    mem_bytes: out_bytes + cb,
-                }
-            })
-            .collect();
-        Some(cluster.run_stage(&agg_tasks, 0)?)
-    } else {
-        None
-    };
-
-    // ---------------- Assemble statistics --------------------------------
-    let mut stats = JobStats {
-        elapsed_secs: cluster.job_elapsed_secs(),
-        peak_task_mem_bytes: s1
-            .peak_task_mem_bytes
-            .max(s2.peak_task_mem_bytes)
-            .max(s3.map_or(0, |s| s.peak_task_mem_bytes)),
-        intermediate_bytes: s1.shuffle_write_bytes + s2.shuffle_write_bytes,
-        gpu_utilization: s2.gpu_utilization,
-        ..Default::default()
-    };
-    *stats.phase_mut(Phase::Repartition) = distme_cluster::PhaseStats {
-        secs: s1.secs,
-        shuffle_bytes: s1.shuffle_write_bytes,
-        cross_node_bytes: s2.cross_node_bytes,
-        // Communication accounting follows Table 2: a broadcast costs
-        // `T·|B|` (every executor process fetches and deserializes its own
-        // copy), even though the torrent protocol moves only one copy per
-        // node over the wire (the *time* model uses the latter).
-        broadcast_bytes: if resolved.broadcast_b {
-            b_total * mult_tasks.len() as u64
+    let mut stats = JobStats::default();
+    for stage in &plan.stages {
+        let summaries: Vec<SimTask> = stage.tasks.iter().map(|t| t.summary).collect();
+        // The broadcast rides on the local-mult stage: the time model uses
+        // torrent semantics (one wire copy per node, checked against node
+        // memory), while the byte accounting below follows Table 2.
+        let broadcast = if stage.phase == Phase::LocalMult {
+            plan.broadcast.map_or(0, |b| b.bytes_per_copy)
         } else {
             0
-        },
-        tasks: s1.tasks,
-    };
-    *stats.phase_mut(Phase::LocalMult) = distme_cluster::PhaseStats {
-        secs: s2.secs,
-        shuffle_bytes: 0,
-        cross_node_bytes: 0,
-        broadcast_bytes: 0,
-        tasks: s2.tasks,
-    };
-    if let Some(s3) = s3 {
-        *stats.phase_mut(Phase::Aggregation) = distme_cluster::PhaseStats {
-            secs: s3.secs,
-            shuffle_bytes: s3.shuffle_read_bytes,
-            cross_node_bytes: s3.cross_node_bytes,
-            broadcast_bytes: 0,
-            tasks: s3.tasks,
         };
+        let outcome = cluster.run_stage(&summaries, broadcast)?;
+        stats.peak_task_mem_bytes = stats.peak_task_mem_bytes.max(outcome.peak_task_mem_bytes);
+        if stage.phase != Phase::Aggregation {
+            stats.intermediate_bytes += outcome.shuffle_write_bytes;
+        }
+        if stage.phase == Phase::LocalMult {
+            stats.gpu_utilization = outcome.gpu_utilization;
+        }
+        let ps = stats.phase_mut(stage.phase);
+        ps.secs = outcome.secs;
+        ps.tasks = outcome.tasks;
     }
+    // Communication is read from the plan's routing, not the resource
+    // models — the same numbers the real executor charges to its ledger.
+    for phase in Phase::ALL {
+        let comm = plan.phase_comm(phase);
+        let ps = stats.phase_mut(phase);
+        ps.shuffle_bytes = comm.shuffle_bytes;
+        ps.cross_node_bytes = comm.cross_node_bytes;
+        ps.broadcast_bytes = comm.broadcast_bytes;
+    }
+    stats.elapsed_secs = cluster.job_elapsed_secs();
     Ok(stats)
-}
-
-/// Applies a serialization-format overhead factor to a byte volume.
-fn scale(bytes: u64, factor: f64) -> u64 {
-    if factor == 1.0 {
-        bytes
-    } else {
-        (bytes as f64 * factor) as u64
-    }
-}
-
-/// Splits `total` into `parts` near-equal integer shares; share `idx` gets
-/// the remainder spread over the first `total % parts` parts.
-fn split_share(total: u64, parts: u64, idx: u64) -> u64 {
-    let base = total / parts;
-    let rem = total % parts;
-    base + u64::from(idx < rem)
 }
 
 #[cfg(test)]
@@ -346,16 +97,6 @@ mod tests {
 
     fn paper_sim_gpu() -> SimCluster {
         SimCluster::new(ClusterConfig::paper_cluster_gpu())
-    }
-
-    #[test]
-    fn split_share_conserves_total() {
-        for total in [0u64, 1, 7, 100, 101] {
-            for parts in [1u64, 3, 7, 13] {
-                let sum: u64 = (0..parts).map(|i| split_share(total, parts, i)).sum();
-                assert_eq!(sum, total, "total {total}, parts {parts}");
-            }
-        }
     }
 
     #[test]
@@ -411,7 +152,8 @@ mod tests {
     #[test]
     fn rmm_never_ooms_but_is_slow() {
         let p = MatmulProblem::dense(100_000, 100_000, 100_000);
-        let mut rmm_sim = SimCluster::new(ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX));
+        let mut rmm_sim =
+            SimCluster::new(ClusterConfig::paper_cluster_gpu().with_timeout(f64::MAX));
         let rmm = simulate(&mut rmm_sim, &p, MulMethod::Rmm).unwrap();
         let cuboid = simulate(&mut paper_sim_gpu(), &p, MulMethod::CuboidAuto).unwrap();
         assert!(rmm.elapsed_secs > 2.0 * cuboid.elapsed_secs);

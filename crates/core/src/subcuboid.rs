@@ -178,8 +178,16 @@ mod tests {
     #[test]
     fn cost_omits_r2_on_c() {
         let s = sides();
-        let small_r = SubcuboidSpec { p2: 1, q2: 1, r2: 2 };
-        let big_r = SubcuboidSpec { p2: 1, q2: 1, r2: 20 };
+        let small_r = SubcuboidSpec {
+            p2: 1,
+            q2: 1,
+            r2: 2,
+        };
+        let big_r = SubcuboidSpec {
+            p2: 1,
+            q2: 1,
+            r2: 20,
+        };
         assert_eq!(cost_bytes(&s, small_r), cost_bytes(&s, big_r));
     }
 
@@ -237,6 +245,13 @@ mod tests {
         // Full cuboid: A 800 + B 1200 + C 600 = 2600. Half-k: A 400 +
         // B 600 + C 600 = 1600.
         let (spec, _) = optimize(&s, 1600).unwrap();
-        assert_eq!(spec, SubcuboidSpec { p2: 1, q2: 1, r2: 2 });
+        assert_eq!(
+            spec,
+            SubcuboidSpec {
+                p2: 1,
+                q2: 1,
+                r2: 2
+            }
+        );
     }
 }

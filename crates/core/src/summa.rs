@@ -120,8 +120,7 @@ pub fn simulate(
     let rounds = problem.dims().2 as u64;
     let comm_bytes = pc * a + pr * b;
     let comm_secs = comm_bytes as f64 / net_rate;
-    let flops_secs =
-        problem.total_flops() / (summa.node_flops_per_sec * cluster.nodes as f64);
+    let flops_secs = problem.total_flops() / (summa.node_flops_per_sec * cluster.nodes as f64);
     let latency_secs = rounds as f64 * summa.round_latency_secs;
     let mut elapsed = summa.startup_secs + load_secs + comm_secs + flops_secs + latency_secs;
     if system == HpcSystem::SciDb {
@@ -167,7 +166,7 @@ pub fn simulate(
 /// Near-square factorization `pr × pc = procs` with `pr ≤ pc`.
 fn process_grid(procs: u64) -> (u64, u64) {
     let mut pr = (procs as f64).sqrt() as u64;
-    while pr > 1 && procs % pr != 0 {
+    while pr > 1 && !procs.is_multiple_of(pr) {
         pr -= 1;
     }
     (pr.max(1), procs / pr.max(1))
@@ -225,12 +224,16 @@ mod tests {
         // survives but is slow (or times out under the 4000 s budget used
         // for matmul; the paper reports 70 minutes with no timeout).
         let p = MatmulProblem::dense(5_000, 5_000_000, 5_000);
-        let err =
-            simulate(&paper(), &p, HpcSystem::SciDb, &SummaConfig::default()).unwrap_err();
+        let err = simulate(&paper(), &p, HpcSystem::SciDb, &SummaConfig::default()).unwrap_err();
         assert_eq!(err.annotation(), "O.O.M.");
         let no_timeout = paper().with_timeout(f64::MAX);
-        let sl =
-            simulate(&no_timeout, &p, HpcSystem::ScaLapack, &SummaConfig::default()).unwrap();
+        let sl = simulate(
+            &no_timeout,
+            &p,
+            HpcSystem::ScaLapack,
+            &SummaConfig::default(),
+        )
+        .unwrap();
         // The paper measures 70 minutes; the round-latency term should put
         // us in the same decade (thousands of seconds).
         assert!(

@@ -44,7 +44,10 @@ pub fn power_iteration(
     if n != a.meta().cols {
         return Err(JobError::TaskFailed {
             task: 0,
-            message: format!("power iteration needs a square matrix, got {n}x{}", a.meta().cols),
+            message: format!(
+                "power iteration needs a square matrix, got {n}x{}",
+                a.meta().cols
+            ),
         });
     }
     let bs = a.meta().block_size;
@@ -167,7 +170,7 @@ pub fn ridge_regression_gd(
         .value_range(-0.01, 0.01)
         .generate(&MatrixMeta::dense(d, 1).with_block_size(bs))
         .map_err(to_job)?;
-    let xt = session.transpose(x);
+    let xt = session.transpose(x)?;
 
     let mut loss = Vec::with_capacity(iterations);
     for _ in 0..iterations {
@@ -278,8 +281,8 @@ mod tests {
         }
         let meta = MatrixMeta::sparse(n as u64, n as u64, 0.05).with_block_size(bs);
         let mut links = BlockMatrix::new(meta);
-        let mut per_block: std::collections::BTreeMap<(u32, u32), Vec<(usize, usize, f64)>> =
-            Default::default();
+        type BlockTriplets = std::collections::BTreeMap<(u32, u32), Vec<(usize, usize, f64)>>;
+        let mut per_block: BlockTriplets = Default::default();
         for (i, j, v) in trips {
             per_block
                 .entry(((i / 16) as u32, (j / 16) as u32))
@@ -288,7 +291,11 @@ mod tests {
         }
         for ((bi, bj), t) in per_block {
             links
-                .put(bi, bj, Block::Sparse(CsrBlock::from_triplets(16, 16, t).unwrap()))
+                .put(
+                    bi,
+                    bj,
+                    Block::Sparse(CsrBlock::from_triplets(16, 16, t).unwrap()),
+                )
                 .unwrap();
         }
         let mut s = session();

@@ -48,8 +48,7 @@ impl RatingDataset {
     };
 
     /// The three datasets in the paper's small → large order.
-    pub const ALL: [RatingDataset; 3] =
-        [Self::MOVIELENS, Self::NETFLIX, Self::YAHOO_MUSIC];
+    pub const ALL: [RatingDataset; 3] = [Self::MOVIELENS, Self::NETFLIX, Self::YAHOO_MUSIC];
 
     /// Fraction of non-zero cells.
     pub fn density(&self) -> f64 {

@@ -120,7 +120,7 @@ impl Expr {
             }
             Expr::Transpose(x) => {
                 let xv = x.eval_real(session)?;
-                Ok(session.transpose(&xv))
+                session.transpose(&xv)
             }
             Expr::Elementwise(op, a, b) => {
                 let av = a.eval_real(session)?;
@@ -147,10 +147,10 @@ impl Expr {
                 let xm = x.eval_sim(session)?;
                 session.transpose(&xm)
             }
-            Expr::Elementwise(_, a, b) => {
+            Expr::Elementwise(op, a, b) => {
                 let am = a.eval_sim(session)?;
                 let bm = b.eval_sim(session)?;
-                session.elementwise(&am, &bm)
+                session.elementwise(&am, *op, &bm)
             }
         }
     }

@@ -104,15 +104,15 @@ fn iteration_sim(
     let wtv = s.matmul(&wt, v)?;
     let wtw = s.matmul(&wt, w)?;
     let wtwh = s.matmul(&wtw, h)?;
-    let num = s.elementwise(h, &wtv)?;
-    let _h_next = s.elementwise(&num, &wtwh)?;
+    let num = s.elementwise(h, EwOp::Mul, &wtv)?;
+    let _h_next = s.elementwise(&num, EwOp::Div, &wtwh)?;
     // --- W update: W ∗ (V Hᵀ) / (W H Hᵀ) ---
     let ht = s.transpose(h)?;
     let vht = s.matmul(v, &ht)?;
     let hht = s.matmul(h, &ht)?;
     let whht = s.matmul(w, &hht)?;
-    let num = s.elementwise(w, &vht)?;
-    let _w_next = s.elementwise(&num, &whht)?;
+    let num = s.elementwise(w, EwOp::Mul, &vht)?;
+    let _w_next = s.elementwise(&num, EwOp::Div, &whht)?;
     Ok(())
 }
 
@@ -151,14 +151,14 @@ pub fn run_real(
     let mut objective = Vec::with_capacity(cfg.iterations);
     for _ in 0..cfg.iterations {
         // H ← H ∗ (WᵀV) / (WᵀW H)
-        let wt = session.transpose(&w);
+        let wt = session.transpose(&w)?;
         let wtv = session.matmul(&wt, v)?;
         let wtw = session.matmul(&wt, &w)?;
         let wtwh = session.matmul(&wtw, &h)?;
         let num = session.elementwise(&h, EwOp::Mul, &wtv)?;
         h = session.elementwise(&num, EwOp::Div, &wtwh)?;
         // W ← W ∗ (V Hᵀ) / (W H Hᵀ)
-        let ht = session.transpose(&h);
+        let ht = session.transpose(&h)?;
         let vht = session.matmul(v, &ht)?;
         let hht = session.matmul(&h, &ht)?;
         let whht = session.matmul(&w, &hht)?;
@@ -171,11 +171,7 @@ pub fn run_real(
 }
 
 /// `‖V − WH‖F` on materialized matrices.
-fn frobenius_residual(
-    v: &BlockMatrix,
-    w: &BlockMatrix,
-    h: &BlockMatrix,
-) -> Result<f64, JobError> {
+fn frobenius_residual(v: &BlockMatrix, w: &BlockMatrix, h: &BlockMatrix) -> Result<f64, JobError> {
     let wh = w.multiply(h).map_err(to_job)?;
     let diff = v.elementwise(EwOp::Sub, &wh).map_err(to_job)?;
     Ok(diff.frobenius_norm())
@@ -327,10 +323,14 @@ mod tests {
             factor_dim: 200,
             iterations: 2,
         };
-        let distme =
-            simulate(mk(), SystemProfile::DistMe, &RatingDataset::NETFLIX, &gnmf).unwrap();
-        let systemml =
-            simulate(mk(), SystemProfile::SystemMl, &RatingDataset::NETFLIX, &gnmf).unwrap();
+        let distme = simulate(mk(), SystemProfile::DistMe, &RatingDataset::NETFLIX, &gnmf).unwrap();
+        let systemml = simulate(
+            mk(),
+            SystemProfile::SystemMl,
+            &RatingDataset::NETFLIX,
+            &gnmf,
+        )
+        .unwrap();
         let matfast =
             simulate(mk(), SystemProfile::MatFast, &RatingDataset::NETFLIX, &gnmf).unwrap();
         assert!(

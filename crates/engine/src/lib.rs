@@ -5,10 +5,11 @@
 //!
 //! * [`expr`] — a matrix-expression API (the stand-in for DistME's Scala
 //!   API): build `W.t().matmul(&V)`-style trees and evaluate them;
-//! * [`session`] — evaluation contexts: [`session::SimSession`] runs
-//!   operators against the paper-scale simulated cluster,
-//!   [`session::RealSession`] runs them with real blocks on the
-//!   thread-backed cluster;
+//! * [`session`] — one generic evaluation context over pluggable backends:
+//!   [`session::SimSession`] runs operators against the paper-scale
+//!   simulated cluster, [`session::RealSession`] runs them with real
+//!   blocks on the thread-backed cluster — both are aliases of
+//!   [`session::Session`];
 //! * [`systems`] — planner profiles for every system in §6: DistME
 //!   (CuboidMM), SystemML (BMM/CPMM/RMM heuristic), MatFast-naive (CPMM),
 //!   DMac (CPMM + dependency-aware partitioning), each in CPU "(C)" and
@@ -34,5 +35,5 @@ pub mod systems;
 
 pub use datasets::RatingDataset;
 pub use gnmf::{GnmfConfig, GnmfReport};
-pub use session::{RealSession, SimSession};
+pub use session::{EngineBackend, RealBackend, RealSession, Session, SimBackend, SimSession};
 pub use systems::SystemProfile;

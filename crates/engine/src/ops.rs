@@ -2,9 +2,7 @@
 //! element-wise, matrix multiplication, and transpose as DistME's
 //! operator set).
 
-use distme_cluster::{
-    ComputeWork, JobError, JobStats, Phase, PhaseStats, SimCluster, SimTask,
-};
+use distme_cluster::{ComputeWork, JobError, JobStats, Phase, PhaseStats, SimCluster, SimTask};
 use distme_matrix::elementwise::EwOp;
 use distme_matrix::{BlockMatrix, MatrixMeta};
 
@@ -142,8 +140,10 @@ pub fn real_elementwise(
         task: 0,
         message: e.to_string(),
     })?;
-    let mut stats = JobStats::default();
-    stats.elapsed_secs = t0.elapsed().as_secs_f64();
+    let mut stats = JobStats {
+        elapsed_secs: t0.elapsed().as_secs_f64(),
+        ..JobStats::default()
+    };
     stats.phase_mut(Phase::LocalMult).secs = stats.elapsed_secs;
     Ok((out, stats))
 }
@@ -207,7 +207,10 @@ mod tests {
 
         let y = MatrixGenerator::with_seed(2).generate(&meta).unwrap();
         let (sum, _) = real_elementwise(&x, EwOp::Add, &y).unwrap();
-        assert_eq!(sum.get_element(5, 5), x.get_element(5, 5) + y.get_element(5, 5));
+        assert_eq!(
+            sum.get_element(5, 5),
+            x.get_element(5, 5) + y.get_element(5, 5)
+        );
         let z = MatrixGenerator::with_seed(3)
             .generate(&MatrixMeta::dense(10, 10).with_block_size(5))
             .unwrap();

@@ -1,26 +1,203 @@
 //! Evaluation sessions: the engine's execution contexts.
+//!
+//! One generic [`Session`] drives either backend. A backend pairs a
+//! cluster (simulated or thread-backed) with a value representation
+//! (descriptors or materialized block matrices); the session layers the
+//! system profile's planning and the per-operator statistics accumulation
+//! on top, identically for both. `SimSession` and `RealSession` are plain
+//! type aliases — there is no duplicated session logic to drift apart.
 
 use crate::ops;
 use crate::systems::SystemProfile;
-use distme_cluster::{ClusterConfig, JobError, JobStats, LocalCluster, SimCluster};
-use distme_core::{real_exec, sim_exec, MatmulProblem};
+use distme_cluster::{
+    ClusterConfig, ExecutionBackend, JobError, JobStats, LocalCluster, SimCluster,
+};
+use distme_core::real_exec::{self, RealExecOptions};
+use distme_core::{sim_exec, MatmulProblem};
 use distme_matrix::elementwise::EwOp;
 use distme_matrix::{BlockMatrix, MatrixMeta};
 
-/// A paper-scale session: operators run against the simulated cluster and
-/// only *descriptors* flow; per-operator statistics accumulate.
-pub struct SimSession {
+/// A place session operators execute: a cluster plus the value
+/// representation that flows between operators on it.
+pub trait EngineBackend {
+    /// The underlying cluster type.
+    type Cluster: ExecutionBackend;
+    /// What a matrix *is* on this backend: a descriptor (sim) or a
+    /// materialized block matrix (real).
+    type Value;
+
+    /// Builds the backend on a fresh cluster.
+    fn from_config(cfg: ClusterConfig) -> Self;
+
+    /// The underlying cluster (configuration and ledger access).
+    fn cluster(&self) -> &Self::Cluster;
+
+    /// Distributed multiply `a × b` planned by `profile`.
+    ///
+    /// # Errors
+    /// Propagates shape errors and the cluster failure modes.
+    fn matmul(
+        &mut self,
+        profile: SystemProfile,
+        a: &Self::Value,
+        b: &Self::Value,
+    ) -> Result<(Self::Value, JobStats), JobError>;
+
+    /// Distributed transpose.
+    ///
+    /// # Errors
+    /// Propagates cluster failure modes.
+    fn transpose(
+        &mut self,
+        profile: SystemProfile,
+        x: &Self::Value,
+    ) -> Result<(Self::Value, JobStats), JobError>;
+
+    /// Element-wise combination of co-partitioned matrices.
+    ///
+    /// # Errors
+    /// Returns a task failure on shape mismatch.
+    fn elementwise(
+        &mut self,
+        x: &Self::Value,
+        op: EwOp,
+        y: &Self::Value,
+    ) -> Result<(Self::Value, JobStats), JobError>;
+}
+
+/// The paper-scale backend: only descriptors flow; every operator is
+/// lowered onto the simulated cluster's resource models.
+pub struct SimBackend {
     cluster: SimCluster,
+}
+
+impl EngineBackend for SimBackend {
+    type Cluster = SimCluster;
+    type Value = MatrixMeta;
+
+    fn from_config(cfg: ClusterConfig) -> Self {
+        SimBackend {
+            cluster: SimCluster::new(cfg),
+        }
+    }
+
+    fn cluster(&self) -> &SimCluster {
+        &self.cluster
+    }
+
+    fn matmul(
+        &mut self,
+        profile: SystemProfile,
+        a: &MatrixMeta,
+        b: &MatrixMeta,
+    ) -> Result<(MatrixMeta, JobStats), JobError> {
+        let problem = MatmulProblem::new(*a, *b).map_err(|e| JobError::TaskFailed {
+            task: 0,
+            message: e.to_string(),
+        })?;
+        let resolved = profile.resolve(&problem, self.cluster.config());
+        let stats = sim_exec::simulate_resolved(&mut self.cluster, &problem, &resolved)?;
+        Ok((problem.c, stats))
+    }
+
+    fn transpose(
+        &mut self,
+        profile: SystemProfile,
+        x: &MatrixMeta,
+    ) -> Result<(MatrixMeta, JobStats), JobError> {
+        ops::sim_transpose(&mut self.cluster, x, profile.reuses_partitioning())
+    }
+
+    fn elementwise(
+        &mut self,
+        x: &MatrixMeta,
+        _op: EwOp,
+        y: &MatrixMeta,
+    ) -> Result<(MatrixMeta, JobStats), JobError> {
+        // The sim cost model is op-independent: one arithmetic pass.
+        ops::sim_elementwise(&mut self.cluster, x, y)
+    }
+}
+
+/// The laptop-scale backend: operators run with real blocks on the
+/// thread-backed cluster and results are checked against references.
+pub struct RealBackend {
+    cluster: LocalCluster,
+}
+
+impl EngineBackend for RealBackend {
+    type Cluster = LocalCluster;
+    type Value = BlockMatrix;
+
+    fn from_config(cfg: ClusterConfig) -> Self {
+        RealBackend {
+            cluster: LocalCluster::new(cfg),
+        }
+    }
+
+    fn cluster(&self) -> &LocalCluster {
+        &self.cluster
+    }
+
+    fn matmul(
+        &mut self,
+        profile: SystemProfile,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+    ) -> Result<(BlockMatrix, JobStats), JobError> {
+        let problem =
+            MatmulProblem::new(*a.meta(), *b.meta()).map_err(|e| JobError::TaskFailed {
+                task: 0,
+                message: e.to_string(),
+            })?;
+        let resolved = profile.resolve(&problem, self.cluster.config());
+        real_exec::multiply_resolved(&self.cluster, a, b, &resolved, RealExecOptions::default())
+    }
+
+    fn transpose(
+        &mut self,
+        profile: SystemProfile,
+        x: &BlockMatrix,
+    ) -> Result<(BlockMatrix, JobStats), JobError> {
+        Ok(ops::real_transpose(
+            &self.cluster,
+            x,
+            profile.reuses_partitioning(),
+        ))
+    }
+
+    fn elementwise(
+        &mut self,
+        x: &BlockMatrix,
+        op: EwOp,
+        y: &BlockMatrix,
+    ) -> Result<(BlockMatrix, JobStats), JobError> {
+        ops::real_elementwise(x, op, y)
+    }
+}
+
+/// An evaluation session over backend `B`: per-operator statistics
+/// accumulate across the expression being evaluated.
+pub struct Session<B: EngineBackend> {
+    backend: B,
     profile: SystemProfile,
     accumulated: JobStats,
     ops_run: usize,
 }
 
-impl SimSession {
+/// A paper-scale session: operators run against the simulated cluster and
+/// only *descriptors* flow.
+pub type SimSession = Session<SimBackend>;
+
+/// A laptop-scale session: operators run with real blocks; values are
+/// actual [`BlockMatrix`]es.
+pub type RealSession = Session<RealBackend>;
+
+impl<B: EngineBackend> Session<B> {
     /// Creates a session for `profile` on a cluster configuration.
     pub fn new(cfg: ClusterConfig, profile: SystemProfile) -> Self {
-        SimSession {
-            cluster: SimCluster::new(cfg),
+        Session {
+            backend: B::from_config(cfg),
             profile,
             accumulated: JobStats::default(),
             ops_run: 0,
@@ -30,6 +207,11 @@ impl SimSession {
     /// The session's system profile.
     pub fn profile(&self) -> SystemProfile {
         self.profile
+    }
+
+    /// The underlying cluster (ledger access for tests).
+    pub fn cluster(&self) -> &B::Cluster {
+        self.backend.cluster()
     }
 
     /// Statistics accumulated over every operator run so far.
@@ -52,24 +234,18 @@ impl SimSession {
     ///
     /// # Errors
     /// Propagates shape errors and the cluster failure modes.
-    pub fn matmul(&mut self, a: &MatrixMeta, b: &MatrixMeta) -> Result<MatrixMeta, JobError> {
-        let problem = MatmulProblem::new(*a, *b).map_err(|e| JobError::TaskFailed {
-            task: 0,
-            message: e.to_string(),
-        })?;
-        let resolved = self.profile.resolve(&problem, self.cluster.config());
-        let stats = sim_exec::simulate_resolved(&mut self.cluster, &problem, &resolved)?;
+    pub fn matmul(&mut self, a: &B::Value, b: &B::Value) -> Result<B::Value, JobError> {
+        let (out, stats) = self.backend.matmul(self.profile, a, b)?;
         self.absorb(stats);
-        Ok(problem.c)
+        Ok(out)
     }
 
     /// Distributed transpose.
     ///
     /// # Errors
     /// Propagates cluster failure modes.
-    pub fn transpose(&mut self, x: &MatrixMeta) -> Result<MatrixMeta, JobError> {
-        let (out, stats) =
-            ops::sim_transpose(&mut self.cluster, x, self.profile.reuses_partitioning())?;
+    pub fn transpose(&mut self, x: &B::Value) -> Result<B::Value, JobError> {
+        let (out, stats) = self.backend.transpose(self.profile, x)?;
         self.absorb(stats);
         Ok(out)
     }
@@ -78,8 +254,13 @@ impl SimSession {
     ///
     /// # Errors
     /// Returns a task failure on shape mismatch.
-    pub fn elementwise(&mut self, x: &MatrixMeta, y: &MatrixMeta) -> Result<MatrixMeta, JobError> {
-        let (out, stats) = ops::sim_elementwise(&mut self.cluster, x, y)?;
+    pub fn elementwise(
+        &mut self,
+        x: &B::Value,
+        op: EwOp,
+        y: &B::Value,
+    ) -> Result<B::Value, JobError> {
+        let (out, stats) = self.backend.elementwise(x, op, y)?;
         self.absorb(stats);
         Ok(out)
     }
@@ -87,74 +268,6 @@ impl SimSession {
     fn absorb(&mut self, stats: JobStats) {
         self.accumulated.merge(&stats);
         self.ops_run += 1;
-    }
-}
-
-/// A laptop-scale session: operators run with real blocks on the
-/// thread-backed cluster; values are actual [`BlockMatrix`]es.
-pub struct RealSession {
-    cluster: LocalCluster,
-    profile: SystemProfile,
-    accumulated: JobStats,
-}
-
-impl RealSession {
-    /// Creates a session for `profile`.
-    pub fn new(cfg: ClusterConfig, profile: SystemProfile) -> Self {
-        RealSession {
-            cluster: LocalCluster::new(cfg),
-            profile,
-            accumulated: JobStats::default(),
-        }
-    }
-
-    /// The underlying cluster (ledger access for tests).
-    pub fn cluster(&self) -> &LocalCluster {
-        &self.cluster
-    }
-
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &JobStats {
-        &self.accumulated
-    }
-
-    /// Distributed multiply with the profile's planner.
-    ///
-    /// # Errors
-    /// Propagates shape errors, O.O.M., and scheduler failures.
-    pub fn matmul(&mut self, a: &BlockMatrix, b: &BlockMatrix) -> Result<BlockMatrix, JobError> {
-        let problem =
-            MatmulProblem::new(*a.meta(), *b.meta()).map_err(|e| JobError::TaskFailed {
-                task: 0,
-                message: e.to_string(),
-            })?;
-        let method = self.profile.method_for(&problem, self.cluster.config());
-        let (c, stats) = real_exec::multiply(&self.cluster, a, b, method)?;
-        self.accumulated.merge(&stats);
-        Ok(c)
-    }
-
-    /// Transpose with shuffle accounting.
-    pub fn transpose(&mut self, x: &BlockMatrix) -> BlockMatrix {
-        let (out, stats) =
-            ops::real_transpose(&self.cluster, x, self.profile.reuses_partitioning());
-        self.accumulated.merge(&stats);
-        out
-    }
-
-    /// Element-wise combination.
-    ///
-    /// # Errors
-    /// Returns a task failure on shape mismatch.
-    pub fn elementwise(
-        &mut self,
-        x: &BlockMatrix,
-        op: EwOp,
-        y: &BlockMatrix,
-    ) -> Result<BlockMatrix, JobError> {
-        let (out, stats) = ops::real_elementwise(x, op, y)?;
-        self.accumulated.merge(&stats);
-        Ok(out)
     }
 }
 
@@ -185,7 +298,7 @@ mod tests {
         let x = MatrixMeta::dense(10_000, 4_000);
         let xt = s.transpose(&x).unwrap();
         assert_eq!(xt.rows, 4_000);
-        let y = s.elementwise(&x, &x).unwrap();
+        let y = s.elementwise(&x, EwOp::Mul, &x).unwrap();
         assert_eq!(y.rows, 10_000);
         assert_eq!(s.ops_run(), 2);
     }
@@ -214,9 +327,9 @@ mod tests {
         let meta = MatrixMeta::dense(48, 48).with_block_size(16);
         let a = MatrixGenerator::with_seed(7).generate(&meta).unwrap();
         let mut s = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
-        let at = s.transpose(&a);
+        let at = s.transpose(&a).unwrap();
         let sym = s.matmul(&at, &a).unwrap(); // A^T A is symmetric
-        let symt = s.transpose(&sym);
+        let symt = s.transpose(&sym).unwrap();
         assert!(sym.max_abs_diff(&symt).unwrap() < 1e-9);
         let hadamard = s.elementwise(&sym, EwOp::Mul, &symt).unwrap();
         assert!(hadamard.get_element(0, 0) >= 0.0); // squares

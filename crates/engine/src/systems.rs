@@ -65,7 +65,9 @@ impl SystemProfile {
                 let theta_t = cluster.task_mem_bytes;
                 // mapmm: broadcast the smaller side when it comfortably
                 // fits beside a task's other operands.
-                if problem.b.total_bytes() <= theta_t / 4 && problem.a.total_bytes() > problem.b.total_bytes() {
+                if problem.b.total_bytes() <= theta_t / 4
+                    && problem.a.total_bytes() > problem.b.total_bytes()
+                {
                     return MulMethod::Bmm;
                 }
                 // CPMM needs each task to hold |A|/K + |B|/K.
@@ -83,17 +85,10 @@ impl SystemProfile {
 
     /// Resolves a problem to an executable method under this profile,
     /// applying the profile's output-residency semantics.
-    pub fn resolve(
-        &self,
-        problem: &MatmulProblem,
-        cluster: &ClusterConfig,
-    ) -> ResolvedMethod {
+    pub fn resolve(&self, problem: &MatmulProblem, cluster: &ClusterConfig) -> ResolvedMethod {
         let method = self.method_for(problem, cluster);
-        let mut resolved = ResolvedMethod::resolve(
-            method,
-            problem,
-            &OptimizerConfig::from_cluster(cluster),
-        );
+        let mut resolved =
+            ResolvedMethod::resolve(method, problem, &OptimizerConfig::from_cluster(cluster));
         if self.legacy_output_resident() {
             resolved = resolved.with_resident_output();
         }

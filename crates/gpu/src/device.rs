@@ -62,7 +62,12 @@ impl GpuDevice {
     /// Launches a kernel of `flops` floating-point operations; `sparse`
     /// selects the csrmm rate instead of the dense GEMM rate.
     /// Returns `(start, done)`.
-    pub fn launch_kernel(&mut self, ready: SimTime, flops: f64, sparse: bool) -> (SimTime, SimTime) {
+    pub fn launch_kernel(
+        &mut self,
+        ready: SimTime,
+        flops: f64,
+        sparse: bool,
+    ) -> (SimTime, SimTime) {
         self.launch_kernel_batch(ready, flops, 1, sparse)
     }
 

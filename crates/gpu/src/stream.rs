@@ -25,9 +25,7 @@ impl StreamSet {
     /// Creates `requested` streams on a device allowing
     /// `max_concurrent_streams`.
     pub fn new(requested: usize, device: &GpuDevice) -> Self {
-        let n = requested
-            .max(1)
-            .min(device.config().max_concurrent_streams);
+        let n = requested.max(1).min(device.config().max_concurrent_streams);
         StreamSet {
             tails: vec![SimTime::ZERO; n],
         }
@@ -49,7 +47,13 @@ impl StreamSet {
 
     /// Issues an H2D copy on `stream`, not before `ready`. Returns its
     /// completion time.
-    pub fn h2d(&mut self, device: &mut GpuDevice, stream: usize, ready: SimTime, bytes: u64) -> SimTime {
+    pub fn h2d(
+        &mut self,
+        device: &mut GpuDevice,
+        stream: usize,
+        ready: SimTime,
+        bytes: u64,
+    ) -> SimTime {
         let s = self.slot(stream);
         let issue = ready.max(self.tails[s]);
         let (_, done) = device.h2d_copy(issue, bytes);
@@ -89,7 +93,13 @@ impl StreamSet {
     }
 
     /// Issues a D2H copy on `stream`. Returns its completion time.
-    pub fn d2h(&mut self, device: &mut GpuDevice, stream: usize, ready: SimTime, bytes: u64) -> SimTime {
+    pub fn d2h(
+        &mut self,
+        device: &mut GpuDevice,
+        stream: usize,
+        ready: SimTime,
+        bytes: u64,
+    ) -> SimTime {
         let s = self.slot(stream);
         let issue = ready.max(self.tails[s]);
         let (_, done) = device.d2h_copy(issue, bytes);
@@ -99,10 +109,7 @@ impl StreamSet {
 
     /// Synchronization barrier: time when every stream has drained.
     pub fn sync_all(&self) -> SimTime {
-        self.tails
-            .iter()
-            .copied()
-            .fold(SimTime::ZERO, SimTime::max)
+        self.tails.iter().copied().fold(SimTime::ZERO, SimTime::max)
     }
 }
 

@@ -50,8 +50,7 @@ pub fn execute_streamed(device: &mut GpuDevice, ready: SimTime, work: &GpuWork) 
     let n = ss.len();
     let chunk_bytes = work.h2d_bytes / n as u64;
     let calls_per_stream = (work.kernel_calls as usize).div_ceil(n).max(1);
-    let flops_per_call =
-        (work.dense_flops + work.sparse_flops) / work.kernel_calls.max(1) as f64;
+    let flops_per_call = (work.dense_flops + work.sparse_flops) / work.kernel_calls.max(1) as f64;
     let sparse = work.sparse_flops > work.dense_flops;
 
     let start = ready.max(device.free_at().min(ready));
@@ -88,12 +87,8 @@ pub fn execute_naive(device: &mut GpuDevice, ready: SimTime, work: &GpuWork) -> 
     let (start, copied) = device.h2d_copy(ready, work.h2d_bytes);
     let calls = work.kernel_calls.max(1);
     let sparse = work.sparse_flops > work.dense_flops;
-    let (_, t) = device.launch_kernel_batch(
-        copied,
-        work.dense_flops + work.sparse_flops,
-        calls,
-        sparse,
-    );
+    let (_, t) =
+        device.launch_kernel_batch(copied, work.dense_flops + work.sparse_flops, calls, sparse);
     let end = if work.d2h_bytes > 0 {
         device.d2h_copy(t, work.d2h_bytes).1
     } else {

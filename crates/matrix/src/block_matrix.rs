@@ -190,8 +190,9 @@ impl BlockMatrix {
                 let d = match (self.get(bi, bj), other.get(bi, bj)) {
                     (None, None) => 0.0,
                     (Some(a), Some(b)) => a.max_abs_diff(b)?,
-                    (Some(x), None) | (None, Some(x)) => x
-                        .max_abs_diff(&Block::Dense(DenseBlock::zeros(r as usize, c as usize)))?,
+                    (Some(x), None) | (None, Some(x)) => {
+                        x.max_abs_diff(&Block::Dense(DenseBlock::zeros(r as usize, c as usize)))?
+                    }
                 };
                 worst = worst.max(d);
             }

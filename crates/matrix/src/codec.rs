@@ -118,7 +118,9 @@ pub fn decode(mut buf: Bytes) -> Result<Block> {
                 rows, cols, row_ptr, col_idx, values,
             )?))
         }
-        other => Err(MatrixError::Codec(format!("unknown block tag 0x{other:02x}"))),
+        other => Err(MatrixError::Codec(format!(
+            "unknown block tag 0x{other:02x}"
+        ))),
     }
 }
 

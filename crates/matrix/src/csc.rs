@@ -186,8 +186,12 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 0 0 ]
         // [ 3 4 0 ]
-        CscBlock::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
-            .unwrap()
+        CscBlock::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -235,8 +239,7 @@ mod tests {
 
     #[test]
     fn duplicates_merge_and_zeros_drop() {
-        let b = CscBlock::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 0.0)])
-            .unwrap();
+        let b = CscBlock::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 0.0)]).unwrap();
         assert_eq!(b.nnz(), 1);
         assert_eq!(b.values(), &[3.0]);
     }

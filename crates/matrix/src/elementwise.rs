@@ -73,7 +73,11 @@ pub fn ew(op: EwOp, a: &Block, b: &Block) -> Result<Block> {
     for (x, y) in da.data().iter().zip(db.data().iter()) {
         out.push(op.apply(*x, *y));
     }
-    Ok(Block::Dense(DenseBlock::from_vec(da.rows(), da.cols(), out)?))
+    Ok(Block::Dense(DenseBlock::from_vec(
+        da.rows(),
+        da.cols(),
+        out,
+    )?))
 }
 
 fn ew_sparse_left(op: EwOp, a: &CsrBlock, b: &Block) -> Result<Block> {

@@ -61,7 +61,9 @@ pub fn read_bbm(path: &Path) -> Result<BlockMatrix> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic).map_err(io_err)?;
     if &magic != BBM_MAGIC {
-        return Err(MatrixError::Codec("not a DistME blocked matrix file".into()));
+        return Err(MatrixError::Codec(
+            "not a DistME blocked matrix file".into(),
+        ));
     }
     let rows = read_u64(&mut r)?;
     let cols = read_u64(&mut r)?;
@@ -174,7 +176,8 @@ pub fn read_matrix_market(path: &Path, block_size: u64) -> Result<BlockMatrix> {
             triplets.push((j - 1, i - 1, v));
         }
     }
-    let (rows, cols, declared) = dims.ok_or_else(|| MatrixError::Codec("missing size line".into()))?;
+    let (rows, cols, declared) =
+        dims.ok_or_else(|| MatrixError::Codec("missing size line".into()))?;
     let base = if symmetric {
         // Symmetric files declare only the lower triangle.
         triplets.len() as u64
@@ -189,14 +192,15 @@ pub fn read_matrix_market(path: &Path, block_size: u64) -> Result<BlockMatrix> {
         block_size,
         sparsity: (triplets.len() as f64 / (rows as f64 * cols as f64)).min(1.0),
     };
-    let mut per_block: std::collections::BTreeMap<(u32, u32), Vec<(usize, usize, f64)>> =
-        std::collections::BTreeMap::new();
+    type BlockTriplets = std::collections::BTreeMap<(u32, u32), Vec<(usize, usize, f64)>>;
+    let mut per_block: BlockTriplets = std::collections::BTreeMap::new();
     for (i, j, v) in triplets {
         let key = ((i / block_size) as u32, (j / block_size) as u32);
-        per_block
-            .entry(key)
-            .or_default()
-            .push(((i % block_size) as usize, (j % block_size) as usize, v));
+        per_block.entry(key).or_default().push((
+            (i % block_size) as usize,
+            (j % block_size) as usize,
+            v,
+        ));
     }
     let mut matrix = BlockMatrix::new(meta);
     for ((bi, bj), trips) in per_block {
@@ -307,7 +311,11 @@ mod tests {
         )
         .unwrap();
         assert!(read_matrix_market(&p, 2).is_err());
-        std::fs::write(&p, "%%MatrixMarket matrix coordinate complex general\n1 1 1\n").unwrap();
+        std::fs::write(
+            &p,
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n",
+        )
+        .unwrap();
         assert!(read_matrix_market(&p, 2).is_err());
     }
 

@@ -23,7 +23,13 @@ const NR: usize = 4;
 /// # Errors
 /// Returns [`MatrixError::DimensionMismatch`] when operand shapes are
 /// incompatible.
-pub fn gemm(alpha: f64, a: &DenseBlock, b: &DenseBlock, beta: f64, c: &mut DenseBlock) -> Result<()> {
+pub fn gemm(
+    alpha: f64,
+    a: &DenseBlock,
+    b: &DenseBlock,
+    beta: f64,
+    c: &mut DenseBlock,
+) -> Result<()> {
     let (m, k) = (a.rows(), a.cols());
     let (kb, n) = (b.rows(), b.cols());
     if k != kb || c.rows() != m || c.cols() != n {
@@ -55,18 +61,7 @@ pub fn gemm(alpha: f64, a: &DenseBlock, b: &DenseBlock, beta: f64, c: &mut Dense
         let mut ii = 0;
         while ii < m {
             let mc = MC.min(m - ii);
-            macro_kernel(
-                alpha,
-                av,
-                bv,
-                cv,
-                ii,
-                kk,
-                mc,
-                kc,
-                n,
-                k,
-            );
+            macro_kernel(alpha, av, bv, cv, ii, kk, mc, kc, n, k);
             ii += mc;
         }
         kk += kc;

@@ -147,8 +147,7 @@ mod tests {
         let db = dense_b();
         let mut c = naive(&da, &db);
         // c += a*b again => 2 * naive
-        multiply_accumulate(&mut c, &Block::Dense(da.clone()), &Block::Dense(db.clone()))
-            .unwrap();
+        multiply_accumulate(&mut c, &Block::Dense(da.clone()), &Block::Dense(db.clone())).unwrap();
         let mut twice = naive(&da, &db);
         twice.scale(2.0);
         assert!(c.max_abs_diff(&twice).unwrap() < 1e-12);

@@ -76,8 +76,10 @@ mod tests {
         let mut state = seed | 1;
         for i in 0..rows {
             for j in 0..cols {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-                if (state >> 33) as usize % every == 0 {
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
+                if ((state >> 33) as usize).is_multiple_of(every) {
                     trips.push((i, j, 1.0 + ((state >> 40) % 9) as f64));
                 }
             }

@@ -102,8 +102,10 @@ mod tests {
         let mut state = seed | 1;
         for i in 0..rows {
             for j in 0..cols {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                if (state >> 33) as usize % every == 0 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if ((state >> 33) as usize).is_multiple_of(every) {
                     trips.push((i, j, ((state >> 40) as f64 % 17.0) - 8.0));
                 }
             }

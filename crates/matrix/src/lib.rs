@@ -38,8 +38,8 @@ pub mod ops;
 pub mod sparse;
 
 pub use block::{Block, BlockFormat, BlockId};
-pub use csc::CscBlock;
 pub use block_matrix::BlockMatrix;
+pub use csc::CscBlock;
 pub use dense::DenseBlock;
 pub use error::{MatrixError, Result};
 pub use generator::MatrixGenerator;

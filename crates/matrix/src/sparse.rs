@@ -296,7 +296,6 @@ impl CsrBlock {
         }
         Ok(())
     }
-
 }
 
 #[cfg(test)]
@@ -307,8 +306,12 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 0 0 ]
         // [ 3 4 0 ]
-        CsrBlock::from_triplets(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
-            .unwrap()
+        CsrBlock::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -335,7 +338,8 @@ mod tests {
 
     #[test]
     fn from_triplets_drops_explicit_and_cancelled_zeros() {
-        let b = CsrBlock::from_triplets(2, 2, vec![(0, 1, 0.0), (1, 1, 3.0), (1, 1, -3.0)]).unwrap();
+        let b =
+            CsrBlock::from_triplets(2, 2, vec![(0, 1, 0.0), (1, 1, 3.0), (1, 1, -3.0)]).unwrap();
         assert_eq!(b.nnz(), 0);
         b.validate().unwrap();
     }
@@ -379,9 +383,7 @@ mod tests {
         // Column out of range.
         assert!(CsrBlock::from_raw_parts(1, 2, vec![0, 1], vec![7], vec![1.0]).is_err());
         // Unsorted columns within a row.
-        assert!(
-            CsrBlock::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err()
-        );
+        assert!(CsrBlock::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
         // Length disagreement.
         assert!(CsrBlock::from_raw_parts(1, 2, vec![0, 2], vec![0], vec![1.0]).is_err());
     }

@@ -3,7 +3,9 @@
 
 use distme_matrix::elementwise::{ew, EwOp};
 use distme_matrix::kernels;
-use distme_matrix::{codec, Block, BlockMatrix, CscBlock, CsrBlock, DenseBlock, MatrixGenerator, MatrixMeta};
+use distme_matrix::{
+    codec, Block, BlockMatrix, CscBlock, CsrBlock, DenseBlock, MatrixGenerator, MatrixMeta,
+};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary dense block up to 24 x 24.
@@ -24,8 +26,10 @@ fn sparse_block() -> impl Strategy<Value = CsrBlock> {
         let mut trips = Vec::new();
         for i in 0..r {
             for j in 0..c {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
-                if (state >> 33) as usize % every == 0 {
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
+                if ((state >> 33) as usize).is_multiple_of(every) {
                     trips.push((i, j, ((state >> 40) % 19) as f64 - 9.0));
                 }
             }

@@ -75,12 +75,7 @@ impl BusyTracker {
 
     /// Latest recorded end time.
     pub fn last_end(&self) -> SimTime {
-        SimTime::from_secs(
-            self.intervals
-                .iter()
-                .map(|&(_, e)| e)
-                .fold(0.0, f64::max),
-        )
+        SimTime::from_secs(self.intervals.iter().map(|&(_, e)| e).fold(0.0, f64::max))
     }
 }
 

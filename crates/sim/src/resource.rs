@@ -1,8 +1,8 @@
 //! Contended resources with virtual-time timelines.
 
 use crate::time::SimTime;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A fixed-rate FIFO server: requests are served one at a time, in request
 /// order, at `rate` units/second.
@@ -96,7 +96,9 @@ impl PartialOrd for OrderedTime {
 }
 impl Ord for OrderedTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("sim times are never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("sim times are never NaN")
     }
 }
 
@@ -118,8 +120,10 @@ impl SlotPool {
     /// Returns `(start, done)`.
     pub fn acquire(&mut self, ready: SimTime, duration: f64) -> (SimTime, SimTime) {
         debug_assert!(duration >= 0.0);
-        let Reverse(OrderedTime(earliest)) =
-            self.free_times.pop().expect("pool always has `slots` entries");
+        let Reverse(OrderedTime(earliest)) = self
+            .free_times
+            .pop()
+            .expect("pool always has `slots` entries");
         let start = ready.max(SimTime::from_secs(earliest));
         let done = start + duration;
         self.free_times.push(Reverse(OrderedTime(done.as_secs())));
@@ -132,8 +136,10 @@ impl SlotPool {
     /// slot and returns the start time. The caller **must** pair this with
     /// [`SlotPool::release`] or the slot is lost.
     pub fn acquire_at(&mut self, ready: SimTime) -> SimTime {
-        let Reverse(OrderedTime(earliest)) =
-            self.free_times.pop().expect("pool always has `slots` entries");
+        let Reverse(OrderedTime(earliest)) = self
+            .free_times
+            .pop()
+            .expect("pool always has `slots` entries");
         ready.max(SimTime::from_secs(earliest))
     }
 

@@ -14,15 +14,15 @@ use distme::prelude::*;
 /// irreducible.
 fn web_graph(n: usize, hubs: usize, bs: u64) -> BlockMatrix {
     let mut out_links: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for page in 0..n {
+    for (page, links) in out_links.iter_mut().enumerate() {
         // Everyone links to the hubs...
         for hub in 0..hubs {
             if hub != page {
-                out_links[page].push(hub);
+                links.push(hub);
             }
         }
         // ...and to the next page in the ring.
-        out_links[page].push((page + 1) % n);
+        links.push((page + 1) % n);
     }
     let mut triplets: Vec<(u64, u64, f64)> = Vec::new();
     for (page, targets) in out_links.iter().enumerate() {
@@ -34,8 +34,8 @@ fn web_graph(n: usize, hubs: usize, bs: u64) -> BlockMatrix {
 
     let meta = MatrixMeta::sparse(n as u64, n as u64, 0.05).with_block_size(bs);
     let mut links = BlockMatrix::new(meta);
-    let mut per_block: std::collections::BTreeMap<(u32, u32), Vec<(usize, usize, f64)>> =
-        Default::default();
+    type BlockTriplets = std::collections::BTreeMap<(u32, u32), Vec<(usize, usize, f64)>>;
+    let mut per_block: BlockTriplets = Default::default();
     for (i, j, v) in triplets {
         per_block
             .entry(((i / bs) as u32, (j / bs) as u32))
@@ -82,11 +82,13 @@ fn main() {
     let mass: f64 = ranks.total_sum();
     println!("  total rank mass: {mass:.6} (must be 1)\n");
     assert!((mass - 1.0).abs() < 1e-9);
-    assert!(scored[..hubs].iter().all(|(p, _)| *p < hubs), "hubs must lead");
+    assert!(
+        scored[..hubs].iter().all(|(p, _)| *p < hubs),
+        "hubs must lead"
+    );
 
     // --- Eigenvector centrality --------------------------------------------
-    let pair =
-        algorithms::power_iteration(&mut session, &links, 80, 11).expect("power iteration");
+    let pair = algorithms::power_iteration(&mut session, &links, 80, 11).expect("power iteration");
     println!(
         "dominant eigenvalue of the link matrix: {:.6} (stochastic ⇒ 1), residual {:.2e}",
         pair.value, pair.residual

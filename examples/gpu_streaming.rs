@@ -31,7 +31,11 @@ fn main() {
     let reference = a.multiply(&b).expect("reference");
 
     let block_bytes = 8 * bs * bs;
-    println!("cuboid: {:?} blocks of {} KiB", cuboid.extents(), block_bytes >> 10);
+    println!(
+        "cuboid: {:?} blocks of {} KiB",
+        cuboid.extents(),
+        block_bytes >> 10
+    );
     println!(
         "{:>14} {:>14} {:>12} {:>12} {:>10}",
         "θg (blocks)", "(P2,Q2,R2)", "iterations", "kernels", "max |err|"
@@ -66,8 +70,7 @@ fn main() {
     );
     let theta_g = 24 * block_bytes;
     let flops = cuboid.voxels() as f64 * problem.flops_per_voxel();
-    let (spec, gpu_work) =
-        gpu_local::plan_work(&sides, theta_g, flops, false).expect("feasible");
+    let (spec, gpu_work) = gpu_local::plan_work(&sides, theta_g, flops, false).expect("feasible");
     // Scale the device down so this toy cuboid is actually interesting.
     let mut cfg = GpuConfig::tiny(theta_g);
     cfg.h2d_bytes_per_sec = 50.0e6;

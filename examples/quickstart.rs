@@ -13,8 +13,12 @@ use distme::prelude::*;
 fn main() {
     // 768 x 768 matrices of 128 x 128 blocks: a 6 x 6 x 6 voxel model.
     let meta = MatrixMeta::dense(768, 768).with_block_size(128);
-    let a = MatrixGenerator::with_seed(7).generate(&meta).expect("generate A");
-    let b = MatrixGenerator::with_seed(8).generate(&meta).expect("generate B");
+    let a = MatrixGenerator::with_seed(7)
+        .generate(&meta)
+        .expect("generate A");
+    let b = MatrixGenerator::with_seed(8)
+        .generate(&meta)
+        .expect("generate B");
     let reference = a.multiply(&b).expect("reference product");
 
     let cluster = LocalCluster::new(ClusterConfig::laptop());
@@ -36,8 +40,7 @@ fn main() {
         MulMethod::Crmm,
         MulMethod::CuboidAuto,
     ] {
-        let (c, stats) =
-            real_exec::multiply(&cluster, &a, &b, method).expect("multiply succeeds");
+        let (c, stats) = real_exec::multiply(&cluster, &a, &b, method).expect("multiply succeeds");
         let err = c.max_abs_diff(&reference).expect("same shape");
         println!(
             "{:<10} {:>12} {:>16.2} {:>16.2} {:>12.2e}",
@@ -51,5 +54,7 @@ fn main() {
     }
 
     println!("\nAll methods computed the same product; CuboidMM moved the least data\n(shuffle + broadcast).");
-    println!("Paper-scale versions of this comparison: `cargo run -p distme-bench --release --bin fig6`");
+    println!(
+        "Paper-scale versions of this comparison: `cargo run -p distme-bench --release --bin fig6`"
+    );
 }

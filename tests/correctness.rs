@@ -107,10 +107,10 @@ proptest! {
         let b = generate(n * bs, n * bs, bs, 1.0, seed ^ 0x77);
         let mut s = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
         let ab = s.matmul(&a, &b).expect("A x B");
-        let ab_t = s.transpose(&ab);
+        let ab_t = s.transpose(&ab).expect("(AB)t");
         let bt_at = {
-            let bt = s.transpose(&b);
-            let at = s.transpose(&a);
+            let bt = s.transpose(&b).expect("Bt");
+            let at = s.transpose(&a).expect("At");
             s.matmul(&bt, &at).expect("Bt x At")
         };
         prop_assert!(ab_t.max_abs_diff(&bt_at).expect("same shape") < 1e-9);
@@ -139,7 +139,12 @@ fn identity_multiplication_through_every_method() {
             .expect("in grid");
     }
     let cluster = LocalCluster::new(ClusterConfig::laptop());
-    for method in [MulMethod::Bmm, MulMethod::Cpmm, MulMethod::Rmm, MulMethod::CuboidAuto] {
+    for method in [
+        MulMethod::Bmm,
+        MulMethod::Cpmm,
+        MulMethod::Rmm,
+        MulMethod::CuboidAuto,
+    ] {
         let (c, _) = real_exec::multiply(&cluster, &a, &id, method).expect("multiply");
         assert!(
             c.max_abs_diff(&a).expect("same shape") < 1e-12,

@@ -100,11 +100,8 @@ fn fig7c_systemml_edc_boundary_is_between_1m_and_1_5m() {
 fn fig7a_matfast_oom_boundary_is_between_30k_and_40k() {
     let cfg = ClusterConfig::paper_cluster().with_timeout(f64::MAX);
     let run_matfast = |n: u64| {
-        let p = MatmulProblem::new(
-            MatrixMeta::sparse(n, n, 0.5),
-            MatrixMeta::sparse(n, n, 0.5),
-        )
-        .expect("consistent");
+        let p = MatmulProblem::new(MatrixMeta::sparse(n, n, 0.5), MatrixMeta::sparse(n, n, 0.5))
+            .expect("consistent");
         let resolved = SystemProfile::MatFast.resolve(&p, &cfg);
         let mut sim = SimCluster::new(cfg);
         sim_exec::simulate_resolved(&mut sim, &p, &resolved)

@@ -98,10 +98,19 @@ fn section_6_3_distme_outperforms_both_systems() {
         }
     }
     let (sysml_c, distme_c, sysml_g, distme_g) = (results[0], results[1], results[2], results[3]);
-    assert!(distme_c < sysml_c, "CPU: DistME {distme_c:.0} vs SystemML {sysml_c:.0}");
-    assert!(distme_g < sysml_g, "GPU: DistME {distme_g:.0} vs SystemML {sysml_g:.0}");
+    assert!(
+        distme_c < sysml_c,
+        "CPU: DistME {distme_c:.0} vs SystemML {sysml_c:.0}"
+    );
+    assert!(
+        distme_g < sysml_g,
+        "GPU: DistME {distme_g:.0} vs SystemML {sysml_g:.0}"
+    );
     let distme_gain = distme_c / distme_g;
-    assert!(distme_gain > 1.5, "GPU should clearly accelerate DistME: {distme_gain:.2}x");
+    assert!(
+        distme_gain > 1.5,
+        "GPU should clearly accelerate DistME: {distme_gain:.2}x"
+    );
 }
 
 #[test]
@@ -126,7 +135,10 @@ fn section_6_3_gpu_utilization_ordering() {
     let sysml = util(SystemProfile::SystemMl);
     let matfast = util(SystemProfile::MatFast);
     assert!(distme > sysml, "DistME {distme:.2} vs SystemML {sysml:.2}");
-    assert!(distme > matfast, "DistME {distme:.2} vs MatFast {matfast:.2}");
+    assert!(
+        distme > matfast,
+        "DistME {distme:.2} vs MatFast {matfast:.2}"
+    );
 }
 
 #[test]
@@ -144,8 +156,7 @@ fn section_6_4_gnmf_ordering_and_scaling() {
             factor_dim: 200,
             iterations: 2,
         };
-        let distme =
-            gnmf::simulate(mk(), SystemProfile::DistMe, dataset, &gnmf_cfg).expect("runs");
+        let distme = gnmf::simulate(mk(), SystemProfile::DistMe, dataset, &gnmf_cfg).expect("runs");
         let sysml =
             gnmf::simulate(mk(), SystemProfile::SystemMl, dataset, &gnmf_cfg).expect("runs");
         sysml.total_secs() / distme.total_secs()
@@ -153,7 +164,10 @@ fn section_6_4_gnmf_ordering_and_scaling() {
     let movielens = speedup(&RatingDataset::MOVIELENS);
     let yahoo = speedup(&RatingDataset::YAHOO_MUSIC);
     assert!(movielens > 1.0, "MovieLens speedup {movielens:.2}x");
-    assert!(yahoo > movielens, "gap must grow: {movielens:.2}x -> {yahoo:.2}x");
+    assert!(
+        yahoo > movielens,
+        "gap must grow: {movielens:.2}x -> {yahoo:.2}x"
+    );
 }
 
 #[test]

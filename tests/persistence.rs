@@ -28,7 +28,11 @@ fn bbm_reload_multiplies_identically() {
     let cluster = LocalCluster::new(ClusterConfig::laptop());
     let (c1, _) = real_exec::multiply(&cluster, &a, &b, MulMethod::CuboidAuto).unwrap();
     let (c2, _) = real_exec::multiply(&cluster, &a2, &b2, MulMethod::CuboidAuto).unwrap();
-    assert_eq!(c1.max_abs_diff(&c2), Some(0.0), "reload changed the product");
+    assert_eq!(
+        c1.max_abs_diff(&c2),
+        Some(0.0),
+        "reload changed the product"
+    );
 }
 
 #[test]

@@ -1,0 +1,139 @@
+//! Sim/real byte parity: the invariant the physical-plan IR enforces.
+//!
+//! Both executors consume the same `JobPlan` for a given (problem, method,
+//! cluster config): the simulator reports the plan's routed communication,
+//! and the real executor charges its shuffle ledger from the very same
+//! routed moves. Per-phase shuffle, cross-node, and broadcast bytes must
+//! therefore be **bit-identical** between the two backends — not merely
+//! close — for every method, replication regime, and GPU setting.
+
+use distme::prelude::*;
+use distme_core::real_exec::RealExecOptions;
+use distme_gpu::GpuConfig;
+
+const BS: u64 = 16;
+
+fn operands(ib: u64, kb: u64, jb: u64, sparsity: f64) -> (BlockMatrix, BlockMatrix) {
+    let am = MatrixMeta::sparse(ib * BS, kb * BS, sparsity).with_block_size(BS);
+    let bm = MatrixMeta::sparse(kb * BS, jb * BS, sparsity).with_block_size(BS);
+    let a = MatrixGenerator::with_seed(101).generate(&am).unwrap();
+    let b = MatrixGenerator::with_seed(202).generate(&bm).unwrap();
+    (a, b)
+}
+
+/// Runs one (shape, method) case on both backends and asserts per-phase
+/// byte equality. `gpu` switches the sim cluster to the paper's GPU model
+/// and the real executor to the Algorithm 1 subcuboid schedule — neither
+/// may change a single communicated byte.
+fn assert_parity(a: &BlockMatrix, b: &BlockMatrix, method: MulMethod, gpu: bool, label: &str) {
+    let mut cfg = ClusterConfig::laptop();
+    if gpu {
+        cfg.gpu = Some(GpuConfig::gtx_1080_ti());
+    }
+
+    let problem = MatmulProblem::new(*a.meta(), *b.meta()).expect("consistent operands");
+    let mut sim = SimCluster::new(cfg);
+    let sim_stats = sim_exec::simulate(&mut sim, &problem, method)
+        .unwrap_or_else(|e| panic!("{label}: sim failed: {e}"));
+
+    // The real cluster never has a simulated GPU device; Algorithm 1's
+    // schedule is selected via the θg option instead.
+    let real_cluster = LocalCluster::new(ClusterConfig::laptop());
+    let opts = RealExecOptions {
+        gpu_task_mem_bytes: gpu.then_some(1 << 20),
+    };
+    let (_, real_stats) = real_exec::multiply_with(&real_cluster, a, b, method, opts)
+        .unwrap_or_else(|e| panic!("{label}: real failed: {e}"));
+
+    let ledger = real_cluster.ledger();
+    for phase in Phase::ALL {
+        let s = sim_stats.phase(phase);
+        assert_eq!(
+            s.shuffle_bytes,
+            ledger.shuffle_bytes(phase),
+            "{label}: shuffle bytes diverge in {}",
+            phase.label()
+        );
+        assert_eq!(
+            s.cross_node_bytes,
+            ledger.cross_node_bytes(phase),
+            "{label}: cross-node bytes diverge in {}",
+            phase.label()
+        );
+        assert_eq!(
+            s.broadcast_bytes,
+            ledger.broadcast_bytes(phase),
+            "{label}: broadcast bytes diverge in {}",
+            phase.label()
+        );
+        // The real stats are read off the ledger — they must agree too.
+        let r = real_stats.phase(phase);
+        assert_eq!(s.shuffle_bytes, r.shuffle_bytes, "{label}: stats shuffle");
+        assert_eq!(
+            s.broadcast_bytes, r.broadcast_bytes,
+            "{label}: stats broadcast"
+        );
+    }
+}
+
+fn methods() -> Vec<(MulMethod, &'static str)> {
+    vec![
+        (MulMethod::Bmm, "BMM"),   // broadcast, R = 1
+        (MulMethod::Cpmm, "CPMM"), // R = K > 1
+        (MulMethod::Rmm, "RMM"),   // voxel hash, R = K
+        (MulMethod::Cuboid(CuboidSpec::new(2, 2, 1)), "Cuboid R=1"),
+        (MulMethod::Cuboid(CuboidSpec::new(2, 2, 2)), "Cuboid R>1"),
+        (MulMethod::CuboidAuto, "CuboidMM"),
+        (MulMethod::Crmm, "CRMM"), // pre-shuffle
+    ]
+}
+
+#[test]
+fn bytes_are_bit_identical_across_backends_cpu() {
+    for (ib, kb, jb) in [(5, 4, 3), (2, 6, 2), (4, 1, 4)] {
+        let (a, b) = operands(ib, kb, jb, 1.0);
+        for (method, name) in methods() {
+            assert_parity(&a, &b, method, false, &format!("{ib}x{kb}x{jb} {name} cpu"));
+        }
+    }
+}
+
+#[test]
+fn bytes_are_bit_identical_across_backends_gpu() {
+    let (a, b) = operands(5, 4, 3, 1.0);
+    for (method, name) in methods() {
+        assert_parity(&a, &b, method, true, &format!("5x4x3 {name} gpu"));
+    }
+}
+
+#[test]
+fn bytes_are_bit_identical_for_sparse_operands() {
+    let (a, b) = operands(5, 4, 3, 0.08);
+    for (method, name) in [
+        (MulMethod::Cpmm, "CPMM"),
+        (MulMethod::Rmm, "RMM"),
+        (MulMethod::CuboidAuto, "CuboidMM"),
+    ] {
+        assert_parity(&a, &b, method, false, &format!("sparse {name}"));
+    }
+}
+
+#[test]
+fn ragged_grids_keep_parity() {
+    // Partition counts that do not divide the block grid: uneven cuboid
+    // bands exercise the per-block (not per-average) routing shares.
+    let (a, b) = operands(5, 3, 5, 1.0);
+    for spec in [
+        CuboidSpec::new(4, 1, 1),
+        CuboidSpec::new(3, 2, 2),
+        CuboidSpec::new(1, 1, 3),
+    ] {
+        assert_parity(
+            &a,
+            &b,
+            MulMethod::Cuboid(spec),
+            false,
+            &format!("ragged {spec:?}"),
+        );
+    }
+}

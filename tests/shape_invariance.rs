@@ -24,13 +24,12 @@ fn perturbed(factor: f64) -> ClusterConfig {
 }
 
 fn elapsed(cfg: ClusterConfig, n: u64, m: MulMethod) -> Option<f64> {
-    let p = MatmulProblem::new(
-        MatrixMeta::sparse(n, n, 0.5),
-        MatrixMeta::sparse(n, n, 0.5),
-    )
-    .expect("consistent");
+    let p = MatmulProblem::new(MatrixMeta::sparse(n, n, 0.5), MatrixMeta::sparse(n, n, 0.5))
+        .expect("consistent");
     let mut sim = SimCluster::new(cfg);
-    sim_exec::simulate(&mut sim, &p, m).ok().map(|s| s.elapsed_secs)
+    sim_exec::simulate(&mut sim, &p, m)
+        .ok()
+        .map(|s| s.elapsed_secs)
 }
 
 #[test]
@@ -55,7 +54,10 @@ fn rmm_is_always_slowest_of_the_shuffling_methods() {
         let cfg = perturbed(factor);
         let rmm = elapsed(cfg, 70_000, MulMethod::Rmm).expect("runs");
         let cpmm = elapsed(cfg, 70_000, MulMethod::Cpmm).expect("runs");
-        assert!(rmm > cpmm, "factor {factor}: RMM {rmm:.0}s vs CPMM {cpmm:.0}s");
+        assert!(
+            rmm > cpmm,
+            "factor {factor}: RMM {rmm:.0}s vs CPMM {cpmm:.0}s"
+        );
     }
 }
 

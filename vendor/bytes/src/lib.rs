@@ -1,0 +1,230 @@
+//! Minimal, dependency-free stand-in for the `bytes` crate.
+//!
+//! Vendored because the build environment has no crates.io access. Only the
+//! slice of the API the block codec uses is provided: [`BytesMut`] as an
+//! append-only builder with little-endian put methods, [`Bytes`] as a
+//! cheaply-cloneable shared view with a read cursor, and the [`Buf`] /
+//! [`BufMut`] traits carrying those accessors.
+
+use std::sync::Arc;
+
+/// Read-side accessors: consuming reads from the front of a buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u32`, advancing the cursor.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `f64`, advancing the cursor.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+/// Write-side accessors: appending to the end of a buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+/// An immutable, reference-counted byte view with a read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wraps a static slice without copying semantics concerns.
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(s),
+            start: 0,
+            end: s.len(),
+        }
+    }
+
+    /// Length of the unread view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sub-view over `range` (relative to the current view start).
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the view, matching upstream.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the unread view into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "buffer underflow");
+        let s = &self.data[self.start..self.start + n];
+        self.start += n;
+        s
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+}
+
+/// A growable byte builder.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates a builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut b = BytesMut::with_capacity(13);
+        b.put_u8(0xAB);
+        b.put_u32_le(0xDEADBEEF);
+        b.put_f64_le(-1.5);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.len(), 13);
+        assert_eq!(bytes.get_u8(), 0xAB);
+        assert_eq!(bytes.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(bytes.get_f64_le(), -1.5);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_relative_to_view() {
+        let bytes = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = bytes.slice(1..4);
+        assert_eq!(s.as_ref(), &[1, 2, 3]);
+        let s2 = s.slice(1..2);
+        assert_eq!(s2.as_ref(), &[2]);
+        assert_eq!(bytes.len(), 6); // parent untouched
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_slice_panics() {
+        let bytes = Bytes::from(vec![0, 1, 2]);
+        let _ = bytes.slice(0..4);
+    }
+
+    #[test]
+    fn reads_advance_but_clones_do_not_share_cursor() {
+        let mut a = Bytes::from(vec![9, 8, 7]);
+        let b = a.clone();
+        assert_eq!(a.get_u8(), 9);
+        assert_eq!(a.remaining(), 2);
+        assert_eq!(b.remaining(), 3);
+        assert_eq!(b.to_vec(), vec![9, 8, 7]);
+    }
+}

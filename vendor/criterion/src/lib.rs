@@ -1,0 +1,235 @@
+//! Minimal, dependency-free stand-in for `criterion`.
+//!
+//! Vendored because the build environment has no crates.io access. The shim
+//! keeps the macro/group/bencher surface the workspace's benches use and
+//! reports a simple mean wall-clock time per benchmark — enough to compare
+//! orders of magnitude, with none of criterion's statistics.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Work-volume annotation for a benchmark (printed alongside the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Runs the measured closure and accumulates elapsed time.
+pub struct Bencher {
+    iterations: u32,
+    elapsed_secs: f64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call outside the timed window.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed_secs = start.elapsed().as_secs_f64();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a work volume.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iterations: self.sample_size,
+            elapsed_secs: 0.0,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iterations: self.sample_size,
+            elapsed_secs: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; the shim only
+    /// keeps the call for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, b: &Bencher) {
+        let per_iter = b.elapsed_secs / b.iterations.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:.1} MB/s", n as f64 / per_iter / 1e6)
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:.1} Melem/s", n as f64 / per_iter / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:.3} ms/iter{rate}",
+            self.name,
+            id.0,
+            per_iter * 1e3
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting measured work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_every_benchmark() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}
