@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint test build bench
+.PHONY: ci fmt lint test parity build bench
 
-ci: fmt lint test
+ci: fmt lint test parity
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -14,6 +14,12 @@ lint:
 
 test:
 	$(CARGO) test -q --workspace
+
+# The sim/real byte-parity contract, runnable on its own: the simulator's
+# communication model must match what the real executor's ledger measures,
+# bit for bit.
+parity:
+	$(CARGO) test -q --test plan_parity
 
 build:
 	$(CARGO) build --release

@@ -87,6 +87,10 @@ pub struct ClusterConfig {
     /// Use Algorithm 1's streamed GPU schedule; `false` selects the naive
     /// copy-all-then-compute method of §4.3 (ablation).
     pub gpu_streaming: bool,
+    /// Cap on the real executor's worker threads, as a multiple of the
+    /// host's available parallelism. Virtual slots beyond this cap are
+    /// time-sliced rather than given their own OS thread.
+    pub host_worker_oversubscription: usize,
 }
 
 impl ClusterConfig {
@@ -112,6 +116,7 @@ impl ClusterConfig {
             gpus_per_node: 1,
             dynamic_scheduling: false,
             gpu_streaming: true,
+            host_worker_oversubscription: 2,
         }
     }
 
@@ -148,6 +153,7 @@ impl ClusterConfig {
             gpus_per_node: 1,
             dynamic_scheduling: false,
             gpu_streaming: true,
+            host_worker_oversubscription: 2,
         }
     }
 
@@ -193,6 +199,10 @@ impl ClusterConfig {
         assert!(
             self.gpus_per_node > 0,
             "need at least one GPU slot per node"
+        );
+        assert!(
+            self.host_worker_oversubscription > 0,
+            "worker oversubscription must be positive"
         );
         assert!(
             self.wire_compression_ratio > 0.0 && self.wire_compression_ratio <= 1.0,
@@ -241,6 +251,14 @@ mod tests {
     fn zero_nodes_rejected() {
         let mut c = ClusterConfig::laptop();
         c.nodes = 0;
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscription")]
+    fn zero_oversubscription_rejected() {
+        let mut c = ClusterConfig::laptop();
+        c.host_worker_oversubscription = 0;
         c.assert_valid();
     }
 }

@@ -2,24 +2,26 @@
 //!
 //! [`LocalCluster`] emulates a Spark cluster inside one process: `M`
 //! virtual nodes × `Tc` slots, tasks assigned round-robin, per-task memory
-//! budgets, and a [`ShuffleLedger`] that counts the serialized size of
-//! every block a task ships — including whether the movement crossed a
-//! virtual node boundary. This is the correctness path: the distributed
-//! methods in `distme-core` must produce bit-identical results to the
-//! single-node reference through this executor.
+//! budgets, per-node block stores, and a codec-backed [`Transport`] whose
+//! [`ShuffleLedger`] counts every block movement between (virtual) node
+//! boundaries. This is the correctness path: the distributed methods in
+//! `distme-core` must produce bit-identical results to the single-node
+//! reference through this executor, with locality enforced — a task reads
+//! only blocks resident in its own node's store.
 
 use crate::config::ClusterConfig;
 use crate::failure::{JobError, TaskError};
 use crate::shuffle::ShuffleLedger;
 use crate::stats::Phase;
-use distme_matrix::{codec, Block};
+use crate::store::ClusterStores;
+use crate::transport::{Transport, TransportStats};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Per-task execution context handed to stage closures.
-pub struct TaskCtx<'a> {
+pub struct TaskCtx {
     /// Task index within the stage.
     pub task: usize,
     /// Virtual node the task runs on.
@@ -27,11 +29,9 @@ pub struct TaskCtx<'a> {
     mem_budget: u64,
     mem_used: Cell<u64>,
     mem_peak: Cell<u64>,
-    ledger: &'a ShuffleLedger,
-    cluster: &'a LocalCluster,
 }
 
-impl<'a> TaskCtx<'a> {
+impl TaskCtx {
     /// Charges `bytes` against the task's memory budget θt.
     ///
     /// # Errors
@@ -53,23 +53,6 @@ impl<'a> TaskCtx<'a> {
     /// Releases previously charged bytes.
     pub fn free(&self, bytes: u64) {
         self.mem_used.set(self.mem_used.get().saturating_sub(bytes));
-    }
-
-    /// Records shipping `block` to the task with stage-index `to_task`
-    /// during `phase`, and returns its serialized size. The caller moves
-    /// the block itself (blocks live in one address space); this is where
-    /// the byte accounting happens.
-    pub fn ship_block(&self, phase: Phase, to_task: usize, block: &Block) -> u64 {
-        let bytes = codec::encoded_len(block);
-        let to_node = self.cluster.node_of_task(to_task);
-        self.ledger.record_shuffle(phase, self.node, to_node, bytes);
-        bytes
-    }
-
-    /// Records shipping raw `bytes` (already-encoded payloads).
-    pub fn ship_bytes(&self, phase: Phase, to_task: usize, bytes: u64) {
-        let to_node = self.cluster.node_of_task(to_task);
-        self.ledger.record_shuffle(phase, self.node, to_node, bytes);
     }
 
     /// Memory budget θt.
@@ -98,6 +81,8 @@ pub struct StageRun<O> {
 pub struct LocalCluster {
     cfg: ClusterConfig,
     ledger: Arc<ShuffleLedger>,
+    stores: ClusterStores,
+    transport_stats: TransportStats,
 }
 
 impl LocalCluster {
@@ -107,6 +92,8 @@ impl LocalCluster {
         LocalCluster {
             cfg,
             ledger: Arc::new(ShuffleLedger::new()),
+            stores: ClusterStores::new(cfg.nodes),
+            transport_stats: TransportStats::default(),
         }
     }
 
@@ -118,6 +105,21 @@ impl LocalCluster {
     /// The shared byte ledger.
     pub fn ledger(&self) -> &ShuffleLedger {
         &self.ledger
+    }
+
+    /// The per-node block stores.
+    pub fn stores(&self) -> &ClusterStores {
+        &self.stores
+    }
+
+    /// Physical transport counters (actually-encoded payload bytes).
+    pub fn transport_stats(&self) -> &TransportStats {
+        &self.transport_stats
+    }
+
+    /// A transport bound to this cluster's stores and ledger.
+    pub fn transport(&self) -> Transport<'_> {
+        Transport::new(&self.stores, &self.ledger, &self.transport_stats)
     }
 
     /// Virtual node a stage-task index runs on (round-robin, matching
@@ -132,8 +134,10 @@ impl LocalCluster {
     }
 
     /// Runs one stage: `f` is applied to every input on a worker pool of at
-    /// most `M · Tc` threads (capped by host parallelism). Task memory is
-    /// enforced through [`TaskCtx::alloc`].
+    /// most `M · Tc` threads (capped by host parallelism times the
+    /// configured oversubscription). Task memory is enforced through
+    /// [`TaskCtx::alloc`]. Workers claim `(index, input)` pairs off a
+    /// shared iterator and buffer outputs locally, merging once at exit.
     ///
     /// # Errors
     /// * [`JobError::TooManyTasks`] when `inputs.len()` exceeds the
@@ -144,7 +148,7 @@ impl LocalCluster {
     where
         I: Send,
         O: Send,
-        F: Fn(&TaskCtx<'_>, I) -> Result<O, TaskError> + Sync,
+        F: Fn(&TaskCtx, I) -> Result<O, TaskError> + Sync,
     {
         let n = inputs.len();
         if n > self.cfg.max_tasks {
@@ -157,51 +161,55 @@ impl LocalCluster {
         let host_par = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4);
-        let workers = self.cfg.total_slots().min(n.max(1)).min(host_par * 2);
+        let workers = self
+            .cfg
+            .total_slots()
+            .min(n.max(1))
+            .min(host_par * self.cfg.host_worker_oversubscription);
 
-        let work: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
-        let results: Vec<Mutex<Option<Result<O, TaskError>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
+        let queue = Mutex::new(inputs.into_iter().enumerate());
+        let done: Mutex<Vec<(usize, Result<O, TaskError>)>> = Mutex::new(Vec::with_capacity(n));
         let peak = AtomicU64::new(0);
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= n {
-                        break;
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Result<O, TaskError>)> = Vec::new();
+                    loop {
+                        // Claim under the lock, run outside it.
+                        let claimed = queue
+                            .lock()
+                            .expect("no worker panics while holding the claim lock")
+                            .next();
+                        let Some((idx, item)) = claimed else { break };
+                        let ctx = TaskCtx {
+                            task: idx,
+                            node: self.node_of_task(idx),
+                            mem_budget: self.cfg.task_mem_bytes,
+                            mem_used: Cell::new(0),
+                            mem_peak: Cell::new(0),
+                        };
+                        let out = f(&ctx, item);
+                        peak.fetch_max(ctx.peak(), Ordering::Relaxed);
+                        local.push((idx, out));
                     }
-                    let item = work[idx]
-                        .lock()
-                        .expect("no worker panics while holding a work lock")
-                        .take()
-                        .expect("each task input is claimed exactly once");
-                    let ctx = TaskCtx {
-                        task: idx,
-                        node: self.node_of_task(idx),
-                        mem_budget: self.cfg.task_mem_bytes,
-                        mem_used: Cell::new(0),
-                        mem_peak: Cell::new(0),
-                        ledger: &self.ledger,
-                        cluster: self,
-                    };
-                    let out = f(&ctx, item);
-                    peak.fetch_max(ctx.peak(), Ordering::Relaxed);
-                    *results[idx]
-                        .lock()
-                        .expect("no worker panics while holding a result lock") = Some(out);
+                    done.lock()
+                        .expect("no worker panics while holding the merge lock")
+                        .extend(local);
                 });
             }
         });
 
+        let mut collected = done.into_inner().expect("no worker panicked");
+        collected.sort_unstable_by_key(|(idx, _)| *idx);
+        debug_assert_eq!(
+            collected.len(),
+            n,
+            "every claimed task reports exactly once"
+        );
         let mut outputs = Vec::with_capacity(n);
-        for (idx, slot) in results.into_iter().enumerate() {
-            match slot
-                .into_inner()
-                .expect("no worker panicked")
-                .expect("every task ran")
-            {
+        for (idx, out) in collected {
+            match out {
                 Ok(o) => outputs.push(o),
                 Err(e) => return Err(JobError::from_task(idx, e)),
             }
@@ -217,7 +225,6 @@ impl LocalCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use distme_matrix::DenseBlock;
 
     fn cluster() -> LocalCluster {
         LocalCluster::new(ClusterConfig::laptop())
@@ -350,21 +357,21 @@ mod tests {
     }
 
     #[test]
-    fn ship_block_records_serialized_bytes() {
-        let c = cluster();
-        let block = Block::Dense(DenseBlock::zeros(4, 4));
-        let expect = codec::encoded_len(&block);
-        c.run_stage(vec![()], |ctx, ()| {
-            // Task 0 runs on node 0; ship to task 1 (node 1) and task 4
-            // (node 0 again — local).
-            let b = ctx.ship_block(Phase::Repartition, 1, &block);
-            assert_eq!(b, expect);
-            ctx.ship_block(Phase::Repartition, 4, &block);
+    fn worker_cap_honours_oversubscription_config() {
+        use std::collections::HashSet;
+        let mut cfg = ClusterConfig::laptop();
+        cfg.host_worker_oversubscription = 1;
+        let c = LocalCluster::new(cfg);
+        let ids = Mutex::new(HashSet::new());
+        c.run_stage(vec![(); 64], |_, ()| {
+            ids.lock().unwrap().insert(std::thread::current().id());
             Ok(())
         })
         .unwrap();
-        assert_eq!(c.ledger().shuffle_bytes(Phase::Repartition), expect * 2);
-        assert_eq!(c.ledger().cross_node_bytes(Phase::Repartition), expect);
+        let host_par = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        assert!(ids.into_inner().unwrap().len() <= host_par.min(c.config().total_slots()));
     }
 
     #[test]

@@ -369,6 +369,7 @@ mod tests {
             gpus_per_node: 1,
             dynamic_scheduling: false,
             gpu_streaming: true,
+            host_worker_oversubscription: 2,
         }
     }
 

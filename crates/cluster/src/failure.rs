@@ -22,6 +22,15 @@ pub enum TaskError {
     },
     /// A matrix kernel failed (dimension mismatch, corrupt block, ...).
     Compute(String),
+    /// The task tried to read a block that is not resident in its node's
+    /// store — a locality violation (the plan never routed the block
+    /// there), never a silent fallthrough to shared memory.
+    MissingBlock {
+        /// The node whose store was consulted.
+        node: usize,
+        /// The block the task asked for.
+        id: distme_matrix::BlockId,
+    },
 }
 
 impl fmt::Display for TaskError {
@@ -31,6 +40,13 @@ impl fmt::Display for TaskError {
                 write!(f, "O.O.M.: task needs {needed} B, budget is {budget} B")
             }
             TaskError::Compute(msg) => write!(f, "compute error: {msg}"),
+            TaskError::MissingBlock { node, id } => {
+                write!(
+                    f,
+                    "block ({}, {}) not resident on node {node}",
+                    id.row, id.col
+                )
+            }
         }
     }
 }
@@ -107,6 +123,10 @@ impl JobError {
                 budget,
             },
             TaskError::Compute(message) => JobError::TaskFailed { task, message },
+            e @ TaskError::MissingBlock { .. } => JobError::TaskFailed {
+                task,
+                message: e.to_string(),
+            },
         }
     }
 }
@@ -208,6 +228,23 @@ mod tests {
             budget: 4,
         };
         assert!(t.to_string().starts_with("O.O.M."));
+    }
+
+    #[test]
+    fn missing_block_promotes_to_task_failed() {
+        let e = TaskError::MissingBlock {
+            node: 2,
+            id: distme_matrix::BlockId::new(4, 1),
+        };
+        assert!(e.to_string().contains("not resident"));
+        let j = JobError::from_task(5, e);
+        match j {
+            JobError::TaskFailed { task, message } => {
+                assert_eq!(task, 5);
+                assert!(message.contains("node 2"));
+            }
+            other => panic!("unexpected promotion: {other:?}"),
+        }
     }
 
     #[test]

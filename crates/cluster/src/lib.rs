@@ -32,6 +32,8 @@ pub mod failure;
 pub mod partitioner;
 pub mod shuffle;
 pub mod stats;
+pub mod store;
+pub mod transport;
 
 pub use backend::ExecutionBackend;
 pub use config::ClusterConfig;
@@ -39,5 +41,9 @@ pub use executor::real::{LocalCluster, TaskCtx};
 pub use executor::sim::{ComputeWork, SimCluster, SimTask, StageOutcome};
 pub use failure::{JobError, TaskError};
 pub use partitioner::PartitionScheme;
-pub use shuffle::ShuffleLedger;
+pub use shuffle::{LedgerSnapshot, ShuffleLedger};
 pub use stats::{JobStats, Phase, PhaseStats};
+pub use store::{
+    BlockSource, BlockView, ClusterStores, NodeStore, StoreKey, RESIDENCY_WINDOW_JOBS,
+};
+pub use transport::{Transport, TransportStats, WireMove};

@@ -73,6 +73,58 @@ impl ShuffleLedger {
             self.broadcast[i].store(0, Ordering::Relaxed);
         }
     }
+
+    /// Captures the current counter values. Jobs take a snapshot on entry
+    /// and report [`since`](Self::since) deltas, so one ledger can
+    /// accumulate session-level totals across many jobs without resets.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        let mut s = LedgerSnapshot::default();
+        for (i, &p) in Phase::ALL.iter().enumerate() {
+            s.shuffle[i] = self.shuffle_bytes(p);
+            s.cross_node[i] = self.cross_node_bytes(p);
+            s.broadcast[i] = self.broadcast_bytes(p);
+        }
+        s
+    }
+
+    /// The bytes recorded since `earlier` was taken (saturating, so a
+    /// snapshot from after a `reset` never underflows).
+    pub fn since(&self, earlier: &LedgerSnapshot) -> LedgerSnapshot {
+        let now = self.snapshot();
+        let mut d = LedgerSnapshot::default();
+        for i in 0..Phase::COUNT {
+            d.shuffle[i] = now.shuffle[i].saturating_sub(earlier.shuffle[i]);
+            d.cross_node[i] = now.cross_node[i].saturating_sub(earlier.cross_node[i]);
+            d.broadcast[i] = now.broadcast[i].saturating_sub(earlier.broadcast[i]);
+        }
+        d
+    }
+}
+
+/// A point-in-time copy of a [`ShuffleLedger`]'s counters, also used as a
+/// delta between two points in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerSnapshot {
+    shuffle: [u64; Phase::COUNT],
+    cross_node: [u64; Phase::COUNT],
+    broadcast: [u64; Phase::COUNT],
+}
+
+impl LedgerSnapshot {
+    /// Shuffled bytes in `phase` at (or between) the capture point(s).
+    pub fn shuffle_bytes(&self, phase: Phase) -> u64 {
+        self.shuffle[phase.index()]
+    }
+
+    /// Cross-node bytes in `phase`.
+    pub fn cross_node_bytes(&self, phase: Phase) -> u64 {
+        self.cross_node[phase.index()]
+    }
+
+    /// Broadcast bytes in `phase`.
+    pub fn broadcast_bytes(&self, phase: Phase) -> u64 {
+        self.broadcast[phase.index()]
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +165,26 @@ mod tests {
         let l = ShuffleLedger::new();
         l.record_broadcast(Phase::Repartition, u64::MAX / 2, 9);
         assert_eq!(l.broadcast_bytes(Phase::Repartition), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_deltas_isolate_one_job() {
+        let l = ShuffleLedger::new();
+        l.record_shuffle(Phase::Repartition, 0, 1, 100);
+        l.record_broadcast(Phase::Repartition, 10, 4);
+        let mark = l.snapshot();
+        l.record_shuffle(Phase::Repartition, 0, 1, 25);
+        l.record_shuffle(Phase::Aggregation, 1, 1, 7);
+        l.record_broadcast(Phase::Repartition, 10, 2);
+        let d = l.since(&mark);
+        assert_eq!(d.shuffle_bytes(Phase::Repartition), 25);
+        assert_eq!(d.cross_node_bytes(Phase::Repartition), 25);
+        assert_eq!(d.shuffle_bytes(Phase::Aggregation), 7);
+        assert_eq!(d.cross_node_bytes(Phase::Aggregation), 0);
+        assert_eq!(d.broadcast_bytes(Phase::Repartition), 20);
+        // Cumulative counters survive: nothing was reset.
+        assert_eq!(l.shuffle_bytes(Phase::Repartition), 125);
+        assert_eq!(l.broadcast_bytes(Phase::Repartition), 60);
     }
 
     #[test]

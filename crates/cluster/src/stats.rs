@@ -89,6 +89,11 @@ pub struct JobStats {
     /// Kernel-engine utilization of the GPUs during local multiplication,
     /// `0..=1`, when GPUs were used (Fig. 7(g)).
     pub gpu_utilization: Option<f64>,
+    /// Physically encoded transport payload bytes (real executor only; the
+    /// simulator has no physical blocks and leaves this 0). Differs from
+    /// the model-byte ledger counts: sparse blocks encode smaller than
+    /// their dense estimate and implicit-zero moves carry nothing.
+    pub transport_payload_bytes: u64,
 }
 
 impl JobStats {
@@ -141,6 +146,7 @@ impl JobStats {
         self.elapsed_secs += other.elapsed_secs;
         self.peak_task_mem_bytes = self.peak_task_mem_bytes.max(other.peak_task_mem_bytes);
         self.intermediate_bytes += other.intermediate_bytes;
+        self.transport_payload_bytes += other.transport_payload_bytes;
         self.gpu_utilization = match (self.gpu_utilization, other.gpu_utilization) {
             (Some(a), Some(b)) => Some((a + b) / 2.0),
             (a, b) => a.or(b),

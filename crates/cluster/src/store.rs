@@ -1,0 +1,370 @@
+//! Per-node block stores: the executor's physical address spaces.
+//!
+//! Each virtual node owns a [`NodeStore`] keyed by `(matrix uid, block id,
+//! copy)`. A task may read **only** from its own node's store — a miss on a
+//! block the plan materialized elsewhere is a hard
+//! [`TaskError::MissingBlock`], never a fallthrough to shared driver
+//! memory. Blocks are `Arc`-shared so a broadcast installs one physical
+//! copy per node and residency caching across jobs costs no element
+//! duplication.
+
+use crate::failure::TaskError;
+use distme_matrix::{Block, BlockId, BlockMatrix};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Jobs a matrix's placement survives in the stores without being touched
+/// before [`ClusterStores::evict_stale`] reclaims it.
+pub const RESIDENCY_WINDOW_JOBS: u64 = 64;
+
+/// Store key: which content version, which grid position, which producer
+/// copy. `copy` distinguishes partial products that share a `(row, col)`
+/// destination before aggregation (the plan's aggregation routing tags each
+/// partial with its producing mult task); ingested operand blocks use 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StoreKey {
+    /// Matrix content version (see `distme_matrix::fresh_matrix_uid`).
+    pub matrix: u64,
+    /// Grid position.
+    pub id: BlockId,
+    /// Producer copy index (0 for operands and final results).
+    pub copy: u32,
+}
+
+impl StoreKey {
+    /// Key for an operand or result block (copy 0).
+    pub fn operand(matrix: u64, id: BlockId) -> Self {
+        StoreKey {
+            matrix,
+            id,
+            copy: 0,
+        }
+    }
+
+    /// Key for a partial product produced by mult task `copy`.
+    pub fn replica(matrix: u64, id: BlockId, copy: u32) -> Self {
+        StoreKey { matrix, id, copy }
+    }
+}
+
+/// One virtual node's keyed block store.
+#[derive(Debug)]
+pub struct NodeStore {
+    node: usize,
+    blocks: Mutex<BTreeMap<StoreKey, Arc<Block>>>,
+}
+
+impl NodeStore {
+    fn new(node: usize) -> Self {
+        NodeStore {
+            node,
+            blocks: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The node this store belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Fetches a shared handle to a resident block.
+    pub fn get(&self, key: &StoreKey) -> Option<Arc<Block>> {
+        self.blocks.lock().unwrap().get(key).cloned()
+    }
+
+    /// Installs a block, keeping an existing entry on collision (a key
+    /// names one content version, so a collision is the same bytes arriving
+    /// twice — e.g. two tasks routing the same operand block). Returns
+    /// whether the block was newly installed.
+    pub fn install(&self, key: StoreKey, block: Arc<Block>) -> bool {
+        use std::collections::btree_map::Entry;
+        match self.blocks.lock().unwrap().entry(key) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(block);
+                true
+            }
+        }
+    }
+
+    /// Whether `key` is resident.
+    pub fn contains(&self, key: &StoreKey) -> bool {
+        self.blocks.lock().unwrap().contains_key(key)
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.lock().unwrap().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// In-memory bytes of all resident blocks.
+    pub fn resident_bytes(&self) -> u64 {
+        self.blocks
+            .lock()
+            .unwrap()
+            .values()
+            .map(|b| b.mem_bytes())
+            .sum()
+    }
+
+    /// Drops every block belonging to `matrix`.
+    pub fn evict_matrix(&self, matrix: u64) {
+        self.blocks
+            .lock()
+            .unwrap()
+            .retain(|k, _| k.matrix != matrix);
+    }
+}
+
+/// All nodes' stores plus residency bookkeeping for cross-job reuse.
+#[derive(Debug)]
+pub struct ClusterStores {
+    nodes: Vec<NodeStore>,
+    /// Monotonic job counter; drives the staleness window.
+    jobs: AtomicU64,
+    /// matrix uid → job counter when last used.
+    last_used: Mutex<BTreeMap<u64, u64>>,
+    installed: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl ClusterStores {
+    /// Creates empty stores for `nodes` virtual nodes.
+    pub fn new(nodes: usize) -> Self {
+        ClusterStores {
+            nodes: (0..nodes).map(NodeStore::new).collect(),
+            jobs: AtomicU64::new(0),
+            last_used: Mutex::new(BTreeMap::new()),
+            installed: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of node stores.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The store of node `n`.
+    pub fn node(&self, n: usize) -> &NodeStore {
+        &self.nodes[n]
+    }
+
+    /// Advances the job counter (call once per job).
+    pub fn begin_job(&self) -> u64 {
+        self.jobs.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Marks `matrix` as used by the current job, protecting its placement
+    /// from [`evict_stale`](Self::evict_stale).
+    pub fn touch(&self, matrix: u64) {
+        let now = self.jobs.load(Ordering::Relaxed);
+        self.last_used.lock().unwrap().insert(matrix, now);
+    }
+
+    /// Ingests one operand block to `node`, reusing an already-resident
+    /// placement when the same content version was ingested before
+    /// (sessions keep factor matrices resident across chained multiplies).
+    pub fn ingest(&self, node: usize, key: StoreKey, block: Arc<Block>) {
+        if self.nodes[node].install(key, block) {
+            self.installed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Blocks newly installed by `ingest` so far.
+    pub fn ingest_installed(&self) -> u64 {
+        self.installed.load(Ordering::Relaxed)
+    }
+
+    /// Ingest calls satisfied by an already-resident placement.
+    pub fn ingest_reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Drops `matrix` from every node and from the residency index.
+    pub fn evict_matrix(&self, matrix: u64) {
+        for n in &self.nodes {
+            n.evict_matrix(matrix);
+        }
+        self.last_used.lock().unwrap().remove(&matrix);
+    }
+
+    /// Evicts every matrix not touched within the last `window` jobs.
+    pub fn evict_stale(&self, window: u64) {
+        let now = self.jobs.load(Ordering::Relaxed);
+        let stale: Vec<u64> = self
+            .last_used
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|(_, &used)| now.saturating_sub(used) > window)
+            .map(|(&uid, _)| uid)
+            .collect();
+        for uid in stale {
+            self.evict_matrix(uid);
+        }
+    }
+
+    /// Total resident bytes across all nodes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.nodes.iter().map(NodeStore::resident_bytes).sum()
+    }
+}
+
+/// Something a mult task can resolve input blocks from. Implementations
+/// return `Ok(None)` for an implicitly-zero block and an error for a
+/// locality violation.
+pub trait BlockSource {
+    /// Resolves the block at grid position `(row, col)`.
+    ///
+    /// # Errors
+    /// [`TaskError::MissingBlock`] when the block is materialized somewhere
+    /// but not resident where this source looks.
+    fn block(&self, row: u32, col: u32) -> Result<Option<Arc<Block>>, TaskError>;
+}
+
+/// The locality-enforcing view a task gets of one operand: reads hit only
+/// `store` (its own node). A block listed in `materialized` but absent from
+/// the store is a routing bug surfaced as [`TaskError::MissingBlock`]; a
+/// block absent from both is an implicit zero.
+pub struct BlockView<'a> {
+    store: &'a NodeStore,
+    matrix: u64,
+    materialized: &'a BTreeSet<BlockId>,
+}
+
+impl<'a> BlockView<'a> {
+    /// Builds a view of content version `matrix` over `store`.
+    pub fn new(store: &'a NodeStore, matrix: u64, materialized: &'a BTreeSet<BlockId>) -> Self {
+        BlockView {
+            store,
+            matrix,
+            materialized,
+        }
+    }
+}
+
+impl BlockSource for BlockView<'_> {
+    fn block(&self, row: u32, col: u32) -> Result<Option<Arc<Block>>, TaskError> {
+        let id = BlockId::new(row, col);
+        if let Some(b) = self.store.get(&StoreKey::operand(self.matrix, id)) {
+            return Ok(Some(b));
+        }
+        if self.materialized.contains(&id) {
+            return Err(TaskError::MissingBlock {
+                node: self.store.node(),
+                id,
+            });
+        }
+        Ok(None)
+    }
+}
+
+/// Driver-local resolution (used by single-node call paths such as the GPU
+/// streaming example and its tests, where locality is not at stake).
+impl BlockSource for BlockMatrix {
+    fn block(&self, row: u32, col: u32) -> Result<Option<Arc<Block>>, TaskError> {
+        Ok(self.get_shared(row, col))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distme_matrix::DenseBlock;
+
+    fn blk(v: f64) -> Arc<Block> {
+        Arc::new(Block::Dense(DenseBlock::from_fn(2, 2, |_, _| v)))
+    }
+
+    #[test]
+    fn install_keeps_first_copy() {
+        let s = NodeStore::new(0);
+        let k = StoreKey::operand(7, BlockId::new(0, 0));
+        assert!(s.install(k, blk(1.0)));
+        assert!(!s.install(k, blk(2.0)));
+        let got = s.get(&k).unwrap();
+        assert_eq!(got.to_dense().data()[0], 1.0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn keys_order_by_matrix_then_id_then_copy() {
+        let a = StoreKey::replica(1, BlockId::new(5, 5), 9);
+        let b = StoreKey::operand(2, BlockId::new(0, 0));
+        assert!(a < b);
+        let c = StoreKey::replica(1, BlockId::new(5, 5), 10);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn evict_matrix_is_scoped() {
+        let s = ClusterStores::new(2);
+        s.ingest(0, StoreKey::operand(1, BlockId::new(0, 0)), blk(1.0));
+        s.ingest(1, StoreKey::operand(2, BlockId::new(0, 0)), blk(2.0));
+        s.evict_matrix(1);
+        assert_eq!(s.node(0).len(), 0);
+        assert_eq!(s.node(1).len(), 1);
+    }
+
+    #[test]
+    fn ingest_counts_reuse() {
+        let s = ClusterStores::new(1);
+        let k = StoreKey::operand(3, BlockId::new(1, 1));
+        s.ingest(0, k, blk(1.0));
+        s.ingest(0, k, blk(1.0));
+        assert_eq!(s.ingest_installed(), 1);
+        assert_eq!(s.ingest_reused(), 1);
+    }
+
+    #[test]
+    fn stale_matrices_are_evicted_touched_ones_survive() {
+        let s = ClusterStores::new(1);
+        s.ingest(0, StoreKey::operand(10, BlockId::new(0, 0)), blk(1.0));
+        s.ingest(0, StoreKey::operand(11, BlockId::new(0, 0)), blk(2.0));
+        s.begin_job();
+        s.touch(10);
+        s.touch(11);
+        for _ in 0..3 {
+            s.begin_job();
+            s.touch(10);
+        }
+        s.evict_stale(2);
+        assert!(s
+            .node(0)
+            .contains(&StoreKey::operand(10, BlockId::new(0, 0))));
+        assert!(!s
+            .node(0)
+            .contains(&StoreKey::operand(11, BlockId::new(0, 0))));
+    }
+
+    #[test]
+    fn view_distinguishes_zero_from_missing() {
+        let store = NodeStore::new(3);
+        let uid = 42;
+        store.install(StoreKey::operand(uid, BlockId::new(0, 0)), blk(1.0));
+        let materialized: BTreeSet<BlockId> = [BlockId::new(0, 0), BlockId::new(1, 0)]
+            .into_iter()
+            .collect();
+        let view = BlockView::new(&store, uid, &materialized);
+        // Resident → Some.
+        assert!(view.block(0, 0).unwrap().is_some());
+        // Materialized elsewhere but not here → locality violation.
+        match view.block(1, 0) {
+            Err(TaskError::MissingBlock { node: 3, id }) => {
+                assert_eq!(id, BlockId::new(1, 0));
+            }
+            other => panic!("expected MissingBlock, got {other:?}"),
+        }
+        // Not materialized anywhere → implicit zero.
+        assert!(view.block(2, 0).unwrap().is_none());
+    }
+}

@@ -16,10 +16,11 @@
 //!   the same product as a plain loop.
 
 use crate::cuboid::Cuboid;
+use crate::problem::MatmulProblem;
 use crate::subcuboid::{self, CuboidSides, SubcuboidSpec};
-use distme_cluster::TaskError;
+use distme_cluster::{BlockSource, TaskError};
 use distme_gpu::GpuWork;
-use distme_matrix::{kernels, BlockId, BlockMatrix, DenseBlock, MatrixMeta};
+use distme_matrix::{kernels, BlockId, DenseBlock};
 
 /// Plans the device work for a cuboid of the given sides under θg.
 ///
@@ -59,7 +60,10 @@ pub struct CuboidGpuResult {
     pub spec: SubcuboidSpec,
 }
 
-/// Executes Algorithm 1 for `cuboid` against real operand matrices.
+/// Executes Algorithm 1 for `cuboid` against real operand blocks resolved
+/// through any [`BlockSource`] — a locality-enforcing per-node store view
+/// on the distributed path, or a plain `BlockMatrix` on single-node call
+/// paths.
 ///
 /// Blocks absent from sparse operands are treated as zero (their kernels
 /// are skipped, like a csrmm on an empty block). The `C'` accumulator for
@@ -69,18 +73,20 @@ pub struct CuboidGpuResult {
 ///
 /// # Errors
 /// Returns [`TaskError::OutOfMemory`] when even single-voxel subcuboids
-/// exceed θg.
-pub fn execute_cuboid_real(
+/// exceed θg, and propagates the source's locality errors
+/// ([`TaskError::MissingBlock`]).
+pub fn execute_cuboid_real<A: BlockSource, B: BlockSource>(
     cuboid: &Cuboid,
-    a: &BlockMatrix,
-    b: &BlockMatrix,
-    c_meta: &MatrixMeta,
+    a: &A,
+    b: &B,
+    problem: &MatmulProblem,
     gpu_task_mem_bytes: u64,
 ) -> Result<CuboidGpuResult, TaskError> {
+    let c_meta = &problem.c;
     let sides = CuboidSides::of(
         cuboid,
-        a.meta().block_bytes(),
-        b.meta().block_bytes(),
+        problem.a.block_bytes(),
+        problem.b.block_bytes(),
         c_meta.block_bytes(),
     );
     let Some((spec, _)) = subcuboid::optimize(&sides, gpu_task_mem_bytes) else {
@@ -133,15 +139,15 @@ pub fn execute_cuboid_real(
                 // Lines 13–18: per (k, j) copy B block, then I' kernels.
                 for k in k_lo..k_hi {
                     for j in j_lo..j_hi {
-                        let Some(bblk) = b.get(k, j) else { continue };
+                        let Some(bblk) = b.block(k, j)? else { continue };
                         for i in i_lo..i_hi {
-                            let Some(ablk) = a.get(i, k) else { continue };
+                            let Some(ablk) = a.block(i, k)? else { continue };
                             let slot = &mut bufc[(i - i_lo) as usize][(j - j_lo) as usize];
                             let acc = slot.get_or_insert_with(|| {
                                 let (r, c) = c_meta.block_dims(i, j);
                                 DenseBlock::zeros(r as usize, c as usize)
                             });
-                            kernels::multiply_accumulate(acc, ablk, bblk)?;
+                            kernels::multiply_accumulate(acc, &ablk, &bblk)?;
                             kernel_calls += 1;
                         }
                     }
@@ -171,7 +177,7 @@ mod tests {
     use super::*;
     use crate::cuboid::{CuboidGrid, CuboidSpec};
     use crate::problem::MatmulProblem;
-    use distme_matrix::{Block, MatrixGenerator, MatrixMeta};
+    use distme_matrix::{Block, BlockMatrix, MatrixGenerator, MatrixMeta};
 
     fn setup(bs: u64) -> (BlockMatrix, BlockMatrix, MatmulProblem) {
         let am = MatrixMeta::dense(4 * bs, 8 * bs).with_block_size(bs);
@@ -242,7 +248,7 @@ mod tests {
         let theta_g = 20_000u64;
         let mut c = BlockMatrix::new(p.c);
         for cuboid in grid.cuboids() {
-            let res = execute_cuboid_real(&cuboid, &a, &b, &p.c, theta_g).unwrap();
+            let res = execute_cuboid_real(&cuboid, &a, &b, &p, theta_g).unwrap();
             assert!(res.iterations > 1, "θg should force multiple iterations");
             for (id, blk) in res.blocks {
                 // Aggregate intermediate blocks across the R = 2 cuboids.
@@ -264,7 +270,7 @@ mod tests {
         let (a, b, p) = setup(8);
         let grid = CuboidGrid::new(&p, CuboidSpec::new(1, 1, 1));
         let cuboid = grid.cuboid(0, 0, 0);
-        let res = execute_cuboid_real(&cuboid, &a, &b, &p.c, u64::MAX).unwrap();
+        let res = execute_cuboid_real(&cuboid, &a, &b, &p, u64::MAX).unwrap();
         assert_eq!(res.kernel_calls, cuboid.voxels());
         assert_eq!(res.iterations, 1);
         assert_eq!(res.spec.iterations(), 1);
@@ -275,7 +281,7 @@ mod tests {
         let (a, b, p) = setup(8);
         let grid = CuboidGrid::new(&p, CuboidSpec::new(2, 2, 2));
         let cuboid = grid.cuboid(0, 0, 0);
-        let err = execute_cuboid_real(&cuboid, &a, &b, &p.c, 16).unwrap_err();
+        let err = execute_cuboid_real(&cuboid, &a, &b, &p, 16).unwrap_err();
         assert!(matches!(err, TaskError::OutOfMemory { .. }));
     }
 
@@ -288,7 +294,7 @@ mod tests {
         a.put(0, 0, gen.generate_block(&p.a, 0, 0).unwrap())
             .unwrap();
         let grid = CuboidGrid::new(&p, CuboidSpec::new(1, 1, 1));
-        let res = execute_cuboid_real(&grid.cuboid(0, 0, 0), &a, &b, &p.c, u64::MAX).unwrap();
+        let res = execute_cuboid_real(&grid.cuboid(0, 0, 0), &a, &b, &p, u64::MAX).unwrap();
         let reference = a.multiply(&b).unwrap();
         // Only C-row 0 blocks can be non-zero.
         assert!(res.blocks.iter().all(|(id, _)| id.row == 0));

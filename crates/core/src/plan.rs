@@ -65,6 +65,10 @@ pub struct BlockMove {
     /// Serialized size charged for the movement (includes the method's
     /// serialization-overhead factor).
     pub bytes: u64,
+    /// Producer copy index: which mult task produced this intermediate
+    /// (aggregation routing only; operand moves use 0). Distinguishes the
+    /// `R` partial copies of one C block in the destination node's store.
+    pub copy: u32,
 }
 
 /// What a task executes when the plan runs with real blocks.
@@ -209,6 +213,23 @@ impl JobPlan {
         }
         comm
     }
+
+    /// The HDFS home node of an input block under this plan's routing —
+    /// where the executor must ingest it for the plan's `from_node`s to be
+    /// physical facts.
+    pub fn home_of(&self, operand: Operand, id: BlockId) -> usize {
+        operand_home(operand, id, self.nodes)
+    }
+}
+
+/// The HDFS home node of an input block (same hash the plan's routing
+/// uses). `C` has no HDFS home — its copies live on producer-task nodes.
+pub fn operand_home(operand: Operand, id: BlockId, nodes: usize) -> usize {
+    match operand {
+        Operand::A => home_node(id, 0, nodes),
+        Operand::B => home_node(id, 1, nodes),
+        Operand::C => panic!("C blocks have no HDFS home; they live on producer nodes"),
+    }
 }
 
 /// Plan construction state: the byte model shared by every stage.
@@ -274,6 +295,7 @@ impl Builder<'_> {
                 a.num_blocks(),
                 id.row as u64 * dk + id.col as u64,
             ),
+            copy: 0,
         }
     }
 
@@ -290,6 +312,7 @@ impl Builder<'_> {
                 b.num_blocks(),
                 id.row as u64 * dj + id.col as u64,
             ),
+            copy: 0,
         }
     }
 
@@ -612,6 +635,7 @@ impl Builder<'_> {
                         from_node: p % self.nodes,
                         to_node,
                         bytes,
+                        copy: p as u32,
                     });
                 }
             }

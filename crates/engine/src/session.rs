@@ -322,6 +322,49 @@ mod tests {
     }
 
     #[test]
+    fn real_session_reuses_resident_operands() {
+        // The session's cluster keeps operand placements resident across
+        // ops: a chained multiply over the same factor (GNMF's pattern)
+        // finds its blocks already on their home nodes.
+        let meta_a = MatrixMeta::dense(80, 64).with_block_size(16);
+        let meta_b = MatrixMeta::dense(64, 48).with_block_size(16);
+        let a = MatrixGenerator::with_seed(5).generate(&meta_a).unwrap();
+        let b = MatrixGenerator::with_seed(6).generate(&meta_b).unwrap();
+        let mut s = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+        s.matmul(&a, &b).unwrap();
+        let reused_before = s.cluster().stores().ingest_reused();
+        s.matmul(&a, &b).unwrap();
+        assert!(
+            s.cluster().stores().ingest_reused() > reused_before,
+            "second op over the same operands should re-ingest nothing"
+        );
+    }
+
+    #[test]
+    fn real_session_ledger_accumulates_across_ops() {
+        use distme_cluster::Phase;
+        let meta_a = MatrixMeta::dense(80, 64).with_block_size(16);
+        let meta_b = MatrixMeta::dense(64, 48).with_block_size(16);
+        let a = MatrixGenerator::with_seed(5).generate(&meta_a).unwrap();
+        let b = MatrixGenerator::with_seed(6).generate(&meta_b).unwrap();
+        let mut s = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+        s.matmul(&a, &b).unwrap();
+        let after_one: u64 = Phase::ALL
+            .iter()
+            .map(|&p| s.cluster().ledger().shuffle_bytes(p))
+            .sum();
+        assert!(after_one > 0);
+        s.matmul(&a, &b).unwrap();
+        // No per-job reset: session-level totals are running sums, and an
+        // identical plan charges identical bytes.
+        let after_two: u64 = Phase::ALL
+            .iter()
+            .map(|&p| s.cluster().ledger().shuffle_bytes(p))
+            .sum();
+        assert_eq!(after_two, 2 * after_one);
+    }
+
+    #[test]
     fn real_session_full_expression() {
         // (A^T)^T * A element-multiplied with A*... exercise chaining.
         let meta = MatrixMeta::dense(48, 48).with_block_size(16);

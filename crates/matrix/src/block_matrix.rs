@@ -8,14 +8,40 @@ use crate::error::{MatrixError, Result};
 use crate::kernels;
 use crate::meta::MatrixMeta;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh process-unique matrix identity.
+///
+/// A uid names one *content version* of a block set (RDD-lineage style):
+/// clones and moves keep it, mutation mints a new one. Placement caches
+/// (the cluster's per-node block stores) key residency by uid, so a stale
+/// cache entry can never alias changed content.
+pub fn fresh_matrix_uid() -> u64 {
+    NEXT_UID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A matrix stored as a grid of blocks on a single node.
 ///
 /// Missing blocks are implicitly zero (common for very sparse matrices).
-#[derive(Debug, Clone, PartialEq)]
+/// Blocks are held behind [`Arc`] so distributed executors can pin the same
+/// physical block on several virtual nodes (broadcast, residency caches)
+/// without copying element data.
+#[derive(Debug, Clone)]
 pub struct BlockMatrix {
     meta: MatrixMeta,
-    blocks: BTreeMap<BlockId, Block>,
+    uid: u64,
+    blocks: BTreeMap<BlockId, Arc<Block>>,
+}
+
+/// Equality is by shape and content; the uid (an identity/version token)
+/// deliberately does not participate.
+impl PartialEq for BlockMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.meta == other.meta && self.blocks == other.blocks
+    }
 }
 
 impl BlockMatrix {
@@ -23,6 +49,7 @@ impl BlockMatrix {
     pub fn new(meta: MatrixMeta) -> Self {
         BlockMatrix {
             meta,
+            uid: fresh_matrix_uid(),
             blocks: BTreeMap::new(),
         }
     }
@@ -32,13 +59,13 @@ impl BlockMatrix {
         &self.meta
     }
 
-    /// Inserts/replaces the block at `(bi, bj)`.
-    ///
-    /// # Errors
-    /// Returns [`MatrixError::BlockOutOfBounds`] for coordinates outside the
-    /// grid, and [`MatrixError::DimensionMismatch`] if the block's shape
-    /// differs from what the grid slot requires.
-    pub fn put(&mut self, bi: u32, bj: u32, block: Block) -> Result<()> {
+    /// This content version's identity (see [`fresh_matrix_uid`]). Stable
+    /// across clones and moves; every [`put`](Self::put) mints a new one.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    fn check_slot(&self, bi: u32, bj: u32, block: &Block) -> Result<()> {
         if bi >= self.meta.block_rows() || bj >= self.meta.block_cols() {
             return Err(MatrixError::BlockOutOfBounds {
                 id: (bi, bj),
@@ -53,23 +80,56 @@ impl BlockMatrix {
                 rhs: (r, c),
             });
         }
+        Ok(())
+    }
+
+    /// Inserts/replaces the block at `(bi, bj)`.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::BlockOutOfBounds`] for coordinates outside the
+    /// grid, and [`MatrixError::DimensionMismatch`] if the block's shape
+    /// differs from what the grid slot requires.
+    pub fn put(&mut self, bi: u32, bj: u32, block: Block) -> Result<()> {
+        self.put_shared(bi, bj, Arc::new(block))
+    }
+
+    /// [`put`](Self::put) for an already-shared block (no element copy).
+    ///
+    /// # Errors
+    /// Same as [`put`](Self::put).
+    pub fn put_shared(&mut self, bi: u32, bj: u32, block: Arc<Block>) -> Result<()> {
+        self.check_slot(bi, bj, &block)?;
         self.blocks.insert(BlockId::new(bi, bj), block);
+        self.uid = fresh_matrix_uid();
         Ok(())
     }
 
     /// Returns the block at `(bi, bj)` if materialized.
     pub fn get(&self, bi: u32, bj: u32) -> Option<&Block> {
-        self.blocks.get(&BlockId::new(bi, bj))
+        self.blocks.get(&BlockId::new(bi, bj)).map(|b| &**b)
+    }
+
+    /// Returns a shared handle to the block at `(bi, bj)` if materialized.
+    pub fn get_shared(&self, bi: u32, bj: u32) -> Option<Arc<Block>> {
+        self.blocks.get(&BlockId::new(bi, bj)).map(Arc::clone)
     }
 
     /// Iterates over materialized blocks in (row, col) order.
     pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().map(|(id, b)| (*id, b))
+        self.blocks.iter().map(|(id, b)| (*id, &**b))
     }
 
-    /// Consumes the matrix, yielding its blocks.
+    /// Iterates over shared handles to the materialized blocks.
+    pub fn blocks_shared(&self) -> impl Iterator<Item = (BlockId, Arc<Block>)> + '_ {
+        self.blocks.iter().map(|(id, b)| (*id, Arc::clone(b)))
+    }
+
+    /// Consumes the matrix, yielding its blocks (cloning only blocks still
+    /// shared elsewhere).
     pub fn into_blocks(self) -> impl Iterator<Item = (BlockId, Block)> {
-        self.blocks.into_iter()
+        self.blocks
+            .into_iter()
+            .map(|(id, b)| (id, Arc::try_unwrap(b).unwrap_or_else(|a| (*a).clone())))
     }
 
     /// Number of materialized blocks.
@@ -84,7 +144,7 @@ impl BlockMatrix {
 
     /// Total in-memory bytes over materialized blocks.
     pub fn mem_bytes(&self) -> u64 {
-        self.blocks.values().map(Block::mem_bytes).sum()
+        self.blocks.values().map(|b| b.mem_bytes()).sum()
     }
 
     /// Element accessor (slow; tests and small examples only).

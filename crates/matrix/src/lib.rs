@@ -38,7 +38,7 @@ pub mod ops;
 pub mod sparse;
 
 pub use block::{Block, BlockFormat, BlockId};
-pub use block_matrix::BlockMatrix;
+pub use block_matrix::{fresh_matrix_uid, BlockMatrix};
 pub use csc::CscBlock;
 pub use dense::DenseBlock;
 pub use error::{MatrixError, Result};
