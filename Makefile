@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint test parity build bench
+.PHONY: ci fmt lint test parity build bench bench-json bench-smoke
 
-ci: fmt lint test parity
+ci: fmt lint test parity bench-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -26,3 +26,13 @@ build:
 
 bench:
 	$(CARGO) bench --workspace
+
+# Regenerates the tracked hot-path baseline (BENCH_hotpath.json at the repo
+# root): GEMM GFLOP/s, codec GB/s, transport throughput, one CuboidMM job.
+bench-json:
+	$(CARGO) run --release -q -p distme-bench --bin hotpath -- --out BENCH_hotpath.json
+
+# CI gate: the hotpath bench must run end to end and emit valid JSON (the
+# binary self-checks the document before writing). Tiny shapes, debug build.
+bench-smoke:
+	$(CARGO) run -q -p distme-bench --bin hotpath -- --smoke --out target/BENCH_smoke.json

@@ -1,0 +1,519 @@
+//! Hot-path microbenchmarks: the compute/serialization floor under every
+//! distributed run.
+//!
+//! Measures, on this machine:
+//!
+//! * packed GEMM / GEMM-TN throughput (GFLOP/s) across shapes that stress
+//!   the blocking edges;
+//! * codec throughput (GB/s) for dense and sparse blocks — both the bulk
+//!   hot path the transport uses (`encode_into` into a reused buffer +
+//!   `decode_slice`) and an in-binary replica of the original per-element
+//!   loop (fresh buffer + `freeze` + element-wise `Bytes` decode), so the
+//!   speedup is tracked against a fixed reference, not a moving one;
+//! * transport round-trip throughput through the scratch-pool path;
+//! * wall time of one fixed CuboidMM job on the real executor.
+//!
+//! Writes the results as JSON (default `BENCH_hotpath.json`, `--out` to
+//! override) and self-checks that the emitted document parses. `--smoke`
+//! shrinks every workload to a few milliseconds for CI.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use distme_cluster::stats::Phase;
+use distme_cluster::{
+    ClusterConfig, ClusterStores, LocalCluster, ScratchPool, ShuffleLedger, StoreKey, Transport,
+    TransportStats, WireMove,
+};
+use distme_core::real_exec::multiply;
+use distme_core::MulMethod;
+use distme_matrix::kernels::gemm::{gemm, gemm_tn};
+use distme_matrix::{codec, Block, BlockId, CsrBlock, DenseBlock, MatrixGenerator, MatrixMeta};
+use std::time::Instant;
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_hotpath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument: {other} (expected --smoke / --out PATH)"),
+        }
+    }
+
+    let mut doc = String::from("{\n");
+    doc.push_str("  \"bench\": \"hotpath\",\n");
+    doc.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    doc.push_str(&format!("  \"gemm\": {},\n", bench_gemm(smoke)));
+    doc.push_str(&format!("  \"codec\": {},\n", bench_codec(smoke)));
+    doc.push_str(&format!("  \"transport\": {},\n", bench_transport(smoke)));
+    doc.push_str(&format!("  \"cuboid_job\": {}\n", bench_cuboid_job(smoke)));
+    doc.push('}');
+
+    json_check(&doc).expect("emitted benchmark document must be valid JSON");
+    std::fs::write(&out, format!("{doc}\n")).expect("write benchmark JSON");
+    println!("wrote {out}");
+}
+
+/// Formats an `f64` as a JSON number (non-finite values become 0).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "0".into()
+    }
+}
+
+fn seeded_dense(rows: usize, cols: usize, seed: u64) -> DenseBlock {
+    let mut state = seed | 1;
+    DenseBlock::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) % 200) as f64 / 100.0 - 1.0
+    })
+}
+
+fn seeded_sparse(rows: usize, cols: usize, every: usize, seed: u64) -> CsrBlock {
+    let mut state = seed | 1;
+    let mut trips = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            if ((state >> 33) as usize).is_multiple_of(every) {
+                trips.push((i, j, ((state >> 40) % 19) as f64 - 9.0));
+            }
+        }
+    }
+    CsrBlock::from_triplets(rows, cols, trips).expect("valid triplets")
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+fn bench_gemm(smoke: bool) -> String {
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(32, 32, 32), (48, 16, 24)]
+    } else {
+        &[
+            (1000, 1000, 1000),
+            (512, 512, 512),
+            (256, 256, 256),
+            (2000, 64, 2000),
+            (64, 2000, 64),
+        ]
+    };
+    let mut rows = Vec::new();
+    for &(m, k, n) in shapes {
+        rows.push(gemm_row("gemm", m, k, n, smoke, |a, b, c| {
+            gemm(1.0, a, b, 0.0, c).expect("shapes match")
+        }));
+    }
+    // gemm_tn at the headline shape (a stored k x m).
+    let (m, k, n) = if smoke {
+        (32, 32, 32)
+    } else {
+        (1000, 1000, 1000)
+    };
+    rows.push(gemm_tn_row(m, k, n, smoke));
+    format!("[\n    {}\n  ]", rows.join(",\n    "))
+}
+
+fn gemm_row(
+    kernel: &str,
+    m: usize,
+    k: usize,
+    n: usize,
+    smoke: bool,
+    f: impl Fn(&DenseBlock, &DenseBlock, &mut DenseBlock),
+) -> String {
+    let a = seeded_dense(m, k, 3);
+    let b = seeded_dense(k, n, 5);
+    let mut c = DenseBlock::zeros(m, n);
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    // Enough repetitions for ~3 GFLOP of work per shape (2 reps in smoke).
+    let reps = if smoke {
+        2
+    } else {
+        ((3.0e9 / flops).ceil() as usize).max(3)
+    };
+    f(&a, &b, &mut c); // warm up (feature detection, page-in)
+    let t = Instant::now();
+    for _ in 0..reps {
+        f(&a, &b, &mut c);
+    }
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(&c);
+    let gflops = flops * reps as f64 / secs / 1e9;
+    format!(
+        "{{\"kernel\": \"{kernel}\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
+         \"reps\": {reps}, \"gflops\": {}}}",
+        num(gflops)
+    )
+}
+
+fn gemm_tn_row(m: usize, k: usize, n: usize, smoke: bool) -> String {
+    let a = seeded_dense(k, m, 3);
+    let b = seeded_dense(k, n, 5);
+    let mut c = DenseBlock::zeros(m, n);
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let reps = if smoke {
+        2
+    } else {
+        ((3.0e9 / flops).ceil() as usize).max(3)
+    };
+    gemm_tn(1.0, &a, &b, 0.0, &mut c).expect("shapes match");
+    let t = Instant::now();
+    for _ in 0..reps {
+        gemm_tn(1.0, &a, &b, 0.0, &mut c).expect("shapes match");
+    }
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(&c);
+    let gflops = flops * reps as f64 / secs / 1e9;
+    format!(
+        "{{\"kernel\": \"gemm_tn\", \"m\": {m}, \"k\": {k}, \"n\": {n}, \
+         \"reps\": {reps}, \"gflops\": {}}}",
+        num(gflops)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+fn bench_codec(smoke: bool) -> String {
+    // Distributed jobs ship sub-matrix blocks, not whole operands; 256x256
+    // (512 KB dense) matches the block-size regime of the executor's jobs,
+    // so this is the traffic the transport actually serializes.
+    let side = if smoke { 64 } else { 256 };
+    let dense = Block::Dense(seeded_dense(side, side, 7));
+    let sparse = Block::Sparse(seeded_sparse(side, side, 20, 9));
+    format!(
+        "{{\n    \"dense\": {},\n    \"sparse\": {}\n  }}",
+        codec_section(&dense, smoke),
+        codec_section(&sparse, smoke)
+    )
+}
+
+fn codec_section(block: &Block, smoke: bool) -> String {
+    let len = codec::encoded_len(block) as usize;
+    // ~256 MB of traffic per direction in full mode.
+    let reps = if smoke {
+        3
+    } else {
+        (256_000_000 / len.max(1)).clamp(8, 4096)
+    };
+
+    // Hot path: bulk copies into a reused scratch buffer, decode in place.
+    let mut buf = BytesMut::default();
+    codec::encode_into(block, &mut buf);
+    let t = Instant::now();
+    for _ in 0..reps {
+        buf.clear();
+        codec::encode_into(block, &mut buf);
+    }
+    let hot_enc = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..reps {
+        let b = codec::decode_slice(&buf).expect("round-trips");
+        std::hint::black_box(&b);
+    }
+    let hot_dec = t.elapsed().as_secs_f64();
+
+    // Reference path: the original per-element loop into a fresh buffer
+    // (frozen into `Bytes`, as the transport used to ship), decoded
+    // element by element.
+    let t = Instant::now();
+    let mut frozen = encode_elementwise(block);
+    for _ in 1..reps {
+        frozen = encode_elementwise(block);
+    }
+    let ref_enc = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..reps {
+        let b = decode_elementwise(frozen.clone()).expect("round-trips");
+        std::hint::black_box(&b);
+    }
+    let ref_dec = t.elapsed().as_secs_f64();
+
+    let moved = (len * reps) as f64;
+    let gbps = |secs: f64| moved / secs / 1e9;
+    let hot_rt = gbps(hot_enc + hot_dec);
+    let ref_rt = gbps(ref_enc + ref_dec);
+    format!(
+        "{{\"bytes\": {len}, \"reps\": {reps}, \
+         \"hot\": {{\"encode_gbps\": {}, \"decode_gbps\": {}, \"roundtrip_gbps\": {}}}, \
+         \"seed_style\": {{\"encode_gbps\": {}, \"decode_gbps\": {}, \"roundtrip_gbps\": {}}}, \
+         \"roundtrip_speedup\": {}}}",
+        num(gbps(hot_enc)),
+        num(gbps(hot_dec)),
+        num(hot_rt),
+        num(gbps(ref_enc)),
+        num(gbps(ref_dec)),
+        num(ref_rt),
+        num(hot_rt / ref_rt)
+    )
+}
+
+/// The seed codec's encoder: one `put_*` per element, frozen to `Bytes`.
+fn encode_elementwise(block: &Block) -> Bytes {
+    let mut buf = BytesMut::with_capacity(codec::encoded_len(block) as usize);
+    match block {
+        Block::Dense(d) => {
+            buf.put_u8(1);
+            buf.put_u32_le(d.rows() as u32);
+            buf.put_u32_le(d.cols() as u32);
+            for &v in d.data() {
+                buf.put_f64_le(v);
+            }
+        }
+        Block::Sparse(s) => {
+            buf.put_u8(2);
+            buf.put_u32_le(s.rows() as u32);
+            buf.put_u32_le(s.cols() as u32);
+            buf.put_u32_le(s.nnz() as u32);
+            for &p in s.row_ptr() {
+                buf.put_u32_le(p);
+            }
+            for &j in s.col_idx() {
+                buf.put_u32_le(j);
+            }
+            for &v in s.values() {
+                buf.put_f64_le(v);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// The seed codec's decoder: one `get_*` per element out of `Bytes`.
+fn decode_elementwise(mut buf: Bytes) -> Result<Block, String> {
+    let tag = buf.get_u8();
+    let rows = buf.get_u32_le() as usize;
+    let cols = buf.get_u32_le() as usize;
+    match tag {
+        1 => {
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..rows * cols {
+                data.push(buf.get_f64_le());
+            }
+            DenseBlock::from_vec(rows, cols, data)
+                .map(Block::Dense)
+                .map_err(|e| e.to_string())
+        }
+        2 => {
+            let nnz = buf.get_u32_le() as usize;
+            let mut row_ptr = Vec::with_capacity(rows + 1);
+            for _ in 0..=rows {
+                row_ptr.push(buf.get_u32_le());
+            }
+            let mut col_idx = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                col_idx.push(buf.get_u32_le());
+            }
+            let mut values = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                values.push(buf.get_f64_le());
+            }
+            CsrBlock::from_raw_parts(rows, cols, row_ptr, col_idx, values)
+                .map(Block::Sparse)
+                .map_err(|e| e.to_string())
+        }
+        t => Err(format!("bad tag {t}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+fn bench_transport(smoke: bool) -> String {
+    let side = if smoke { 64 } else { 1000 };
+    let moves = if smoke { 3 } else { 64 };
+    let stores = ClusterStores::new(2);
+    let ledger = ShuffleLedger::new();
+    let stats = TransportStats::default();
+    let scratch = ScratchPool::default();
+    let block = Block::Dense(seeded_dense(side, side, 11));
+    let key = StoreKey::operand(1, BlockId::new(0, 0));
+    stores
+        .node(0)
+        .install(key, std::sync::Arc::new(block.clone()));
+    let transport = Transport::new(&stores, &ledger, &stats, &scratch);
+    let mv = WireMove {
+        phase: Phase::Repartition,
+        from_node: 0,
+        to_node: 1,
+        wire_bytes: codec::encoded_len(&block),
+        src: key,
+        dst: key,
+    };
+    transport.execute(&mv).expect("moves"); // warm the scratch pool
+    let t = Instant::now();
+    for _ in 0..moves {
+        transport.execute(&mv).expect("moves");
+    }
+    let secs = t.elapsed().as_secs_f64();
+    let payload = codec::encoded_len(&block) as f64 * moves as f64;
+    format!(
+        "{{\"moves\": {moves}, \"block_bytes\": {}, \"roundtrip_gbps\": {}, \
+         \"scratch_reuses\": {}}}",
+        codec::encoded_len(&block),
+        num(payload / secs / 1e9),
+        scratch.reuses()
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Fixed CuboidMM job on the real executor
+// ---------------------------------------------------------------------------
+
+fn bench_cuboid_job(smoke: bool) -> String {
+    let bs: u64 = if smoke { 16 } else { 128 };
+    let (bi, bk, bj) = (6u64, 5u64, 4u64);
+    let (m, k, n) = (bi * bs, bk * bs, bj * bs);
+    let a = MatrixGenerator::with_seed(11)
+        .value_range(-1.0, 1.0)
+        .generate(&MatrixMeta::dense(m, k).with_block_size(bs))
+        .expect("generates");
+    let b = MatrixGenerator::with_seed(22)
+        .value_range(-1.0, 1.0)
+        .generate(&MatrixMeta::dense(k, n).with_block_size(bs))
+        .expect("generates");
+    let reps = if smoke { 1 } else { 3 };
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let cluster = LocalCluster::new(ClusterConfig::laptop());
+        let t = Instant::now();
+        let (prod, _) = multiply(&cluster, &a, &b, MulMethod::CuboidAuto).expect("job runs");
+        best = best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(&prod);
+    }
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    format!(
+        "{{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"block_size\": {bs}, \
+         \"method\": \"CuboidAuto\", \"wall_seconds\": {}, \"gflops\": {}}}",
+        num(best),
+        num(flops / best / 1e9)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// JSON self-check (no serde in the workspace): a strict recursive-descent
+// parser over the emitted document.
+// ---------------------------------------------------------------------------
+
+fn json_check(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    json_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn json_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                json_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at {pos}"));
+                }
+                *pos += 1;
+                json_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => {
+                        *pos += 1;
+                        skip_ws(b, pos);
+                    }
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                json_value(b, pos)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at {pos}")),
+                }
+            }
+        }
+        Some(b'"') => json_string(b, pos),
+        Some(b't') => json_literal(b, pos, "true"),
+        Some(b'f') => json_literal(b, pos, "false"),
+        Some(b'n') => json_literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            Ok(())
+        }
+        _ => Err(format!("unexpected byte at {pos}")),
+    }
+}
+
+fn json_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(()),
+            b'\\' => *pos += 1,
+            _ => {}
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn json_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at {pos}"))
+    }
+}

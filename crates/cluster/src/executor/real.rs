@@ -14,9 +14,9 @@ use crate::failure::{JobError, TaskError};
 use crate::shuffle::ShuffleLedger;
 use crate::stats::Phase;
 use crate::store::ClusterStores;
-use crate::transport::{Transport, TransportStats};
+use crate::transport::{ScratchPool, Transport, TransportStats};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -83,6 +83,7 @@ pub struct LocalCluster {
     ledger: Arc<ShuffleLedger>,
     stores: ClusterStores,
     transport_stats: TransportStats,
+    scratch: ScratchPool,
 }
 
 impl LocalCluster {
@@ -94,6 +95,7 @@ impl LocalCluster {
             ledger: Arc::new(ShuffleLedger::new()),
             stores: ClusterStores::new(cfg.nodes),
             transport_stats: TransportStats::default(),
+            scratch: ScratchPool::default(),
         }
     }
 
@@ -117,9 +119,19 @@ impl LocalCluster {
         &self.transport_stats
     }
 
-    /// A transport bound to this cluster's stores and ledger.
+    /// The reusable serialization-buffer pool.
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        &self.scratch
+    }
+
+    /// A transport bound to this cluster's stores, ledger, and scratch pool.
     pub fn transport(&self) -> Transport<'_> {
-        Transport::new(&self.stores, &self.ledger, &self.transport_stats)
+        Transport::new(
+            &self.stores,
+            &self.ledger,
+            &self.transport_stats,
+            &self.scratch,
+        )
     }
 
     /// Virtual node a stage-task index runs on (round-robin, matching
@@ -136,8 +148,10 @@ impl LocalCluster {
     /// Runs one stage: `f` is applied to every input on a worker pool of at
     /// most `M · Tc` threads (capped by host parallelism times the
     /// configured oversubscription). Task memory is enforced through
-    /// [`TaskCtx::alloc`]. Workers claim `(index, input)` pairs off a
-    /// shared iterator and buffer outputs locally, merging once at exit.
+    /// [`TaskCtx::alloc`]. Workers claim task indices off a lock-free
+    /// atomic cursor over the input vector and buffer outputs locally,
+    /// merging once at exit; outputs are returned in task order regardless
+    /// of which worker ran what.
     ///
     /// # Errors
     /// * [`JobError::TooManyTasks`] when `inputs.len()` exceeds the
@@ -167,7 +181,12 @@ impl LocalCluster {
             .min(n.max(1))
             .min(host_par * self.cfg.host_worker_oversubscription);
 
-        let queue = Mutex::new(inputs.into_iter().enumerate());
+        // The claim queue is a lock-free cursor: each fetch_add hands its
+        // caller exclusive ownership of one task index, so the per-slot
+        // mutex below is only ever taken once and never contended.
+        let slots: Vec<Mutex<Option<I>>> =
+            inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let cursor = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, Result<O, TaskError>)>> = Mutex::new(Vec::with_capacity(n));
         let peak = AtomicU64::new(0);
 
@@ -176,12 +195,15 @@ impl LocalCluster {
                 scope.spawn(|| {
                     let mut local: Vec<(usize, Result<O, TaskError>)> = Vec::new();
                     loop {
-                        // Claim under the lock, run outside it.
-                        let claimed = queue
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        let item = slots[idx]
                             .lock()
-                            .expect("no worker panics while holding the claim lock")
-                            .next();
-                        let Some((idx, item)) = claimed else { break };
+                            .expect("no worker panics while taking its slot")
+                            .take()
+                            .expect("each index is claimed exactly once");
                         let ctx = TaskCtx {
                             task: idx,
                             node: self.node_of_task(idx),
@@ -240,6 +262,21 @@ mod tests {
             })
             .unwrap();
         assert_eq!(run.outputs, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn output_order_is_deterministic_under_skewed_task_durations() {
+        // Early tasks run longest, so with multiple workers later tasks
+        // finish first; the atomic-cursor queue must still return outputs
+        // in task order.
+        let c = cluster();
+        let run = c
+            .run_stage((0..32).collect(), |_, x: u64| {
+                std::thread::sleep(std::time::Duration::from_micros((32 - x) * 50));
+                Ok(x)
+            })
+            .unwrap();
+        assert_eq!(run.outputs, (0..32).collect::<Vec<_>>());
     }
 
     #[test]

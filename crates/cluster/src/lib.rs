@@ -46,4 +46,4 @@ pub use stats::{JobStats, Phase, PhaseStats};
 pub use store::{
     BlockSource, BlockView, ClusterStores, NodeStore, StoreKey, RESIDENCY_WINDOW_JOBS,
 };
-pub use transport::{Transport, TransportStats, WireMove};
+pub use transport::{ScratchPool, Transport, TransportStats, WireMove};

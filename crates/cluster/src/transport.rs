@@ -17,8 +17,53 @@ use crate::failure::TaskError;
 use crate::shuffle::ShuffleLedger;
 use crate::stats::Phase;
 use crate::store::{ClusterStores, StoreKey};
+use bytes::BytesMut;
 use distme_matrix::codec;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on pooled scratch buffers: enough for every worker thread a
+/// stage can run, without pinning unbounded memory after a wide stage.
+const SCRATCH_POOL_CAP: usize = 64;
+
+/// A pool of reusable serialization buffers shared by the transport's
+/// callers (the stage workers): each move borrows one scratch [`BytesMut`],
+/// encodes into it, decodes straight out of it, and returns it — so a
+/// steady-state shuffle allocates nothing per block.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    bufs: Mutex<Vec<BytesMut>>,
+    reuses: AtomicU64,
+}
+
+impl ScratchPool {
+    /// Borrows a cleared buffer, recycling a pooled allocation when one is
+    /// available.
+    pub fn take(&self) -> BytesMut {
+        let recycled = self.bufs.lock().expect("scratch pool lock").pop();
+        match recycled {
+            Some(mut buf) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                buf
+            }
+            None => BytesMut::default(),
+        }
+    }
+
+    /// Returns a buffer to the pool (dropped once the pool is full).
+    pub fn recycle(&self, buf: BytesMut) {
+        let mut bufs = self.bufs.lock().expect("scratch pool lock");
+        if bufs.len() < SCRATCH_POOL_CAP {
+            bufs.push(buf);
+        }
+    }
+
+    /// How many takes were served from the pool instead of allocating.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+}
 
 /// One executable move: ship the block under `src` on `from_node` to the
 /// `dst` key on `to_node`, charging `wire_bytes` to the ledger in `phase`.
@@ -68,19 +113,23 @@ pub struct Transport<'a> {
     stores: &'a ClusterStores,
     ledger: &'a ShuffleLedger,
     stats: &'a TransportStats,
+    scratch: &'a ScratchPool,
 }
 
 impl<'a> Transport<'a> {
-    /// Binds a transport to stores, ledger, and physical counters.
+    /// Binds a transport to stores, ledger, physical counters, and the
+    /// scratch-buffer pool.
     pub fn new(
         stores: &'a ClusterStores,
         ledger: &'a ShuffleLedger,
         stats: &'a TransportStats,
+        scratch: &'a ScratchPool,
     ) -> Self {
         Transport {
             stores,
             ledger,
             stats,
+            scratch,
         }
     }
 
@@ -101,10 +150,14 @@ impl<'a> Transport<'a> {
         };
         // Real serialized bytes flow on every move, even node-local ones
         // (Spark serializes through shuffle files regardless of locality).
-        let bytes = codec::encode(&block);
-        let payload = bytes.len() as u64;
+        // The wire buffer is borrowed from the scratch pool and decoded
+        // in place, so steady-state shuffles never allocate for the bytes.
+        let mut buf = self.scratch.take();
+        codec::encode_into(&block, &mut buf);
+        let payload = buf.len() as u64;
         let decoded =
-            codec::decode(bytes).map_err(|e| TaskError::Compute(format!("transport: {e}")))?;
+            codec::decode_slice(&buf).map_err(|e| TaskError::Compute(format!("transport: {e}")))?;
+        self.scratch.recycle(buf);
         self.stores
             .node(mv.to_node)
             .install(mv.dst, std::sync::Arc::new(decoded));
@@ -122,22 +175,23 @@ mod tests {
     use distme_matrix::{Block, BlockId, DenseBlock};
     use std::sync::Arc;
 
-    fn setup() -> (ClusterStores, ShuffleLedger, TransportStats) {
+    fn setup() -> (ClusterStores, ShuffleLedger, TransportStats, ScratchPool) {
         (
             ClusterStores::new(3),
             ShuffleLedger::new(),
             TransportStats::default(),
+            ScratchPool::default(),
         )
     }
 
     #[test]
     fn move_encodes_decodes_and_installs() {
-        let (stores, ledger, stats) = setup();
+        let (stores, ledger, stats, scratch) = setup();
         let block = Block::Dense(DenseBlock::from_fn(4, 4, |i, j| (i * 4 + j) as f64));
         let src = StoreKey::operand(1, BlockId::new(0, 0));
         let dst = StoreKey::operand(1, BlockId::new(0, 0));
         stores.node(0).install(src, Arc::new(block.clone()));
-        let t = Transport::new(&stores, &ledger, &stats);
+        let t = Transport::new(&stores, &ledger, &stats, &scratch);
         let payload = t
             .execute(&WireMove {
                 phase: Phase::Repartition,
@@ -158,9 +212,31 @@ mod tests {
     }
 
     #[test]
+    fn repeat_moves_reuse_the_scratch_buffer() {
+        let (stores, ledger, stats, scratch) = setup();
+        let block = Block::Dense(DenseBlock::from_fn(8, 8, |i, j| (i + j) as f64));
+        let key = StoreKey::operand(7, BlockId::new(0, 0));
+        stores.node(0).install(key, Arc::new(block));
+        let t = Transport::new(&stores, &ledger, &stats, &scratch);
+        let mv = WireMove {
+            phase: Phase::Repartition,
+            from_node: 0,
+            to_node: 1,
+            wire_bytes: 10,
+            src: key,
+            dst: key,
+        };
+        t.execute(&mv).unwrap();
+        assert_eq!(scratch.reuses(), 0);
+        t.execute(&mv).unwrap();
+        t.execute(&mv).unwrap();
+        assert_eq!(scratch.reuses(), 2, "sequential moves share one buffer");
+    }
+
+    #[test]
     fn implicit_zero_is_charged_but_carries_nothing() {
-        let (stores, ledger, stats) = setup();
-        let t = Transport::new(&stores, &ledger, &stats);
+        let (stores, ledger, stats, scratch) = setup();
+        let t = Transport::new(&stores, &ledger, &stats, &scratch);
         let key = StoreKey::operand(1, BlockId::new(3, 3));
         let payload = t
             .execute(&WireMove {

@@ -3,8 +3,8 @@
 //! bit-identically, and locality violations must fail loudly.
 
 use distme_cluster::{
-    BlockSource, BlockView, ClusterStores, Phase, ShuffleLedger, StoreKey, TaskError, Transport,
-    TransportStats, WireMove,
+    BlockSource, BlockView, ClusterStores, Phase, ScratchPool, ShuffleLedger, StoreKey, TaskError,
+    Transport, TransportStats, WireMove,
 };
 use distme_matrix::{Block, BlockId, CscBlock, CsrBlock, DenseBlock};
 use proptest::prelude::*;
@@ -64,7 +64,8 @@ fn ship(block: &Block) -> Arc<Block> {
     let stores = ClusterStores::new(2);
     let ledger = ShuffleLedger::new();
     let stats = TransportStats::default();
-    let transport = Transport::new(&stores, &ledger, &stats);
+    let scratch = ScratchPool::default();
+    let transport = Transport::new(&stores, &ledger, &stats, &scratch);
     let key = StoreKey::operand(7, BlockId::new(0, 0));
     stores.node(0).install(key, Arc::new(block.clone()));
     let mv = WireMove {
@@ -116,7 +117,8 @@ fn unmaterialized_moves_charge_the_ledger_but_carry_no_payload() {
     let stores = ClusterStores::new(2);
     let ledger = ShuffleLedger::new();
     let stats = TransportStats::default();
-    let transport = Transport::new(&stores, &ledger, &stats);
+    let scratch = ScratchPool::default();
+    let transport = Transport::new(&stores, &ledger, &stats, &scratch);
     let key = StoreKey::operand(7, BlockId::new(0, 0));
     let mv = WireMove {
         phase: Phase::Aggregation,

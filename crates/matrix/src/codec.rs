@@ -11,6 +11,12 @@
 //! sparse: [0x02][rows: u32][cols: u32][nnz: u32]
 //!         [row_ptr: (rows+1) u32][col_idx: nnz u32][values: nnz f64]
 //! ```
+//!
+//! On little-endian targets the `f64`/`u32` payload sections move as whole
+//! slices (one `memcpy` each way) rather than element-at-a-time puts/gets;
+//! big-endian targets fall back to the per-element loop. The produced bytes
+//! are identical either way, so `tests/plan_parity.rs` and every ledger
+//! charge are unaffected.
 
 use crate::block::Block;
 use crate::dense::DenseBlock;
@@ -21,35 +27,34 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 const TAG_DENSE: u8 = 0x01;
 const TAG_SPARSE: u8 = 0x02;
 
-/// Serializes a block.
+/// Serializes a block into a fresh buffer.
 pub fn encode(block: &Block) -> Bytes {
     let mut buf = BytesMut::with_capacity(encoded_len(block) as usize);
+    encode_into(block, &mut buf);
+    buf.freeze()
+}
+
+/// Serializes a block, appending to a caller-owned buffer (the transport
+/// reuses one scratch buffer across moves instead of allocating per block).
+pub fn encode_into(block: &Block, buf: &mut BytesMut) {
+    buf.reserve(encoded_len(block) as usize);
     match block {
         Block::Dense(d) => {
             buf.put_u8(TAG_DENSE);
             buf.put_u32_le(d.rows() as u32);
             buf.put_u32_le(d.cols() as u32);
-            for &v in d.data() {
-                buf.put_f64_le(v);
-            }
+            put_f64_slice(buf, d.data());
         }
         Block::Sparse(s) => {
             buf.put_u8(TAG_SPARSE);
             buf.put_u32_le(s.rows() as u32);
             buf.put_u32_le(s.cols() as u32);
             buf.put_u32_le(s.nnz() as u32);
-            for &p in s.row_ptr() {
-                buf.put_u32_le(p);
-            }
-            for &c in s.col_idx() {
-                buf.put_u32_le(c);
-            }
-            for &v in s.values() {
-                buf.put_f64_le(v);
-            }
+            put_u32_slice(buf, s.row_ptr());
+            put_u32_slice(buf, s.col_idx());
+            put_f64_slice(buf, s.values());
         }
     }
-    buf.freeze()
 }
 
 /// Exact serialized size in bytes without encoding.
@@ -62,58 +67,147 @@ pub fn encoded_len(block: &Block) -> u64 {
     }
 }
 
-/// Deserializes a block.
+#[cfg(target_endian = "little")]
+fn put_f64_slice(buf: &mut BytesMut, vals: &[f64]) {
+    // SAFETY: on a little-endian target the in-memory representation of an
+    // `f64` slice is exactly its wire encoding; `f64` has no padding and
+    // every bit pattern is a valid byte sequence.
+    let bytes = unsafe {
+        std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), std::mem::size_of_val(vals))
+    };
+    buf.put_slice(bytes);
+}
+
+#[cfg(not(target_endian = "little"))]
+fn put_f64_slice(buf: &mut BytesMut, vals: &[f64]) {
+    for &v in vals {
+        buf.put_f64_le(v);
+    }
+}
+
+#[cfg(target_endian = "little")]
+fn put_u32_slice(buf: &mut BytesMut, vals: &[u32]) {
+    // SAFETY: same little-endian reinterpretation as `put_f64_slice`.
+    let bytes = unsafe {
+        std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), std::mem::size_of_val(vals))
+    };
+    buf.put_slice(bytes);
+}
+
+#[cfg(not(target_endian = "little"))]
+fn put_u32_slice(buf: &mut BytesMut, vals: &[u32]) {
+    for &v in vals {
+        buf.put_u32_le(v);
+    }
+}
+
+#[cfg(target_endian = "little")]
+fn get_f64_vec(buf: &mut &[u8], n: usize) -> Vec<f64> {
+    let (head, rest) = buf.split_at(n * 8);
+    let mut out = Vec::<f64>::with_capacity(n);
+    // SAFETY: `head` holds exactly `n * 8` bytes (the caller seized them
+    // after the payload precheck); every byte pattern is a valid `f64`, and
+    // the copy fills the whole capacity before `set_len` exposes it —
+    // skipping the `vec![0.0; n]` zeroing pass the copy would overwrite.
+    unsafe {
+        std::ptr::copy_nonoverlapping(head.as_ptr(), out.as_mut_ptr().cast::<u8>(), n * 8);
+        out.set_len(n);
+    }
+    *buf = rest;
+    out
+}
+
+#[cfg(not(target_endian = "little"))]
+fn get_f64_vec(buf: &mut &[u8], n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(buf.get_f64_le());
+    }
+    out
+}
+
+#[cfg(target_endian = "little")]
+fn get_u32_vec(buf: &mut &[u8], n: usize) -> Vec<u32> {
+    let (head, rest) = buf.split_at(n * 4);
+    let mut out = Vec::<u32>::with_capacity(n);
+    // SAFETY: same uninitialized-fill bulk copy as `get_f64_vec`.
+    unsafe {
+        std::ptr::copy_nonoverlapping(head.as_ptr(), out.as_mut_ptr().cast::<u8>(), n * 4);
+        out.set_len(n);
+    }
+    *buf = rest;
+    out
+}
+
+#[cfg(not(target_endian = "little"))]
+fn get_u32_vec(buf: &mut &[u8], n: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(buf.get_u32_le());
+    }
+    out
+}
+
+/// Deserializes a block from shared bytes.
 ///
 /// # Errors
 /// Returns [`MatrixError::Codec`] on truncated or malformed input, and
 /// [`MatrixError::InvalidSparseStructure`] if a decoded CSR violates its
 /// invariants.
-pub fn decode(mut buf: Bytes) -> Result<Block> {
-    fn need(buf: &Bytes, n: usize, what: &str) -> Result<()> {
-        if buf.remaining() < n {
+pub fn decode(buf: Bytes) -> Result<Block> {
+    decode_slice(buf.as_ref())
+}
+
+/// Deserializes a block straight from a byte slice (no `Bytes` wrapper —
+/// the transport decodes out of its reusable scratch buffer).
+///
+/// # Errors
+/// See [`decode`].
+pub fn decode_slice(mut buf: &[u8]) -> Result<Block> {
+    // All size prechecks run in u64: the header fields are
+    // attacker-controlled u32s, and expressions like `4 * (rows + 1) +
+    // 12 * nnz` overflow usize on 32-bit targets.
+    fn need(buf: &[u8], n: u64, what: &str) -> Result<()> {
+        if (buf.len() as u64) < n {
             return Err(MatrixError::Codec(format!(
                 "truncated input reading {what}: need {n} bytes, have {}",
-                buf.remaining()
+                buf.len()
             )));
         }
         Ok(())
     }
 
-    need(&buf, 1, "tag")?;
+    need(buf, 1, "tag")?;
     let tag = buf.get_u8();
     match tag {
         TAG_DENSE => {
-            need(&buf, 8, "dense header")?;
+            need(buf, 8, "dense header")?;
             let rows = buf.get_u32_le() as usize;
             let cols = buf.get_u32_le() as usize;
             let n = rows
                 .checked_mul(cols)
                 .ok_or_else(|| MatrixError::Codec("dense dims overflow".into()))?;
-            need(&buf, 8 * n, "dense payload")?;
-            let mut data = Vec::with_capacity(n);
-            for _ in 0..n {
-                data.push(buf.get_f64_le());
-            }
+            let payload = (n as u64)
+                .checked_mul(8)
+                .ok_or_else(|| MatrixError::Codec("dense payload overflow".into()))?;
+            need(buf, payload, "dense payload")?;
+            let data = get_f64_vec(&mut buf, n);
             Ok(Block::Dense(DenseBlock::from_vec(rows, cols, data)?))
         }
         TAG_SPARSE => {
-            need(&buf, 12, "sparse header")?;
-            let rows = buf.get_u32_le() as usize;
-            let cols = buf.get_u32_le() as usize;
-            let nnz = buf.get_u32_le() as usize;
-            need(&buf, 4 * (rows + 1) + 12 * nnz, "sparse payload")?;
-            let mut row_ptr = Vec::with_capacity(rows + 1);
-            for _ in 0..=rows {
-                row_ptr.push(buf.get_u32_le());
-            }
-            let mut col_idx = Vec::with_capacity(nnz);
-            for _ in 0..nnz {
-                col_idx.push(buf.get_u32_le());
-            }
-            let mut values = Vec::with_capacity(nnz);
-            for _ in 0..nnz {
-                values.push(buf.get_f64_le());
-            }
+            need(buf, 12, "sparse header")?;
+            let rows = buf.get_u32_le();
+            let cols = buf.get_u32_le();
+            let nnz = buf.get_u32_le();
+            let payload = 4u64
+                .checked_mul(rows as u64 + 1)
+                .and_then(|rp| rp.checked_add(12u64.checked_mul(nnz as u64)?))
+                .ok_or_else(|| MatrixError::Codec("sparse payload overflow".into()))?;
+            need(buf, payload, "sparse payload")?;
+            let (rows, cols, nnz) = (rows as usize, cols as usize, nnz as usize);
+            let row_ptr = get_u32_vec(&mut buf, rows + 1);
+            let col_idx = get_u32_vec(&mut buf, nnz);
+            let values = get_f64_vec(&mut buf, nnz);
             Ok(Block::Sparse(CsrBlock::from_raw_parts(
                 rows, cols, row_ptr, col_idx, values,
             )?))
@@ -138,6 +232,38 @@ mod tests {
         )
     }
 
+    /// Seed-style per-element encoding: the bulk fast path must be
+    /// byte-identical to it (the parity suite depends on this).
+    fn encode_elementwise(block: &Block) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(encoded_len(block) as usize);
+        match block {
+            Block::Dense(d) => {
+                buf.put_u8(TAG_DENSE);
+                buf.put_u32_le(d.rows() as u32);
+                buf.put_u32_le(d.cols() as u32);
+                for &v in d.data() {
+                    buf.put_f64_le(v);
+                }
+            }
+            Block::Sparse(s) => {
+                buf.put_u8(TAG_SPARSE);
+                buf.put_u32_le(s.rows() as u32);
+                buf.put_u32_le(s.cols() as u32);
+                buf.put_u32_le(s.nnz() as u32);
+                for &p in s.row_ptr() {
+                    buf.put_u32_le(p);
+                }
+                for &c in s.col_idx() {
+                    buf.put_u32_le(c);
+                }
+                for &v in s.values() {
+                    buf.put_f64_le(v);
+                }
+            }
+        }
+        buf.freeze().to_vec()
+    }
+
     #[test]
     fn dense_roundtrip() {
         let b = dense_block();
@@ -154,6 +280,25 @@ mod tests {
         assert_eq!(bytes.len() as u64, encoded_len(&b));
         let back = decode(bytes).unwrap();
         assert_eq!(b, back);
+    }
+
+    #[test]
+    fn bulk_encoding_matches_elementwise_bytes() {
+        for b in [dense_block(), sparse_block()] {
+            assert_eq!(encode(&b).to_vec(), encode_elementwise(&b));
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_and_reuses_buffer() {
+        let b = dense_block();
+        let mut buf = BytesMut::with_capacity(16);
+        encode_into(&b, &mut buf);
+        let first = buf.to_vec();
+        buf.clear();
+        encode_into(&b, &mut buf);
+        assert_eq!(buf.as_ref(), &first[..]);
+        assert_eq!(decode_slice(&buf).unwrap(), b);
     }
 
     #[test]
@@ -191,6 +336,34 @@ mod tests {
         raw[13] = 0xff;
         raw[14] = 0xff;
         assert!(decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn huge_sparse_header_is_rejected_not_overflowed() {
+        // rows = nnz = u32::MAX: the old usize precheck `4 * (rows + 1) +
+        // 12 * nnz` wraps on 32-bit targets and under-asks; the u64 check
+        // must reject the 12-byte payload no matter the word size.
+        let mut raw = vec![TAG_SPARSE];
+        raw.extend_from_slice(&u32::MAX.to_le_bytes()); // rows
+        raw.extend_from_slice(&4u32.to_le_bytes()); // cols
+        raw.extend_from_slice(&u32::MAX.to_le_bytes()); // nnz
+        raw.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(MatrixError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn huge_dense_header_is_rejected() {
+        let mut raw = vec![TAG_DENSE];
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        raw.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(MatrixError::Codec(_))
+        ));
     }
 
     #[test]

@@ -1,20 +1,34 @@
 //! Dense general matrix multiply: `C = alpha * A * B + beta * C`.
 //!
-//! A cache-tiled implementation with a register-blocked 4×4 micro-kernel,
-//! standing in for MKL `dgemm` / `cublasDgemm`. Tiling parameters follow the
-//! usual L1/L2 blocking recipe; on 1000 × 1000 f64 blocks this runs within a
-//! small factor of vendor BLAS single-threaded throughput — good enough that
-//! compute/communication ratios in the benchmarks are realistic.
+//! A packed, cache-blocked implementation in the BLIS/GotoBLAS mold,
+//! standing in for MKL `dgemm` / `cublasDgemm`:
+//!
+//! * the operands are repacked into contiguous panels — A into `MR`-strided
+//!   row panels, B into `NR`-strided column panels — so the micro-kernel
+//!   streams both with unit stride and no edge branches;
+//! * the loop nest blocks by `NC` (B columns, L3), `KC` (panel depth, L1/L2)
+//!   and `MC` (A rows, L2), with an `MR × NR = 8 × 4` register-tiled
+//!   micro-kernel at the bottom;
+//! * on x86-64 the micro-kernel dispatches at runtime to an AVX2+FMA
+//!   instantiation (`mul_add` compiles to `vfmadd`) when the CPU supports
+//!   it, with a portable mul+add fallback everywhere else.
+//!
+//! [`gemm_tn`] (`C = alpha * aᵀ * b + beta * C`) shares the same driver:
+//! packing A reads it column-wise, so the transpose costs nothing extra and
+//! the micro-kernel is identical.
 
 use crate::dense::DenseBlock;
 use crate::error::{MatrixError, Result};
 
-/// Tile size along the k dimension (panel depth).
+/// Tile size along the k dimension (panel depth; A and B panels of this
+/// depth stay L1/L2-resident under the micro-kernel).
 const KC: usize = 256;
-/// Tile size along the m dimension (panel height).
-const MC: usize = 64;
+/// Tile size along the m dimension (rows of A packed per panel).
+const MC: usize = 128;
+/// Tile size along the n dimension (columns of B packed per panel).
+const NC: usize = 2048;
 /// Register block: the micro-kernel computes an `MR × NR` sub-tile.
-const MR: usize = 4;
+const MR: usize = 8;
 /// See [`MR`].
 const NR: usize = 4;
 
@@ -39,148 +53,20 @@ pub fn gemm(
             rhs: (kb as u64, n as u64),
         });
     }
-
-    if beta != 1.0 {
-        for v in c.data_mut() {
-            *v *= beta;
-        }
-    }
+    scale_c(beta, c);
     if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
         return Ok(());
     }
-
-    let av = a.data();
-    let bv = b.data();
-    let cv = c.data_mut();
-
-    // Loop nest: pack-free tiled SAXPY-style kernel. For each (mc, kc) panel
-    // of A we stream B rows, accumulating into C with a 4x4 register block.
-    let mut kk = 0;
-    while kk < k {
-        let kc = KC.min(k - kk);
-        let mut ii = 0;
-        while ii < m {
-            let mc = MC.min(m - ii);
-            macro_kernel(alpha, av, bv, cv, ii, kk, mc, kc, n, k);
-            ii += mc;
-        }
-        kk += kc;
-    }
+    blocked_driver::<false>(alpha, a.data(), b.data(), c.data_mut(), m, n, k);
     Ok(())
-}
-
-/// Computes `C[ii..ii+mc, :] += alpha * A[ii..ii+mc, kk..kk+kc] * B[kk..kk+kc, :]`.
-#[allow(clippy::too_many_arguments)]
-fn macro_kernel(
-    alpha: f64,
-    a: &[f64],
-    b: &[f64],
-    c: &mut [f64],
-    ii: usize,
-    kk: usize,
-    mc: usize,
-    kc: usize,
-    n: usize,
-    lda_k: usize,
-) {
-    let mut i = 0;
-    while i + MR <= mc {
-        let mut j = 0;
-        while j + NR <= n {
-            micro_kernel_4x4(alpha, a, b, c, ii + i, kk, kc, j, n, lda_k);
-            j += NR;
-        }
-        // Remainder columns.
-        if j < n {
-            edge_kernel(alpha, a, b, c, ii + i, kk, MR, kc, j, n - j, n, lda_k);
-        }
-        i += MR;
-    }
-    // Remainder rows.
-    if i < mc {
-        edge_kernel(alpha, a, b, c, ii + i, kk, mc - i, kc, 0, n, n, lda_k);
-    }
-}
-
-/// 4×4 register-blocked inner kernel over a kc-deep panel.
-#[allow(clippy::too_many_arguments)]
-#[inline]
-fn micro_kernel_4x4(
-    alpha: f64,
-    a: &[f64],
-    b: &[f64],
-    c: &mut [f64],
-    i0: usize,
-    kk: usize,
-    kc: usize,
-    j0: usize,
-    n: usize,
-    lda_k: usize,
-) {
-    let mut acc = [[0.0f64; NR]; MR];
-    // Hoist row bases so the inner loop indexes with constant offsets.
-    let a0 = i0 * lda_k + kk;
-    let a1 = a0 + lda_k;
-    let a2 = a1 + lda_k;
-    let a3 = a2 + lda_k;
-    for p in 0..kc {
-        let brow = (kk + p) * n + j0;
-        let bs = &b[brow..brow + NR];
-        let av = [a[a0 + p], a[a1 + p], a[a2 + p], a[a3 + p]];
-        for (r, &ar) in av.iter().enumerate() {
-            acc[r][0] += ar * bs[0];
-            acc[r][1] += ar * bs[1];
-            acc[r][2] += ar * bs[2];
-            acc[r][3] += ar * bs[3];
-        }
-    }
-    for (r, accr) in acc.iter().enumerate() {
-        let crow = (i0 + r) * n + j0;
-        let cs = &mut c[crow..crow + NR];
-        for (q, &v) in accr.iter().enumerate() {
-            cs[q] += alpha * v;
-        }
-    }
-}
-
-/// Scalar fallback for tile edges.
-#[allow(clippy::too_many_arguments)]
-fn edge_kernel(
-    alpha: f64,
-    a: &[f64],
-    b: &[f64],
-    c: &mut [f64],
-    i0: usize,
-    kk: usize,
-    mr: usize,
-    kc: usize,
-    j0: usize,
-    nr: usize,
-    n: usize,
-    lda_k: usize,
-) {
-    for i in 0..mr {
-        let arow = (i0 + i) * lda_k + kk;
-        let crow = (i0 + i) * n + j0;
-        for p in 0..kc {
-            let av = alpha * a[arow + p];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = (kk + p) * n + j0;
-            let (bs, cs) = (&b[brow..brow + nr], &mut c[crow..crow + nr]);
-            for q in 0..nr {
-                cs[q] += av * bs[q];
-            }
-        }
-    }
 }
 
 /// `c = alpha * aᵀ * b + beta * c` without materializing `aᵀ`.
 ///
 /// The `WᵀV` / `WᵀW` pattern of GNMF and the Gram-matrix pattern of least
-/// squares both left-multiply by a transpose; walking `A` column-wise here
-/// saves the transpose pass and its temporary.
+/// squares both left-multiply by a transpose; packing `A` column-wise here
+/// absorbs the transpose into the packing pass, so the blocked kernel runs
+/// at the same rate as [`gemm`].
 ///
 /// # Errors
 /// Returns [`MatrixError::DimensionMismatch`] when operand shapes are
@@ -201,34 +87,267 @@ pub fn gemm_tn(
             rhs: (kb as u64, n as u64),
         });
     }
+    scale_c(beta, c);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+    blocked_driver::<true>(alpha, a.data(), b.data(), c.data_mut(), m, n, k);
+    Ok(())
+}
+
+fn scale_c(beta: f64, c: &mut DenseBlock) {
     if beta != 1.0 {
         for v in c.data_mut() {
             *v *= beta;
         }
     }
-    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
-        return Ok(());
-    }
-    let av = a.data();
-    let bv = b.data();
-    let cv = c.data_mut();
-    // Row p of A contributes the outer product aᵀ[., p] ⊗ b[p, .]:
-    // perfectly sequential reads of both operands.
-    for p in 0..k {
-        let arow = &av[p * m..(p + 1) * m];
-        let brow = &bv[p * n..(p + 1) * n];
-        for (i, &aip) in arow.iter().enumerate() {
-            let w = alpha * aip;
-            if w == 0.0 {
-                continue;
+}
+
+/// The five-loop blocked driver. `TN` selects how A is read during packing:
+/// `false` — A is `m × k` row-major; `true` — A is `k × m` row-major and the
+/// packed panels hold `aᵀ`.
+fn blocked_driver<const TN: bool>(
+    alpha: f64,
+    av: &[f64],
+    bv: &[f64],
+    cv: &mut [f64],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    let use_fma = fma_available();
+    // Panel buffers are rounded up to full MR/NR tiles and zero-padded, so
+    // the micro-kernel never branches on edges; the write-back masks them.
+    let mut apack = vec![0.0f64; MC.div_ceil(MR) * MR * KC];
+    let mut bpack = vec![0.0f64; NC.div_ceil(NR) * NR * KC];
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(&mut bpack, bv, n, pc, jc, kc, nc);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                if TN {
+                    pack_a_tn(&mut apack, av, m, pc, ic, kc, mc);
+                } else {
+                    pack_a(&mut apack, av, k, pc, ic, kc, mc);
+                }
+                macro_kernel(alpha, &apack, &bpack, cv, ic, jc, mc, nc, kc, n, use_fma);
+                ic += mc;
             }
-            let crow = &mut cv[i * n..(i + 1) * n];
-            for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
-                *cj += w * bj;
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// Packs `A[ic..ic+mc, pc..pc+kc]` (row-major, leading dimension `lda`)
+/// into MR-strided panels: panel `ir` holds, for each depth `p`, the MR
+/// consecutive values `A[ic+ir.., pc+p]`. Rows past `mc` pad with zero.
+fn pack_a(apack: &mut [f64], av: &[f64], lda: usize, pc: usize, ic: usize, kc: usize, mc: usize) {
+    let mut dst = 0;
+    let mut ir = 0;
+    while ir < mc {
+        let rows = MR.min(mc - ir);
+        for p in 0..kc {
+            let base = dst + p * MR;
+            for r in 0..rows {
+                apack[base + r] = av[(ic + ir + r) * lda + pc + p];
+            }
+            for r in rows..MR {
+                apack[base + r] = 0.0;
+            }
+        }
+        dst += kc * MR;
+        ir += MR;
+    }
+}
+
+/// [`pack_a`] for the transposed layout: A is `k × m` row-major and the
+/// packed panel holds `aᵀ[ic.., pc..]`, i.e. element `(r, p)` reads
+/// `A[pc+p, ic+ir+r]`. Reading row `pc+p` of A is sequential, so the
+/// transpose costs one strided write pattern into a cache-resident panel.
+fn pack_a_tn(apack: &mut [f64], av: &[f64], m: usize, pc: usize, ic: usize, kc: usize, mc: usize) {
+    let mut dst = 0;
+    let mut ir = 0;
+    while ir < mc {
+        let rows = MR.min(mc - ir);
+        for p in 0..kc {
+            let arow = (pc + p) * m + ic + ir;
+            let base = dst + p * MR;
+            apack[base..base + rows].copy_from_slice(&av[arow..arow + rows]);
+            for r in rows..MR {
+                apack[base + r] = 0.0;
+            }
+        }
+        dst += kc * MR;
+        ir += MR;
+    }
+}
+
+/// Packs `B[pc..pc+kc, jc..jc+nc]` (row-major, leading dimension `ldb`)
+/// into NR-strided panels: panel `jr` holds, for each depth `p`, the NR
+/// consecutive values `B[pc+p, jc+jr..]`. Columns past `nc` pad with zero.
+fn pack_b(bpack: &mut [f64], bv: &[f64], ldb: usize, pc: usize, jc: usize, kc: usize, nc: usize) {
+    let mut dst = 0;
+    let mut jr = 0;
+    while jr < nc {
+        let cols = NR.min(nc - jr);
+        for p in 0..kc {
+            let brow = (pc + p) * ldb + jc + jr;
+            let base = dst + p * NR;
+            bpack[base..base + cols].copy_from_slice(&bv[brow..brow + cols]);
+            for q in cols..NR {
+                bpack[base + q] = 0.0;
+            }
+        }
+        dst += kc * NR;
+        jr += NR;
+    }
+}
+
+/// Walks the packed panels, invoking the micro-kernel per `MR × NR` tile.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    alpha: f64,
+    apack: &[f64],
+    bpack: &[f64],
+    cv: &mut [f64],
+    ic: usize,
+    jc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    ldc: usize,
+    use_fma: bool,
+) {
+    let mut jr = 0;
+    while jr < nc {
+        let nr = NR.min(nc - jr);
+        let bp = &bpack[(jr / NR) * kc * NR..][..kc * NR];
+        let mut ir = 0;
+        while ir < mc {
+            let mr = MR.min(mc - ir);
+            let ap = &apack[(ir / MR) * kc * MR..][..kc * MR];
+            let c0 = (ic + ir) * ldc + jc + jr;
+            if use_fma {
+                // SAFETY: `use_fma` is true only when `fma_available`
+                // confirmed AVX2+FMA support on this CPU at runtime.
+                unsafe { micro_kernel_avx2(alpha, ap, bp, cv, c0, ldc, mr, nr) };
+            } else {
+                micro_kernel_portable(alpha, ap, bp, cv, c0, ldc, mr, nr);
+            }
+            ir += MR;
+        }
+        jr += NR;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn fma_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn fma_available() -> bool {
+    false
+}
+
+/// The register-tiled inner kernel over one `MR`-panel of A and one
+/// `NR`-panel of B: 32 accumulators, fully unrolled across the tile, one
+/// multiply-add per element per depth step. `FMA` selects `mul_add`
+/// (single rounding, compiles to `vfmadd` under the fma feature) versus
+/// plain mul+add, so the portable build never hits the libm soft-fma path.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_kernel_body<const FMA: bool>(
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    cv: &mut [f64],
+    c0: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    for (avec, bvec) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        let avec: &[f64; MR] = avec.try_into().expect("exact chunk");
+        let bvec: &[f64; NR] = bvec.try_into().expect("exact chunk");
+        for r in 0..MR {
+            let ar = avec[r];
+            for q in 0..NR {
+                if FMA {
+                    acc[r][q] = ar.mul_add(bvec[q], acc[r][q]);
+                } else {
+                    acc[r][q] += ar * bvec[q];
+                }
             }
         }
     }
-    Ok(())
+    // Edge masking happens here, not in the hot loop: the panels are
+    // zero-padded to full MR × NR, so only the write-back needs `mr`/`nr`.
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        let crow = &mut cv[c0 + r * ldc..][..nr];
+        for (cq, &v) in crow.iter_mut().zip(accr.iter()) {
+            if FMA {
+                *cq = alpha.mul_add(v, *cq);
+            } else {
+                *cq += alpha * v;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_portable(
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    cv: &mut [f64],
+    c0: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    micro_kernel_body::<false>(alpha, ap, bp, cv, c0, ldc, mr, nr);
+}
+
+/// AVX2+FMA instantiation of the same body: with the features enabled the
+/// compiler vectorizes the NR-wide accumulator rows into `vfmadd231pd`.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2,fma")]
+fn micro_kernel_avx2(
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    cv: &mut [f64],
+    c0: usize,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    micro_kernel_body::<true>(alpha, ap, bp, cv, c0, ldc, mr, nr);
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[allow(clippy::too_many_arguments)]
+unsafe fn micro_kernel_avx2(
+    _alpha: f64,
+    _ap: &[f64],
+    _bp: &[f64],
+    _cv: &mut [f64],
+    _c0: usize,
+    _ldc: usize,
+    _mr: usize,
+    _nr: usize,
+) {
+    unreachable!("fma_available() is false off x86-64");
 }
 
 #[cfg(test)]
@@ -275,10 +394,13 @@ mod tests {
             (3, 5, 7),
             (4, 4, 4),
             (5, 3, 9),
+            (8, 4, 8),
             (64, 64, 64),
             (65, 63, 67),
             (130, 70, 10),
             (10, 300, 6),
+            (1, 300, 1),
+            (129, 257, 5),
         ] {
             let a = pseudo_random(m, k, (m * 31 + k) as u64);
             let b = pseudo_random(k, n, (k * 17 + n) as u64);
@@ -287,6 +409,29 @@ mod tests {
             gemm(1.0, &a, &b, 0.0, &mut c).unwrap();
             assert!(
                 c.max_abs_diff(&expect).unwrap() < 1e-9,
+                "mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocking_boundaries_are_exact() {
+        // Shapes that straddle every tile edge: MR/NR, MC/KC, and the
+        // panel-internal padding rows/cols.
+        for &(m, k, n) in &[
+            (MR, KC, NR),
+            (MR - 1, KC + 1, NR + 1),
+            (MC, KC, NR * 3),
+            (MC + 1, KC - 1, NR * 3 + 2),
+            (MR * 2 + 3, 2 * KC + 5, NR + 3),
+        ] {
+            let a = pseudo_random(m, k, 7);
+            let b = pseudo_random(k, n, 8);
+            let expect = naive(&a, &b);
+            let mut c = DenseBlock::zeros(m, n);
+            gemm(1.0, &a, &b, 0.0, &mut c).unwrap();
+            assert!(
+                c.max_abs_diff(&expect).unwrap() < 1e-8,
                 "mismatch at {m}x{k}x{n}"
             );
         }
@@ -332,14 +477,19 @@ mod tests {
 
     #[test]
     fn gemm_tn_matches_explicit_transpose() {
-        for &(k, m, n) in &[(5usize, 3usize, 7usize), (64, 32, 16), (33, 65, 9)] {
+        for &(k, m, n) in &[
+            (5usize, 3usize, 7usize),
+            (64, 32, 16),
+            (33, 65, 9),
+            (KC + 3, MC + 2, NR * 2 + 1),
+        ] {
             let a = pseudo_random(k, m, 71);
             let b = pseudo_random(k, n, 72);
             let mut expect = DenseBlock::zeros(m, n);
             gemm(1.0, &a.transpose(), &b, 0.0, &mut expect).unwrap();
             let mut got = DenseBlock::zeros(m, n);
             gemm_tn(1.0, &a, &b, 0.0, &mut got).unwrap();
-            assert!(got.max_abs_diff(&expect).unwrap() < 1e-9, "{k}x{m}x{n}");
+            assert!(got.max_abs_diff(&expect).unwrap() < 1e-8, "{k}x{m}x{n}");
         }
     }
 

@@ -108,6 +108,15 @@ mod tests {
     }
 
     #[test]
+    fn anything_times_empty_is_empty() {
+        let a = sparse(5, 6, 2, 1);
+        let b = CsrBlock::empty(6, 4);
+        let c = csr_csr(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!((c.rows(), c.cols()), (5, 4));
+    }
+
+    #[test]
     fn cancellation_produces_no_stored_zero() {
         // A row [1, 1] times B columns that cancel: [x; -x].
         let a = CsrBlock::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]).unwrap();

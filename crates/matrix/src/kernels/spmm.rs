@@ -169,6 +169,16 @@ mod tests {
     }
 
     #[test]
+    fn all_zero_dense_operand_yields_zero() {
+        let a = pseudo_random_sparse(9, 7, 2, 3);
+        let c = csr_dense(&a, &DenseBlock::zeros(7, 5)).unwrap();
+        assert_eq!(c.nnz(), 0);
+        let b = pseudo_random_sparse(9, 4, 2, 5);
+        let c2 = dense_csr(&DenseBlock::zeros(6, 9), &b).unwrap();
+        assert_eq!(c2.nnz(), 0);
+    }
+
+    #[test]
     fn dim_mismatches_rejected() {
         let a = CsrBlock::empty(5, 6);
         let b = pseudo_random_dense(7, 4, 3);

@@ -3,6 +3,8 @@
 
 use distme_matrix::elementwise::{ew, EwOp};
 use distme_matrix::kernels;
+use distme_matrix::kernels::gemm::{gemm, gemm_tn};
+use distme_matrix::kernels::{spgemm, spmm};
 use distme_matrix::{
     codec, Block, BlockMatrix, CscBlock, CsrBlock, DenseBlock, MatrixGenerator, MatrixMeta,
 };
@@ -36,6 +38,190 @@ fn sparse_block() -> impl Strategy<Value = CsrBlock> {
         }
         CsrBlock::from_triplets(r, c, trips).expect("valid triplets")
     })
+}
+
+/// Seeded dense block of an exact shape (for dimension-matched operands).
+fn seeded_dense(rows: usize, cols: usize, seed: u64) -> DenseBlock {
+    let mut state = seed | 1;
+    DenseBlock::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) % 2000) as f64 / 100.0 - 10.0
+    })
+}
+
+/// Seeded sparse block of an exact shape; `every == 0` yields an empty
+/// (all-implicit-zero) block.
+fn seeded_sparse(rows: usize, cols: usize, every: usize, seed: u64) -> CsrBlock {
+    if every == 0 {
+        return CsrBlock::empty(rows, cols);
+    }
+    let mut state = seed | 1;
+    let mut trips = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            if ((state >> 33) as usize).is_multiple_of(every) {
+                trips.push((i, j, ((state >> 40) % 19) as f64 - 9.0));
+            }
+        }
+    }
+    CsrBlock::from_triplets(rows, cols, trips).expect("valid triplets")
+}
+
+/// Strategy: GEMM shapes that stress the packed kernel's blocking edges —
+/// dot products (1 × k × 1), tall/skinny and short/wide panels crossing the
+/// MC = 128 cache block, deep k crossing the KC = 256 panel depth, and
+/// general small shapes exercising the MR × NR = 8 × 4 edge masks.
+fn gemm_shapes() -> impl Strategy<Value = (usize, usize, usize)> {
+    prop_oneof![
+        (Just(1usize), 1usize..500, Just(1usize)),
+        (90usize..300, 1usize..6, 1usize..6),
+        (1usize..6, 1usize..6, 90usize..300),
+        (1usize..10, 200usize..300, 1usize..10),
+        (1usize..40, 1usize..40, 1usize..40),
+    ]
+}
+
+/// Strategy: alpha/beta including the identity and annihilator special
+/// cases alongside arbitrary scalars.
+fn scalar() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(1.0), Just(-1.0), -2.5f64..2.5]
+}
+
+/// Triple-loop reference for `alpha * a * b + beta * c0`.
+fn naive_gemm(
+    alpha: f64,
+    a: &DenseBlock,
+    b: &DenseBlock,
+    beta: f64,
+    c0: &DenseBlock,
+) -> DenseBlock {
+    DenseBlock::from_fn(c0.rows(), c0.cols(), |i, j| {
+        let mut acc = 0.0;
+        for p in 0..a.cols() {
+            acc += a.get(i, p) * b.get(p, j);
+        }
+        alpha * acc + beta * c0.get(i, j)
+    })
+}
+
+proptest! {
+    #[test]
+    fn packed_gemm_matches_naive(
+        shape in gemm_shapes(),
+        alpha in scalar(),
+        beta in scalar(),
+        seed in any::<u64>(),
+    ) {
+        let (m, k, n) = shape;
+        let a = seeded_dense(m, k, seed);
+        let b = seeded_dense(k, n, seed ^ 0xb10c);
+        let c0 = seeded_dense(m, n, seed ^ 0xacc);
+        let mut c = c0.clone();
+        gemm(alpha, &a, &b, beta, &mut c).expect("shapes match");
+        let expect = naive_gemm(alpha, &a, &b, beta, &c0);
+        // |values| <= 10, so a k-deep dot is <= 100k; 1e-6 absolute leaves
+        // ample room for reassociation error at k = 500.
+        prop_assert!(c.max_abs_diff(&expect).expect("same shape") < 1e-6);
+    }
+
+    #[test]
+    fn packed_gemm_tn_matches_naive(
+        shape in gemm_shapes(),
+        alpha in scalar(),
+        beta in scalar(),
+        seed in any::<u64>(),
+    ) {
+        let (m, k, n) = shape;
+        // `a` is stored k × m; gemm_tn multiplies by its transpose.
+        let a = seeded_dense(k, m, seed);
+        let b = seeded_dense(k, n, seed ^ 0xb10c);
+        let c0 = seeded_dense(m, n, seed ^ 0xacc);
+        let mut c = c0.clone();
+        gemm_tn(alpha, &a, &b, beta, &mut c).expect("shapes match");
+        let at = a.transpose();
+        let expect = naive_gemm(alpha, &at, &b, beta, &c0);
+        prop_assert!(c.max_abs_diff(&expect).expect("same shape") < 1e-6);
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(len in 0usize..512, seed in any::<u64>()) {
+        let mut state = seed | 1;
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                (state >> 33) as u8
+            })
+            .collect();
+        // Arbitrary garbage must produce Ok or Err, never a panic.
+        let _ = codec::decode_slice(&bytes);
+    }
+
+    #[test]
+    fn decode_never_panics_on_corrupted_encodings(
+        s in sparse_block(),
+        pos in any::<usize>(),
+        bit in 0u32..8,
+    ) {
+        let bytes = codec::encode(&Block::Sparse(s));
+        let mut v = bytes.to_vec();
+        let i = pos % v.len();
+        v[i] ^= 1 << bit;
+        // A single flipped bit may still decode (value bytes) or must
+        // error cleanly (structure bytes) — never panic.
+        let _ = codec::decode_slice(&v);
+    }
+
+    #[test]
+    fn spmm_matches_dense_reference(
+        dims in (1usize..24, 1usize..24, 1usize..17),
+        every in 0usize..6,
+        zero_dense in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (m, k, n) = dims;
+        let a = seeded_sparse(m, k, every, seed);
+        let b = if zero_dense {
+            DenseBlock::zeros(k, n)
+        } else {
+            seeded_dense(k, n, seed ^ 0xd)
+        };
+        let expect = naive_gemm(1.0, &a.to_dense(), &b, 0.0, &DenseBlock::zeros(m, n));
+        let csr_d = spmm::csr_dense(&a, &b).expect("shapes match");
+        prop_assert!(csr_d.max_abs_diff(&expect).expect("same shape") < 1e-9);
+        // dense · csr with the same operands, transposed roles.
+        let d = if zero_dense {
+            DenseBlock::zeros(n, m)
+        } else {
+            seeded_dense(n, m, seed ^ 0xe)
+        };
+        let expect2 = naive_gemm(1.0, &d, &a.to_dense(), 0.0, &DenseBlock::zeros(n, k));
+        let d_csr = spmm::dense_csr(&d, &a).expect("shapes match");
+        prop_assert!(d_csr.max_abs_diff(&expect2).expect("same shape") < 1e-9);
+    }
+
+    #[test]
+    fn spgemm_matches_dense_reference(
+        dims in (1usize..24, 1usize..24, 1usize..24),
+        density in (0usize..6, 0usize..6),
+        seed in any::<u64>(),
+    ) {
+        let (m, k, n) = dims;
+        let a = seeded_sparse(m, k, density.0, seed);
+        let b = seeded_sparse(k, n, density.1, seed ^ 0x5e);
+        let c = spgemm::csr_csr(&a, &b).expect("shapes match");
+        c.validate().expect("valid CSR output");
+        let expect = naive_gemm(
+            1.0,
+            &a.to_dense(),
+            &b.to_dense(),
+            0.0,
+            &DenseBlock::zeros(m, n),
+        );
+        prop_assert!(c.to_dense().max_abs_diff(&expect).expect("same shape") < 1e-9);
+    }
 }
 
 proptest! {

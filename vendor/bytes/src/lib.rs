@@ -21,6 +21,12 @@ pub trait Buf {
 
     /// Reads a little-endian `f64`, advancing the cursor.
     fn get_f64_le(&mut self) -> f64;
+
+    /// Fills `dst` from the front of the buffer, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics when fewer than `dst.len()` bytes remain, matching upstream.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
 }
 
 /// Write-side accessors: appending to the end of a buffer.
@@ -33,6 +39,9 @@ pub trait BufMut {
 
     /// Appends a little-endian `f64`.
     fn put_f64_le(&mut self, v: f64);
+
+    /// Appends a whole byte slice.
+    fn put_slice(&mut self, src: &[u8]);
 }
 
 /// An immutable, reference-counted byte view with a read cursor.
@@ -137,6 +146,41 @@ impl Buf for Bytes {
     fn get_f64_le(&mut self) -> f64 {
         f64::from_le_bytes(self.take(8).try_into().unwrap())
     }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(self.take(dst.len()));
+    }
+}
+
+/// Reading from a plain slice advances the slice itself (upstream impl).
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        f64::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, rest) = self.split_at(dst.len());
+        *self = rest;
+        dst.copy_from_slice(head);
+    }
 }
 
 /// A growable byte builder.
@@ -163,9 +207,42 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Empties the builder, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Appends a whole byte slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
     /// Freezes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
     }
 }
 
@@ -180,6 +257,10 @@ impl BufMut for BytesMut {
 
     fn put_f64_le(&mut self, v: f64) {
         self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
     }
 }
 
@@ -216,6 +297,54 @@ mod tests {
     fn oversized_slice_panics() {
         let bytes = Bytes::from(vec![0, 1, 2]);
         let _ = bytes.slice(0..4);
+    }
+
+    #[test]
+    fn bulk_put_and_copy_roundtrip() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_slice(&[1, 2, 3]);
+        b.extend_from_slice(&[4, 5]);
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5]);
+        let mut bytes = b.freeze();
+        let mut dst = [0u8; 4];
+        bytes.copy_to_slice(&mut dst);
+        assert_eq!(dst, [1, 2, 3, 4]);
+        assert_eq!(bytes.remaining(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(&[0u8; 40]);
+        let cap = b.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+        b.reserve(128);
+        assert!(b.capacity() >= 128);
+    }
+
+    #[test]
+    fn slice_buf_reads_advance_the_slice() {
+        let data = [0xABu8, 0xEF, 0xBE, 0xAD, 0xDE, 9, 8, 7];
+        let mut buf: &[u8] = &data;
+        assert_eq!(buf.get_u8(), 0xAB);
+        assert_eq!(buf.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(buf.remaining(), 3);
+        let mut dst = [0u8; 2];
+        buf.copy_to_slice(&mut dst);
+        assert_eq!(dst, [9, 8]);
+        assert_eq!(buf, &[7]);
+    }
+
+    #[test]
+    fn slice_buf_f64_le_matches_bytes() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_f64_le(-2.75);
+        let frozen = b.freeze();
+        let mut s: &[u8] = frozen.as_ref();
+        assert_eq!(s.get_f64_le(), -2.75);
+        assert_eq!(s.remaining(), 0);
     }
 
     #[test]
