@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint test parity build bench bench-json bench-smoke
+.PHONY: ci fmt lint test parity chaos-smoke build bench bench-json bench-smoke
 
-ci: fmt lint test parity bench-smoke
+ci: fmt lint test parity chaos-smoke bench-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -20,6 +20,12 @@ test:
 # bit for bit.
 parity:
 	$(CARGO) test -q --test plan_parity
+
+# The recovery contract under seeded fault injection: a fixed-seed run with
+# drops, corruption, and crashes must complete bit-identical to fault-free
+# (plus the proptest sweep over random fault schedules).
+chaos-smoke:
+	$(CARGO) test -q -p distme-cluster --test chaos
 
 build:
 	$(CARGO) build --release

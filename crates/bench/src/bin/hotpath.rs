@@ -20,7 +20,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use distme_cluster::stats::Phase;
 use distme_cluster::{
-    ClusterConfig, ClusterStores, LocalCluster, ScratchPool, ShuffleLedger, StoreKey, Transport,
+    ClusterConfig, ClusterStores, LocalCluster, RetryPolicy, ScratchPool, StoreKey, Transport,
     TransportStats, WireMove,
 };
 use distme_core::real_exec::multiply;
@@ -335,7 +335,6 @@ fn bench_transport(smoke: bool) -> String {
     let side = if smoke { 64 } else { 1000 };
     let moves = if smoke { 3 } else { 64 };
     let stores = ClusterStores::new(2);
-    let ledger = ShuffleLedger::new();
     let stats = TransportStats::default();
     let scratch = ScratchPool::default();
     let block = Block::Dense(seeded_dense(side, side, 11));
@@ -343,7 +342,7 @@ fn bench_transport(smoke: bool) -> String {
     stores
         .node(0)
         .install(key, std::sync::Arc::new(block.clone()));
-    let transport = Transport::new(&stores, &ledger, &stats, &scratch);
+    let transport = Transport::new(&stores, &stats, &scratch, None, RetryPolicy::no_retry());
     let mv = WireMove {
         phase: Phase::Repartition,
         from_node: 0,
@@ -352,10 +351,10 @@ fn bench_transport(smoke: bool) -> String {
         src: key,
         dst: key,
     };
-    transport.execute(&mv).expect("moves"); // warm the scratch pool
+    transport.execute(&mv, 0).expect("moves"); // warm the scratch pool
     let t = Instant::now();
     for _ in 0..moves {
-        transport.execute(&mv).expect("moves");
+        transport.execute(&mv, 0).expect("moves");
     }
     let secs = t.elapsed().as_secs_f64();
     let payload = codec::encoded_len(&block) as f64 * moves as f64;

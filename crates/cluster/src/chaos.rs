@@ -1,0 +1,393 @@
+//! Seeded, deterministic fault injection for the real executor.
+//!
+//! Distributed engines earn their elasticity claims under failure: Spark
+//! re-executes lost tasks from lineage and re-fetches lost shuffle blocks
+//! from their producers. This module injects exactly those faults —
+//! dropped deliveries, bit-flipped frames, transient task crashes, and
+//! whole-node blackouts — so the recovery machinery in `transport` and
+//! `executor::real` can be proven correct by tests instead of trusted.
+//!
+//! # Determinism contract
+//!
+//! Every injection decision is a pure function of the [`FaultSpec`] seed
+//! and the *identity* of the event (block position, producer copy, route,
+//! stage counter, attempt indices) — never of wall-clock time, thread
+//! interleaving, or a shared sequential RNG. Two runs with the same seed
+//! and the same plan fault the same deliveries in the same way no matter
+//! how the stage's workers are scheduled, which is what lets the chaos
+//! suite assert bit-identical recovery. Matrix uids are deliberately
+//! excluded from the hash: they come from a global counter and vary with
+//! test ordering.
+
+use crate::store::StoreKey;
+use crate::transport::WireMove;
+use rand::{Rng, SeedableRng, StdRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinct salts per fault kind so a delivery that is spared by the drop
+/// roll is not automatically spared (or doomed) by the corruption roll.
+const SALT_DROP: u64 = 0xD0;
+const SALT_CORRUPT: u64 = 0xC0;
+const SALT_CRASH: u64 = 0xCA;
+
+/// A node outage spanning a window of stages (inclusive bounds on the
+/// plan-wide stage counter advanced by each `run_stage`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blackout {
+    /// The node that is unreachable.
+    pub node: usize,
+    /// First stage index (0-based) of the outage.
+    pub from_stage: u64,
+    /// Last stage index of the outage, inclusive.
+    pub until_stage: u64,
+}
+
+/// What faults to inject, and from which seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed all injection decisions derive from.
+    pub seed: u64,
+    /// Probability a transport delivery is dropped in flight.
+    pub drop_rate: f64,
+    /// Probability a transport delivery has one bit flipped in its encoded
+    /// frame (caught by the codec's CRC-32 trailer).
+    pub corrupt_rate: f64,
+    /// Probability a task attempt crashes before producing output.
+    pub crash_rate: f64,
+    /// Whole-node outages by stage window.
+    pub blackouts: Vec<Blackout>,
+}
+
+impl FaultSpec {
+    /// A spec that injects nothing (useful as a baseline).
+    pub fn quiet(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            crash_rate: 0.0,
+            blackouts: Vec::new(),
+        }
+    }
+
+    /// Panics on rates outside `[0, 1]` (test-harness programmer input).
+    pub fn assert_valid(&self) {
+        for (rate, what) in [
+            (self.drop_rate, "drop_rate"),
+            (self.corrupt_rate, "corrupt_rate"),
+            (self.crash_rate, "crash_rate"),
+        ] {
+            assert!((0.0..=1.0).contains(&rate), "{what} must be in [0, 1]");
+        }
+        for b in &self.blackouts {
+            assert!(b.from_stage <= b.until_stage, "inverted blackout window");
+        }
+    }
+}
+
+/// Live fault-injection state: the spec plus a stage counter and counters
+/// of what was actually injected (so tests can assert the run exercised
+/// recovery rather than passing vacuously).
+#[derive(Debug)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    stage: AtomicU64,
+    dropped: AtomicU64,
+    corrupted: AtomicU64,
+    crashed: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a validated spec.
+    pub fn new(spec: FaultSpec) -> Self {
+        spec.assert_valid();
+        FaultPlan {
+            spec,
+            stage: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            corrupted: AtomicU64::new(0),
+            crashed: AtomicU64::new(0),
+        }
+    }
+
+    /// The spec this plan injects.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Advances the plan-wide stage counter; called once per `run_stage`
+    /// so blackout windows and per-stage decision salts line up across the
+    /// clean and faulted runs of a test.
+    pub fn advance_stage(&self) -> u64 {
+        self.stage.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Current stage index (stages advanced so far minus one).
+    pub fn current_stage(&self) -> u64 {
+        self.stage.load(Ordering::Relaxed).saturating_sub(1)
+    }
+
+    /// Whether `node` is blacked out at the current stage.
+    pub fn node_down(&self, node: usize) -> bool {
+        let stage = self.current_stage();
+        self.spec
+            .blackouts
+            .iter()
+            .any(|b| b.node == node && (b.from_stage..=b.until_stage).contains(&stage))
+    }
+
+    /// Whether this delivery attempt of `mv` is dropped in flight. A
+    /// delivery into or out of a blacked-out node is always dropped.
+    pub fn drop_delivery(&self, mv: &WireMove, task_attempt: u32, delivery: u32) -> bool {
+        if self.node_down(mv.from_node) || self.node_down(mv.to_node) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        if self.roll(SALT_DROP, self.move_identity(mv, task_attempt, delivery))
+            < self.spec.drop_rate
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Possibly flips one bit of the encoded frame for this delivery
+    /// attempt; returns whether corruption was injected. The flipped bit
+    /// position is itself seed-derived, so a given delivery always
+    /// corrupts the same way.
+    pub fn corrupt_payload(
+        &self,
+        mv: &WireMove,
+        task_attempt: u32,
+        delivery: u32,
+        frame: &mut [u8],
+    ) -> bool {
+        if frame.is_empty() {
+            return false;
+        }
+        let identity = self.move_identity(mv, task_attempt, delivery);
+        if self.roll(SALT_CORRUPT, identity) >= self.spec.corrupt_rate {
+            return false;
+        }
+        let mut rng = StdRng::seed_from_u64(mix(self.spec.seed ^ SALT_CORRUPT, identity));
+        let bit = rng.gen_range(0u64..frame.len() as u64 * 8);
+        frame[(bit / 8) as usize] ^= 1 << (bit % 8);
+        self.corrupted.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Whether task `task` crashes on attempt `attempt` of the current
+    /// stage, or runs on a blacked-out node.
+    pub fn crash_task(&self, task: usize, node: usize, attempt: u32) -> bool {
+        if self.node_down(node) {
+            return true;
+        }
+        let identity = mix(
+            mix(task as u64, self.current_stage()),
+            (attempt as u64) << 32 | node as u64,
+        );
+        if self.roll(SALT_CRASH, identity) < self.spec.crash_rate {
+            self.crashed.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Deliveries dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Frames corrupted so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted.load(Ordering::Relaxed)
+    }
+
+    /// Task attempts crashed so far.
+    pub fn crashed(&self) -> u64 {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Stable identity of one delivery attempt of one move. Uses the block
+    /// grid position / producer copy / route / stage / attempt indices —
+    /// NOT the matrix uid, which comes from a process-global counter.
+    fn move_identity(&self, mv: &WireMove, task_attempt: u32, delivery: u32) -> u64 {
+        let key_bits = |k: &StoreKey| {
+            mix(
+                (k.id.row as u64) << 32 | k.id.col as u64,
+                k.copy as u64 | 0x1000_0000_0000,
+            )
+        };
+        let route = (mv.from_node as u64) << 32 | mv.to_node as u64;
+        let attempts = (task_attempt as u64) << 32 | delivery as u64;
+        mix(
+            mix(key_bits(&mv.dst), route),
+            mix(self.current_stage(), attempts),
+        )
+    }
+
+    /// Uniform `[0, 1)` draw keyed by (seed, salt, event identity).
+    fn roll(&self, salt: u64, identity: u64) -> f64 {
+        StdRng::seed_from_u64(mix(self.spec.seed ^ salt, identity)).gen::<f64>()
+    }
+}
+
+/// splitmix64-style mixer for combining identity words into one seed.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Phase;
+    use distme_matrix::BlockId;
+
+    fn mv(row: u32, col: u32, from: usize, to: usize) -> WireMove {
+        let key = StoreKey::replica(999, BlockId::new(row, col), 1);
+        WireMove {
+            phase: Phase::Repartition,
+            from_node: from,
+            to_node: to,
+            wire_bytes: 64,
+            src: key,
+            dst: key,
+        }
+    }
+
+    fn spec(seed: u64) -> FaultSpec {
+        FaultSpec {
+            seed,
+            drop_rate: 0.3,
+            corrupt_rate: 0.3,
+            crash_rate: 0.3,
+            blackouts: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn decisions_are_reproducible_and_identity_keyed() {
+        let a = FaultPlan::new(spec(42));
+        let b = FaultPlan::new(spec(42));
+        a.advance_stage();
+        b.advance_stage();
+        let mut hit = false;
+        let mut miss = false;
+        for row in 0..32 {
+            let m = mv(row, 0, 0, 1);
+            let d = a.drop_delivery(&m, 0, 0);
+            assert_eq!(d, b.drop_delivery(&m, 0, 0), "same seed, same decision");
+            hit |= d;
+            miss |= !d;
+        }
+        assert!(hit && miss, "a 30% rate over 32 moves should mix outcomes");
+    }
+
+    #[test]
+    fn decisions_ignore_matrix_uid() {
+        // Two plans fault the "same" move identically even when the store
+        // keys carry different (globally-counted) matrix uids.
+        let plan = FaultPlan::new(spec(7));
+        plan.advance_stage();
+        for row in 0..16 {
+            let mut a = mv(row, 2, 1, 3);
+            let mut b = a;
+            a.src.matrix = 10;
+            a.dst.matrix = 10;
+            b.src.matrix = 99;
+            b.dst.matrix = 99;
+            assert_eq!(plan.drop_delivery(&a, 0, 0), plan.drop_delivery(&b, 0, 0));
+        }
+    }
+
+    #[test]
+    fn redelivery_attempts_reroll() {
+        // A dropped delivery must not be doomed forever: the delivery
+        // index is part of the identity, so some retry succeeds.
+        let plan = FaultPlan::new(FaultSpec {
+            drop_rate: 0.5,
+            ..spec(3)
+        });
+        plan.advance_stage();
+        let m = mv(1, 1, 0, 2);
+        let outcomes: Vec<bool> = (0..16).map(|d| plan.drop_delivery(&m, 0, d)).collect();
+        assert!(outcomes.iter().any(|&d| d));
+        assert!(outcomes.iter().any(|&d| !d));
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit_deterministically() {
+        let plan = FaultPlan::new(FaultSpec {
+            corrupt_rate: 1.0,
+            ..spec(11)
+        });
+        plan.advance_stage();
+        let m = mv(0, 0, 0, 1);
+        let clean = vec![0u8; 64];
+        let mut once = clean.clone();
+        assert!(plan.corrupt_payload(&m, 0, 0, &mut once));
+        let mut twice = clean.clone();
+        assert!(plan.corrupt_payload(&m, 0, 0, &mut twice));
+        assert_eq!(once, twice, "same delivery corrupts the same way");
+        let flipped: u32 = once
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+        assert_eq!(plan.corrupted(), 2);
+    }
+
+    #[test]
+    fn blackout_windows_gate_nodes_by_stage() {
+        let plan = FaultPlan::new(FaultSpec {
+            blackouts: vec![Blackout {
+                node: 1,
+                from_stage: 1,
+                until_stage: 1,
+            }],
+            ..FaultSpec::quiet(5)
+        });
+        plan.advance_stage(); // stage 0
+        assert!(!plan.node_down(1));
+        plan.advance_stage(); // stage 1
+        assert!(plan.node_down(1));
+        assert!(!plan.node_down(0));
+        assert!(plan.drop_delivery(&mv(0, 0, 1, 2), 0, 0), "down node drops");
+        assert!(plan.crash_task(0, 1, 0), "tasks on a down node crash");
+        assert!(!plan.crash_task(0, 0, 0));
+        plan.advance_stage(); // stage 2
+        assert!(!plan.node_down(1));
+    }
+
+    #[test]
+    fn quiet_spec_injects_nothing() {
+        let plan = FaultPlan::new(FaultSpec::quiet(9));
+        plan.advance_stage();
+        for row in 0..64 {
+            let m = mv(row, row, 0, 1);
+            assert!(!plan.drop_delivery(&m, 0, 0));
+            let mut frame = vec![0xAB; 32];
+            assert!(!plan.corrupt_payload(&m, 0, 0, &mut frame));
+            assert!(frame.iter().all(|&b| b == 0xAB));
+            assert!(!plan.crash_task(row as usize, 0, 0));
+        }
+        assert_eq!(plan.dropped() + plan.corrupted() + plan.crashed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_rate")]
+    fn out_of_range_rate_rejected() {
+        FaultPlan::new(FaultSpec {
+            drop_rate: 1.5,
+            ..FaultSpec::quiet(0)
+        });
+    }
+}

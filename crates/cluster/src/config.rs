@@ -14,6 +14,57 @@
 
 use distme_gpu::GpuConfig;
 
+/// Per-task retry policy for the real executor's fault recovery.
+///
+/// A failed task attempt (transient crash, lost or corrupt shuffle block)
+/// is re-executed up to `max_attempts` times total; each re-attempt first
+/// waits an exponential backoff that is charged to the job's *modeled*
+/// time, never slept on the wall clock — faulted test runs stay fast and
+/// deterministic. Spark's equivalent knob is `spark.task.maxFailures`
+/// (default 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts a task gets before the job fails (≥ 1; 1 disables
+    /// retry).
+    pub max_attempts: u32,
+    /// Modeled backoff before attempt `n + 1`, in seconds, scaled by
+    /// `2^(n-1)`: attempt 2 waits `backoff_secs`, attempt 3 twice that, ...
+    pub backoff_secs: f64,
+}
+
+impl RetryPolicy {
+    /// One attempt, no recovery — the pre-fault-tolerance behavior.
+    pub const fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_secs: 0.0,
+        }
+    }
+
+    /// Spark-like default: 4 total attempts, short modeled backoff.
+    pub const fn spark_like() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_secs: 0.05,
+        }
+    }
+
+    /// Total modeled backoff charged before reaching attempt index
+    /// `attempt` (0-based): `backoff_secs · (2^attempt − 1)`.
+    pub fn backoff_before_attempt(&self, attempt: u32) -> f64 {
+        self.backoff_secs * ((1u64 << attempt.min(62)) - 1) as f64
+    }
+
+    /// Panics on nonsensical values.
+    pub fn assert_valid(&self) {
+        assert!(self.max_attempts >= 1, "retry needs at least one attempt");
+        assert!(
+            self.backoff_secs >= 0.0 && self.backoff_secs.is_finite(),
+            "backoff must be finite and non-negative"
+        );
+    }
+}
+
 /// Static description of the (simulated or thread-backed) cluster.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterConfig {
@@ -91,6 +142,9 @@ pub struct ClusterConfig {
     /// host's available parallelism. Virtual slots beyond this cap are
     /// time-sliced rather than given their own OS thread.
     pub host_worker_oversubscription: usize,
+    /// Task retry/recovery policy for the real executor (the simulator
+    /// never faults, so it ignores this).
+    pub retry: RetryPolicy,
 }
 
 impl ClusterConfig {
@@ -117,6 +171,7 @@ impl ClusterConfig {
             dynamic_scheduling: false,
             gpu_streaming: true,
             host_worker_oversubscription: 2,
+            retry: RetryPolicy::spark_like(),
         }
     }
 
@@ -154,6 +209,7 @@ impl ClusterConfig {
             dynamic_scheduling: false,
             gpu_streaming: true,
             host_worker_oversubscription: 2,
+            retry: RetryPolicy::spark_like(),
         }
     }
 
@@ -177,6 +233,12 @@ impl ClusterConfig {
     /// matmul budget legitimately.
     pub fn with_timeout(mut self, secs: f64) -> Self {
         self.timeout_secs = secs;
+        self
+    }
+
+    /// Overrides the retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -208,6 +270,7 @@ impl ClusterConfig {
             self.wire_compression_ratio > 0.0 && self.wire_compression_ratio <= 1.0,
             "compression ratio must be in (0, 1]"
         );
+        self.retry.assert_valid();
         if let Some(gpu) = &self.gpu {
             gpu.assert_valid();
         }
@@ -259,6 +322,28 @@ mod tests {
     fn zero_oversubscription_rejected() {
         let mut c = ClusterConfig::laptop();
         c.host_worker_oversubscription = 0;
+        c.assert_valid();
+    }
+
+    #[test]
+    fn retry_backoff_grows_exponentially() {
+        let r = RetryPolicy {
+            max_attempts: 4,
+            backoff_secs: 0.1,
+        };
+        r.assert_valid();
+        assert_eq!(r.backoff_before_attempt(0), 0.0);
+        assert!((r.backoff_before_attempt(1) - 0.1).abs() < 1e-12);
+        assert!((r.backoff_before_attempt(2) - 0.3).abs() < 1e-12);
+        assert!((r.backoff_before_attempt(3) - 0.7).abs() < 1e-12);
+        assert_eq!(RetryPolicy::no_retry().max_attempts, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_rejected() {
+        let mut c = ClusterConfig::laptop();
+        c.retry.max_attempts = 0;
         c.assert_valid();
     }
 }

@@ -9,6 +9,7 @@
 //! reference through this executor, with locality enforced — a task reads
 //! only blocks resident in its own node's store.
 
+use crate::chaos::{FaultPlan, FaultSpec};
 use crate::config::ClusterConfig;
 use crate::failure::{JobError, TaskError};
 use crate::shuffle::ShuffleLedger;
@@ -26,6 +27,9 @@ pub struct TaskCtx {
     pub task: usize,
     /// Virtual node the task runs on.
     pub node: usize,
+    /// 0-based attempt index of this execution (0 on a fault-free run;
+    /// bumps each time the retry loop re-runs the task).
+    pub attempt: u32,
     mem_budget: u64,
     mem_used: Cell<u64>,
     mem_peak: Cell<u64>,
@@ -75,6 +79,11 @@ pub struct StageRun<O> {
     pub peak_task_mem_bytes: u64,
     /// Wall-clock seconds of the stage.
     pub wall_secs: f64,
+    /// Task attempts re-run after a transient failure.
+    pub retries: u64,
+    /// Modeled retry backoff accumulated by this stage, seconds — charged
+    /// to the job's time model, never slept on the wall clock.
+    pub backoff_secs: f64,
 }
 
 /// An in-process "cluster" of `M` virtual nodes with real worker threads.
@@ -84,6 +93,7 @@ pub struct LocalCluster {
     stores: ClusterStores,
     transport_stats: TransportStats,
     scratch: ScratchPool,
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl LocalCluster {
@@ -96,7 +106,26 @@ impl LocalCluster {
             stores: ClusterStores::new(cfg.nodes),
             transport_stats: TransportStats::default(),
             scratch: ScratchPool::default(),
+            faults: Mutex::new(None),
         }
+    }
+
+    /// Arms deterministic fault injection for subsequent jobs; returns the
+    /// live plan so tests can read its injected-fault counters.
+    pub fn inject_faults(&self, spec: FaultSpec) -> Arc<FaultPlan> {
+        let plan = Arc::new(FaultPlan::new(spec));
+        *self.faults.lock().expect("fault plan lock") = Some(plan.clone());
+        plan
+    }
+
+    /// Disarms fault injection.
+    pub fn clear_faults(&self) {
+        *self.faults.lock().expect("fault plan lock") = None;
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.lock().expect("fault plan lock").clone()
     }
 
     /// The cluster configuration.
@@ -124,13 +153,16 @@ impl LocalCluster {
         &self.scratch
     }
 
-    /// A transport bound to this cluster's stores, ledger, and scratch pool.
+    /// A transport bound to this cluster's stores, physical counters,
+    /// scratch pool, and (when armed) fault plan. Model bytes are charged
+    /// by the driver, not here.
     pub fn transport(&self) -> Transport<'_> {
         Transport::new(
             &self.stores,
-            &self.ledger,
             &self.transport_stats,
             &self.scratch,
+            self.fault_plan(),
+            self.cfg.retry,
         )
     }
 
@@ -153,14 +185,24 @@ impl LocalCluster {
     /// merging once at exit; outputs are returned in task order regardless
     /// of which worker ran what.
     ///
+    /// A task that fails with a *transient* error (injected crash, lost or
+    /// corrupt shuffle block — see [`TaskError::is_transient`]) is re-run
+    /// in place with a cloned input, up to `ClusterConfig::retry` attempts;
+    /// each re-run charges exponential backoff to the stage's *modeled*
+    /// time (`StageRun::backoff_secs`), never the wall clock. Inputs must
+    /// be `Clone` for exactly this re-run path (stage inputs are routing
+    /// metadata — moves and block ids — not matrix payloads).
+    ///
     /// # Errors
     /// * [`JobError::TooManyTasks`] when `inputs.len()` exceeds the
     ///   scheduler limit;
-    /// * the first task failure, promoted via [`JobError::from_task`]
-    ///   (lowest task index wins, deterministically).
+    /// * the first task failure, promoted via
+    ///   [`JobError::from_task_attempts`] (lowest task index wins,
+    ///   deterministically; the message carries the attempt count when
+    ///   retries were exhausted).
     pub fn run_stage<I, O, F>(&self, inputs: Vec<I>, f: F) -> Result<StageRun<O>, JobError>
     where
-        I: Send,
+        I: Send + Clone,
         O: Send,
         F: Fn(&TaskCtx, I) -> Result<O, TaskError> + Sync,
     {
@@ -172,6 +214,13 @@ impl LocalCluster {
             });
         }
         let started = Instant::now();
+        // Stage counters (blackout windows, per-stage fault salts) advance
+        // exactly once per stage, whether or not any task faults.
+        let fault_plan = self.fault_plan();
+        if let Some(plan) = &fault_plan {
+            plan.advance_stage();
+        }
+        let max_attempts = self.cfg.retry.max_attempts.max(1);
         let host_par = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4);
@@ -187,33 +236,79 @@ impl LocalCluster {
         let slots: Vec<Mutex<Option<I>>> =
             inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
         let cursor = AtomicUsize::new(0);
-        let done: Mutex<Vec<(usize, Result<O, TaskError>)>> = Mutex::new(Vec::with_capacity(n));
+        type TaskReport<O> = (usize, u32, Result<O, TaskError>);
+        let done: Mutex<Vec<TaskReport<O>>> = Mutex::new(Vec::with_capacity(n));
         let peak = AtomicU64::new(0);
+        let retries = AtomicU64::new(0);
+        let backoff_micros = AtomicU64::new(0);
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    let mut local: Vec<(usize, Result<O, TaskError>)> = Vec::new();
+                    let mut local: Vec<TaskReport<O>> = Vec::new();
                     loop {
                         let idx = cursor.fetch_add(1, Ordering::Relaxed);
                         if idx >= n {
                             break;
                         }
-                        let item = slots[idx]
+                        let mut item = slots[idx]
                             .lock()
                             .expect("no worker panics while taking its slot")
-                            .take()
-                            .expect("each index is claimed exactly once");
-                        let ctx = TaskCtx {
-                            task: idx,
-                            node: self.node_of_task(idx),
-                            mem_budget: self.cfg.task_mem_bytes,
-                            mem_used: Cell::new(0),
-                            mem_peak: Cell::new(0),
+                            .take();
+                        debug_assert!(item.is_some(), "each index is claimed exactly once");
+                        let mut attempt: u32 = 0;
+                        let (attempts, out) = loop {
+                            let ctx = TaskCtx {
+                                task: idx,
+                                node: self.node_of_task(idx),
+                                attempt,
+                                mem_budget: self.cfg.task_mem_bytes,
+                                mem_used: Cell::new(0),
+                                mem_peak: Cell::new(0),
+                            };
+                            let res = match &fault_plan {
+                                Some(p) if p.node_down(ctx.node) => {
+                                    Err(TaskError::NodeLost { node: ctx.node })
+                                }
+                                _ => {
+                                    // The final permitted attempt moves the
+                                    // input; earlier ones clone it so a
+                                    // retry has something to re-run.
+                                    let input = if attempt + 1 < max_attempts {
+                                        item.clone().expect("item retained for retries")
+                                    } else {
+                                        item.take().expect("item retained for retries")
+                                    };
+                                    // Injected crashes strike at task
+                                    // completion: the attempt's shuffle reads
+                                    // already hit the transport (so first-
+                                    // transmission payload accounting stays
+                                    // bit-identical to a fault-free run) but
+                                    // its result dies with the executor.
+                                    match (&fault_plan, f(&ctx, input)) {
+                                        (Some(p), Ok(_))
+                                            if p.crash_task(idx, ctx.node, attempt) =>
+                                        {
+                                            Err(TaskError::Crashed { node: ctx.node })
+                                        }
+                                        (_, out) => out,
+                                    }
+                                }
+                            };
+                            peak.fetch_max(ctx.peak(), Ordering::Relaxed);
+                            match res {
+                                Err(e) if e.is_transient() && attempt + 1 < max_attempts => {
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    let wait = self.cfg.retry.backoff_secs
+                                        * (1u64 << attempt.min(62)) as f64;
+                                    backoff_micros
+                                        .fetch_add((wait * 1e6) as u64, Ordering::Relaxed);
+                                    attempt += 1;
+                                }
+                                res => break (attempt + 1, res),
+                            }
                         };
-                        let out = f(&ctx, item);
-                        peak.fetch_max(ctx.peak(), Ordering::Relaxed);
-                        local.push((idx, out));
+                        local.push((idx, attempts, out));
                     }
                     done.lock()
                         .expect("no worker panics while holding the merge lock")
@@ -223,23 +318,25 @@ impl LocalCluster {
         });
 
         let mut collected = done.into_inner().expect("no worker panicked");
-        collected.sort_unstable_by_key(|(idx, _)| *idx);
+        collected.sort_unstable_by_key(|(idx, _, _)| *idx);
         debug_assert_eq!(
             collected.len(),
             n,
             "every claimed task reports exactly once"
         );
         let mut outputs = Vec::with_capacity(n);
-        for (idx, out) in collected {
+        for (idx, attempts, out) in collected {
             match out {
                 Ok(o) => outputs.push(o),
-                Err(e) => return Err(JobError::from_task(idx, e)),
+                Err(e) => return Err(JobError::from_task_attempts(idx, e, attempts)),
             }
         }
         Ok(StageRun {
             outputs,
             peak_task_mem_bytes: peak.load(Ordering::Relaxed),
             wall_secs: started.elapsed().as_secs_f64(),
+            retries: retries.load(Ordering::Relaxed),
+            backoff_secs: backoff_micros.load(Ordering::Relaxed) as f64 / 1e6,
         })
     }
 }
@@ -423,5 +520,121 @@ mod tests {
         let c = cluster();
         let run = c.run_stage(Vec::<()>::new(), |_, ()| Ok(0u8)).unwrap();
         assert!(run.outputs.is_empty());
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        use crate::config::RetryPolicy;
+        let cfg = ClusterConfig::laptop().with_retry(RetryPolicy {
+            max_attempts: 3,
+            backoff_secs: 0.25,
+        });
+        let c = LocalCluster::new(cfg);
+        let run = c
+            .run_stage((0..8).collect(), |ctx, x: u32| {
+                // Every task's first attempt loses a block; the retry
+                // succeeds.
+                if ctx.attempt == 0 {
+                    Err(TaskError::Crashed { node: ctx.node })
+                } else {
+                    Ok(x * 10)
+                }
+            })
+            .unwrap();
+        assert_eq!(run.outputs, (0..8).map(|x| x * 10).collect::<Vec<_>>());
+        assert_eq!(run.retries, 8);
+        // 8 first-attempt failures × backoff_secs · 2^0 of modeled wait.
+        assert!((run.backoff_secs - 8.0 * 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_transient_failures_are_not_retried() {
+        use crate::config::RetryPolicy;
+        let cfg = ClusterConfig::laptop().with_retry(RetryPolicy {
+            max_attempts: 5,
+            backoff_secs: 0.0,
+        });
+        let c = LocalCluster::new(cfg);
+        let attempts_seen = AtomicU64::new(0);
+        let err = c
+            .run_stage(vec![()], |_, ()| -> Result<(), TaskError> {
+                attempts_seen.fetch_add(1, Ordering::Relaxed);
+                Err(TaskError::Compute("deterministic bug".into()))
+            })
+            .unwrap_err();
+        assert_eq!(attempts_seen.load(Ordering::Relaxed), 1);
+        assert!(matches!(err, JobError::TaskFailed { task: 0, .. }));
+        // Single attempt: no attempt count in the message.
+        assert!(!err.to_string().contains("attempts"), "{err}");
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_attempt_count() {
+        use crate::config::RetryPolicy;
+        let cfg = ClusterConfig::laptop().with_retry(RetryPolicy {
+            max_attempts: 4,
+            backoff_secs: 0.0,
+        });
+        let c = LocalCluster::new(cfg);
+        let err = c
+            .run_stage(vec![()], |ctx, ()| -> Result<(), TaskError> {
+                Err(TaskError::Crashed { node: ctx.node })
+            })
+            .unwrap_err();
+        match &err {
+            JobError::TaskFailed { task: 0, message } => {
+                assert!(message.contains("4 attempts"), "{message}");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_crashes_recover_bit_identically() {
+        use crate::chaos::FaultSpec;
+        use crate::config::RetryPolicy;
+        let cfg = ClusterConfig::laptop().with_retry(RetryPolicy {
+            max_attempts: 6,
+            backoff_secs: 0.0,
+        });
+        let c = LocalCluster::new(cfg);
+        let plan = c.inject_faults(FaultSpec {
+            crash_rate: 0.2,
+            ..FaultSpec::quiet(17)
+        });
+        let run = c
+            .run_stage((0..64).collect(), |_, x: u64| Ok(x * x))
+            .unwrap();
+        assert_eq!(run.outputs, (0..64).map(|x| x * x).collect::<Vec<_>>());
+        assert!(plan.crashed() > 0, "a 20% crash rate over 64 tasks fires");
+        assert_eq!(run.retries, plan.crashed());
+        c.clear_faults();
+        assert!(c.fault_plan().is_none());
+    }
+
+    #[test]
+    fn blacked_out_node_fails_the_job_cleanly() {
+        use crate::chaos::{Blackout, FaultSpec};
+        let c = cluster();
+        c.inject_faults(FaultSpec {
+            blackouts: vec![Blackout {
+                node: 0,
+                from_stage: 0,
+                until_stage: 10,
+            }],
+            ..FaultSpec::quiet(0)
+        });
+        // Task 0 lands on node 0 (round-robin) and the node stays dark for
+        // the whole retry budget: the job must fail with a typed error,
+        // never hang or panic.
+        let err = c
+            .run_stage((0..8).collect(), |_, x: u32| Ok(x))
+            .unwrap_err();
+        match &err {
+            JobError::TaskFailed { task: 0, message } => {
+                assert!(message.contains("unreachable"), "{message}");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 }

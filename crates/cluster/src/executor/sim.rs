@@ -370,6 +370,7 @@ mod tests {
             dynamic_scheduling: false,
             gpu_streaming: true,
             host_worker_oversubscription: 2,
+            retry: crate::config::RetryPolicy::no_retry(),
         }
     }
 

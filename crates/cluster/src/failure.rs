@@ -31,6 +31,50 @@ pub enum TaskError {
         /// The block the task asked for.
         id: distme_matrix::BlockId,
     },
+    /// A shuffled block arrived with a bad frame checksum and redelivery
+    /// from the producer's store was exhausted — transient, retryable.
+    CorruptBlock {
+        /// Destination node that rejected the frame.
+        node: usize,
+        /// The block whose frame was corrupt.
+        id: distme_matrix::BlockId,
+    },
+    /// A shuffled block was dropped in flight and redelivery from the
+    /// producer's store was exhausted — transient, retryable.
+    LostBlock {
+        /// Destination node that never received the block.
+        node: usize,
+        /// The block that was lost.
+        id: distme_matrix::BlockId,
+    },
+    /// The task's executor process crashed mid-attempt — transient,
+    /// retryable (the chaos layer's injected crash).
+    Crashed {
+        /// Node the attempt ran on.
+        node: usize,
+    },
+    /// The task's node is blacked out for the current stage window —
+    /// transient at the job level (the node may come back).
+    NodeLost {
+        /// The unreachable node.
+        node: usize,
+    },
+}
+
+impl TaskError {
+    /// Whether a retry of the same task can plausibly succeed. Determinism
+    /// violations (O.O.M. — the same inputs need the same memory),
+    /// compute errors, and locality violations re-fail identically, so
+    /// only fault-injection classes are worth re-attempting.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TaskError::CorruptBlock { .. }
+                | TaskError::LostBlock { .. }
+                | TaskError::Crashed { .. }
+                | TaskError::NodeLost { .. }
+        )
+    }
 }
 
 impl fmt::Display for TaskError {
@@ -46,6 +90,26 @@ impl fmt::Display for TaskError {
                     "block ({}, {}) not resident on node {node}",
                     id.row, id.col
                 )
+            }
+            TaskError::CorruptBlock { node, id } => {
+                write!(
+                    f,
+                    "block ({}, {}) arrived corrupt on node {node} (checksum mismatch)",
+                    id.row, id.col
+                )
+            }
+            TaskError::LostBlock { node, id } => {
+                write!(
+                    f,
+                    "block ({}, {}) lost in transit to node {node}",
+                    id.row, id.col
+                )
+            }
+            TaskError::Crashed { node } => {
+                write!(f, "executor crashed on node {node}")
+            }
+            TaskError::NodeLost { node } => {
+                write!(f, "node {node} is unreachable")
             }
         }
     }
@@ -116,16 +180,28 @@ impl JobError {
 
     /// Promotes a task error at `task` to a job error.
     pub fn from_task(task: usize, e: TaskError) -> Self {
+        Self::from_task_attempts(task, e, 1)
+    }
+
+    /// Promotes a task error to a job error, recording how many attempts
+    /// the retry policy spent before giving up. O.O.M. keeps its dedicated
+    /// annotation; everything else becomes `TaskFailed` with the attempt
+    /// count in the message when recovery was actually tried.
+    pub fn from_task_attempts(task: usize, e: TaskError, attempts: u32) -> Self {
         match e {
             TaskError::OutOfMemory { needed, budget } => JobError::OutOfMemory {
                 task,
                 needed,
                 budget,
             },
-            TaskError::Compute(message) => JobError::TaskFailed { task, message },
-            e @ TaskError::MissingBlock { .. } => JobError::TaskFailed {
+            TaskError::Compute(message) if attempts <= 1 => JobError::TaskFailed { task, message },
+            e => JobError::TaskFailed {
                 task,
-                message: e.to_string(),
+                message: if attempts > 1 {
+                    format!("failed after {attempts} attempts: {e}")
+                } else {
+                    e.to_string()
+                },
             },
         }
     }
@@ -252,5 +328,48 @@ mod tests {
         let me = distme_matrix::MatrixError::Codec("x".into());
         let te: TaskError = me.into();
         assert!(matches!(te, TaskError::Compute(_)));
+    }
+
+    #[test]
+    fn transience_classification() {
+        let id = distme_matrix::BlockId::new(0, 0);
+        assert!(TaskError::CorruptBlock { node: 0, id }.is_transient());
+        assert!(TaskError::LostBlock { node: 0, id }.is_transient());
+        assert!(TaskError::Crashed { node: 1 }.is_transient());
+        assert!(TaskError::NodeLost { node: 1 }.is_transient());
+        assert!(!TaskError::Compute("x".into()).is_transient());
+        assert!(!TaskError::MissingBlock { node: 0, id }.is_transient());
+        assert!(!TaskError::OutOfMemory {
+            needed: 2,
+            budget: 1
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn exhausted_retries_carry_attempt_count() {
+        let e = JobError::from_task_attempts(3, TaskError::Crashed { node: 2 }, 4);
+        match e {
+            JobError::TaskFailed { task, message } => {
+                assert_eq!(task, 3);
+                assert!(message.contains("4 attempts"), "{message}");
+                assert!(message.contains("crashed"), "{message}");
+            }
+            other => panic!("unexpected promotion: {other:?}"),
+        }
+        // O.O.M. keeps its annotation even after retries (it never retries
+        // in practice, but the promotion must not lose the class).
+        let e = JobError::from_task_attempts(
+            0,
+            TaskError::OutOfMemory {
+                needed: 2,
+                budget: 1,
+            },
+            2,
+        );
+        assert_eq!(e.annotation(), "O.O.M.");
+        // Single-attempt promotion is unchanged from the pre-retry format.
+        let e = JobError::from_task_attempts(1, TaskError::Compute("bad".into()), 1);
+        assert_eq!(e, JobError::from_task(1, TaskError::Compute("bad".into())));
     }
 }

@@ -25,7 +25,13 @@
 //! * [`JobStats`] — per-phase elapsed/communication breakdowns backing
 //!   Figs. 6(d–f), 7(e–f) and Table 5.
 
+//! * [`chaos::FaultPlan`] — seeded, deterministic fault injection (dropped
+//!   and corrupted deliveries, task crashes, node blackouts) driving the
+//!   retry/redelivery recovery machinery in [`transport`] and
+//!   [`executor::real`].
+
 pub mod backend;
+pub mod chaos;
 pub mod config;
 pub mod executor;
 pub mod failure;
@@ -36,7 +42,8 @@ pub mod store;
 pub mod transport;
 
 pub use backend::ExecutionBackend;
-pub use config::ClusterConfig;
+pub use chaos::{Blackout, FaultPlan, FaultSpec};
+pub use config::{ClusterConfig, RetryPolicy};
 pub use executor::real::{LocalCluster, TaskCtx};
 pub use executor::sim::{ComputeWork, SimCluster, SimTask, StageOutcome};
 pub use failure::{JobError, TaskError};

@@ -94,6 +94,17 @@ pub struct JobStats {
     /// the model-byte ledger counts: sparse blocks encode smaller than
     /// their dense estimate and implicit-zero moves carry nothing.
     pub transport_payload_bytes: u64,
+    /// Task attempts re-executed after a transient failure (real executor
+    /// under fault injection; 0 on a fault-free run).
+    pub retries: u64,
+    /// Transport deliveries repeated after a drop or checksum failure
+    /// (lineage re-delivery from the producer's store).
+    pub redelivered_moves: u64,
+    /// Physical payload bytes of repeated deliveries and re-run task
+    /// attempts. Kept apart from both the ledger's model bytes and
+    /// `transport_payload_bytes` so fault-free byte accounting stays
+    /// bit-identical under injected faults.
+    pub retransmitted_payload_bytes: u64,
 }
 
 impl JobStats {
@@ -147,6 +158,9 @@ impl JobStats {
         self.peak_task_mem_bytes = self.peak_task_mem_bytes.max(other.peak_task_mem_bytes);
         self.intermediate_bytes += other.intermediate_bytes;
         self.transport_payload_bytes += other.transport_payload_bytes;
+        self.retries += other.retries;
+        self.redelivered_moves += other.redelivered_moves;
+        self.retransmitted_payload_bytes += other.retransmitted_payload_bytes;
         self.gpu_utilization = match (self.gpu_utilization, other.gpu_utilization) {
             (Some(a), Some(b)) => Some((a + b) / 2.0),
             (a, b) => a.or(b),
@@ -191,13 +205,20 @@ mod tests {
     #[test]
     fn merge_accumulates() {
         let mut a = sample();
-        let b = sample();
+        let mut b = sample();
+        b.retries = 2;
+        b.redelivered_moves = 3;
+        b.retransmitted_payload_bytes = 40;
         a.merge(&b);
         assert_eq!(a.total_shuffle_bytes(), 300);
         assert_eq!(a.elapsed_secs, 21.0);
         assert_eq!(a.peak_task_mem_bytes, 1000);
         assert_eq!(a.intermediate_bytes, 300);
         assert_eq!(a.phase(Phase::LocalMult).secs, 16.0);
+        a.merge(&b);
+        assert_eq!(a.retries, 4);
+        assert_eq!(a.redelivered_moves, 6);
+        assert_eq!(a.retransmitted_payload_bytes, 80);
     }
 
     #[test]

@@ -3,24 +3,32 @@
 //! Every cross-store movement goes through [`Transport::execute`]: the
 //! source block is encoded via `distme_matrix::codec`, the bytes "cross the
 //! wire", and the decoded block is installed in the destination node's
-//! store. Two byte counts coexist by design:
+//! store. The ledger's *model* bytes are charged by the driver from the
+//! plan's routing view (exactly once per planned move, see
+//! `core::real_exec`), never here — so fault-driven redelivery can neither
+//! double-charge nor under-charge the model and sim/real byte parity is
+//! structural. The transport counts only *physical* traffic:
 //!
-//! * The [`ShuffleLedger`] is charged the move's **planned wire bytes**
-//!   (the plan's Eq. 2–4 cost model shares), for every planned move — this
-//!   is the quantity `tests/plan_parity.rs` proves bit-identical to the
-//!   simulator, which consumes the same plan and has no physical blocks.
-//! * [`TransportStats`] counts the **physically encoded payload bytes** of
-//!   blocks that actually existed (sparse blocks encode smaller than the
-//!   model's dense estimate; implicit-zero blocks encode nothing).
+//! * [`TransportStats::payload_bytes`] — the first transmission of every
+//!   materialized block (identical between a faulted and fault-free run);
+//! * [`TransportStats::retransmitted_bytes`] — every repeated transmission
+//!   caused by a drop, a checksum failure, or a re-run task attempt.
+//!
+//! Recovery lives here too: a dropped or corrupt delivery is re-read from
+//! the producer's store (lineage re-delivery — the block is still where
+//! the plan produced it) up to the retry policy's attempt bound, before
+//! the typed transient error ([`TaskError::LostBlock`] /
+//! [`TaskError::CorruptBlock`]) is handed to the task-level retry loop.
 
+use crate::chaos::FaultPlan;
+use crate::config::RetryPolicy;
 use crate::failure::TaskError;
-use crate::shuffle::ShuffleLedger;
 use crate::stats::Phase;
 use crate::store::{ClusterStores, StoreKey};
 use bytes::BytesMut;
 use distme_matrix::codec;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Upper bound on pooled scratch buffers: enough for every worker thread a
 /// stage can run, without pinning unbounded memory after a wide stage.
@@ -66,16 +74,18 @@ impl ScratchPool {
 }
 
 /// One executable move: ship the block under `src` on `from_node` to the
-/// `dst` key on `to_node`, charging `wire_bytes` to the ledger in `phase`.
+/// `dst` key on `to_node`. `wire_bytes` is the plan's model estimate —
+/// charged to the ledger by the driver, carried here so fault decisions
+/// and diagnostics can see it.
 #[derive(Debug, Clone, Copy)]
 pub struct WireMove {
-    /// Ledger phase the move is charged to.
+    /// Ledger phase the move belongs to.
     pub phase: Phase,
     /// Source node.
     pub from_node: usize,
     /// Destination node.
     pub to_node: usize,
-    /// Planned (model) bytes — what the ledger is charged.
+    /// Planned (model) bytes.
     pub wire_bytes: u64,
     /// Key to read on the source node.
     pub src: StoreKey,
@@ -89,61 +99,81 @@ pub struct TransportStats {
     moves: AtomicU64,
     delivered: AtomicU64,
     payload_bytes: AtomicU64,
+    redelivered: AtomicU64,
+    retransmitted_bytes: AtomicU64,
 }
 
 impl TransportStats {
-    /// Moves executed (including moves of implicitly-zero blocks).
+    /// Move executions (including moves of implicitly-zero blocks and
+    /// re-executions by retried tasks).
     pub fn moves(&self) -> u64 {
         self.moves.load(Ordering::Relaxed)
     }
 
-    /// Moves that carried a physical block.
+    /// Moves that ended with a physical block installed.
     pub fn delivered(&self) -> u64 {
         self.delivered.load(Ordering::Relaxed)
     }
 
-    /// Total encoded payload bytes actually produced.
+    /// Encoded payload bytes of first transmissions — identical between a
+    /// faulted run and its fault-free twin.
     pub fn payload_bytes(&self) -> u64 {
         self.payload_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Transmissions repeated after a drop, checksum failure, or re-run
+    /// task attempt.
+    pub fn redelivered(&self) -> u64 {
+        self.redelivered.load(Ordering::Relaxed)
+    }
+
+    /// Encoded payload bytes of those repeated transmissions.
+    pub fn retransmitted_bytes(&self) -> u64 {
+        self.retransmitted_bytes.load(Ordering::Relaxed)
     }
 }
 
 /// Executes [`WireMove`]s against a set of node stores.
 pub struct Transport<'a> {
     stores: &'a ClusterStores,
-    ledger: &'a ShuffleLedger,
     stats: &'a TransportStats,
     scratch: &'a ScratchPool,
+    faults: Option<Arc<FaultPlan>>,
+    retry: RetryPolicy,
 }
 
 impl<'a> Transport<'a> {
-    /// Binds a transport to stores, ledger, physical counters, and the
-    /// scratch-buffer pool.
+    /// Binds a transport to stores, physical counters, the scratch-buffer
+    /// pool, and (optionally) a fault-injection plan with the redelivery
+    /// bound to recover under.
     pub fn new(
         stores: &'a ClusterStores,
-        ledger: &'a ShuffleLedger,
         stats: &'a TransportStats,
         scratch: &'a ScratchPool,
+        faults: Option<Arc<FaultPlan>>,
+        retry: RetryPolicy,
     ) -> Self {
         Transport {
             stores,
-            ledger,
             stats,
             scratch,
+            faults,
+            retry,
         }
     }
 
-    /// Executes one move. The ledger is charged the planned `wire_bytes`
-    /// unconditionally (the plan — and the simulator — charge every routed
-    /// move, materialized or not); the physical encode/decode round-trip
-    /// happens only when the source block exists. Returns the encoded
-    /// payload length (0 for an implicit zero).
+    /// Executes one move on behalf of task attempt `task_attempt`. The
+    /// physical encode/wire/decode round-trip happens only when the source
+    /// block exists (implicit zeros ship nothing). A delivery the fault
+    /// plan drops or corrupts is re-read from the producer's store and
+    /// re-sent, up to the retry policy's attempt bound. Returns the
+    /// encoded payload length (0 for an implicit zero).
     ///
     /// # Errors
-    /// [`TaskError::Compute`] if the encoded bytes fail to decode.
-    pub fn execute(&self, mv: &WireMove) -> Result<u64, TaskError> {
-        self.ledger
-            .record_shuffle(mv.phase, mv.from_node, mv.to_node, mv.wire_bytes);
+    /// [`TaskError::LostBlock`] / [`TaskError::CorruptBlock`] when
+    /// redelivery is exhausted; [`TaskError::Compute`] if cleanly-delivered
+    /// bytes fail to decode (a codec bug, not a fault).
+    pub fn execute(&self, mv: &WireMove, task_attempt: u32) -> Result<u64, TaskError> {
         self.stats.moves.fetch_add(1, Ordering::Relaxed);
         let Some(block) = self.stores.node(mv.from_node).get(&mv.src) else {
             return Ok(0);
@@ -153,71 +183,130 @@ impl<'a> Transport<'a> {
         // The wire buffer is borrowed from the scratch pool and decoded
         // in place, so steady-state shuffles never allocate for the bytes.
         let mut buf = self.scratch.take();
-        codec::encode_into(&block, &mut buf);
-        let payload = buf.len() as u64;
-        let decoded =
-            codec::decode_slice(&buf).map_err(|e| TaskError::Compute(format!("transport: {e}")))?;
-        self.scratch.recycle(buf);
-        self.stores
-            .node(mv.to_node)
-            .install(mv.dst, std::sync::Arc::new(decoded));
-        self.stats.delivered.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .payload_bytes
-            .fetch_add(payload, Ordering::Relaxed);
-        Ok(payload)
+        let deliveries = self.retry.max_attempts.max(1);
+        for delivery in 0..deliveries {
+            buf.clear();
+            codec::encode_into(&block, &mut buf);
+            let payload = buf.len() as u64;
+            if task_attempt == 0 && delivery == 0 {
+                self.stats
+                    .payload_bytes
+                    .fetch_add(payload, Ordering::Relaxed);
+            } else {
+                // Everything after the very first transmission — whether a
+                // transport-level redelivery or a re-run task re-fetching —
+                // is recovery traffic, kept out of `payload_bytes` so the
+                // fault-free accounting stays bit-identical.
+                self.stats.redelivered.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .retransmitted_bytes
+                    .fetch_add(payload, Ordering::Relaxed);
+            }
+            if let Some(faults) = &self.faults {
+                if faults.drop_delivery(mv, task_attempt, delivery) {
+                    if delivery + 1 == deliveries {
+                        self.scratch.recycle(buf);
+                        return Err(TaskError::LostBlock {
+                            node: mv.to_node,
+                            id: mv.dst.id,
+                        });
+                    }
+                    continue;
+                }
+            }
+            let injected = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.corrupt_payload(mv, task_attempt, delivery, &mut buf));
+            match codec::decode_slice(&buf) {
+                Ok(decoded) => {
+                    self.scratch.recycle(buf);
+                    self.stores
+                        .node(mv.to_node)
+                        .install(mv.dst, std::sync::Arc::new(decoded));
+                    self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                    return Ok(payload);
+                }
+                Err(_) if injected => {
+                    // The CRC gate caught the injected flip; re-read the
+                    // block from the producer (lineage) and re-send.
+                    if delivery + 1 == deliveries {
+                        self.scratch.recycle(buf);
+                        return Err(TaskError::CorruptBlock {
+                            node: mv.to_node,
+                            id: mv.dst.id,
+                        });
+                    }
+                }
+                Err(e) => {
+                    self.scratch.recycle(buf);
+                    return Err(TaskError::Compute(format!("transport: {e}")));
+                }
+            }
+        }
+        unreachable!("delivery loop returns on its final iteration")
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::FaultSpec;
     use distme_matrix::{Block, BlockId, DenseBlock};
     use std::sync::Arc;
 
-    fn setup() -> (ClusterStores, ShuffleLedger, TransportStats, ScratchPool) {
+    fn setup() -> (ClusterStores, TransportStats, ScratchPool) {
         (
             ClusterStores::new(3),
-            ShuffleLedger::new(),
             TransportStats::default(),
             ScratchPool::default(),
         )
     }
 
+    fn clean<'a>(
+        stores: &'a ClusterStores,
+        stats: &'a TransportStats,
+        scratch: &'a ScratchPool,
+    ) -> Transport<'a> {
+        Transport::new(stores, stats, scratch, None, RetryPolicy::no_retry())
+    }
+
     #[test]
     fn move_encodes_decodes_and_installs() {
-        let (stores, ledger, stats, scratch) = setup();
+        let (stores, stats, scratch) = setup();
         let block = Block::Dense(DenseBlock::from_fn(4, 4, |i, j| (i * 4 + j) as f64));
         let src = StoreKey::operand(1, BlockId::new(0, 0));
         let dst = StoreKey::operand(1, BlockId::new(0, 0));
         stores.node(0).install(src, Arc::new(block.clone()));
-        let t = Transport::new(&stores, &ledger, &stats, &scratch);
+        let t = clean(&stores, &stats, &scratch);
         let payload = t
-            .execute(&WireMove {
-                phase: Phase::Repartition,
-                from_node: 0,
-                to_node: 2,
-                wire_bytes: 999,
-                src,
-                dst,
-            })
+            .execute(
+                &WireMove {
+                    phase: Phase::Repartition,
+                    from_node: 0,
+                    to_node: 2,
+                    wire_bytes: 999,
+                    src,
+                    dst,
+                },
+                0,
+            )
             .unwrap();
         assert_eq!(payload, codec::encoded_len(&block));
         assert_eq!(&*stores.node(2).get(&dst).unwrap(), &block);
-        // Ledger gets model bytes, stats get physical bytes.
-        assert_eq!(ledger.shuffle_bytes(Phase::Repartition), 999);
-        assert_eq!(ledger.cross_node_bytes(Phase::Repartition), 999);
         assert_eq!(stats.payload_bytes(), payload);
         assert_eq!(stats.delivered(), 1);
+        assert_eq!(stats.redelivered(), 0);
+        assert_eq!(stats.retransmitted_bytes(), 0);
     }
 
     #[test]
     fn repeat_moves_reuse_the_scratch_buffer() {
-        let (stores, ledger, stats, scratch) = setup();
+        let (stores, stats, scratch) = setup();
         let block = Block::Dense(DenseBlock::from_fn(8, 8, |i, j| (i + j) as f64));
         let key = StoreKey::operand(7, BlockId::new(0, 0));
         stores.node(0).install(key, Arc::new(block));
-        let t = Transport::new(&stores, &ledger, &stats, &scratch);
+        let t = clean(&stores, &stats, &scratch);
         let mv = WireMove {
             phase: Phase::Repartition,
             from_node: 0,
@@ -226,34 +315,152 @@ mod tests {
             src: key,
             dst: key,
         };
-        t.execute(&mv).unwrap();
+        t.execute(&mv, 0).unwrap();
         assert_eq!(scratch.reuses(), 0);
-        t.execute(&mv).unwrap();
-        t.execute(&mv).unwrap();
+        t.execute(&mv, 0).unwrap();
+        t.execute(&mv, 0).unwrap();
         assert_eq!(scratch.reuses(), 2, "sequential moves share one buffer");
     }
 
     #[test]
-    fn implicit_zero_is_charged_but_carries_nothing() {
-        let (stores, ledger, stats, scratch) = setup();
-        let t = Transport::new(&stores, &ledger, &stats, &scratch);
+    fn implicit_zero_carries_nothing() {
+        let (stores, stats, scratch) = setup();
+        let t = clean(&stores, &stats, &scratch);
         let key = StoreKey::operand(1, BlockId::new(3, 3));
         let payload = t
-            .execute(&WireMove {
-                phase: Phase::Aggregation,
-                from_node: 1,
-                to_node: 1,
-                wire_bytes: 123,
-                src: key,
-                dst: key,
-            })
+            .execute(
+                &WireMove {
+                    phase: Phase::Aggregation,
+                    from_node: 1,
+                    to_node: 1,
+                    wire_bytes: 123,
+                    src: key,
+                    dst: key,
+                },
+                0,
+            )
             .unwrap();
         assert_eq!(payload, 0);
-        // Same-node: shuffled but not cross-node.
-        assert_eq!(ledger.shuffle_bytes(Phase::Aggregation), 123);
-        assert_eq!(ledger.cross_node_bytes(Phase::Aggregation), 0);
         assert_eq!(stats.moves(), 1);
         assert_eq!(stats.delivered(), 0);
         assert!(!stores.node(1).contains(&key));
+    }
+
+    #[test]
+    fn dropped_delivery_is_resent_from_the_producer() {
+        let (stores, stats, scratch) = setup();
+        let block = Block::Dense(DenseBlock::from_fn(4, 4, |i, j| (i * j) as f64));
+        let key = StoreKey::operand(5, BlockId::new(0, 1));
+        stores.node(0).install(key, Arc::new(block.clone()));
+        let mv = WireMove {
+            phase: Phase::Repartition,
+            from_node: 0,
+            to_node: 1,
+            wire_bytes: 64,
+            src: key,
+            dst: key,
+        };
+        // Find a seed under which the first delivery of this move is
+        // dropped (deterministic: the probe plan and the real plan make
+        // identical decisions for identical seeds).
+        let spec_for = |seed| FaultSpec {
+            drop_rate: 0.6,
+            ..FaultSpec::quiet(seed)
+        };
+        let seed = (0..64)
+            .find(|&s| {
+                let probe = FaultPlan::new(spec_for(s));
+                probe.advance_stage();
+                probe.drop_delivery(&mv, 0, 0) && (1..8).any(|d| !probe.drop_delivery(&mv, 0, d))
+            })
+            .expect("a 60% drop rate hits within 64 seeds");
+        let plan = Arc::new(FaultPlan::new(spec_for(seed)));
+        plan.advance_stage();
+        let t = Transport::new(
+            &stores,
+            &stats,
+            &scratch,
+            Some(plan),
+            RetryPolicy {
+                max_attempts: 8,
+                backoff_secs: 0.0,
+            },
+        );
+        let payload = t.execute(&mv, 0).unwrap();
+        assert_eq!(payload, codec::encoded_len(&block));
+        assert_eq!(&*stores.node(1).get(&key).unwrap(), &block);
+        assert!(stats.redelivered() > 0, "the drop forced a redelivery");
+        assert_eq!(stats.payload_bytes(), payload, "first transmission only");
+        assert!(stats.retransmitted_bytes() >= payload);
+    }
+
+    #[test]
+    fn certain_corruption_exhausts_into_corrupt_block() {
+        let (stores, stats, scratch) = setup();
+        let block = Block::Dense(DenseBlock::from_fn(3, 3, |i, j| (i + 2 * j) as f64));
+        let key = StoreKey::operand(6, BlockId::new(2, 0));
+        stores.node(0).install(key, Arc::new(block));
+        let plan = Arc::new(FaultPlan::new(FaultSpec {
+            corrupt_rate: 1.0,
+            ..FaultSpec::quiet(1)
+        }));
+        plan.advance_stage();
+        let t = Transport::new(
+            &stores,
+            &stats,
+            &scratch,
+            Some(plan.clone()),
+            RetryPolicy {
+                max_attempts: 3,
+                backoff_secs: 0.0,
+            },
+        );
+        let mv = WireMove {
+            phase: Phase::Repartition,
+            from_node: 0,
+            to_node: 2,
+            wire_bytes: 64,
+            src: key,
+            dst: key,
+        };
+        let err = t.execute(&mv, 0).unwrap_err();
+        assert!(matches!(err, TaskError::CorruptBlock { node: 2, .. }));
+        assert!(err.is_transient());
+        assert_eq!(plan.corrupted(), 3, "every delivery was corrupted");
+        assert!(!stores.node(2).contains(&key), "no garbage was installed");
+    }
+
+    #[test]
+    fn certain_drop_exhausts_into_lost_block() {
+        let (stores, stats, scratch) = setup();
+        let block = Block::Dense(DenseBlock::from_fn(2, 2, |i, j| (i + j) as f64));
+        let key = StoreKey::operand(8, BlockId::new(0, 0));
+        stores.node(1).install(key, Arc::new(block));
+        let plan = Arc::new(FaultPlan::new(FaultSpec {
+            drop_rate: 1.0,
+            ..FaultSpec::quiet(2)
+        }));
+        plan.advance_stage();
+        let t = Transport::new(
+            &stores,
+            &stats,
+            &scratch,
+            Some(plan),
+            RetryPolicy {
+                max_attempts: 2,
+                backoff_secs: 0.0,
+            },
+        );
+        let mv = WireMove {
+            phase: Phase::Aggregation,
+            from_node: 1,
+            to_node: 0,
+            wire_bytes: 32,
+            src: key,
+            dst: key,
+        };
+        let err = t.execute(&mv, 0).unwrap_err();
+        assert!(matches!(err, TaskError::LostBlock { node: 0, .. }));
+        assert!(!stores.node(0).contains(&key));
     }
 }

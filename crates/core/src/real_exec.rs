@@ -123,6 +123,8 @@ pub fn execute_plan(
     // session-level totals survive multi-op queries (GNMF).
     let ledger_mark = cluster.ledger().snapshot();
     let payload_mark = cluster.transport_stats().payload_bytes();
+    let redelivered_mark = cluster.transport_stats().redelivered();
+    let retransmitted_mark = cluster.transport_stats().retransmitted_bytes();
     let stores = cluster.stores();
     stores.begin_job();
 
@@ -181,6 +183,21 @@ pub fn execute_plan(
         );
     }
 
+    // Model bytes are charged once per *planned* move, from the plan's
+    // routing view — never per physical delivery. Fault-injected drops and
+    // lineage redeliveries therefore cannot skew the model: sim/real byte
+    // parity is structural (`tests/plan_parity.rs`), and the physically
+    // retransmitted bytes show up only in the transport's own counters.
+    for stage in &plan.stages {
+        for task in &stage.tasks {
+            for m in &task.inputs {
+                cluster
+                    .ledger()
+                    .record_shuffle(stage.input_phase, m.from_node, m.to_node, m.bytes);
+            }
+        }
+    }
+
     // Identity of this job's intermediate C copies in the stores.
     let c_uid = fresh_matrix_uid();
     let uid_of = |op: Operand| match op {
@@ -218,13 +235,14 @@ pub fn execute_plan(
     let fetch = cluster.run_stage(fetch_lists, |ctx, moves| {
         for mv in moves {
             // A serialization buffer lives for the duration of the move.
-            let payload = transport.execute(&mv)?;
+            let payload = transport.execute(&mv, ctx.attempt)?;
             ctx.alloc(payload)?;
             ctx.free(payload);
         }
         Ok(())
     })?;
-    let rep_secs = rep_timer.elapsed().as_secs_f64();
+    // Retry backoff is charged to modeled time, never slept.
+    let rep_secs = rep_timer.elapsed().as_secs_f64() + fetch.backoff_secs;
 
     // ------------- Stage 2: local multiplication -------------------------
     let mult_stage = plan.stage(Phase::LocalMult).expect("plans always multiply");
@@ -307,7 +325,7 @@ pub fn execute_plan(
             TaskWork::MapRead | TaskWork::Aggregate(_) => Ok(Vec::new()),
         }
     })?;
-    let mult_secs = mult.wall_secs;
+    let mult_secs = mult.wall_secs + mult.backoff_secs;
     let mult_peak = mult.peak_task_mem_bytes;
 
     // Which (block, producer-copy) pairs physically exist — so aggregation
@@ -323,6 +341,8 @@ pub fn execute_plan(
     let agg_timer = Instant::now();
     let mut c = BlockMatrix::new(problem.c);
     let mut agg_peak = 0u64;
+    let mut agg_retries = 0u64;
+    let mut agg_backoff = 0f64;
     if let Some(stage) = plan.stage(Phase::Aggregation) {
         // Each aggregation task fetches its planned intermediate copies
         // through the transport and reduces them — on the workers, per the
@@ -364,7 +384,7 @@ pub fn execute_plan(
         let agg = cluster.run_stage(items, |ctx, (moves, groups)| {
             debug_assert_eq!(stage.tasks[ctx.task].node, ctx.node);
             for mv in moves {
-                let payload = transport.execute(&mv)?;
+                let payload = transport.execute(&mv, ctx.attempt)?;
                 ctx.alloc(payload)?;
                 ctx.free(payload);
             }
@@ -396,6 +416,8 @@ pub fn execute_plan(
             Ok(out)
         })?;
         agg_peak = agg.peak_task_mem_bytes;
+        agg_retries = agg.retries;
+        agg_backoff = agg.backoff_secs;
         for (id, blk) in agg.outputs.into_iter().flatten() {
             if blk.nnz() > 0 {
                 put_block(&mut c, id, Arc::new(blk))?;
@@ -417,7 +439,7 @@ pub fn execute_plan(
             }
         }
     }
-    let agg_secs = agg_timer.elapsed().as_secs_f64();
+    let agg_secs = agg_timer.elapsed().as_secs_f64() + agg_backoff;
 
     // Intermediate copies die with the job; the *result* placement is
     // registered at the blocks' future home nodes so a chained operation
@@ -446,6 +468,10 @@ pub fn execute_plan(
             + delta.shuffle_bytes(Phase::Aggregation),
         gpu_utilization: None,
         transport_payload_bytes: cluster.transport_stats().payload_bytes() - payload_mark,
+        retries: fetch.retries + mult.retries + agg_retries,
+        redelivered_moves: cluster.transport_stats().redelivered() - redelivered_mark,
+        retransmitted_payload_bytes: cluster.transport_stats().retransmitted_bytes()
+            - retransmitted_mark,
         ..Default::default()
     };
     *stats.phase_mut(Phase::Repartition) = PhaseStats {

@@ -16,6 +16,7 @@ use distme_core::real_exec::{self, RealExecOptions};
 use distme_core::{sim_exec, MatmulProblem};
 use distme_matrix::elementwise::EwOp;
 use distme_matrix::{BlockMatrix, MatrixMeta};
+use std::sync::Arc;
 
 /// A place session operators execute: a cluster plus the value
 /// representation that flows between operators on it.
@@ -268,6 +269,24 @@ impl<B: EngineBackend> Session<B> {
     fn absorb(&mut self, stats: JobStats) {
         self.accumulated.merge(&stats);
         self.ops_run += 1;
+    }
+}
+
+impl Session<RealBackend> {
+    /// Arms seeded fault injection on the session's cluster: every
+    /// subsequent operator runs under `spec`'s drop/corruption/crash/
+    /// blackout schedule until [`Session::clear_faults`].
+    ///
+    /// # Panics
+    /// If a fault rate is outside `[0, 1]` or a blackout window is
+    /// inverted.
+    pub fn inject_faults(&self, spec: distme_cluster::FaultSpec) -> Arc<distme_cluster::FaultPlan> {
+        self.backend.cluster.inject_faults(spec)
+    }
+
+    /// Disarms fault injection; later operators run fault-free.
+    pub fn clear_faults(&self) {
+        self.backend.cluster.clear_faults();
     }
 }
 

@@ -5,12 +5,21 @@
 //! blocks through this codec so that every communication-cost figure in the
 //! benchmarks is measured on real bytes, not estimates.
 //!
-//! Wire format (little-endian):
+//! Wire format v2 (little-endian):
 //! ```text
-//! dense : [0x01][rows: u32][cols: u32][data: rows*cols f64]
-//! sparse: [0x02][rows: u32][cols: u32][nnz: u32]
-//!         [row_ptr: (rows+1) u32][col_idx: nnz u32][values: nnz f64]
+//! frame : [version: u8 = 0x02][body][crc32: u32 over version + body]
+//! dense : body = [0x01][rows: u32][cols: u32][data: rows*cols f64]
+//! sparse: body = [0x02][rows: u32][cols: u32][nnz: u32]
+//!                [row_ptr: (rows+1) u32][col_idx: nnz u32][values: nnz f64]
 //! ```
+//!
+//! Version 2 added the leading version byte and the trailing CRC-32 (IEEE)
+//! frame checksum so the transport can tell a corrupted delivery from a
+//! decodable one: [`decode_slice`] verifies the checksum **before** parsing
+//! a single header field, which means a bit-flipped length can never drive
+//! an allocation or a misparse — corruption is always a clean
+//! [`MatrixError::Codec`] error. Version-1 frames (no checksum) are
+//! rejected, not guessed at.
 //!
 //! On little-endian targets the `f64`/`u32` payload sections move as whole
 //! slices (one `memcpy` each way) rather than element-at-a-time puts/gets;
@@ -24,8 +33,46 @@ use crate::error::{MatrixError, Result};
 use crate::sparse::CsrBlock;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+/// Current wire-format version (leading frame byte).
+pub const WIRE_VERSION: u8 = 0x02;
+
 const TAG_DENSE: u8 = 0x01;
 const TAG_SPARSE: u8 = 0x02;
+
+/// Version byte + trailing CRC-32: bytes a frame carries beyond its body.
+const FRAME_OVERHEAD: u64 = 5;
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3 polynomial) of `bytes` — the frame checksum. Detects
+/// every single-bit error, which is exactly the corruption class the chaos
+/// layer injects.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
 
 /// Serializes a block into a fresh buffer.
 pub fn encode(block: &Block) -> Bytes {
@@ -38,6 +85,8 @@ pub fn encode(block: &Block) -> Bytes {
 /// reuses one scratch buffer across moves instead of allocating per block).
 pub fn encode_into(block: &Block, buf: &mut BytesMut) {
     buf.reserve(encoded_len(block) as usize);
+    let frame_start = buf.len();
+    buf.put_u8(WIRE_VERSION);
     match block {
         Block::Dense(d) => {
             buf.put_u8(TAG_DENSE);
@@ -55,16 +104,19 @@ pub fn encode_into(block: &Block, buf: &mut BytesMut) {
             put_f64_slice(buf, s.values());
         }
     }
+    let checksum = crc32(&buf[frame_start..]);
+    buf.put_u32_le(checksum);
 }
 
 /// Exact serialized size in bytes without encoding.
 pub fn encoded_len(block: &Block) -> u64 {
-    match block {
-        Block::Dense(d) => 1 + 4 + 4 + 8 * d.len() as u64,
-        Block::Sparse(s) => {
-            1 + 4 + 4 + 4 + 4 * (s.rows() as u64 + 1) + 4 * s.nnz() as u64 + 8 * s.nnz() as u64
+    FRAME_OVERHEAD
+        + match block {
+            Block::Dense(d) => 1 + 4 + 4 + 8 * d.len() as u64,
+            Block::Sparse(s) => {
+                1 + 4 + 4 + 4 + 4 * (s.rows() as u64 + 1) + 4 * s.nnz() as u64 + 8 * s.nnz() as u64
+            }
         }
-    }
 }
 
 #[cfg(target_endian = "little")]
@@ -177,6 +229,26 @@ pub fn decode_slice(mut buf: &[u8]) -> Result<Block> {
         Ok(())
     }
 
+    // The checksum is verified over the whole frame before a single header
+    // field is parsed, so a flipped length byte can never drive an
+    // allocation — corruption of any kind is a clean error here.
+    need(buf, FRAME_OVERHEAD + 1, "frame")?;
+    let (body, trailer) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte crc trailer"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(MatrixError::Codec(format!(
+            "frame checksum mismatch: stored 0x{stored:08x}, computed 0x{computed:08x}"
+        )));
+    }
+    buf = body;
+    let version = buf.get_u8();
+    if version != WIRE_VERSION {
+        return Err(MatrixError::Codec(format!(
+            "unsupported wire version 0x{version:02x} (expected 0x{WIRE_VERSION:02x})"
+        )));
+    }
+
     need(buf, 1, "tag")?;
     let tag = buf.get_u8();
     match tag {
@@ -232,6 +304,23 @@ mod tests {
         )
     }
 
+    /// Wraps a raw body in a valid v2 frame (version byte + CRC trailer) so
+    /// negative tests exercise the *parser*, not the checksum gate.
+    fn frame(body: &[u8]) -> Vec<u8> {
+        let mut raw = vec![WIRE_VERSION];
+        raw.extend_from_slice(body);
+        let checksum = crc32(&raw);
+        raw.extend_from_slice(&checksum.to_le_bytes());
+        raw
+    }
+
+    /// Recomputes the CRC trailer of a frame mutated in place.
+    fn reseal(raw: &mut [u8]) {
+        let body_len = raw.len() - 4;
+        let checksum = crc32(&raw[..body_len]);
+        raw[body_len..].copy_from_slice(&checksum.to_le_bytes());
+    }
+
     /// Seed-style per-element encoding: the bulk fast path must be
     /// byte-identical to it (the parity suite depends on this).
     fn encode_elementwise(block: &Block) -> Vec<u8> {
@@ -261,7 +350,7 @@ mod tests {
                 }
             }
         }
-        buf.freeze().to_vec()
+        frame(&buf)
     }
 
     #[test]
@@ -323,18 +412,35 @@ mod tests {
 
     #[test]
     fn unknown_tag_is_rejected() {
-        let bytes = Bytes::from_static(&[0x7f, 0, 0, 0, 0]);
-        assert!(matches!(decode(bytes), Err(MatrixError::Codec(_))));
+        let raw = frame(&[0x7f, 0, 0, 0, 0]);
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(MatrixError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        // A well-checksummed frame from a hypothetical other version must
+        // not be parsed as v2.
+        let mut raw = encode(&dense_block()).to_vec();
+        raw[0] = 0x01;
+        reseal(&mut raw);
+        let err = decode_slice(&raw).unwrap_err();
+        assert!(err.to_string().contains("wire version"), "{err}");
     }
 
     #[test]
     fn corrupt_sparse_structure_is_rejected() {
-        // Encode a valid sparse block then corrupt a row pointer.
+        // Encode a valid sparse block then corrupt a row pointer, resealing
+        // the checksum so the structural validation is what rejects it.
         let bytes = encode(&sparse_block());
         let mut raw = bytes.to_vec();
-        // row_ptr starts at offset 13; write a huge value into the first ptr.
-        raw[13] = 0xff;
+        // row_ptr starts at offset 14 (version byte + 13-byte sparse
+        // header); write a huge value into the first ptr.
         raw[14] = 0xff;
+        raw[15] = 0xff;
+        reseal(&mut raw);
         assert!(decode(Bytes::from(raw)).is_err());
     }
 
@@ -343,27 +449,57 @@ mod tests {
         // rows = nnz = u32::MAX: the old usize precheck `4 * (rows + 1) +
         // 12 * nnz` wraps on 32-bit targets and under-asks; the u64 check
         // must reject the 12-byte payload no matter the word size.
-        let mut raw = vec![TAG_SPARSE];
-        raw.extend_from_slice(&u32::MAX.to_le_bytes()); // rows
-        raw.extend_from_slice(&4u32.to_le_bytes()); // cols
-        raw.extend_from_slice(&u32::MAX.to_le_bytes()); // nnz
-        raw.extend_from_slice(&[0u8; 64]);
+        let mut body = vec![TAG_SPARSE];
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // rows
+        body.extend_from_slice(&4u32.to_le_bytes()); // cols
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // nnz
+        body.extend_from_slice(&[0u8; 64]);
         assert!(matches!(
-            decode(Bytes::from(raw)),
+            decode(Bytes::from(frame(&body))),
             Err(MatrixError::Codec(_))
         ));
     }
 
     #[test]
     fn huge_dense_header_is_rejected() {
-        let mut raw = vec![TAG_DENSE];
-        raw.extend_from_slice(&u32::MAX.to_le_bytes());
-        raw.extend_from_slice(&u32::MAX.to_le_bytes());
-        raw.extend_from_slice(&[0u8; 32]);
+        let mut body = vec![TAG_DENSE];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        body.extend_from_slice(&[0u8; 32]);
         assert!(matches!(
-            decode(Bytes::from(raw)),
+            decode(Bytes::from(frame(&body))),
             Err(MatrixError::Codec(_))
         ));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // The chaos layer corrupts frames by flipping one bit; CRC-32
+        // detects all single-bit errors, so every position in the frame —
+        // header, payload, version byte, or the checksum itself — must
+        // yield a clean decode error, never a panic or accepted garbage.
+        for block in [dense_block(), sparse_block()] {
+            let clean = encode(&block).to_vec();
+            for byte in 0..clean.len() {
+                for bit in 0..8 {
+                    let mut raw = clean.clone();
+                    raw[byte] ^= 1 << bit;
+                    let err = decode_slice(&raw);
+                    assert!(err.is_err(), "flip at byte {byte} bit {bit} was accepted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_gate_runs_before_header_parse() {
+        // A bit-flipped dense `rows` field that would ask for ~2^35 payload
+        // bytes must be caught by the checksum, not the payload precheck
+        // (and certainly must not allocate).
+        let mut raw = encode(&dense_block()).to_vec();
+        raw[3] ^= 0x80; // high byte of `rows`
+        let err = decode_slice(&raw).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub use distme_sim as sim;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use distme_cluster::{ClusterConfig, JobError, JobStats, LocalCluster, Phase, SimCluster};
+    pub use distme_cluster::{
+        Blackout, ClusterConfig, FaultPlan, FaultSpec, JobError, JobStats, LocalCluster, Phase,
+        RetryPolicy, SimCluster,
+    };
     pub use distme_core::{
         real_exec, sim_exec, CuboidSpec, MatmulProblem, MulMethod, OptimizerConfig,
     };

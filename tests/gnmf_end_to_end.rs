@@ -122,6 +122,51 @@ fn expression_api_builds_one_gnmf_numerator() {
 }
 
 #[test]
+fn gnmf_recovers_bit_identically_under_transport_faults() {
+    // A whole multi-operator algorithm under a lossy transport: every
+    // matmul of every iteration runs with ~1% of deliveries dropped and
+    // occasional task crashes. Lineage redelivery and task retry must
+    // reproduce the fault-free factors to the last bit.
+    use distme::cluster::FaultSpec;
+    let v = rating_matrix(64, 48, 0.3, 7);
+    let cfg = GnmfConfig {
+        factor_dim: 8,
+        iterations: 3,
+    };
+
+    let mut clean = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+    let clean_res = gnmf::run_real(&mut clean, &v, &cfg, 7).expect("clean gnmf");
+
+    let mut faulted = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+    let plan = faulted.inject_faults(FaultSpec {
+        seed: 5,
+        drop_rate: 0.01,
+        corrupt_rate: 0.005,
+        crash_rate: 0.01,
+        blackouts: Vec::new(),
+    });
+    let faulted_res = gnmf::run_real(&mut faulted, &v, &cfg, 7).expect("faulted gnmf recovers");
+
+    assert!(
+        plan.dropped() > 0,
+        "the schedule must drop at least one delivery"
+    );
+    assert!(faulted.stats().retries > 0, "tasks must have been re-run");
+    assert!(faulted.stats().redelivered_moves > 0);
+    assert_eq!(
+        faulted_res.w.max_abs_diff(&clean_res.w).unwrap(),
+        0.0,
+        "W diverged under faults"
+    );
+    assert_eq!(
+        faulted_res.h.max_abs_diff(&clean_res.h).unwrap(),
+        0.0,
+        "H diverged under faults"
+    );
+    assert_eq!(clean.stats().retries, 0);
+}
+
+#[test]
 fn gnmf_handles_empty_rows_and_columns() {
     // Users with no ratings / items nobody rated must not break the
     // updates (their factor rows simply stay put or go to zero).

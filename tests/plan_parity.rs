@@ -119,6 +119,72 @@ fn bytes_are_bit_identical_for_sparse_operands() {
 }
 
 #[test]
+fn fault_recovery_preserves_parity() {
+    // The recovery invariant meets the parity invariant: a run that drops,
+    // corrupts, and crashes its way to completion must charge the exact
+    // model bytes of the fault-free run (the ledger is driven by the
+    // plan's routing, not by physical deliveries) and the exact
+    // first-transmission payload. Recovery traffic is visible only in the
+    // dedicated retransmission counters.
+    use distme::cluster::FaultSpec;
+    let (a, b) = operands(5, 4, 3, 1.0);
+    for (method, name) in [
+        (MulMethod::Cpmm, "CPMM"),
+        (MulMethod::CuboidAuto, "CuboidMM"),
+    ] {
+        let clean_cluster = LocalCluster::new(ClusterConfig::laptop());
+        let (c_clean, s_clean) = real_exec::multiply(&clean_cluster, &a, &b, method)
+            .unwrap_or_else(|e| panic!("{name} clean: {e}"));
+
+        let faulted_cluster = LocalCluster::new(ClusterConfig::laptop());
+        let plan = faulted_cluster.inject_faults(FaultSpec {
+            seed: 14,
+            drop_rate: 0.05,
+            corrupt_rate: 0.03,
+            crash_rate: 0.05,
+            blackouts: Vec::new(),
+        });
+        let (c_faulted, s_faulted) = real_exec::multiply(&faulted_cluster, &a, &b, method)
+            .unwrap_or_else(|e| panic!("{name} faulted: {e}"));
+        assert!(
+            plan.dropped() + plan.corrupted() + plan.crashed() > 0,
+            "{name}: the schedule must inject something"
+        );
+
+        assert_eq!(
+            c_faulted.max_abs_diff(&c_clean).unwrap(),
+            0.0,
+            "{name}: recovered result diverged"
+        );
+        for phase in Phase::ALL {
+            assert_eq!(
+                faulted_cluster.ledger().shuffle_bytes(phase),
+                clean_cluster.ledger().shuffle_bytes(phase),
+                "{name}: model shuffle bytes diverged in {}",
+                phase.label()
+            );
+            assert_eq!(
+                faulted_cluster.ledger().cross_node_bytes(phase),
+                clean_cluster.ledger().cross_node_bytes(phase),
+                "{name}: model cross-node bytes diverged in {}",
+                phase.label()
+            );
+        }
+        assert_eq!(
+            s_faulted.transport_payload_bytes, s_clean.transport_payload_bytes,
+            "{name}: first-transmission payload diverged"
+        );
+        assert_eq!(s_clean.retries, 0, "{name}");
+        assert_eq!(s_clean.redelivered_moves, 0, "{name}");
+        assert_eq!(s_clean.retransmitted_payload_bytes, 0, "{name}");
+        assert!(
+            s_faulted.retransmitted_payload_bytes > 0,
+            "{name}: recovery traffic must be visible in its own counter"
+        );
+    }
+}
+
+#[test]
 fn ragged_grids_keep_parity() {
     // Partition counts that do not divide the block grid: uneven cuboid
     // bands exercise the per-block (not per-average) routing shares.

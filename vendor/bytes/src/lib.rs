@@ -246,6 +246,12 @@ impl std::ops::Deref for BytesMut {
     }
 }
 
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
 impl BufMut for BytesMut {
     fn put_u8(&mut self, v: u8) {
         self.data.push(v);
