@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint test parity chaos-smoke build bench bench-json bench-smoke
+.PHONY: ci fmt lint test parity chaos-smoke elastic-smoke build bench bench-json bench-smoke
 
-ci: fmt lint test parity chaos-smoke bench-smoke
+ci: fmt lint test parity chaos-smoke elastic-smoke bench-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -26,6 +26,14 @@ parity:
 # (plus the proptest sweep over random fault schedules).
 chaos-smoke:
 	$(CARGO) test -q -p distme-cluster --test chaos
+
+# The elasticity contract: fixed-seed GNMF runs that grow (4->9) and
+# shrink (9->4) mid-factorization must produce factors bit-identical to
+# fixed-grid runs, with resident blocks actually migrating, plus the
+# ledger-delta and membership-log invariants.
+elastic-smoke:
+	$(CARGO) test -q -p distme-cluster --test elastic
+	$(CARGO) test -q -p distme-engine -- gnmf::tests::gnmf_grown_mid_run_matches_a_fixed_grid_bit_for_bit gnmf::tests::gnmf_shrunk_mid_run_drains_live_blocks_without_drift gnmf::tests::autoscaler_grows_the_cluster_during_gnmf
 
 build:
 	$(CARGO) build --release

@@ -11,6 +11,8 @@
 //!   loop (fresh buffer + `freeze` + element-wise `Bytes` decode), so the
 //!   speedup is tracked against a fixed reference, not a moving one;
 //! * transport round-trip throughput through the scratch-pool path;
+//! * block-migration throughput of an elastic resize cycle (grow 4→9,
+//!   shrink 9→4) over a resident working set;
 //! * wall time of one fixed CuboidMM job on the real executor.
 //!
 //! Writes the results as JSON (default `BENCH_hotpath.json`, `--out` to
@@ -50,6 +52,7 @@ fn main() {
     doc.push_str(&format!("  \"gemm\": {},\n", bench_gemm(smoke)));
     doc.push_str(&format!("  \"codec\": {},\n", bench_codec(smoke)));
     doc.push_str(&format!("  \"transport\": {},\n", bench_transport(smoke)));
+    doc.push_str(&format!("  \"rebalance\": {},\n", bench_rebalance(smoke)));
     doc.push_str(&format!("  \"cuboid_job\": {}\n", bench_cuboid_job(smoke)));
     doc.push('}');
 
@@ -364,6 +367,44 @@ fn bench_transport(smoke: bool) -> String {
         codec::encoded_len(&block),
         num(payload / secs / 1e9),
         scratch.reuses()
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Elastic rebalance: migration cost of a grow/shrink cycle
+// ---------------------------------------------------------------------------
+
+fn bench_rebalance(smoke: bool) -> String {
+    use distme_cluster::rebalance::home_node;
+    let side = if smoke { 32 } else { 256 };
+    let blocks: u64 = if smoke { 8 } else { 96 };
+    let mut cluster = LocalCluster::new(ClusterConfig::laptop()); // 4 nodes
+    let block_bytes = codec::encoded_len(&Block::Dense(seeded_dense(side, side, 13)));
+    // A dual-homed resident working set, as a finished job leaves it.
+    for i in 0..blocks {
+        let id = BlockId::new((i % 12) as u32, (i / 12) as u32);
+        let key = StoreKey::operand(1, id);
+        let blk = std::sync::Arc::new(Block::Dense(seeded_dense(side, side, 13 + i)));
+        cluster
+            .stores()
+            .ingest(home_node(id, 0, 4), key, std::sync::Arc::clone(&blk));
+        cluster.stores().ingest(home_node(id, 1, 4), key, blk);
+    }
+    let t = Instant::now();
+    let grow = cluster.scale_to(9).expect("grow");
+    let shrink = cluster.scale_to(4).expect("shrink");
+    let secs = t.elapsed().as_secs_f64();
+    let moves = grow.moves + shrink.moves;
+    let payload = grow.payload_bytes + shrink.payload_bytes;
+    format!(
+        "{{\"blocks\": {blocks}, \"block_bytes\": {block_bytes}, \
+         \"grow_moves\": {}, \"shrink_moves\": {}, \"payload_bytes\": {payload}, \
+         \"seconds\": {}, \"migration_gbps\": {}, \"moves_per_sec\": {}}}",
+        grow.moves,
+        shrink.moves,
+        num(secs),
+        num(payload as f64 / secs / 1e9),
+        num(moves as f64 / secs)
     )
 }
 

@@ -243,8 +243,17 @@ impl ClusterConfig {
     }
 
     /// Panics on nonsensical values (configuration is programmer input).
+    /// Each degenerate field gets its own message so the panic names the
+    /// knob to fix.
     pub fn assert_valid(&self) {
-        assert!(self.nodes > 0 && self.tasks_per_node > 0, "empty cluster");
+        assert!(
+            self.nodes > 0,
+            "empty cluster: `nodes` must be at least 1 (got 0)"
+        );
+        assert!(
+            self.tasks_per_node > 0,
+            "empty cluster: `tasks_per_node` must be at least 1 (got 0)"
+        );
         assert!(self.task_mem_bytes > 0, "zero task memory");
         assert!(
             self.node_mem_bytes >= self.task_mem_bytes,
@@ -264,7 +273,8 @@ impl ClusterConfig {
         );
         assert!(
             self.host_worker_oversubscription > 0,
-            "worker oversubscription must be positive"
+            "`host_worker_oversubscription` must be at least 1 (got 0): \
+             a zero cap would leave the real executor with no worker threads"
         );
         assert!(
             self.wire_compression_ratio > 0.0 && self.wire_compression_ratio <= 1.0,
@@ -310,7 +320,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty cluster")]
+    #[should_panic(expected = "`nodes` must be at least 1")]
     fn zero_nodes_rejected() {
         let mut c = ClusterConfig::laptop();
         c.nodes = 0;
@@ -318,7 +328,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "oversubscription")]
+    #[should_panic(expected = "`tasks_per_node` must be at least 1")]
+    fn zero_tasks_per_node_rejected() {
+        let mut c = ClusterConfig::laptop();
+        c.tasks_per_node = 0;
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "`host_worker_oversubscription` must be at least 1")]
     fn zero_oversubscription_rejected() {
         let mut c = ClusterConfig::laptop();
         c.host_worker_oversubscription = 0;

@@ -12,11 +12,14 @@
 use crate::chaos::{FaultPlan, FaultSpec};
 use crate::config::ClusterConfig;
 use crate::failure::{JobError, TaskError};
+use crate::membership::{Membership, MembershipEvent};
+use crate::rebalance::{RebalancePlan, RebalanceReport};
 use crate::shuffle::ShuffleLedger;
-use crate::stats::Phase;
-use crate::store::ClusterStores;
-use crate::transport::{ScratchPool, Transport, TransportStats};
+use crate::stats::{JobStats, Phase};
+use crate::store::{ClusterStores, StoreKey};
+use crate::transport::{ScratchPool, Transport, TransportStats, WireMove};
 use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -94,6 +97,7 @@ pub struct LocalCluster {
     transport_stats: TransportStats,
     scratch: ScratchPool,
     faults: Mutex<Option<Arc<FaultPlan>>>,
+    membership: Membership,
 }
 
 impl LocalCluster {
@@ -107,6 +111,7 @@ impl LocalCluster {
             transport_stats: TransportStats::default(),
             scratch: ScratchPool::default(),
             faults: Mutex::new(None),
+            membership: Membership::new(cfg.nodes),
         }
     }
 
@@ -170,6 +175,199 @@ impl LocalCluster {
     /// Spark's even executor spread).
     pub fn node_of_task(&self, task: usize) -> usize {
         task % self.cfg.nodes
+    }
+
+    /// The cluster's membership epoch: bumps on every commission or
+    /// decommission. A plan built at an older epoch is stale — its routing
+    /// assumed a grid that no longer exists.
+    pub fn epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
+    /// The membership state (epoch, node count, change log).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Gracefully resizes the cluster to `n` nodes. A grow commissions
+    /// empty nodes; a shrink drains the leaving tail's blocks onto the
+    /// survivors before their stores are dropped — either way, every
+    /// resident block is re-homed onto the new grid through the
+    /// codec-backed transport (ledger [`Phase::Rebalance`], counted in the
+    /// report's `rebalanced_*` stats) and the epoch bumps, invalidating
+    /// every plan built for the old grid. `scale_to(current)` is a no-op
+    /// and does not bump the epoch.
+    ///
+    /// # Errors
+    /// A transport failure during migration (codec bug — migration runs
+    /// fault-free and all sources are readable).
+    pub fn scale_to(&mut self, n: usize) -> Result<RebalanceReport, JobError> {
+        assert!(n > 0, "cannot scale to an empty cluster");
+        let from_nodes = self.cfg.nodes;
+        if n == from_nodes {
+            return Ok(RebalanceReport {
+                epoch: self.membership.epoch(),
+                from_nodes,
+                to_nodes: n,
+                ..Default::default()
+            });
+        }
+        if n > from_nodes {
+            self.stores.grow_to(n);
+        }
+        let snapshot = self.stores.resident_keys();
+        let plan = RebalancePlan::derive(&snapshot, n);
+        debug_assert!(plan.lost.is_empty(), "graceful resize cannot lose blocks");
+        let traffic = self.run_rebalance(&plan)?;
+        if n < from_nodes {
+            self.stores.truncate_to(n);
+        }
+        self.cfg.nodes = n;
+        let epoch = self.membership.record(MembershipEvent::ScaleTo {
+            from: from_nodes,
+            to: n,
+        });
+        Ok(Self::rebalance_report(epoch, from_nodes, n, traffic, 0))
+    }
+
+    /// Permanently decommissions `node`: its store is lost, not drained.
+    /// Resident blocks with a replica on a surviving node (the lineage the
+    /// executor leaves by homing every result block at both placement
+    /// hashes) are re-homed onto the shrunk grid from those copies; the
+    /// surviving nodes renumber down to stay contiguous and the epoch
+    /// bumps.
+    ///
+    /// # Errors
+    /// [`JobError::NodeDecommissioned`] when any resident block's only
+    /// copy lived on `node` — the affected matrices are evicted everywhere
+    /// (re-running their producing jobs re-materializes them) and the
+    /// surviving blocks are still rebalanced, so the cluster stays usable.
+    pub fn decommission_node(&mut self, node: usize) -> Result<RebalanceReport, JobError> {
+        assert!(
+            node < self.cfg.nodes,
+            "no node {node} in a {}-node cluster",
+            self.cfg.nodes
+        );
+        assert!(self.cfg.nodes > 1, "cannot decommission the last node");
+        let from_nodes = self.cfg.nodes;
+        let new_nodes = from_nodes - 1;
+
+        // Partition the resident keys by whether a surviving replica
+        // exists, remapping holder ids through the renumbering (old id j
+        // becomes j-1 for j > node).
+        let mut lost_keys: Vec<StoreKey> = Vec::new();
+        let mut survivors: BTreeMap<StoreKey, BTreeSet<usize>> = BTreeMap::new();
+        for (key, holders) in self.stores.resident_keys() {
+            let remapped: BTreeSet<usize> = holders
+                .into_iter()
+                .filter(|&h| h != node)
+                .map(|h| if h > node { h - 1 } else { h })
+                .collect();
+            if remapped.is_empty() {
+                lost_keys.push(key);
+            } else {
+                survivors.insert(key, remapped);
+            }
+        }
+        self.stores.remove_node(node);
+
+        // A matrix with an unrecoverable block is unusable as a resident
+        // placement: evict it everywhere so the next job re-ingests (or
+        // re-produces) it instead of tripping over a hole.
+        let lost_uids: BTreeSet<u64> = lost_keys.iter().map(|k| k.matrix).collect();
+        for uid in &lost_uids {
+            self.stores.evict_matrix(*uid);
+        }
+        survivors.retain(|k, _| !lost_uids.contains(&k.matrix));
+
+        let plan = RebalancePlan::derive(&survivors, new_nodes);
+        let traffic = self.run_rebalance(&plan)?;
+        self.cfg.nodes = new_nodes;
+        let epoch = self
+            .membership
+            .record(MembershipEvent::Decommission { node });
+        if lost_keys.is_empty() {
+            Ok(Self::rebalance_report(
+                epoch, from_nodes, new_nodes, traffic, 0,
+            ))
+        } else {
+            Err(JobError::NodeDecommissioned {
+                node,
+                lost_blocks: lost_keys.len(),
+            })
+        }
+    }
+
+    /// Executes a rebalance plan's moves through the transport and applies
+    /// its evictions. Migration traffic is charged to the ledger under
+    /// [`Phase::Rebalance`] but kept out of the cluster's per-job
+    /// [`TransportStats`] (payload accounting of jobs must not shift when
+    /// a resize happens between them) and runs fault-free — it is not a
+    /// job stage, so the fault plan's stage-keyed decisions do not apply.
+    /// Returns `(moves, payload_bytes, cross_node_payload_bytes)`.
+    fn run_rebalance(&self, plan: &RebalancePlan) -> Result<(u64, u64, u64), JobError> {
+        let migration_stats = TransportStats::default();
+        let transport = Transport::new(
+            &self.stores,
+            &migration_stats,
+            &self.scratch,
+            None,
+            self.cfg.retry,
+        );
+        let (mut moves, mut payload, mut cross) = (0u64, 0u64, 0u64);
+        for m in &plan.moves {
+            let wire = WireMove {
+                phase: Phase::Rebalance,
+                from_node: m.from,
+                to_node: m.to,
+                wire_bytes: 0,
+                src: m.key,
+                dst: m.key,
+            };
+            let bytes = transport
+                .execute(&wire, 0)
+                .map_err(|e| JobError::from_task(0, e))?;
+            if bytes > 0 {
+                moves += 1;
+                payload += bytes;
+                if m.from != m.to {
+                    cross += bytes;
+                }
+                self.ledger
+                    .record_shuffle(Phase::Rebalance, m.from, m.to, bytes);
+            }
+        }
+        for (node, key) in &plan.evictions {
+            self.stores.node(*node).remove(key);
+        }
+        Ok((moves, payload, cross))
+    }
+
+    fn rebalance_report(
+        epoch: u64,
+        from_nodes: usize,
+        to_nodes: usize,
+        (moves, payload, cross): (u64, u64, u64),
+        lost_blocks: usize,
+    ) -> RebalanceReport {
+        let mut stats = JobStats {
+            rebalanced_moves: moves,
+            rebalanced_payload_bytes: payload,
+            ..Default::default()
+        };
+        let phase = stats.phase_mut(Phase::Rebalance);
+        phase.shuffle_bytes = payload;
+        phase.cross_node_bytes = cross;
+        phase.tasks = moves as usize;
+        RebalanceReport {
+            epoch,
+            from_nodes,
+            to_nodes,
+            moves,
+            payload_bytes: payload,
+            lost_blocks,
+            stats,
+        }
     }
 
     /// Records a broadcast of one `bytes`-sized object to every node.
@@ -610,6 +808,130 @@ mod tests {
         assert_eq!(run.retries, plan.crashed());
         c.clear_faults();
         assert!(c.fault_plan().is_none());
+    }
+
+    #[test]
+    fn scale_to_rehomes_resident_blocks_and_bumps_the_epoch() {
+        use crate::rebalance::home_node;
+        use distme_matrix::{Block, BlockId, DenseBlock};
+        let mut c = cluster(); // 4 nodes
+        let uid = 77;
+        let ids = [BlockId::new(0, 0), BlockId::new(1, 2), BlockId::new(3, 1)];
+        for id in ids {
+            let key = StoreKey::operand(uid, id);
+            let blk = Arc::new(Block::Dense(DenseBlock::from_fn(4, 4, |i, j| {
+                (i + j + id.row as usize) as f64
+            })));
+            c.stores().ingest(home_node(id, 0, 4), key, blk);
+        }
+        assert_eq!(c.epoch(), 0);
+        let report = c.scale_to(9).unwrap();
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(c.config().nodes, 9);
+        assert_eq!(c.stores().num_nodes(), 9);
+        assert_eq!((report.from_nodes, report.to_nodes), (4, 9));
+        assert!(report.moves > 0);
+        assert_eq!(report.stats.rebalanced_moves, report.moves);
+        assert_eq!(report.stats.rebalanced_payload_bytes, report.payload_bytes);
+        // Migration traffic is ledger'd under its own phase and stays out
+        // of the per-job transport counters.
+        assert_eq!(
+            c.ledger().shuffle_bytes(Phase::Rebalance),
+            report.payload_bytes
+        );
+        assert_eq!(c.transport_stats().payload_bytes(), 0);
+        // Every block now sits at both of its homes under the 9-node grid
+        // and nowhere else.
+        for id in ids {
+            let key = StoreKey::operand(uid, id);
+            let homes: std::collections::BTreeSet<usize> =
+                [home_node(id, 0, 9), home_node(id, 1, 9)]
+                    .into_iter()
+                    .collect();
+            for n in 0..9 {
+                assert_eq!(
+                    c.stores().node(n).contains(&key),
+                    homes.contains(&n),
+                    "block {id:?} on node {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scale_to_current_size_is_a_no_op() {
+        let mut c = cluster();
+        let report = c.scale_to(4).unwrap();
+        assert_eq!(c.epoch(), 0);
+        assert_eq!(report.moves, 0);
+        assert!(c.membership().log().is_empty());
+    }
+
+    #[test]
+    fn shrink_drains_the_leaving_tail() {
+        use crate::rebalance::home_node;
+        use distme_matrix::{Block, BlockId, DenseBlock};
+        let mut c = LocalCluster::new(ClusterConfig {
+            nodes: 9,
+            ..ClusterConfig::laptop()
+        });
+        let uid = 5;
+        // Park a block on a tail node that will not survive the shrink.
+        let id = BlockId::new(2, 2);
+        let key = StoreKey::operand(uid, id);
+        let blk = Arc::new(Block::Dense(DenseBlock::from_fn(3, 3, |i, j| {
+            (i * j) as f64
+        })));
+        c.stores().ingest(8, key, blk);
+        let report = c.scale_to(4).unwrap();
+        assert_eq!(c.stores().num_nodes(), 4);
+        assert!(report.moves > 0);
+        let homes: std::collections::BTreeSet<usize> = [home_node(id, 0, 4), home_node(id, 1, 4)]
+            .into_iter()
+            .collect();
+        for n in 0..4 {
+            assert_eq!(c.stores().node(n).contains(&key), homes.contains(&n));
+        }
+    }
+
+    #[test]
+    fn decommission_recovers_from_replicas_or_reports_the_loss() {
+        use distme_matrix::{Block, BlockId, DenseBlock};
+        let blk = || {
+            Arc::new(Block::Dense(DenseBlock::from_fn(2, 2, |i, j| {
+                (i + 2 * j) as f64
+            })))
+        };
+        // Replicated block: survives the loss of one holder.
+        let mut c = cluster();
+        let replicated = StoreKey::operand(1, BlockId::new(0, 0));
+        c.stores().ingest(1, replicated, blk());
+        c.stores().ingest(3, replicated, blk());
+        let report = c.decommission_node(1).unwrap();
+        assert_eq!(c.config().nodes, 3);
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(report.lost_blocks, 0);
+        let resident = c.stores().resident_keys();
+        assert!(resident.contains_key(&replicated), "lineage copy re-homed");
+
+        // Sole-copy block: the loss is typed and the matrix is evicted.
+        let mut c = cluster();
+        let sole = StoreKey::operand(2, BlockId::new(1, 1));
+        c.stores().ingest(2, sole, blk());
+        let err = c.decommission_node(2).unwrap_err();
+        assert_eq!(
+            err,
+            JobError::NodeDecommissioned {
+                node: 2,
+                lost_blocks: 1
+            }
+        );
+        assert_eq!(err.annotation(), "N.D.");
+        // The epoch still bumps (the node is gone either way) and the
+        // cluster stays usable at 3 nodes with the lost matrix evicted.
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(c.config().nodes, 3);
+        assert!(c.stores().resident_keys().is_empty());
     }
 
     #[test]

@@ -109,6 +109,10 @@ pub struct SimCluster {
     intermediates: Gauge,
     clock: SimTime,
     job_epoch: SimTime,
+    /// Membership epoch: bumps on every [`scale_to`](Self::scale_to) so
+    /// plans built for an old grid are identifiably stale, mirroring the
+    /// real executor.
+    epoch: u64,
 }
 
 impl SimCluster {
@@ -139,6 +143,7 @@ impl SimCluster {
             intermediates: Gauge::new(cfg.disk_capacity_bytes),
             clock: SimTime::ZERO,
             job_epoch: SimTime::ZERO,
+            epoch: 0,
             cfg,
         }
     }
@@ -146,6 +151,33 @@ impl SimCluster {
     /// The configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// The membership epoch (0 until the first resize).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Resizes the simulated grid to `n` nodes: per-node resource models
+    /// are rebuilt for the new node count (the simulator holds no physical
+    /// blocks, so there is nothing to migrate), the virtual clock carries
+    /// over, and the epoch bumps. A no-op at the current size.
+    pub fn scale_to(&mut self, n: usize) {
+        assert!(n > 0, "cannot scale to an empty cluster");
+        if n == self.cfg.nodes {
+            return;
+        }
+        let cfg = ClusterConfig {
+            nodes: n,
+            ..self.cfg
+        };
+        let clock = self.clock;
+        let job_epoch = self.job_epoch;
+        let epoch = self.epoch + 1;
+        *self = SimCluster::new(cfg);
+        self.clock = clock;
+        self.job_epoch = job_epoch;
+        self.epoch = epoch;
     }
 
     /// Virtual seconds since the current job started.
@@ -593,6 +625,27 @@ mod tests {
             c.run_stage(&vec![t; 13], 77).unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scale_to_rebuilds_the_grid_and_bumps_the_epoch() {
+        let mut c = SimCluster::new(small_cfg());
+        c.start_job();
+        let t = SimTask {
+            compute: ComputeWork::Cpu { flops: 100.0 },
+            ..SimTask::data_only(0, 0, 0)
+        };
+        c.run_stage(&[t], 0).unwrap();
+        let elapsed = c.job_elapsed_secs();
+        c.scale_to(5);
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(c.config().nodes, 5);
+        assert!(
+            (c.job_elapsed_secs() - elapsed).abs() < 1e-12,
+            "the virtual clock carries over a resize"
+        );
+        c.scale_to(5);
+        assert_eq!(c.epoch(), 1, "resizing to the current size is a no-op");
     }
 
     #[test]

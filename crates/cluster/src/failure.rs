@@ -164,6 +164,16 @@ pub enum JobError {
         /// Its error message.
         message: String,
     },
+    /// A permanently decommissioned node held the only copy of resident
+    /// blocks — no surviving replica (lineage) to reconstruct them from.
+    /// The affected matrices are evicted; re-running their producing jobs
+    /// re-materializes them.
+    NodeDecommissioned {
+        /// The decommissioned node.
+        node: usize,
+        /// Resident blocks whose sole copy lived there.
+        lost_blocks: usize,
+    },
 }
 
 impl JobError {
@@ -175,6 +185,7 @@ impl JobError {
             JobError::ExceededDiskCapacity { .. } => "E.D.C.",
             JobError::TooManyTasks { .. } => "T.M.T.",
             JobError::TaskFailed { .. } => "FAIL",
+            JobError::NodeDecommissioned { .. } => "N.D.",
         }
     }
 
@@ -232,6 +243,10 @@ impl fmt::Display for JobError {
             JobError::TaskFailed { task, message } => {
                 write!(f, "task {task} failed: {message}")
             }
+            JobError::NodeDecommissioned { node, lost_blocks } => write!(
+                f,
+                "node {node} decommissioned with {lost_blocks} unreplicated block(s) and no lineage to rebuild them"
+            ),
         }
     }
 }
@@ -269,6 +284,19 @@ mod tests {
             .annotation(),
             "E.D.C."
         );
+    }
+
+    #[test]
+    fn node_decommissioned_is_typed_and_informative() {
+        let e = JobError::NodeDecommissioned {
+            node: 3,
+            lost_blocks: 2,
+        };
+        assert_eq!(e.annotation(), "N.D.");
+        let msg = e.to_string();
+        assert!(msg.contains("node 3"), "{msg}");
+        assert!(msg.contains("2 unreplicated"), "{msg}");
+        assert!(msg.contains("lineage"), "{msg}");
     }
 
     #[test]

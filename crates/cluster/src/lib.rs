@@ -28,14 +28,21 @@
 //! * [`chaos::FaultPlan`] — seeded, deterministic fault injection (dropped
 //!   and corrupted deliveries, task crashes, node blackouts) driving the
 //!   retry/redelivery recovery machinery in [`transport`] and
-//!   [`executor::real`].
+//!   [`executor::real`];
+//! * [`membership`] + [`rebalance`] — the *elastic* half of the title:
+//!   epoch-tracked node commissioning/decommissioning with deterministic
+//!   block re-homing onto the resized grid ([`Phase::Rebalance`] traffic),
+//!   lineage recovery from surviving replicas, and a utilization-band
+//!   autoscaler ([`ElasticPolicy`]).
 
 pub mod backend;
 pub mod chaos;
 pub mod config;
 pub mod executor;
 pub mod failure;
+pub mod membership;
 pub mod partitioner;
+pub mod rebalance;
 pub mod shuffle;
 pub mod stats;
 pub mod store;
@@ -47,7 +54,9 @@ pub use config::{ClusterConfig, RetryPolicy};
 pub use executor::real::{LocalCluster, TaskCtx};
 pub use executor::sim::{ComputeWork, SimCluster, SimTask, StageOutcome};
 pub use failure::{JobError, TaskError};
+pub use membership::{ElasticPolicy, Membership, MembershipEvent};
 pub use partitioner::PartitionScheme;
+pub use rebalance::{BlockMove, RebalancePlan, RebalanceReport};
 pub use shuffle::{LedgerSnapshot, ShuffleLedger};
 pub use stats::{JobStats, Phase, PhaseStats};
 pub use store::{

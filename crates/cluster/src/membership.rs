@@ -1,0 +1,188 @@
+//! Cluster membership: the epoch model behind elastic scaling.
+//!
+//! The paper's engine is *elastic*: the node grid is not fixed for the
+//! lifetime of a session. [`Membership`] tracks the current node count and
+//! a monotonically increasing **epoch** that bumps on every change —
+//! commissioning nodes, graceful decommissioning (blocks drained first),
+//! or permanent loss of a node. The epoch is the invalidation token for
+//! everything derived from the grid size: cached [`JobPlan`]s (the
+//! optimizer's `(P*,Q*,R*)` search is re-run against the new node count),
+//! block homes, and task→node round-robin assignments.
+//!
+//! [`ElasticPolicy`] is the small autoscaler on top: given the previous
+//! job's [`JobStats`], it recommends a new node count when local-mult
+//! parallelism over- or under-shoots the configured utilization band.
+//!
+//! [`JobPlan`]: ../../distme_core/plan/struct.JobPlan.html
+
+use crate::stats::{JobStats, Phase};
+
+/// One membership change, recorded in the [`Membership`] log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// Graceful resize: grow by commissioning empty nodes, or shrink with
+    /// the leaving nodes' blocks drained onto the survivors first.
+    ScaleTo {
+        /// Node count before the change.
+        from: usize,
+        /// Node count after the change.
+        to: usize,
+    },
+    /// Permanent loss of one node: its store is gone; blocks survive only
+    /// where a replica exists on another node (lineage).
+    Decommission {
+        /// The node that was lost (pre-renumbering id).
+        node: usize,
+    },
+}
+
+/// The cluster's membership state: node count, epoch, and change log.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    epoch: u64,
+    nodes: usize,
+    log: Vec<(u64, MembershipEvent)>,
+}
+
+impl Membership {
+    /// Initial membership at epoch 0 with `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        Membership {
+            epoch: 0,
+            nodes,
+            log: Vec::new(),
+        }
+    }
+
+    /// The current epoch (0 until the first membership change).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current node count.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Records a membership change: bumps the epoch, updates the node
+    /// count, and appends to the log. Returns the new epoch.
+    pub fn record(&mut self, event: MembershipEvent) -> u64 {
+        self.nodes = match event {
+            MembershipEvent::ScaleTo { to, .. } => to,
+            MembershipEvent::Decommission { .. } => self.nodes - 1,
+        };
+        assert!(self.nodes > 0, "membership change emptied the cluster");
+        self.epoch += 1;
+        self.log.push((self.epoch, event));
+        self.epoch
+    }
+
+    /// Every change so far, as `(epoch, event)` pairs in epoch order.
+    pub fn log(&self) -> &[(u64, MembershipEvent)] {
+        &self.log
+    }
+}
+
+/// Utilization-threshold autoscaler driven by [`JobStats`]: the measured
+/// signal is local-mult tasks per slot (how many waves of the compute
+/// phase the grid ran). Above `scale_up_tasks_per_slot`, the job was
+/// parallelism-starved — recommend growing; below
+/// `scale_down_tasks_per_slot`, the grid idled — recommend shrinking.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticPolicy {
+    /// Never shrink below this node count.
+    pub min_nodes: usize,
+    /// Never grow beyond this node count.
+    pub max_nodes: usize,
+    /// Grow when local-mult tasks per slot exceed this.
+    pub scale_up_tasks_per_slot: f64,
+    /// Shrink when local-mult tasks per slot fall below this.
+    pub scale_down_tasks_per_slot: f64,
+    /// Nodes added or removed per recommendation.
+    pub step: usize,
+}
+
+impl ElasticPolicy {
+    /// A policy that grows on more than one task wave per slot and shrinks
+    /// below a quarter wave, one node at a time.
+    pub fn default_band(min_nodes: usize, max_nodes: usize) -> Self {
+        ElasticPolicy {
+            min_nodes,
+            max_nodes,
+            scale_up_tasks_per_slot: 1.0,
+            scale_down_tasks_per_slot: 0.25,
+            step: 1,
+        }
+    }
+
+    /// Recommends a new node count from the previous job's stats, or
+    /// `None` when utilization sits inside the band (or the bound is
+    /// already reached).
+    pub fn recommend(
+        &self,
+        stats: &JobStats,
+        nodes: usize,
+        tasks_per_node: usize,
+    ) -> Option<usize> {
+        let slots = (nodes * tasks_per_node).max(1) as f64;
+        let waves = stats.phase(Phase::LocalMult).tasks as f64 / slots;
+        let target = if waves > self.scale_up_tasks_per_slot {
+            (nodes + self.step).min(self.max_nodes)
+        } else if waves < self.scale_down_tasks_per_slot {
+            nodes.saturating_sub(self.step).max(self.min_nodes.max(1))
+        } else {
+            nodes
+        };
+        (target != nodes).then_some(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_bump_on_every_change() {
+        let mut m = Membership::new(4);
+        assert_eq!(m.epoch(), 0);
+        assert_eq!(m.nodes(), 4);
+        assert_eq!(m.record(MembershipEvent::ScaleTo { from: 4, to: 9 }), 1);
+        assert_eq!(m.nodes(), 9);
+        assert_eq!(m.record(MembershipEvent::Decommission { node: 2 }), 2);
+        assert_eq!(m.nodes(), 8);
+        assert_eq!(m.log().len(), 2);
+        assert_eq!(m.log()[0].0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_membership_rejected() {
+        Membership::new(0);
+    }
+
+    fn stats_with_mult_tasks(tasks: usize) -> JobStats {
+        let mut s = JobStats::default();
+        s.phase_mut(Phase::LocalMult).tasks = tasks;
+        s
+    }
+
+    #[test]
+    fn policy_grows_when_starved_and_shrinks_when_idle() {
+        let p = ElasticPolicy::default_band(2, 9);
+        // 4 nodes × 2 slots = 8 slots. 24 tasks = 3 waves → grow.
+        assert_eq!(p.recommend(&stats_with_mult_tasks(24), 4, 2), Some(5));
+        // 1 task over 8 slots → shrink.
+        assert_eq!(p.recommend(&stats_with_mult_tasks(1), 4, 2), Some(3));
+        // 6 tasks = 0.75 waves → inside the band.
+        assert_eq!(p.recommend(&stats_with_mult_tasks(6), 4, 2), None);
+    }
+
+    #[test]
+    fn policy_respects_bounds() {
+        let p = ElasticPolicy::default_band(3, 4);
+        assert_eq!(p.recommend(&stats_with_mult_tasks(100), 4, 2), None);
+        assert_eq!(p.recommend(&stats_with_mult_tasks(0), 3, 2), None);
+        assert_eq!(p.recommend(&stats_with_mult_tasks(100), 3, 2), Some(4));
+    }
+}

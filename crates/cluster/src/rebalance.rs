@@ -1,0 +1,235 @@
+//! Deterministic block rebalancing after a membership change.
+//!
+//! When the grid resizes, every resident block's home moves: the placement
+//! hash ([`home_node`]) is a function of the node count. A
+//! [`RebalancePlan`] is derived from a snapshot of resident keys and their
+//! holders ([`ClusterStores::resident_keys`]) and lists, in deterministic
+//! key order:
+//!
+//! * [`BlockMove`]s shipping each key from one surviving holder onto its
+//!   homes under the **new** grid — executed through the codec-backed
+//!   transport, charged to the ledger under [`Phase::Rebalance`];
+//! * evictions dropping copies stranded at nodes that are no longer homes
+//!   (this is what empties a leaving node's store);
+//! * `lost` keys with no readable holder at all — only possible after a
+//!   permanent decommission severed the sole copy.
+//!
+//! Every key is re-homed to **both** salted homes (`which` 0 and 1 — the
+//! A-operand and B-operand spaces of the plan's routing), matching how the
+//! executor places result blocks. The invariant after a rebalance: any
+//! future plan, built for the new node count, finds its ingest homes
+//! already resident, whichever side of a multiply the matrix lands on —
+//! and every block has two copies wherever the two hashes disagree, which
+//! is the replica "lineage" a later decommission recovers from.
+//!
+//! [`ClusterStores::resident_keys`]: crate::store::ClusterStores::resident_keys
+//! [`Phase::Rebalance`]: crate::stats::Phase::Rebalance
+
+use crate::stats::JobStats;
+use crate::store::StoreKey;
+use distme_matrix::BlockId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// HDFS-style "home" node of a block (`which` salts the A-operand,
+/// B-operand, and pre-shuffle destination spaces apart). This is the one
+/// placement hash in the system: the plan's routing in `distme-core`
+/// delegates here, so rebalancing and planning can never disagree about
+/// where a block lives.
+pub fn home_node(id: BlockId, which: u64, nodes: usize) -> usize {
+    let mut z = (((id.row as u64) << 32) | id.col as u64)
+        .wrapping_add(which.wrapping_mul(0xA24BAED4963EE407))
+        .wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (z ^ (z >> 31)) as usize % nodes
+}
+
+/// One planned migration: ship `key` from the store of `from` to the store
+/// of `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMove {
+    /// The resident key to ship (same key at source and destination).
+    pub key: StoreKey,
+    /// A current holder of the key.
+    pub from: usize,
+    /// A home of the key under the new grid.
+    pub to: usize,
+}
+
+/// The deterministic migration schedule for one membership change.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RebalancePlan {
+    /// Node count of the new grid.
+    pub new_nodes: usize,
+    /// Migrations, in `(key, to)` order.
+    pub moves: Vec<BlockMove>,
+    /// `(node, key)` copies to drop once the moves have landed.
+    pub evictions: Vec<(usize, StoreKey)>,
+    /// Keys with no readable holder — unrecoverable without re-running the
+    /// producing job.
+    pub lost: Vec<StoreKey>,
+}
+
+impl RebalancePlan {
+    /// Derives the schedule from a resident-key snapshot. Holder node ids
+    /// may exceed `new_nodes` (a graceful shrink drains the leaving tail);
+    /// targets are always within the new grid. Deterministic: the same
+    /// snapshot and node count produce the identical plan.
+    pub fn derive(snapshot: &BTreeMap<StoreKey, BTreeSet<usize>>, new_nodes: usize) -> Self {
+        assert!(new_nodes > 0, "cannot rebalance onto an empty grid");
+        let mut plan = RebalancePlan {
+            new_nodes,
+            ..Default::default()
+        };
+        for (key, holders) in snapshot {
+            let Some(&source) = holders.iter().next() else {
+                plan.lost.push(*key);
+                continue;
+            };
+            let targets: BTreeSet<usize> = [
+                home_node(key.id, 0, new_nodes),
+                home_node(key.id, 1, new_nodes),
+            ]
+            .into_iter()
+            .collect();
+            for &t in &targets {
+                if !holders.contains(&t) {
+                    plan.moves.push(BlockMove {
+                        key: *key,
+                        from: source,
+                        to: t,
+                    });
+                }
+            }
+            for &h in holders {
+                if !targets.contains(&h) {
+                    plan.evictions.push((h, *key));
+                }
+            }
+        }
+        plan
+    }
+
+    /// Whether the plan migrates or drops anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty() && self.evictions.is_empty() && self.lost.is_empty()
+    }
+}
+
+/// What one executed membership change did, with the migration traffic in
+/// [`JobStats`] form so sessions can absorb it into their accumulated
+/// counters (`rebalanced_moves` / `rebalanced_payload_bytes`, plus a
+/// [`Phase::Rebalance`](crate::stats::Phase::Rebalance) entry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RebalanceReport {
+    /// Epoch after the change.
+    pub epoch: u64,
+    /// Node count before.
+    pub from_nodes: usize,
+    /// Node count after.
+    pub to_nodes: usize,
+    /// Blocks physically migrated (implicit zeros excluded).
+    pub moves: u64,
+    /// Encoded payload bytes of those migrations.
+    pub payload_bytes: u64,
+    /// Resident blocks lost to a decommission (0 on any graceful resize).
+    pub lost_blocks: usize,
+    /// The migration traffic as mergeable job stats.
+    pub stats: JobStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(matrix: u64, row: u32, col: u32) -> StoreKey {
+        StoreKey::operand(matrix, BlockId::new(row, col))
+    }
+
+    fn snapshot(entries: &[(StoreKey, &[usize])]) -> BTreeMap<StoreKey, BTreeSet<usize>> {
+        entries
+            .iter()
+            .map(|(k, hs)| (*k, hs.iter().copied().collect()))
+            .collect()
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let snap = snapshot(&[
+            (key(1, 0, 0), &[0]),
+            (key(1, 0, 1), &[3]),
+            (key(2, 1, 0), &[1, 2]),
+        ]);
+        let a = RebalancePlan::derive(&snap, 9);
+        let b = RebalancePlan::derive(&snap, 9);
+        assert_eq!(a, b);
+        assert!(!a.moves.is_empty() || !a.evictions.is_empty());
+    }
+
+    #[test]
+    fn every_key_lands_on_both_new_homes() {
+        let snap = snapshot(&[(key(7, 2, 3), &[0])]);
+        let plan = RebalancePlan::derive(&snap, 5);
+        let targets: BTreeSet<usize> = [
+            home_node(BlockId::new(2, 3), 0, 5),
+            home_node(BlockId::new(2, 3), 1, 5),
+        ]
+        .into_iter()
+        .collect();
+        let moved_to: BTreeSet<usize> = plan.moves.iter().map(|m| m.to).collect();
+        let kept: BTreeSet<usize> = targets.iter().copied().filter(|t| *t == 0).collect();
+        // Every target is either moved to or was already held.
+        assert_eq!(
+            moved_to.union(&kept).copied().collect::<BTreeSet<_>>(),
+            targets
+        );
+        // The old copy survives only if node 0 is a new home.
+        let evicted_at_0 = plan.evictions.iter().any(|(n, _)| *n == 0);
+        assert_eq!(evicted_at_0, !targets.contains(&0));
+    }
+
+    #[test]
+    fn shrink_drains_tail_holders() {
+        // Holder 8 is outside a 4-node grid: the key must move onto the
+        // surviving prefix and the tail copy must be evicted.
+        let snap = snapshot(&[(key(3, 1, 1), &[8])]);
+        let plan = RebalancePlan::derive(&snap, 4);
+        assert!(plan.moves.iter().all(|m| m.from == 8 && m.to < 4));
+        assert!(!plan.moves.is_empty());
+        assert!(plan.evictions.contains(&(8, key(3, 1, 1))));
+        assert!(plan.lost.is_empty());
+    }
+
+    #[test]
+    fn holderless_keys_are_lost() {
+        let snap = snapshot(&[(key(5, 0, 0), &[])]);
+        let plan = RebalancePlan::derive(&snap, 4);
+        assert_eq!(plan.lost, vec![key(5, 0, 0)]);
+        assert!(plan.moves.is_empty());
+    }
+
+    #[test]
+    fn already_homed_keys_produce_no_traffic() {
+        let id = BlockId::new(4, 2);
+        let homes: BTreeSet<usize> = [home_node(id, 0, 6), home_node(id, 1, 6)]
+            .into_iter()
+            .collect();
+        let k = StoreKey::operand(11, id);
+        let snap: BTreeMap<StoreKey, BTreeSet<usize>> = [(k, homes)].into_iter().collect();
+        let plan = RebalancePlan::derive(&snap, 6);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn home_node_spreads_and_stays_in_range() {
+        let mut seen = BTreeSet::new();
+        for row in 0..32u32 {
+            for col in 0..32u32 {
+                let h = home_node(BlockId::new(row, col), 0, 9);
+                assert!(h < 9);
+                seen.insert(h);
+            }
+        }
+        assert_eq!(seen.len(), 9, "1024 blocks cover all 9 nodes");
+    }
+}

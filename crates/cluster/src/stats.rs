@@ -6,7 +6,8 @@
 //! volumes (Figs. 6(d–f), 7(f)). [`JobStats`] carries exactly those
 //! measurements, filled in by either executor.
 
-/// The three steps of distributed matrix multiplication.
+/// The three steps of distributed matrix multiplication, plus the
+/// between-jobs block migration traffic an elastic resize generates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Step 1: repartition/broadcast inputs to tasks.
@@ -15,16 +16,24 @@ pub enum Phase {
     LocalMult,
     /// Step 3: shuffle and reduce intermediate output blocks.
     Aggregation,
+    /// Block migration after a membership change (`cluster::rebalance`):
+    /// resident blocks re-homed onto the new grid. Not part of any job's
+    /// plan, so both executors report zero plan communication here.
+    Rebalance,
 }
 
 impl Phase {
     /// Number of phases — the one source of truth for per-phase array
     /// lengths, so adding a stage kind cannot silently corrupt counters.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// All phases, in execution order.
-    pub const ALL: [Phase; Phase::COUNT] =
-        [Phase::Repartition, Phase::LocalMult, Phase::Aggregation];
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Repartition,
+        Phase::LocalMult,
+        Phase::Aggregation,
+        Phase::Rebalance,
+    ];
 
     /// Index into per-phase arrays.
     pub fn index(self) -> usize {
@@ -32,6 +41,7 @@ impl Phase {
             Phase::Repartition => 0,
             Phase::LocalMult => 1,
             Phase::Aggregation => 2,
+            Phase::Rebalance => 3,
         }
     }
 
@@ -41,6 +51,7 @@ impl Phase {
             Phase::Repartition => "matrix repartition",
             Phase::LocalMult => "local multiplication",
             Phase::Aggregation => "matrix aggregation",
+            Phase::Rebalance => "block rebalance",
         }
     }
 }
@@ -105,6 +116,13 @@ pub struct JobStats {
     /// `transport_payload_bytes` so fault-free byte accounting stays
     /// bit-identical under injected faults.
     pub retransmitted_payload_bytes: u64,
+    /// Block moves executed by elastic rebalancing (membership changes),
+    /// outside any job plan.
+    pub rebalanced_moves: u64,
+    /// Physical payload bytes of rebalance moves. Kept apart from
+    /// `transport_payload_bytes` so per-job payload accounting is
+    /// unaffected by resizes between jobs.
+    pub rebalanced_payload_bytes: u64,
 }
 
 impl JobStats {
@@ -142,11 +160,7 @@ impl JobStats {
         if total <= 0.0 {
             return [0.0; Phase::COUNT];
         }
-        [
-            self.phases[0].secs / total,
-            self.phases[1].secs / total,
-            self.phases[2].secs / total,
-        ]
+        std::array::from_fn(|i| self.phases[i].secs / total)
     }
 
     /// Merges another job's stats (for multi-operation queries like GNMF).
@@ -161,6 +175,8 @@ impl JobStats {
         self.retries += other.retries;
         self.redelivered_moves += other.redelivered_moves;
         self.retransmitted_payload_bytes += other.retransmitted_payload_bytes;
+        self.rebalanced_moves += other.rebalanced_moves;
+        self.rebalanced_payload_bytes += other.rebalanced_payload_bytes;
         self.gpu_utilization = match (self.gpu_utilization, other.gpu_utilization) {
             (Some(a), Some(b)) => Some((a + b) / 2.0),
             (a, b) => a.or(b),
@@ -199,7 +215,7 @@ mod tests {
 
     #[test]
     fn empty_ratios_are_zero() {
-        assert_eq!(JobStats::default().time_ratios(), [0.0; 3]);
+        assert_eq!(JobStats::default().time_ratios(), [0.0; Phase::COUNT]);
     }
 
     #[test]
@@ -219,6 +235,30 @@ mod tests {
         assert_eq!(a.retries, 4);
         assert_eq!(a.redelivered_moves, 6);
         assert_eq!(a.retransmitted_payload_bytes, 80);
+    }
+
+    #[test]
+    fn rebalance_counters_merge() {
+        let mut a = JobStats::default();
+        let b = JobStats {
+            rebalanced_moves: 5,
+            rebalanced_payload_bytes: 640,
+            ..Default::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.rebalanced_moves, 10);
+        assert_eq!(a.rebalanced_payload_bytes, 1280);
+    }
+
+    #[test]
+    fn rebalance_phase_is_indexed_and_labeled() {
+        assert_eq!(Phase::Rebalance.index(), Phase::COUNT - 1);
+        assert_eq!(Phase::Rebalance.label(), "block rebalance");
+        let mut s = JobStats::default();
+        s.phase_mut(Phase::Rebalance).shuffle_bytes = 7;
+        assert_eq!(s.phase(Phase::Rebalance).shuffle_bytes, 7);
+        assert_eq!(s.total_shuffle_bytes(), 7);
     }
 
     #[test]

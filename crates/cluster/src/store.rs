@@ -93,6 +93,21 @@ impl NodeStore {
         self.blocks.lock().unwrap().contains_key(key)
     }
 
+    /// Removes `key`, returning whether it was resident.
+    pub fn remove(&self, key: &StoreKey) -> bool {
+        self.blocks.lock().unwrap().remove(key).is_some()
+    }
+
+    /// All resident keys, in key order.
+    pub fn keys(&self) -> Vec<StoreKey> {
+        self.blocks.lock().unwrap().keys().copied().collect()
+    }
+
+    /// Drops every resident block (a decommissioned node's store).
+    pub fn clear(&self) {
+        self.blocks.lock().unwrap().clear();
+    }
+
     /// Number of resident blocks.
     pub fn len(&self) -> usize {
         self.blocks.lock().unwrap().len()
@@ -216,6 +231,46 @@ impl ClusterStores {
     /// Total resident bytes across all nodes.
     pub fn resident_bytes(&self) -> u64 {
         self.nodes.iter().map(NodeStore::resident_bytes).sum()
+    }
+
+    /// Snapshot of every resident key and the set of nodes holding a copy
+    /// of it — the input to `rebalance::RebalancePlan::derive`. Determinism
+    /// comes from the `BTreeMap`/`BTreeSet` ordering.
+    pub fn resident_keys(&self) -> BTreeMap<StoreKey, BTreeSet<usize>> {
+        let mut out: BTreeMap<StoreKey, BTreeSet<usize>> = BTreeMap::new();
+        for store in &self.nodes {
+            for key in store.keys() {
+                out.entry(key).or_default().insert(store.node());
+            }
+        }
+        out
+    }
+
+    /// Appends empty stores until there are `nodes` node stores
+    /// (commissioning new nodes; existing placements are untouched).
+    pub fn grow_to(&mut self, nodes: usize) {
+        while self.nodes.len() < nodes {
+            let n = self.nodes.len();
+            self.nodes.push(NodeStore::new(n));
+        }
+    }
+
+    /// Drops the tail stores beyond `nodes` (graceful shrink: callers drain
+    /// resident blocks onto the surviving prefix first).
+    pub fn truncate_to(&mut self, nodes: usize) {
+        self.nodes.truncate(nodes.max(1));
+    }
+
+    /// Removes node `k`'s store entirely — contents and all, a permanent
+    /// decommission — and renumbers the higher nodes down by one so node
+    /// ids stay contiguous.
+    pub fn remove_node(&mut self, k: usize) {
+        assert!(k < self.nodes.len(), "no node {k} to remove");
+        assert!(self.nodes.len() > 1, "cannot remove the last node");
+        self.nodes.remove(k);
+        for (i, store) in self.nodes.iter_mut().enumerate() {
+            store.node = i;
+        }
     }
 }
 
@@ -344,6 +399,60 @@ mod tests {
         assert!(!s
             .node(0)
             .contains(&StoreKey::operand(11, BlockId::new(0, 0))));
+    }
+
+    #[test]
+    fn resident_keys_report_every_holder() {
+        let s = ClusterStores::new(3);
+        let k = StoreKey::operand(9, BlockId::new(0, 1));
+        s.ingest(0, k, blk(1.0));
+        s.ingest(2, k, blk(1.0));
+        s.ingest(1, StoreKey::operand(9, BlockId::new(1, 1)), blk(2.0));
+        let snap = s.resident_keys();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(
+            snap[&k].iter().copied().collect::<Vec<_>>(),
+            vec![0, 2],
+            "both holders reported, in node order"
+        );
+    }
+
+    #[test]
+    fn grow_appends_empty_stores_and_truncate_drops_the_tail() {
+        let mut s = ClusterStores::new(2);
+        s.ingest(1, StoreKey::operand(4, BlockId::new(0, 0)), blk(1.0));
+        s.grow_to(5);
+        assert_eq!(s.num_nodes(), 5);
+        assert_eq!(s.node(4).node(), 4);
+        assert!(s.node(4).is_empty());
+        assert_eq!(s.node(1).len(), 1, "existing placements survive a grow");
+        s.truncate_to(2);
+        assert_eq!(s.num_nodes(), 2);
+        assert_eq!(s.node(1).len(), 1);
+    }
+
+    #[test]
+    fn remove_node_renumbers_survivors() {
+        let mut s = ClusterStores::new(3);
+        let k = StoreKey::operand(8, BlockId::new(0, 0));
+        s.ingest(2, k, blk(3.0));
+        s.remove_node(1);
+        assert_eq!(s.num_nodes(), 2);
+        // The old node 2 is now node 1 and kept its blocks.
+        assert_eq!(s.node(1).node(), 1);
+        assert!(s.node(1).contains(&k));
+    }
+
+    #[test]
+    fn remove_and_clear_drop_blocks() {
+        let s = NodeStore::new(0);
+        let k = StoreKey::operand(5, BlockId::new(0, 0));
+        s.install(k, blk(1.0));
+        assert!(s.remove(&k));
+        assert!(!s.remove(&k));
+        s.install(k, blk(1.0));
+        s.clear();
+        assert!(s.is_empty());
     }
 
     #[test]

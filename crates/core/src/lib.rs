@@ -24,6 +24,10 @@
 //!   pipeline (repartition → local multiplication → aggregation) built
 //!   *once* per job as routed block movements plus per-task resource
 //!   summaries;
+//! * [`plan_cache`] — epoch-keyed memoization of built plans: entries are
+//!   tagged with the cluster membership epoch and the whole cache drops on
+//!   any resize/decommission, so a plan routed for a dead grid is never
+//!   served;
 //! * [`sim_exec`] — lowers each plan task's summary onto the simulated
 //!   cluster at paper scale;
 //! * [`real_exec`] — materializes each plan task's blocks on the
@@ -39,6 +43,7 @@ pub mod gpu_local;
 pub mod methods;
 pub mod optimizer;
 pub mod plan;
+pub mod plan_cache;
 pub mod problem;
 pub mod real_exec;
 pub mod sim_exec;
@@ -51,5 +56,6 @@ pub use optimizer::{OptimizerConfig, Optimum};
 pub use plan::{
     BlockMove, BroadcastPlan, JobPlan, Operand, PhaseComm, PlanStage, TaskSpec, TaskWork,
 };
+pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use problem::MatmulProblem;
 pub use subcuboid::SubcuboidSpec;

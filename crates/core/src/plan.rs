@@ -149,6 +149,11 @@ pub struct JobPlan {
     pub problem: MatmulProblem,
     /// Cluster width the routing was computed for.
     pub nodes: usize,
+    /// Membership epoch the routing was computed at (0 for a cluster that
+    /// never resized). Executors reject a plan whose epoch is stale — the
+    /// grid it routed for no longer exists, even if the node *count*
+    /// happens to match again.
+    pub epoch: u64,
     /// BMM's broadcast of B, when the method uses one.
     pub broadcast: Option<BroadcastPlan>,
     /// Stages in execution order: repartition map, local multiplication,
@@ -181,6 +186,13 @@ impl JobPlan {
             nodes: cfg.nodes.max(1),
         }
         .build()
+    }
+
+    /// Stamps the plan with the membership epoch it was built at (builder
+    /// style). Executors check it against their cluster's current epoch.
+    pub fn at_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
     }
 
     /// The stage executing `phase`, if the plan has one.
@@ -232,6 +244,14 @@ pub fn operand_home(operand: Operand, id: BlockId, nodes: usize) -> usize {
     }
 }
 
+/// HDFS "home" node of an input block (`which` salts A/B/destination
+/// spaces apart). The hash itself lives in `distme_cluster::rebalance` so
+/// elastic block migration and plan routing can never disagree about
+/// placement; this is a thin delegation.
+fn home_node(id: BlockId, which: u64, nodes: usize) -> usize {
+    distme_cluster::rebalance::home_node(id, which, nodes)
+}
+
 /// Plan construction state: the byte model shared by every stage.
 struct Builder<'a> {
     problem: &'a MatmulProblem,
@@ -273,6 +293,7 @@ impl Builder<'_> {
             resolved: *resolved,
             problem: *problem,
             nodes: self.nodes,
+            epoch: 0,
             broadcast,
             stages,
         }
@@ -667,17 +688,6 @@ pub(crate) fn scale(bytes: u64, factor: f64) -> u64 {
 pub(crate) fn split_share(total: u64, parts: u64, idx: u64) -> u64 {
     let base = total / parts;
     base + u64::from(idx % parts < total % parts)
-}
-
-/// HDFS "home" node of an input block (`which` salts A/B/destination
-/// spaces apart).
-fn home_node(id: BlockId, which: u64, nodes: usize) -> usize {
-    let mut z = (((id.row as u64) << 32) | id.col as u64)
-        .wrapping_add(which.wrapping_mul(0xA24BAED4963EE407))
-        .wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    (z ^ (z >> 31)) as usize % nodes
 }
 
 /// Splitmix-style voxel hash: RMM's `(i, j, k) → bucket` partitioner.

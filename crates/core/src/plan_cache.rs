@@ -1,0 +1,163 @@
+//! Epoch-keyed plan cache.
+//!
+//! Plan construction runs the `(P*, Q*, R*)` optimizer search, which is
+//! cheap per call but shows up when a session executes thousands of
+//! structurally identical multiplies (GNMF iterates the same three shapes
+//! every iteration). A [`PlanCache`] memoizes built plans under a caller
+//! fingerprint, with one hard invariant from the elasticity model: every
+//! entry is tagged with the membership epoch it was built at, and **any**
+//! epoch change drops the whole cache. A plan routed for a dead grid must
+//! never be served, even if the node count happens to match again — the
+//! placement hash would still agree, but resident-block reuse and the
+//! executors' epoch check would not.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Counters describing how a cache behaved (useful in tests and stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a fresh value.
+    pub misses: u64,
+    /// Whole-cache drops caused by a membership epoch change.
+    pub invalidations: u64,
+}
+
+/// A `Mutex`-guarded memo table whose entries live exactly as long as the
+/// membership epoch they were built under.
+#[derive(Debug)]
+pub struct PlanCache<T: Clone> {
+    inner: Mutex<Inner<T>>,
+}
+
+impl<T: Clone> Default for PlanCache<T> {
+    fn default() -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    epoch: u64,
+    entries: BTreeMap<String, T>,
+    stats: PlanCacheStats,
+}
+
+impl<T> Default for Inner<T> {
+    fn default() -> Self {
+        Inner {
+            epoch: 0,
+            entries: BTreeMap::new(),
+            stats: PlanCacheStats::default(),
+        }
+    }
+}
+
+impl<T: Clone> PlanCache<T> {
+    /// An empty cache pinned at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached value for `key` at `epoch`, building it with
+    /// `build` on a miss. If `epoch` differs from the epoch the cache last
+    /// served, every entry is dropped first — membership changed, so every
+    /// cached routing is stale.
+    pub fn get_or_insert(&self, epoch: u64, key: &str, build: impl FnOnce() -> T) -> T {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if inner.epoch != epoch {
+            inner.entries.clear();
+            inner.epoch = epoch;
+            inner.stats.invalidations += 1;
+        }
+        if let Some(v) = inner.entries.get(key).cloned() {
+            inner.stats.hits += 1;
+            return v;
+        }
+        inner.stats.misses += 1;
+        let v = build();
+        inner.entries.insert(key.to_string(), v.clone());
+        v
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss/invalidation counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.inner.lock().expect("plan cache poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::MulMethod;
+    use crate::plan::JobPlan;
+    use crate::problem::MatmulProblem;
+    use distme_cluster::ClusterConfig;
+    use std::sync::Arc;
+
+    #[test]
+    fn hits_misses_and_epoch_invalidation() {
+        let cache: PlanCache<u32> = PlanCache::new();
+        assert_eq!(cache.get_or_insert(0, "a", || 1), 1);
+        assert_eq!(cache.get_or_insert(0, "a", || 2), 1); // hit keeps the old value
+        assert_eq!(cache.get_or_insert(0, "b", || 3), 3);
+        assert_eq!(cache.len(), 2);
+        // Epoch change drops everything, including other keys.
+        assert_eq!(cache.get_or_insert(1, "a", || 4), 4);
+        assert_eq!(cache.len(), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 3, 1));
+    }
+
+    #[test]
+    fn cached_plans_skip_the_optimizer_until_membership_changes() {
+        // The PR-1 regression, extended across a membership change: a
+        // cached plan must not re-run `optimizer::optimize`, and an epoch
+        // bump must force exactly one re-search.
+        let cfg = ClusterConfig::laptop();
+        let problem = MatmulProblem::dense(4 * 16, 3 * 16, 2 * 16);
+        let cache: PlanCache<Arc<JobPlan>> = PlanCache::new();
+        let build = |epoch: u64| {
+            cache.get_or_insert(epoch, "dense-4x3x2", || {
+                Arc::new(JobPlan::build(&problem, MulMethod::CuboidAuto, &cfg).at_epoch(epoch))
+            })
+        };
+
+        let before = crate::optimizer::instrument::optimize_calls();
+        let first = build(0);
+        let second = build(0);
+        assert_eq!(
+            crate::optimizer::instrument::optimize_calls() - before,
+            1,
+            "a cached plan must not re-run the (P*,Q*,R*) search"
+        );
+        assert!(Arc::ptr_eq(&first, &second));
+
+        let rebuilt = build(1);
+        assert_eq!(
+            crate::optimizer::instrument::optimize_calls() - before,
+            2,
+            "an epoch bump must re-run the search exactly once"
+        );
+        assert_eq!(rebuilt.epoch, 1);
+        assert!(!Arc::ptr_eq(&first, &rebuilt));
+    }
+}

@@ -70,7 +70,7 @@ pub fn multiply_with(
     opts: RealExecOptions,
 ) -> Result<(BlockMatrix, JobStats), JobError> {
     let problem = problem_of(a, b)?;
-    let plan = JobPlan::build(&problem, method, cluster.config());
+    let plan = JobPlan::build(&problem, method, cluster.config()).at_epoch(cluster.epoch());
     execute_plan(cluster, a, b, &plan, opts)
 }
 
@@ -84,7 +84,8 @@ pub fn multiply_resolved(
     opts: RealExecOptions,
 ) -> Result<(BlockMatrix, JobStats), JobError> {
     let problem = problem_of(a, b)?;
-    let plan = JobPlan::from_resolved(&problem, resolved, cluster.config());
+    let plan =
+        JobPlan::from_resolved(&problem, resolved, cluster.config()).at_epoch(cluster.epoch());
     execute_plan(cluster, a, b, &plan, opts)
 }
 
@@ -115,6 +116,16 @@ pub fn execute_plan(
             message: format!(
                 "plan routed for {} nodes cannot run on a {nodes}-node cluster",
                 plan.nodes
+            ),
+        });
+    }
+    if plan.epoch != cluster.epoch() {
+        return Err(JobError::TaskFailed {
+            task: 0,
+            message: format!(
+                "plan built at membership epoch {} is stale: the cluster is now at epoch {}",
+                plan.epoch,
+                cluster.epoch()
             ),
         });
     }
@@ -736,6 +747,20 @@ mod tests {
             err.to_string().contains("not resident"),
             "expected a MissingBlock failure, got: {err}"
         );
+    }
+
+    #[test]
+    fn a_plan_from_a_dead_grid_is_rejected_even_at_matching_node_count() {
+        let (a, b, _) = operands(16, 1.0);
+        let mut c = cluster();
+        let problem = MatmulProblem::new(*a.meta(), *b.meta()).unwrap();
+        let plan = JobPlan::build(&problem, MulMethod::Cpmm, c.config()); // epoch 0
+        c.scale_to(6).unwrap();
+        c.scale_to(4).unwrap();
+        // Node count matches again, but the grid the plan routed for is
+        // two membership changes gone.
+        let err = execute_plan(&c, &a, &b, &plan, RealExecOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("stale"), "got: {err}");
     }
 
     #[test]

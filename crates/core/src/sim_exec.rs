@@ -29,7 +29,7 @@ pub fn simulate(
     problem: &MatmulProblem,
     method: MulMethod,
 ) -> Result<JobStats, JobError> {
-    let plan = JobPlan::build(problem, method, cluster.config());
+    let plan = JobPlan::build(problem, method, cluster.config()).at_epoch(cluster.epoch());
     simulate_plan(cluster, &plan)
 }
 
@@ -40,7 +40,8 @@ pub fn simulate_resolved(
     problem: &MatmulProblem,
     resolved: &ResolvedMethod,
 ) -> Result<JobStats, JobError> {
-    let plan = JobPlan::from_resolved(problem, resolved, cluster.config());
+    let plan =
+        JobPlan::from_resolved(problem, resolved, cluster.config()).at_epoch(cluster.epoch());
     simulate_plan(cluster, &plan)
 }
 
@@ -49,6 +50,16 @@ pub fn simulate_resolved(
 /// # Errors
 /// Propagates the cluster's failure modes (O.O.M., T.O., E.D.C., ...).
 pub fn simulate_plan(cluster: &mut SimCluster, plan: &JobPlan) -> Result<JobStats, JobError> {
+    if plan.epoch != cluster.epoch() {
+        return Err(JobError::TaskFailed {
+            task: 0,
+            message: format!(
+                "plan built at membership epoch {} is stale: the cluster is now at epoch {}",
+                plan.epoch,
+                cluster.epoch()
+            ),
+        });
+    }
     cluster.start_job();
     let mut stats = JobStats::default();
     for stage in &plan.stages {
@@ -238,6 +249,17 @@ mod tests {
         let cuboid = simulate(&mut paper_sim_gpu(), &p, MulMethod::CuboidAuto).unwrap();
         assert!(crmm.communication_bytes() < rmm.communication_bytes());
         assert!(cuboid.communication_bytes() < crmm.communication_bytes());
+    }
+
+    #[test]
+    fn stale_epoch_plans_are_rejected() {
+        let p = MatmulProblem::dense(20_000, 20_000, 20_000);
+        let mut sim = paper_sim();
+        let plan = JobPlan::build(&p, MulMethod::CuboidAuto, sim.config()); // epoch 0
+        assert!(simulate_plan(&mut sim, &plan).is_ok());
+        sim.scale_to(12);
+        let err = simulate_plan(&mut sim, &plan).unwrap_err();
+        assert!(err.to_string().contains("stale"), "got: {err}");
     }
 
     #[test]

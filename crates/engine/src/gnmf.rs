@@ -137,6 +137,26 @@ pub fn run_real(
     cfg: &GnmfConfig,
     seed: u64,
 ) -> Result<GnmfResult, JobError> {
+    run_real_with(session, v, cfg, seed, |_, _| Ok(()))
+}
+
+/// [`run_real`] with a between-iterations hook: `after_iteration(session,
+/// i)` runs after iteration `i` completes, which is where elastic resizes
+/// ([`RealSession::scale_to`], [`RealSession::autoscale`]) slot into a
+/// factorization without perturbing its arithmetic.
+///
+/// # Errors
+/// Propagates operator failures and errors returned by the hook.
+pub fn run_real_with<F>(
+    session: &mut RealSession,
+    v: &BlockMatrix,
+    cfg: &GnmfConfig,
+    seed: u64,
+    mut after_iteration: F,
+) -> Result<GnmfResult, JobError>
+where
+    F: FnMut(&mut RealSession, usize) -> Result<(), JobError>,
+{
     let bs = v.meta().block_size;
     let f = cfg.factor_dim;
     let gen_w = MatrixGenerator::with_seed(seed).value_range(0.1, 1.0);
@@ -149,7 +169,7 @@ pub fn run_real(
         .map_err(to_job)?;
 
     let mut objective = Vec::with_capacity(cfg.iterations);
-    for _ in 0..cfg.iterations {
+    for iter in 0..cfg.iterations {
         // H ← H ∗ (WᵀV) / (WᵀW H)
         let wt = session.transpose(&w)?;
         let wtv = session.matmul(&wt, v)?;
@@ -166,6 +186,7 @@ pub fn run_real(
         w = session.elementwise(&num, EwOp::Div, &whht)?;
 
         objective.push(frobenius_residual(v, &w, &h)?);
+        after_iteration(session, iter)?;
     }
     Ok(GnmfResult { w, h, objective })
 }
@@ -249,6 +270,141 @@ mod tests {
         }
         for (_, blk) in res.h.blocks() {
             assert!(blk.to_dense().data().iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    /// A grid where every GNMF matmul falls under the optimizer's §3.2
+    /// voxel exception (`voxels < M·Tc` ⇒ spec `(I, J, K)`, no search):
+    /// the decomposition — and therefore the floating-point summation
+    /// order — is then *independent of the node count*, which is what
+    /// makes elastic runs bit-comparable to fixed-grid runs.
+    fn elastic_cfg(nodes: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            tasks_per_node: 10,
+            ..ClusterConfig::laptop()
+        }
+    }
+
+    fn small_v() -> BlockMatrix {
+        // 4 x 3 blocks: at factor_dim 16 the largest matmul has 12 voxels,
+        // under even the 4-node grid's 40 slots.
+        let meta = MatrixMeta::sparse(64, 48, 0.3).with_block_size(16);
+        MatrixGenerator::with_seed(3)
+            .value_range(1.0, 5.0)
+            .generate(&meta)
+            .unwrap()
+    }
+
+    /// Exact bit pattern of a factor: block ids plus every f64's bits.
+    fn factor_bits(m: &BlockMatrix) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (id, blk) in m.blocks() {
+            out.push(u64::from(id.row));
+            out.push(u64::from(id.col));
+            out.extend(blk.to_dense().data().iter().map(|x| x.to_bits()));
+        }
+        out
+    }
+
+    #[test]
+    fn gnmf_grown_mid_run_matches_a_fixed_grid_bit_for_bit() {
+        let v = small_v();
+        let cfg = GnmfConfig {
+            factor_dim: 16,
+            iterations: 6,
+        };
+        let mut fixed = RealSession::new(elastic_cfg(9), SystemProfile::DistMe);
+        let baseline = run_real(&mut fixed, &v, &cfg, 42).unwrap();
+
+        let mut elastic = RealSession::new(elastic_cfg(4), SystemProfile::DistMe);
+        let mut grew = None;
+        let res = run_real_with(&mut elastic, &v, &cfg, 42, |s, iter| {
+            if iter == 2 {
+                grew = Some(s.scale_to(9)?);
+            }
+            Ok(())
+        })
+        .unwrap();
+
+        let report = grew.expect("the resize hook must run");
+        assert!(report.moves > 0, "a grow must migrate resident blocks");
+        assert_eq!((report.from_nodes, report.to_nodes), (4, 9));
+        assert!(elastic.stats().rebalanced_moves > 0);
+        assert!(elastic.stats().rebalanced_payload_bytes > 0);
+        assert_eq!(factor_bits(&res.w), factor_bits(&baseline.w));
+        assert_eq!(factor_bits(&res.h), factor_bits(&baseline.h));
+        let bits = |o: &[f64]| o.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&res.objective), bits(&baseline.objective));
+    }
+
+    #[test]
+    fn gnmf_shrunk_mid_run_drains_live_blocks_without_drift() {
+        let v = small_v();
+        let cfg = GnmfConfig {
+            factor_dim: 16,
+            iterations: 6,
+        };
+        let mut fixed = RealSession::new(elastic_cfg(4), SystemProfile::DistMe);
+        let baseline = run_real(&mut fixed, &v, &cfg, 42).unwrap();
+
+        let mut elastic = RealSession::new(elastic_cfg(9), SystemProfile::DistMe);
+        let mut shrank = None;
+        let res = run_real_with(&mut elastic, &v, &cfg, 42, |s, iter| {
+            if iter == 2 {
+                // Live factor blocks sit on the 9-grid's tail nodes here;
+                // the drain must re-home them before the grid truncates.
+                shrank = Some(s.scale_to(4)?);
+            }
+            Ok(())
+        })
+        .unwrap();
+
+        let report = shrank.expect("the resize hook must run");
+        assert!(report.moves > 0, "a shrink must drain the leaving nodes");
+        assert_eq!(report.lost_blocks, 0, "dual-homed blocks never get lost");
+        assert_eq!(factor_bits(&res.w), factor_bits(&baseline.w));
+        assert_eq!(factor_bits(&res.h), factor_bits(&baseline.h));
+    }
+
+    #[test]
+    fn autoscaler_grows_the_cluster_during_gnmf() {
+        use distme_cluster::ElasticPolicy;
+        let v = small_v();
+        let cfg = GnmfConfig {
+            factor_dim: 16,
+            iterations: 3,
+        };
+        let mut s = RealSession::new(
+            ClusterConfig {
+                nodes: 2,
+                ..ClusterConfig::laptop()
+            },
+            SystemProfile::DistMe,
+        );
+        let policy = ElasticPolicy::default_band(2, 4);
+        let mut resizes = Vec::new();
+        let res = run_real_with(&mut s, &v, &cfg, 7, |s, _| {
+            if let Some(r) = s.autoscale(&policy)? {
+                resizes.push((r.from_nodes, r.to_nodes));
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert!(
+            !resizes.is_empty(),
+            "12 ops/iteration on 4 slots is far over the scale-up threshold"
+        );
+        assert!(s.cluster().config().nodes > 2);
+        assert!(
+            s.cluster().config().nodes <= 4,
+            "policy must respect max_nodes"
+        );
+        for w in res.objective.windows(2) {
+            assert!(
+                w[1] <= w[0] * (1.0 + 1e-9),
+                "objective increased across a resize"
+            );
         }
     }
 

@@ -10,10 +10,11 @@
 use crate::ops;
 use crate::systems::SystemProfile;
 use distme_cluster::{
-    ClusterConfig, ExecutionBackend, JobError, JobStats, LocalCluster, SimCluster,
+    ClusterConfig, ElasticPolicy, ExecutionBackend, JobError, JobStats, LocalCluster,
+    RebalanceReport, SimCluster,
 };
 use distme_core::real_exec::{self, RealExecOptions};
-use distme_core::{sim_exec, MatmulProblem};
+use distme_core::{sim_exec, JobPlan, MatmulProblem, PlanCache};
 use distme_matrix::elementwise::EwOp;
 use distme_matrix::{BlockMatrix, MatrixMeta};
 use std::sync::Arc;
@@ -66,10 +67,18 @@ pub trait EngineBackend {
     ) -> Result<(Self::Value, JobStats), JobError>;
 }
 
+/// Cache key for a multiply plan: the problem and the resolved method
+/// pin the routing completely for a given membership epoch (the epoch
+/// itself is the cache's invalidation axis, not part of the key).
+fn plan_key(problem: &MatmulProblem, resolved: &distme_core::ResolvedMethod) -> String {
+    format!("{problem:?}|{resolved:?}")
+}
+
 /// The paper-scale backend: only descriptors flow; every operator is
 /// lowered onto the simulated cluster's resource models.
 pub struct SimBackend {
     cluster: SimCluster,
+    plans: PlanCache<Arc<JobPlan>>,
 }
 
 impl EngineBackend for SimBackend {
@@ -79,6 +88,7 @@ impl EngineBackend for SimBackend {
     fn from_config(cfg: ClusterConfig) -> Self {
         SimBackend {
             cluster: SimCluster::new(cfg),
+            plans: PlanCache::new(),
         }
     }
 
@@ -97,7 +107,16 @@ impl EngineBackend for SimBackend {
             message: e.to_string(),
         })?;
         let resolved = profile.resolve(&problem, self.cluster.config());
-        let stats = sim_exec::simulate_resolved(&mut self.cluster, &problem, &resolved)?;
+        let epoch = self.cluster.epoch();
+        let plan = self
+            .plans
+            .get_or_insert(epoch, &plan_key(&problem, &resolved), || {
+                Arc::new(
+                    JobPlan::from_resolved(&problem, &resolved, self.cluster.config())
+                        .at_epoch(epoch),
+                )
+            });
+        let stats = sim_exec::simulate_plan(&mut self.cluster, &plan)?;
         Ok((problem.c, stats))
     }
 
@@ -124,6 +143,7 @@ impl EngineBackend for SimBackend {
 /// thread-backed cluster and results are checked against references.
 pub struct RealBackend {
     cluster: LocalCluster,
+    plans: PlanCache<Arc<JobPlan>>,
 }
 
 impl EngineBackend for RealBackend {
@@ -133,6 +153,7 @@ impl EngineBackend for RealBackend {
     fn from_config(cfg: ClusterConfig) -> Self {
         RealBackend {
             cluster: LocalCluster::new(cfg),
+            plans: PlanCache::new(),
         }
     }
 
@@ -152,7 +173,16 @@ impl EngineBackend for RealBackend {
                 message: e.to_string(),
             })?;
         let resolved = profile.resolve(&problem, self.cluster.config());
-        real_exec::multiply_resolved(&self.cluster, a, b, &resolved, RealExecOptions::default())
+        let epoch = self.cluster.epoch();
+        let plan = self
+            .plans
+            .get_or_insert(epoch, &plan_key(&problem, &resolved), || {
+                Arc::new(
+                    JobPlan::from_resolved(&problem, &resolved, self.cluster.config())
+                        .at_epoch(epoch),
+                )
+            });
+        real_exec::execute_plan(&self.cluster, a, b, &plan, RealExecOptions::default())
     }
 
     fn transpose(
@@ -288,6 +318,76 @@ impl Session<RealBackend> {
     pub fn clear_faults(&self) {
         self.backend.cluster.clear_faults();
     }
+
+    /// Resizes the cluster to `nodes` mid-session: resident blocks are
+    /// migrated onto the new grid (charged as [`distme_cluster::Phase::Rebalance`]
+    /// traffic and folded into the session's accumulated stats), the
+    /// membership epoch bumps, and every cached plan is invalidated so the
+    /// next operator re-runs the `(P*, Q*, R*)` search against the new
+    /// node count.
+    ///
+    /// # Errors
+    /// Propagates transport failures during migration.
+    pub fn scale_to(&mut self, nodes: usize) -> Result<RebalanceReport, JobError> {
+        let report = self.backend.cluster.scale_to(nodes)?;
+        self.accumulated.merge(&report.stats);
+        Ok(report)
+    }
+
+    /// Permanently removes `node` from the cluster. Its blocks are gone;
+    /// keys with replicas on surviving nodes are re-homed onto the shrunk
+    /// grid (the lineage path), keys whose only copy lived on `node`
+    /// surface as [`JobError::NodeDecommissioned`] — the epoch still
+    /// bumps and the cluster stays usable.
+    ///
+    /// # Errors
+    /// [`JobError::NodeDecommissioned`] when unreplicated blocks are lost;
+    /// transport failures during migration.
+    pub fn decommission_node(&mut self, node: usize) -> Result<RebalanceReport, JobError> {
+        let report = self.backend.cluster.decommission_node(node)?;
+        self.accumulated.merge(&report.stats);
+        Ok(report)
+    }
+
+    /// Applies `policy` to the statistics accumulated since the last
+    /// [`Session::reset_stats`]: when the observed task pressure leaves the
+    /// policy's utilization band, the cluster is resized one step and the
+    /// rebalance report returned. `Ok(None)` means the cluster is already
+    /// inside the band.
+    ///
+    /// # Errors
+    /// Propagates transport failures during the resize's migration.
+    pub fn autoscale(
+        &mut self,
+        policy: &ElasticPolicy,
+    ) -> Result<Option<RebalanceReport>, JobError> {
+        let cfg = self.backend.cluster.config();
+        let (nodes, tasks_per_node) = (cfg.nodes, cfg.tasks_per_node);
+        match policy.recommend(&self.accumulated, nodes, tasks_per_node) {
+            Some(target) => self.scale_to(target).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Hit/miss/invalidation counters of the session's plan cache.
+    pub fn plan_cache_stats(&self) -> distme_core::PlanCacheStats {
+        self.backend.plans.stats()
+    }
+}
+
+impl Session<SimBackend> {
+    /// Resizes the simulated cluster mid-session: the membership epoch
+    /// bumps and cached plans are invalidated, exactly like the real
+    /// backend (the sim holds no materialized blocks, so there is no
+    /// physical migration to replay).
+    pub fn scale_to(&mut self, nodes: usize) {
+        self.backend.cluster.scale_to(nodes);
+    }
+
+    /// Hit/miss/invalidation counters of the session's plan cache.
+    pub fn plan_cache_stats(&self) -> distme_core::PlanCacheStats {
+        self.backend.plans.stats()
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +481,68 @@ mod tests {
             .map(|&p| s.cluster().ledger().shuffle_bytes(p))
             .sum();
         assert_eq!(after_two, 2 * after_one);
+    }
+
+    #[test]
+    fn repeated_matmuls_hit_the_plan_cache_until_a_resize() {
+        let meta_a = MatrixMeta::dense(80, 64).with_block_size(16);
+        let meta_b = MatrixMeta::dense(64, 48).with_block_size(16);
+        let a = MatrixGenerator::with_seed(5).generate(&meta_a).unwrap();
+        let b = MatrixGenerator::with_seed(6).generate(&meta_b).unwrap();
+        let reference = a.multiply(&b).unwrap();
+        let mut s = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+        s.matmul(&a, &b).unwrap();
+        s.matmul(&a, &b).unwrap();
+        let st = s.plan_cache_stats();
+        assert_eq!(
+            (st.hits, st.misses),
+            (1, 1),
+            "identical op must reuse its plan"
+        );
+        // A resize bumps the epoch: every cached plan is stale.
+        let report = s.scale_to(6).unwrap();
+        assert_eq!((report.from_nodes, report.to_nodes), (4, 6));
+        let c = s.matmul(&a, &b).unwrap();
+        let st = s.plan_cache_stats();
+        assert_eq!(st.misses, 2, "post-resize op must re-plan");
+        assert_eq!(st.invalidations, 1);
+        assert!(c.max_abs_diff(&reference).unwrap() < 1e-9);
+        assert!(s.stats().rebalanced_moves > 0);
+    }
+
+    #[test]
+    fn sim_session_replans_after_a_resize() {
+        let mut s = SimSession::new(ClusterConfig::paper_cluster(), SystemProfile::DistMe);
+        let a = MatrixMeta::dense(20_000, 20_000);
+        let b = MatrixMeta::dense(20_000, 20_000);
+        s.matmul(&a, &b).unwrap();
+        s.matmul(&a, &b).unwrap();
+        assert_eq!(s.plan_cache_stats().hits, 1);
+        s.scale_to(12);
+        s.matmul(&a, &b).unwrap();
+        let st = s.plan_cache_stats();
+        assert_eq!((st.misses, st.invalidations), (2, 1));
+    }
+
+    #[test]
+    fn real_session_decommission_recovers_replicated_results() {
+        // A multiply leaves its result dual-homed; decommissioning one node
+        // must either recover everything from the surviving replicas or
+        // fail loudly — and either way the session keeps working.
+        let meta_a = MatrixMeta::dense(80, 64).with_block_size(16);
+        let meta_b = MatrixMeta::dense(64, 48).with_block_size(16);
+        let a = MatrixGenerator::with_seed(5).generate(&meta_a).unwrap();
+        let b = MatrixGenerator::with_seed(6).generate(&meta_b).unwrap();
+        let reference = a.multiply(&b).unwrap();
+        let mut s = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+        s.matmul(&a, &b).unwrap();
+        match s.decommission_node(1) {
+            Ok(report) => assert_eq!(report.to_nodes, 3),
+            Err(e) => assert_eq!(e.annotation(), "N.D."),
+        }
+        assert_eq!(s.cluster().config().nodes, 3);
+        let c = s.matmul(&a, &b).unwrap();
+        assert!(c.max_abs_diff(&reference).unwrap() < 1e-9);
     }
 
     #[test]

@@ -185,6 +185,65 @@ fn fault_recovery_preserves_parity() {
 }
 
 #[test]
+fn resized_grids_rederive_parity() {
+    // Elastic membership meets the parity invariant: after a mid-session
+    // resize both backends re-derive their plans against the new node
+    // count, and the re-derived routing must stay bit-identical. Job bytes
+    // are compared as ledger *deltas* so the resize's own physical
+    // `Phase::Rebalance` migration (real-only) stays out of the job-phase
+    // comparison — and is then checked to have landed in the cumulative
+    // ledger under its own phase.
+    let (a, b) = operands(5, 4, 3, 1.0);
+    let problem = MatmulProblem::new(*a.meta(), *b.meta()).expect("consistent operands");
+    let mut sim = SimCluster::new(ClusterConfig::laptop());
+    let mut real = LocalCluster::new(ClusterConfig::laptop());
+    for (nodes, stage) in [(4, "before resize"), (9, "after grow"), (3, "after shrink")] {
+        if sim.config().nodes != nodes {
+            sim.scale_to(nodes);
+            real.scale_to(nodes).expect("resize");
+            assert_eq!(sim.epoch(), real.epoch(), "{stage}: epochs diverged");
+        }
+        for (method, name) in [
+            (MulMethod::Cpmm, "CPMM"),
+            (MulMethod::CuboidAuto, "CuboidMM"),
+        ] {
+            let label = format!("{stage} ({nodes} nodes) {name}");
+            let sim_stats = sim_exec::simulate(&mut sim, &problem, method)
+                .unwrap_or_else(|e| panic!("{label}: sim failed: {e}"));
+            let mark = real.ledger().snapshot();
+            real_exec::multiply(&real, &a, &b, method)
+                .unwrap_or_else(|e| panic!("{label}: real failed: {e}"));
+            let delta = real.ledger().since(&mark);
+            for phase in Phase::ALL {
+                let s = sim_stats.phase(phase);
+                assert_eq!(
+                    s.shuffle_bytes,
+                    delta.shuffle_bytes(phase),
+                    "{label}: shuffle bytes diverge in {}",
+                    phase.label()
+                );
+                assert_eq!(
+                    s.cross_node_bytes,
+                    delta.cross_node_bytes(phase),
+                    "{label}: cross-node bytes diverge in {}",
+                    phase.label()
+                );
+                assert_eq!(
+                    s.broadcast_bytes,
+                    delta.broadcast_bytes(phase),
+                    "{label}: broadcast bytes diverge in {}",
+                    phase.label()
+                );
+            }
+        }
+    }
+    assert!(
+        real.ledger().shuffle_bytes(Phase::Rebalance) > 0,
+        "migrations must be charged under their own phase"
+    );
+}
+
+#[test]
 fn ragged_grids_keep_parity() {
     // Partition counts that do not divide the block grid: uneven cuboid
     // bands exercise the per-block (not per-average) routing shares.
