@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint test parity chaos-smoke elastic-smoke build bench bench-json bench-smoke
+.PHONY: ci fmt lint test parity chaos-smoke elastic-smoke service-smoke build bench bench-json bench-smoke
 
-ci: fmt lint test parity chaos-smoke elastic-smoke bench-smoke
+ci: fmt lint test parity chaos-smoke elastic-smoke service-smoke bench-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -34,6 +34,13 @@ chaos-smoke:
 elastic-smoke:
 	$(CARGO) test -q -p distme-cluster --test elastic
 	$(CARGO) test -q -p distme-engine -- gnmf::tests::gnmf_grown_mid_run_matches_a_fixed_grid_bit_for_bit gnmf::tests::gnmf_shrunk_mid_run_drains_live_blocks_without_drift gnmf::tests::autoscaler_grows_the_cluster_during_gnmf
+
+# The multi-tenancy contract: concurrent jobs through the job service must
+# match their solo runs bit for bit, per-tenant ledger deltas must sum to
+# the cluster totals, and over-budget submissions must queue (bounding
+# concurrent resident memory) rather than fail.
+service-smoke:
+	$(CARGO) test -q -p distme-engine --test service
 
 build:
 	$(CARGO) build --release

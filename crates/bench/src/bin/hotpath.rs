@@ -13,7 +13,9 @@
 //! * transport round-trip throughput through the scratch-pool path;
 //! * block-migration throughput of an elastic resize cycle (grow 4→9,
 //!   shrink 9→4) over a resident working set;
-//! * wall time of one fixed CuboidMM job on the real executor.
+//! * wall time of one fixed CuboidMM job on the real executor;
+//! * job-service throughput (jobs/s) at 1/4/16 concurrent submissions,
+//!   with the admission queue-wait p50/p95.
 //!
 //! Writes the results as JSON (default `BENCH_hotpath.json`, `--out` to
 //! override) and self-checks that the emitted document parses. `--smoke`
@@ -53,7 +55,8 @@ fn main() {
     doc.push_str(&format!("  \"codec\": {},\n", bench_codec(smoke)));
     doc.push_str(&format!("  \"transport\": {},\n", bench_transport(smoke)));
     doc.push_str(&format!("  \"rebalance\": {},\n", bench_rebalance(smoke)));
-    doc.push_str(&format!("  \"cuboid_job\": {}\n", bench_cuboid_job(smoke)));
+    doc.push_str(&format!("  \"cuboid_job\": {},\n", bench_cuboid_job(smoke)));
+    doc.push_str(&format!("  \"service\": {}\n", bench_service(smoke)));
     doc.push('}');
 
     json_check(&doc).expect("emitted benchmark document must be valid JSON");
@@ -440,6 +443,65 @@ fn bench_cuboid_job(smoke: bool) -> String {
         num(best),
         num(flops / best / 1e9)
     )
+}
+
+// ---------------------------------------------------------------------------
+// Job service: multi-tenant submission throughput
+// ---------------------------------------------------------------------------
+
+/// Jobs/s of identical multiplies pushed through the job service at 1, 4
+/// and 16 concurrent submissions, plus the admission queue-wait tail.
+fn bench_service(smoke: bool) -> String {
+    use distme_cluster::TenantId;
+    use distme_engine::session::RealOps;
+    use distme_engine::{JobService, JobSpec, SystemProfile};
+    use std::sync::Arc;
+
+    let bs: u64 = if smoke { 16 } else { 32 };
+    let dim = 4 * bs;
+    let a = Arc::new(
+        MatrixGenerator::with_seed(11)
+            .value_range(-1.0, 1.0)
+            .generate(&MatrixMeta::dense(dim, dim).with_block_size(bs))
+            .expect("generates"),
+    );
+    let b = Arc::new(
+        MatrixGenerator::with_seed(22)
+            .value_range(-1.0, 1.0)
+            .generate(&MatrixMeta::dense(dim, dim).with_block_size(bs))
+            .expect("generates"),
+    );
+    let mut entries = Vec::new();
+    for &concurrent in &[1usize, 4, 16] {
+        let svc = JobService::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+        let jobs = if smoke { concurrent } else { concurrent * 4 };
+        let t = Instant::now();
+        let mut pending = Vec::new();
+        for i in 0..jobs {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            pending.push(svc.submit(
+                JobSpec::new(TenantId(i as u32 % 4)).priority(i as u8 % 4),
+                move |s| s.matmul(&a, &b),
+            ));
+            // Keep at most `concurrent` jobs in flight.
+            if pending.len() == concurrent {
+                pending.remove(0).wait().expect("job runs");
+            }
+        }
+        for h in pending {
+            h.wait().expect("job runs");
+        }
+        let secs = t.elapsed().as_secs_f64();
+        let waits = svc.queue_wait_stats();
+        entries.push(format!(
+            "{{\"concurrent\": {concurrent}, \"jobs\": {jobs}, \"jobs_per_sec\": {}, \
+             \"queue_wait_p50_secs\": {}, \"queue_wait_p95_secs\": {}}}",
+            num(jobs as f64 / secs),
+            num(waits.p50_secs),
+            num(waits.p95_secs)
+        ));
+    }
+    format!("[\n    {}\n  ]", entries.join(",\n    "))
 }
 
 // ---------------------------------------------------------------------------

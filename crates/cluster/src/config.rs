@@ -65,6 +65,76 @@ impl RetryPolicy {
     }
 }
 
+/// Tuning of the shared job scheduler (`cluster::scheduler`): how many
+/// jobs may sit in the submission queue, how much memory admitted jobs may
+/// collectively pin, how many priority levels submissions can use, and how
+/// strongly worker-slot grants equalize across tenants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Maximum jobs queued awaiting admission. A submission beyond this
+    /// depth is rejected with `JobError::QueueFull` (jobs queued for
+    /// *memory* are never rejected — the depth bounds the queue itself).
+    pub queue_depth: usize,
+    /// Cluster memory budget for admission control, bytes: the sum of
+    /// admitted jobs' declared θt demands may not exceed this. A job that
+    /// would overshoot *queues* until earlier jobs release their
+    /// admission — it is never rejected. (A job whose lone demand exceeds
+    /// the whole budget is admitted when nothing else is running; the
+    /// budget bounds *concurrent* residency.)
+    pub admission_budget_bytes: u64,
+    /// Number of distinct priority levels (`0` = lowest priority,
+    /// `priority_levels − 1` = highest). Submissions outside the range are
+    /// rejected at submit time.
+    pub priority_levels: u8,
+    /// Fair-share strength in `[0, 1]`. `0` schedules pure
+    /// FIFO-with-priorities; any positive value makes the dispatcher
+    /// prefer the tenant currently holding the fewest worker slots,
+    /// falling back to priority-then-FIFO to break ties.
+    pub fair_share: f64,
+}
+
+impl SchedulerConfig {
+    /// Hard cap on `priority_levels` (per-level bookkeeping stays tiny).
+    pub const MAX_PRIORITY_LEVELS: u8 = 16;
+
+    /// Default scheduler for `nodes` nodes of `node_mem_bytes` each:
+    /// admission budget = total cluster memory, a deep queue, four
+    /// priority levels, fair share on.
+    pub const fn for_cluster(nodes: usize, node_mem_bytes: u64) -> Self {
+        SchedulerConfig {
+            queue_depth: 64,
+            admission_budget_bytes: node_mem_bytes.saturating_mul(nodes as u64),
+            priority_levels: 4,
+            fair_share: 1.0,
+        }
+    }
+
+    /// Panics on nonsensical values; each degenerate field names the knob.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.queue_depth > 0,
+            "`queue_depth` must be at least 1 (got 0): a zero-depth queue \
+             would reject every submission"
+        );
+        assert!(
+            self.admission_budget_bytes > 0,
+            "`admission_budget_bytes` must be positive (got 0): a zero \
+             budget would queue every job forever"
+        );
+        assert!(
+            self.priority_levels >= 1 && self.priority_levels <= Self::MAX_PRIORITY_LEVELS,
+            "`priority_levels` must be in 1..={} (got {})",
+            Self::MAX_PRIORITY_LEVELS,
+            self.priority_levels
+        );
+        assert!(
+            self.fair_share >= 0.0 && self.fair_share <= 1.0 && self.fair_share.is_finite(),
+            "`fair_share` must be in [0, 1] (got {})",
+            self.fair_share
+        );
+    }
+}
+
 /// Static description of the (simulated or thread-backed) cluster.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterConfig {
@@ -145,6 +215,9 @@ pub struct ClusterConfig {
     /// Task retry/recovery policy for the real executor (the simulator
     /// never faults, so it ignores this).
     pub retry: RetryPolicy,
+    /// Shared job-scheduler tuning: submission queue depth, admission
+    /// memory budget, priority range, fair-share strength.
+    pub scheduler: SchedulerConfig,
 }
 
 impl ClusterConfig {
@@ -172,6 +245,7 @@ impl ClusterConfig {
             gpu_streaming: true,
             host_worker_oversubscription: 2,
             retry: RetryPolicy::spark_like(),
+            scheduler: SchedulerConfig::for_cluster(9, 64_000_000_000),
         }
     }
 
@@ -210,6 +284,7 @@ impl ClusterConfig {
             gpu_streaming: true,
             host_worker_oversubscription: 2,
             retry: RetryPolicy::spark_like(),
+            scheduler: SchedulerConfig::for_cluster(4, 1 << 30),
         }
     }
 
@@ -281,6 +356,7 @@ impl ClusterConfig {
             "compression ratio must be in (0, 1]"
         );
         self.retry.assert_valid();
+        self.scheduler.assert_valid();
         if let Some(gpu) = &self.gpu {
             gpu.assert_valid();
         }
@@ -363,5 +439,56 @@ mod tests {
         let mut c = ClusterConfig::laptop();
         c.retry.max_attempts = 0;
         c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "`queue_depth` must be at least 1")]
+    fn zero_queue_depth_rejected() {
+        let mut c = ClusterConfig::laptop();
+        c.scheduler.queue_depth = 0;
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "`admission_budget_bytes` must be positive")]
+    fn zero_admission_budget_rejected() {
+        let mut c = ClusterConfig::laptop();
+        c.scheduler.admission_budget_bytes = 0;
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "`priority_levels` must be in 1..=16")]
+    fn zero_priority_levels_rejected() {
+        let mut c = ClusterConfig::laptop();
+        c.scheduler.priority_levels = 0;
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "`priority_levels` must be in 1..=16 (got 17)")]
+    fn oversized_priority_levels_rejected() {
+        let mut c = ClusterConfig::laptop();
+        c.scheduler.priority_levels = 17;
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "`fair_share` must be in [0, 1]")]
+    fn out_of_range_fair_share_rejected() {
+        let mut c = ClusterConfig::laptop();
+        c.scheduler.fair_share = 1.5;
+        c.assert_valid();
+    }
+
+    #[test]
+    fn default_scheduler_budget_covers_the_cluster() {
+        let c = ClusterConfig::paper_cluster();
+        assert_eq!(
+            c.scheduler.admission_budget_bytes,
+            c.node_mem_bytes * c.nodes as u64
+        );
+        assert_eq!(c.scheduler.priority_levels, 4);
+        assert!(c.scheduler.fair_share > 0.0);
     }
 }

@@ -14,13 +14,14 @@ use crate::config::ClusterConfig;
 use crate::failure::{JobError, TaskError};
 use crate::membership::{Membership, MembershipEvent};
 use crate::rebalance::{RebalancePlan, RebalanceReport};
+use crate::scheduler::Scheduler;
 use crate::shuffle::ShuffleLedger;
-use crate::stats::{JobStats, Phase};
+use crate::stats::{JobStats, Phase, TenantId};
 use crate::store::{ClusterStores, StoreKey};
 use crate::transport::{ScratchPool, Transport, TransportStats, WireMove};
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -98,6 +99,7 @@ pub struct LocalCluster {
     scratch: ScratchPool,
     faults: Mutex<Option<Arc<FaultPlan>>>,
     membership: Membership,
+    scheduler: Scheduler,
 }
 
 impl LocalCluster {
@@ -112,7 +114,15 @@ impl LocalCluster {
             scratch: ScratchPool::default(),
             faults: Mutex::new(None),
             membership: Membership::new(cfg.nodes),
+            scheduler: Scheduler::new(cfg.total_slots(), cfg.scheduler),
         }
+    }
+
+    /// The shared task scheduler — the cluster-wide lease pool every
+    /// concurrent job's stages draw worker slots from. Clone the handle to
+    /// submit jobs for admission or observe live load.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
     }
 
     /// Arms deterministic fault injection for subsequent jobs; returns the
@@ -223,6 +233,7 @@ impl LocalCluster {
             self.stores.truncate_to(n);
         }
         self.cfg.nodes = n;
+        self.scheduler.set_total_slots(self.cfg.total_slots());
         let epoch = self.membership.record(MembershipEvent::ScaleTo {
             from: from_nodes,
             to: n,
@@ -283,6 +294,7 @@ impl LocalCluster {
         let plan = RebalancePlan::derive(&survivors, new_nodes);
         let traffic = self.run_rebalance(&plan)?;
         self.cfg.nodes = new_nodes;
+        self.scheduler.set_total_slots(self.cfg.total_slots());
         let epoch = self
             .membership
             .record(MembershipEvent::Decommission { node });
@@ -404,6 +416,25 @@ impl LocalCluster {
         O: Send,
         F: Fn(&TaskCtx, I) -> Result<O, TaskError> + Sync,
     {
+        self.run_stage_as(TenantId::ANONYMOUS, 0, inputs, f)
+    }
+
+    /// [`Self::run_stage`] with an explicit tenant/priority: the stage's
+    /// tasks are registered as a gang under `tenant` and drawn from the
+    /// shared scheduler at `priority`. This is the path the job service
+    /// uses; `run_stage` itself is the anonymous compat wrapper.
+    pub fn run_stage_as<I, O, F>(
+        &self,
+        tenant: TenantId,
+        priority: u8,
+        inputs: Vec<I>,
+        f: F,
+    ) -> Result<StageRun<O>, JobError>
+    where
+        I: Send + Clone,
+        O: Send,
+        F: Fn(&TaskCtx, I) -> Result<O, TaskError> + Sync,
+    {
         let n = inputs.len();
         if n > self.cfg.max_tasks {
             return Err(JobError::TooManyTasks {
@@ -428,12 +459,16 @@ impl LocalCluster {
             .min(n.max(1))
             .min(host_par * self.cfg.host_worker_oversubscription);
 
-        // The claim queue is a lock-free cursor: each fetch_add hands its
-        // caller exclusive ownership of one task index, so the per-slot
-        // mutex below is only ever taken once and never contended.
+        // The claim queue is the shared scheduler: the stage registers its
+        // task count as a gang, and each worker pulls `(lease, index)`
+        // grants. Indices arrive in order — the same claim-cursor
+        // semantics the old per-job loop had — while the lease pool bounds
+        // how many tasks run at once *across every concurrent job*. The
+        // per-slot mutex below is only ever taken once per task and never
+        // contended, because a grant hands out each index exactly once.
+        let gang = self.scheduler.register_gang(tenant, priority, n);
         let slots: Vec<Mutex<Option<I>>> =
             inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
-        let cursor = AtomicUsize::new(0);
         type TaskReport<O> = (usize, u32, Result<O, TaskError>);
         let done: Mutex<Vec<TaskReport<O>>> = Mutex::new(Vec::with_capacity(n));
         let peak = AtomicU64::new(0);
@@ -444,11 +479,8 @@ impl LocalCluster {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut local: Vec<TaskReport<O>> = Vec::new();
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        if idx >= n {
-                            break;
-                        }
+                    while let Some(grant) = gang.next_task() {
+                        let idx = grant.index;
                         let mut item = slots[idx]
                             .lock()
                             .expect("no worker panics while taking its slot")
@@ -507,6 +539,7 @@ impl LocalCluster {
                             }
                         };
                         local.push((idx, attempts, out));
+                        drop(grant); // lease returns to the pool per task
                     }
                     done.lock()
                         .expect("no worker panics while holding the merge lock")

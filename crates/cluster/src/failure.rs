@@ -174,6 +174,21 @@ pub enum JobError {
         /// Resident blocks whose sole copy lived there.
         lost_blocks: usize,
     },
+    /// The job service's submission queue was full — the job was rejected
+    /// at `submit` time, before admission. (Jobs queued for *memory* are
+    /// never rejected; only queue depth overflow is.)
+    QueueFull {
+        /// Jobs already waiting for admission.
+        queued: usize,
+        /// The configured `SchedulerConfig::queue_depth`.
+        depth: usize,
+    },
+    /// The submission itself was malformed (e.g. a priority outside the
+    /// configured `priority_levels` range) and was rejected before queueing.
+    InvalidSubmission {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl JobError {
@@ -186,6 +201,8 @@ impl JobError {
             JobError::TooManyTasks { .. } => "T.M.T.",
             JobError::TaskFailed { .. } => "FAIL",
             JobError::NodeDecommissioned { .. } => "N.D.",
+            JobError::QueueFull { .. } => "Q.F.",
+            JobError::InvalidSubmission { .. } => "INV",
         }
     }
 
@@ -247,6 +264,13 @@ impl fmt::Display for JobError {
                 f,
                 "node {node} decommissioned with {lost_blocks} unreplicated block(s) and no lineage to rebuild them"
             ),
+            JobError::QueueFull { queued, depth } => write!(
+                f,
+                "Q.F.: submission queue full ({queued} job(s) waiting, depth {depth})"
+            ),
+            JobError::InvalidSubmission { reason } => {
+                write!(f, "invalid submission: {reason}")
+            }
         }
     }
 }

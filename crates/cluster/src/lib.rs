@@ -43,6 +43,7 @@ pub mod failure;
 pub mod membership;
 pub mod partitioner;
 pub mod rebalance;
+pub mod scheduler;
 pub mod shuffle;
 pub mod stats;
 pub mod store;
@@ -50,16 +51,17 @@ pub mod transport;
 
 pub use backend::ExecutionBackend;
 pub use chaos::{Blackout, FaultPlan, FaultSpec};
-pub use config::{ClusterConfig, RetryPolicy};
+pub use config::{ClusterConfig, RetryPolicy, SchedulerConfig};
 pub use executor::real::{LocalCluster, TaskCtx};
 pub use executor::sim::{ComputeWork, SimCluster, SimTask, StageOutcome};
 pub use failure::{JobError, TaskError};
 pub use membership::{ElasticPolicy, Membership, MembershipEvent};
 pub use partitioner::PartitionScheme;
 pub use rebalance::{BlockMove, RebalancePlan, RebalanceReport};
+pub use scheduler::{AdmissionTicket, Gang, QueueWaitStats, Scheduler, SchedulerLoad, TaskGrant};
 pub use shuffle::{LedgerSnapshot, ShuffleLedger};
-pub use stats::{JobStats, Phase, PhaseStats};
+pub use stats::{JobStats, Phase, PhaseStats, TenantId};
 pub use store::{
-    BlockSource, BlockView, ClusterStores, NodeStore, StoreKey, RESIDENCY_WINDOW_JOBS,
+    BlockSource, BlockView, ClusterStores, NodeStore, PinGuard, StoreKey, RESIDENCY_WINDOW_JOBS,
 };
 pub use transport::{ScratchPool, Transport, TransportStats, WireMove};

@@ -136,6 +136,35 @@ impl ElasticPolicy {
         };
         (target != nodes).then_some(target)
     }
+
+    /// Recommends a new node count from the scheduler's *live* load — the
+    /// multi-tenant replacement for [`Self::recommend`]. The last job's
+    /// stats only see one tenant's work: two tenants each running half a
+    /// wave look idle per job while the shared pool is saturated. The
+    /// pressure signal here is every runnable task across all concurrent
+    /// jobs — granted leases plus still-pending gang tasks — per slot, so
+    /// bursty multi-tenant load triggers the grow a single-job view would
+    /// miss. Queued-for-admission jobs pin the recommendation at (at
+    /// least) the current size: memory pressure is relieved by jobs
+    /// finishing, not by shrinking the grid under them.
+    pub fn recommend_from_load(
+        &self,
+        load: &crate::scheduler::SchedulerLoad,
+        nodes: usize,
+        tasks_per_node: usize,
+    ) -> Option<usize> {
+        let slots = (nodes * tasks_per_node).max(1) as f64;
+        let runnable = load.held_slots + load.pending_tasks;
+        let pressure = runnable as f64 / slots;
+        let target = if pressure > self.scale_up_tasks_per_slot {
+            (nodes + self.step).min(self.max_nodes)
+        } else if pressure < self.scale_down_tasks_per_slot && load.queued_jobs == 0 {
+            nodes.saturating_sub(self.step).max(self.min_nodes.max(1))
+        } else {
+            nodes
+        };
+        (target != nodes).then_some(target)
+    }
 }
 
 #[cfg(test)]
@@ -184,5 +213,48 @@ mod tests {
         assert_eq!(p.recommend(&stats_with_mult_tasks(100), 4, 2), None);
         assert_eq!(p.recommend(&stats_with_mult_tasks(0), 3, 2), None);
         assert_eq!(p.recommend(&stats_with_mult_tasks(100), 3, 2), Some(4));
+    }
+
+    fn load(held: usize, pending: usize, queued: usize) -> crate::scheduler::SchedulerLoad {
+        crate::scheduler::SchedulerLoad {
+            queued_jobs: queued,
+            admitted_jobs: if held + pending > 0 { 2 } else { 0 },
+            pending_tasks: pending,
+            held_slots: held,
+            waiting_workers: 0,
+            total_slots: 8,
+            admitted_mem_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn bursty_two_tenant_load_grows_where_single_job_stats_would_not() {
+        let p = ElasticPolicy::default_band(2, 9);
+        // Two tenants each ran 6 local-mult tasks on 4×2 slots: per job
+        // that is 0.75 waves — inside the band, no resize.
+        assert_eq!(p.recommend(&stats_with_mult_tasks(6), 4, 2), None);
+        // But live, the shared pool sees both at once: 8 slots held and 4
+        // more tasks pending = 1.5 waves → grow. This is the signal the
+        // old single-job view structurally cannot observe.
+        assert_eq!(p.recommend_from_load(&load(8, 4, 0), 4, 2), Some(5));
+    }
+
+    #[test]
+    fn load_policy_shrinks_only_when_idle_and_nothing_is_queued() {
+        let p = ElasticPolicy::default_band(2, 9);
+        // 1 runnable task on 8 slots → shrink.
+        assert_eq!(p.recommend_from_load(&load(1, 0, 0), 4, 2), Some(3));
+        // Same utilization but a job is queued for admission: hold size.
+        assert_eq!(p.recommend_from_load(&load(1, 0, 1), 4, 2), None);
+        // In-band load → no change.
+        assert_eq!(p.recommend_from_load(&load(4, 0, 0), 4, 2), None);
+    }
+
+    #[test]
+    fn load_policy_respects_bounds() {
+        let p = ElasticPolicy::default_band(3, 4);
+        assert_eq!(p.recommend_from_load(&load(16, 16, 0), 4, 2), None);
+        assert_eq!(p.recommend_from_load(&load(0, 0, 0), 3, 2), None);
+        assert_eq!(p.recommend_from_load(&load(16, 16, 0), 3, 2), Some(4));
     }
 }

@@ -4,15 +4,30 @@
 //! "amount of transferred data" series read these counters. Counters are
 //! atomic so the real executor's worker threads can record concurrently.
 
-use crate::stats::Phase;
+use crate::stats::{Phase, TenantId};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-/// Thread-safe per-phase shuffle/broadcast byte counters.
+/// Thread-safe per-phase shuffle/broadcast byte counters, with per-tenant
+/// attribution: every record lands in the cluster-wide atomics *and* in
+/// exactly one tenant's bucket ([`TenantId::ANONYMOUS`] for untagged
+/// records), so per-tenant snapshots always sum to the cluster totals.
 #[derive(Debug, Default)]
 pub struct ShuffleLedger {
     shuffle: [AtomicU64; Phase::COUNT],
     cross_node: [AtomicU64; Phase::COUNT],
     broadcast: [AtomicU64; Phase::COUNT],
+    /// Per-tenant counters. Model-byte charges are driver-side (once per
+    /// planned move), so this mutex is never on a worker's hot path.
+    tenants: Mutex<BTreeMap<TenantId, TenantCounters>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantCounters {
+    shuffle: [u64; Phase::COUNT],
+    cross_node: [u64; Phase::COUNT],
+    broadcast: [u64; Phase::COUNT],
 }
 
 impl ShuffleLedger {
@@ -24,22 +39,54 @@ impl ShuffleLedger {
     /// Records one block shuffled from `from_node` to `to_node` during
     /// `phase`. Same-node movements count as shuffled (Spark still
     /// serializes them through the shuffle files) but not as cross-node.
+    /// Charged to [`TenantId::ANONYMOUS`].
     pub fn record_shuffle(&self, phase: Phase, from_node: usize, to_node: usize, bytes: u64) {
+        self.record_shuffle_for(TenantId::ANONYMOUS, phase, from_node, to_node, bytes);
+    }
+
+    /// [`record_shuffle`](Self::record_shuffle) attributed to `tenant`.
+    pub fn record_shuffle_for(
+        &self,
+        tenant: TenantId,
+        phase: Phase,
+        from_node: usize,
+        to_node: usize,
+        bytes: u64,
+    ) {
         let i = phase.index();
         self.shuffle[i].fetch_add(bytes, Ordering::Relaxed);
         if from_node != to_node {
             self.cross_node[i].fetch_add(bytes, Ordering::Relaxed);
+        }
+        let mut tenants = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+        let t = tenants.entry(tenant).or_default();
+        t.shuffle[i] += bytes;
+        if from_node != to_node {
+            t.cross_node[i] += bytes;
         }
     }
 
     /// Records a broadcast of `bytes_per_node` to `nodes` nodes (torrent
     /// semantics: one copy lands on each node, §2.2.1's BMM). Saturates
     /// rather than overflowing for pathological byte × node products.
+    /// Charged to [`TenantId::ANONYMOUS`].
     pub fn record_broadcast(&self, phase: Phase, bytes_per_node: u64, nodes: usize) {
-        self.broadcast[phase.index()].fetch_add(
-            bytes_per_node.saturating_mul(nodes as u64),
-            Ordering::Relaxed,
-        );
+        self.record_broadcast_for(TenantId::ANONYMOUS, phase, bytes_per_node, nodes);
+    }
+
+    /// [`record_broadcast`](Self::record_broadcast) attributed to `tenant`.
+    pub fn record_broadcast_for(
+        &self,
+        tenant: TenantId,
+        phase: Phase,
+        bytes_per_node: u64,
+        nodes: usize,
+    ) {
+        let total = bytes_per_node.saturating_mul(nodes as u64);
+        self.broadcast[phase.index()].fetch_add(total, Ordering::Relaxed);
+        let mut tenants = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+        let t = tenants.entry(tenant).or_default();
+        t.broadcast[phase.index()] = t.broadcast[phase.index()].saturating_add(total);
     }
 
     /// Total shuffled bytes in `phase`.
@@ -65,13 +112,47 @@ impl ShuffleLedger {
             .sum()
     }
 
-    /// Resets every counter (between jobs).
+    /// Resets every counter (between jobs), including tenant attribution.
     pub fn reset(&self) {
         for i in 0..Phase::COUNT {
             self.shuffle[i].store(0, Ordering::Relaxed);
             self.cross_node[i].store(0, Ordering::Relaxed);
             self.broadcast[i].store(0, Ordering::Relaxed);
         }
+        self.tenants
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
+    }
+
+    /// Every tenant that has been charged at least once, in id order.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        self.tenants
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Captures `tenant`'s counters (all zero for an uncharged tenant).
+    /// Summing every tenant's snapshot — [`TenantId::ANONYMOUS`]
+    /// included — reproduces [`snapshot`](Self::snapshot) exactly: a byte
+    /// is attributed to one tenant or none, never two.
+    pub fn tenant_snapshot(&self, tenant: TenantId) -> LedgerSnapshot {
+        let tenants = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+        let t = tenants.get(&tenant).copied().unwrap_or_default();
+        LedgerSnapshot {
+            shuffle: t.shuffle,
+            cross_node: t.cross_node,
+            broadcast: t.broadcast,
+        }
+    }
+
+    /// `tenant`'s bytes recorded since `earlier` (a previous
+    /// [`tenant_snapshot`](Self::tenant_snapshot) of the same tenant).
+    pub fn tenant_since(&self, tenant: TenantId, earlier: &LedgerSnapshot) -> LedgerSnapshot {
+        self.tenant_snapshot(tenant).minus(earlier)
     }
 
     /// Captures the current counter values. Jobs take a snapshot on entry
@@ -90,14 +171,7 @@ impl ShuffleLedger {
     /// The bytes recorded since `earlier` was taken (saturating, so a
     /// snapshot from after a `reset` never underflows).
     pub fn since(&self, earlier: &LedgerSnapshot) -> LedgerSnapshot {
-        let now = self.snapshot();
-        let mut d = LedgerSnapshot::default();
-        for i in 0..Phase::COUNT {
-            d.shuffle[i] = now.shuffle[i].saturating_sub(earlier.shuffle[i]);
-            d.cross_node[i] = now.cross_node[i].saturating_sub(earlier.cross_node[i]);
-            d.broadcast[i] = now.broadcast[i].saturating_sub(earlier.broadcast[i]);
-        }
-        d
+        self.snapshot().minus(earlier)
     }
 }
 
@@ -111,6 +185,29 @@ pub struct LedgerSnapshot {
 }
 
 impl LedgerSnapshot {
+    /// Element-wise saturating difference `self − earlier` (the delta
+    /// between two captures of the same counters).
+    pub fn minus(&self, earlier: &LedgerSnapshot) -> LedgerSnapshot {
+        let mut d = LedgerSnapshot::default();
+        for i in 0..Phase::COUNT {
+            d.shuffle[i] = self.shuffle[i].saturating_sub(earlier.shuffle[i]);
+            d.cross_node[i] = self.cross_node[i].saturating_sub(earlier.cross_node[i]);
+            d.broadcast[i] = self.broadcast[i].saturating_sub(earlier.broadcast[i]);
+        }
+        d
+    }
+
+    /// Element-wise saturating sum (accumulating per-tenant deltas).
+    pub fn plus(&self, other: &LedgerSnapshot) -> LedgerSnapshot {
+        let mut s = LedgerSnapshot::default();
+        for i in 0..Phase::COUNT {
+            s.shuffle[i] = self.shuffle[i].saturating_add(other.shuffle[i]);
+            s.cross_node[i] = self.cross_node[i].saturating_add(other.cross_node[i]);
+            s.broadcast[i] = self.broadcast[i].saturating_add(other.broadcast[i]);
+        }
+        s
+    }
+
     /// Shuffled bytes in `phase` at (or between) the capture point(s).
     pub fn shuffle_bytes(&self, phase: Phase) -> u64 {
         self.shuffle[phase.index()]
@@ -185,6 +282,45 @@ mod tests {
         // Cumulative counters survive: nothing was reset.
         assert_eq!(l.shuffle_bytes(Phase::Repartition), 125);
         assert_eq!(l.broadcast_bytes(Phase::Repartition), 60);
+    }
+
+    #[test]
+    fn tenant_attribution_sums_to_the_cluster_totals() {
+        use crate::stats::TenantId;
+        let l = ShuffleLedger::new();
+        l.record_shuffle_for(TenantId(1), Phase::Repartition, 0, 1, 100);
+        l.record_shuffle_for(TenantId(2), Phase::Repartition, 1, 1, 40);
+        l.record_shuffle(Phase::Aggregation, 0, 2, 9); // anonymous
+        l.record_broadcast_for(TenantId(1), Phase::Repartition, 10, 4);
+        let total = l.snapshot();
+        let summed = l
+            .tenants()
+            .iter()
+            .fold(LedgerSnapshot::default(), |acc, &t| {
+                acc.plus(&l.tenant_snapshot(t))
+            });
+        assert_eq!(summed, total, "per-tenant snapshots must sum to totals");
+        let t1 = l.tenant_snapshot(TenantId(1));
+        assert_eq!(t1.shuffle_bytes(Phase::Repartition), 100);
+        assert_eq!(t1.cross_node_bytes(Phase::Repartition), 100);
+        assert_eq!(t1.broadcast_bytes(Phase::Repartition), 40);
+        let t2 = l.tenant_snapshot(TenantId(2));
+        assert_eq!(t2.shuffle_bytes(Phase::Repartition), 40);
+        assert_eq!(t2.cross_node_bytes(Phase::Repartition), 0);
+        assert_eq!(
+            l.tenant_snapshot(TenantId::ANONYMOUS)
+                .shuffle_bytes(Phase::Aggregation),
+            9
+        );
+        // Uncharged tenants read zero; deltas subtract cleanly.
+        assert_eq!(l.tenant_snapshot(TenantId(9)), LedgerSnapshot::default());
+        let mark = l.tenant_snapshot(TenantId(1));
+        l.record_shuffle_for(TenantId(1), Phase::Repartition, 0, 1, 5);
+        assert_eq!(
+            l.tenant_since(TenantId(1), &mark)
+                .shuffle_bytes(Phase::Repartition),
+            5
+        );
     }
 
     #[test]

@@ -6,6 +6,26 @@
 //! volumes (Figs. 6(d–f), 7(f)). [`JobStats`] carries exactly those
 //! measurements, filled in by either executor.
 
+/// Identity of the tenant a job was submitted on behalf of. Every byte a
+/// job charges to the shared [`crate::ShuffleLedger`] is attributed to
+/// exactly one tenant, so per-tenant deltas always sum to the cluster
+/// totals. Work run outside the job service (the legacy synchronous
+/// session path, rebalances, direct ledger records) is charged to
+/// [`TenantId::ANONYMOUS`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The implicit tenant of untagged work (id 0).
+    pub const ANONYMOUS: TenantId = TenantId(0);
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
 /// The three steps of distributed matrix multiplication, plus the
 /// between-jobs block migration traffic an elastic resize generates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

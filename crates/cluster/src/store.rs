@@ -145,6 +145,11 @@ pub struct ClusterStores {
     jobs: AtomicU64,
     /// matrix uid → job counter when last used.
     last_used: Mutex<BTreeMap<u64, u64>>,
+    /// Refcounted pins: a matrix with a positive pin count is never
+    /// reclaimed by [`evict_stale`](Self::evict_stale), no matter how many
+    /// concurrent job completions advance the job counter while it is in
+    /// flight.
+    pins: Mutex<BTreeMap<u64, u64>>,
     installed: AtomicU64,
     reused: AtomicU64,
 }
@@ -156,6 +161,7 @@ impl ClusterStores {
             nodes: (0..nodes).map(NodeStore::new).collect(),
             jobs: AtomicU64::new(0),
             last_used: Mutex::new(BTreeMap::new()),
+            pins: Mutex::new(BTreeMap::new()),
             installed: AtomicU64::new(0),
             reused: AtomicU64::new(0),
         }
@@ -212,17 +218,48 @@ impl ClusterStores {
         self.last_used.lock().unwrap().remove(&matrix);
     }
 
-    /// Evicts every matrix not touched within the last `window` jobs.
+    /// Pins `matrix` against [`evict_stale`](Self::evict_stale) until the
+    /// guard drops. Jobs pin their operands and intermediates for their
+    /// whole run: with many concurrent jobs completing, the job counter
+    /// can advance a full residency window while one job is still
+    /// executing, and an in-flight operand must never be reclaimed under
+    /// it. Pins nest (refcounted).
+    pub fn pin(&self, matrix: u64) -> PinGuard<'_> {
+        *self.pins.lock().unwrap().entry(matrix).or_insert(0) += 1;
+        PinGuard {
+            stores: self,
+            matrix,
+        }
+    }
+
+    fn unpin(&self, matrix: u64) {
+        let mut pins = self.pins.lock().unwrap();
+        let n = pins.get_mut(&matrix).expect("unpin of an unpinned matrix");
+        *n -= 1;
+        if *n == 0 {
+            pins.remove(&matrix);
+        }
+    }
+
+    /// Whether `matrix` is currently pinned by any in-flight job.
+    pub fn is_pinned(&self, matrix: u64) -> bool {
+        self.pins.lock().unwrap().contains_key(&matrix)
+    }
+
+    /// Evicts every matrix not touched within the last `window` jobs,
+    /// except matrices pinned by in-flight jobs.
     pub fn evict_stale(&self, window: u64) {
         let now = self.jobs.load(Ordering::Relaxed);
+        let pins = self.pins.lock().unwrap();
         let stale: Vec<u64> = self
             .last_used
             .lock()
             .unwrap()
             .iter()
-            .filter(|(_, &used)| now.saturating_sub(used) > window)
+            .filter(|(uid, &used)| now.saturating_sub(used) > window && !pins.contains_key(uid))
             .map(|(&uid, _)| uid)
             .collect();
+        drop(pins);
         for uid in stale {
             self.evict_matrix(uid);
         }
@@ -271,6 +308,19 @@ impl ClusterStores {
         for (i, store) in self.nodes.iter_mut().enumerate() {
             store.node = i;
         }
+    }
+}
+
+/// RAII pin on one matrix's residency (see [`ClusterStores::pin`]).
+#[derive(Debug)]
+pub struct PinGuard<'a> {
+    stores: &'a ClusterStores,
+    matrix: u64,
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.stores.unpin(self.matrix);
     }
 }
 
@@ -399,6 +449,30 @@ mod tests {
         assert!(!s
             .node(0)
             .contains(&StoreKey::operand(11, BlockId::new(0, 0))));
+    }
+
+    #[test]
+    fn pinned_matrices_survive_a_whole_residency_window_of_other_jobs() {
+        let s = ClusterStores::new(1);
+        let k = StoreKey::operand(10, BlockId::new(0, 0));
+        s.ingest(0, k, blk(1.0));
+        s.begin_job();
+        s.touch(10);
+        let pin = s.pin(10);
+        let nested = s.pin(10);
+        // A full residency window of concurrent job completions passes
+        // while the matrix's own job is still in flight.
+        for _ in 0..=RESIDENCY_WINDOW_JOBS {
+            s.begin_job();
+            s.evict_stale(RESIDENCY_WINDOW_JOBS);
+        }
+        assert!(s.node(0).contains(&k), "pinned operand evicted mid-job");
+        drop(nested);
+        assert!(s.is_pinned(10), "pins must nest");
+        drop(pin);
+        assert!(!s.is_pinned(10));
+        s.evict_stale(RESIDENCY_WINDOW_JOBS);
+        assert!(!s.node(0).contains(&k), "unpinned stale matrix survives");
     }
 
     #[test]

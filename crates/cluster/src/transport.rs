@@ -137,6 +137,11 @@ impl TransportStats {
 pub struct Transport<'a> {
     stores: &'a ClusterStores,
     stats: &'a TransportStats,
+    /// Optional per-job counter set: with concurrent jobs sharing the
+    /// cluster-wide `stats`, a job that wants *its own* physical byte
+    /// accounting registers a second `TransportStats` here; every counter
+    /// update lands in both.
+    job_stats: Option<&'a TransportStats>,
     scratch: &'a ScratchPool,
     faults: Option<Arc<FaultPlan>>,
     retry: RetryPolicy,
@@ -156,9 +161,24 @@ impl<'a> Transport<'a> {
         Transport {
             stores,
             stats,
+            job_stats: None,
             scratch,
             faults,
             retry,
+        }
+    }
+
+    /// Mirrors every counter update into `job` as well — the per-job view
+    /// a concurrent job needs, since the shared stats mix all jobs.
+    pub fn with_job_counters(mut self, job: &'a TransportStats) -> Self {
+        self.job_stats = Some(job);
+        self
+    }
+
+    fn each_stats(&self, f: impl Fn(&TransportStats)) {
+        f(self.stats);
+        if let Some(job) = self.job_stats {
+            f(job);
         }
     }
 
@@ -174,7 +194,9 @@ impl<'a> Transport<'a> {
     /// redelivery is exhausted; [`TaskError::Compute`] if cleanly-delivered
     /// bytes fail to decode (a codec bug, not a fault).
     pub fn execute(&self, mv: &WireMove, task_attempt: u32) -> Result<u64, TaskError> {
-        self.stats.moves.fetch_add(1, Ordering::Relaxed);
+        self.each_stats(|s| {
+            s.moves.fetch_add(1, Ordering::Relaxed);
+        });
         let Some(block) = self.stores.node(mv.from_node).get(&mv.src) else {
             return Ok(0);
         };
@@ -189,18 +211,18 @@ impl<'a> Transport<'a> {
             codec::encode_into(&block, &mut buf);
             let payload = buf.len() as u64;
             if task_attempt == 0 && delivery == 0 {
-                self.stats
-                    .payload_bytes
-                    .fetch_add(payload, Ordering::Relaxed);
+                self.each_stats(|s| {
+                    s.payload_bytes.fetch_add(payload, Ordering::Relaxed);
+                });
             } else {
                 // Everything after the very first transmission — whether a
                 // transport-level redelivery or a re-run task re-fetching —
                 // is recovery traffic, kept out of `payload_bytes` so the
                 // fault-free accounting stays bit-identical.
-                self.stats.redelivered.fetch_add(1, Ordering::Relaxed);
-                self.stats
-                    .retransmitted_bytes
-                    .fetch_add(payload, Ordering::Relaxed);
+                self.each_stats(|s| {
+                    s.redelivered.fetch_add(1, Ordering::Relaxed);
+                    s.retransmitted_bytes.fetch_add(payload, Ordering::Relaxed);
+                });
             }
             if let Some(faults) = &self.faults {
                 if faults.drop_delivery(mv, task_attempt, delivery) {
@@ -224,7 +246,9 @@ impl<'a> Transport<'a> {
                     self.stores
                         .node(mv.to_node)
                         .install(mv.dst, std::sync::Arc::new(decoded));
-                    self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                    self.each_stats(|s| {
+                        s.delivered.fetch_add(1, Ordering::Relaxed);
+                    });
                     return Ok(payload);
                 }
                 Err(_) if injected => {

@@ -27,6 +27,13 @@ pub struct PlanCacheStats {
 
 /// A `Mutex`-guarded memo table whose entries live exactly as long as the
 /// membership epoch they were built under.
+///
+/// Concurrency contract (the cache is shared across sessions by the job
+/// service): the lock is held *through* `build`, so racing lookups of the
+/// same key run the optimizer search exactly once — the losers block and
+/// then hit. A panicking `build` poisons nothing: the guard is recovered,
+/// because the state it protects (a memo plus counters) is valid at every
+/// step.
 #[derive(Debug)]
 pub struct PlanCache<T: Clone> {
     inner: Mutex<Inner<T>>,
@@ -68,7 +75,7 @@ impl<T: Clone> PlanCache<T> {
     /// served, every entry is dropped first — membership changed, so every
     /// cached routing is stale.
     pub fn get_or_insert(&self, epoch: u64, key: &str, build: impl FnOnce() -> T) -> T {
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         if inner.epoch != epoch {
             inner.entries.clear();
             inner.epoch = epoch;
@@ -88,7 +95,7 @@ impl<T: Clone> PlanCache<T> {
     pub fn len(&self) -> usize {
         self.inner
             .lock()
-            .expect("plan cache poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .entries
             .len()
     }
@@ -100,7 +107,7 @@ impl<T: Clone> PlanCache<T> {
 
     /// Hit/miss/invalidation counters.
     pub fn stats(&self) -> PlanCacheStats {
-        self.inner.lock().expect("plan cache poisoned").stats
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).stats
     }
 }
 
@@ -159,5 +166,85 @@ mod tests {
         );
         assert_eq!(rebuilt.epoch, 1);
         assert!(!Arc::ptr_eq(&first, &rebuilt));
+    }
+
+    #[test]
+    fn parallel_sessions_on_one_key_optimize_exactly_once() {
+        // The job service shares one cache across sessions: eight threads
+        // racing the same (problem, method) fingerprint must run the
+        // (P*,Q*,R*) search once — the lock is held through `build`, so
+        // the losers block and then hit.
+        let cfg = ClusterConfig::laptop();
+        let problem = MatmulProblem::dense(4 * 16, 3 * 16, 2 * 16);
+        let cache: PlanCache<Arc<JobPlan>> = PlanCache::new();
+        // The instrument counter is thread-local (so parallel tests stay
+        // isolated); sum each builder thread's delta to count searches
+        // across all racing sessions.
+        let searches = std::sync::atomic::AtomicU64::new(0);
+        let plans: Vec<Arc<JobPlan>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        cache.get_or_insert(0, "dense-4x3x2", || {
+                            let before = crate::optimizer::instrument::optimize_calls();
+                            let plan = Arc::new(
+                                JobPlan::build(&problem, MulMethod::CuboidAuto, &cfg).at_epoch(0),
+                            );
+                            searches.fetch_add(
+                                crate::optimizer::instrument::optimize_calls() - before,
+                                std::sync::atomic::Ordering::SeqCst,
+                            );
+                            plan
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            searches.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "racing sessions must share one optimizer search"
+        );
+        for p in &plans[1..] {
+            assert!(Arc::ptr_eq(&plans[0], p), "all callers get the same plan");
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (7, 1));
+    }
+
+    #[test]
+    fn epoch_bump_mid_flight_invalidates_without_panics() {
+        // Threads race lookups across two epochs (a resize landing while
+        // jobs are in flight). No panics, no stale cross-epoch value: the
+        // value observed for an epoch is always the one built at it.
+        let cache: PlanCache<u64> = PlanCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for round in 0..50u64 {
+                        let epoch = (t + round) % 2;
+                        let got = cache.get_or_insert(epoch, "k", || epoch * 100);
+                        assert_eq!(got, epoch * 100, "epoch {epoch} served a stale plan");
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 400);
+        assert!(s.invalidations >= 1);
+    }
+
+    #[test]
+    fn a_panicking_build_does_not_poison_the_cache() {
+        let cache: PlanCache<u32> = PlanCache::new();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_insert(0, "k", || panic!("optimizer blew up"))
+        }));
+        assert!(boom.is_err());
+        // The cache stays usable and the failed build left no entry.
+        assert_eq!(cache.get_or_insert(0, "k", || 7), 7);
+        assert_eq!(cache.len(), 1);
     }
 }

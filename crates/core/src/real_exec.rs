@@ -30,7 +30,7 @@ use crate::plan::{BlockMove, JobPlan, Operand, TaskWork};
 use crate::problem::MatmulProblem;
 use distme_cluster::{
     BlockSource, BlockView, JobError, JobStats, LocalCluster, Phase, PhaseStats, StoreKey,
-    TaskError, WireMove, RESIDENCY_WINDOW_JOBS,
+    TaskError, TenantId, TransportStats, WireMove, RESIDENCY_WINDOW_JOBS,
 };
 use distme_matrix::{codec, fresh_matrix_uid, kernels, Block, BlockId, BlockMatrix, DenseBlock};
 use std::collections::{BTreeMap, BTreeSet};
@@ -44,6 +44,13 @@ pub struct RealExecOptions {
     /// schedule with this per-task device-memory budget θg (the schedule's
     /// arithmetic runs on the CPU; see `distme-gpu`'s crate docs).
     pub gpu_task_mem_bytes: Option<u64>,
+    /// Tenant the job's ledger traffic and scheduler leases are attributed
+    /// to. Defaults to [`TenantId::ANONYMOUS`], preserving the single-user
+    /// behaviour for direct callers.
+    pub tenant: TenantId,
+    /// Scheduler priority of this job's stages (clamped to the cluster's
+    /// configured `priority_levels`; higher wins freed slots first).
+    pub priority: u8,
 }
 
 /// Multiplies `a × b` distributed over `cluster` with `method`.
@@ -130,14 +137,18 @@ pub fn execute_plan(
         });
     }
 
-    // Per-job ledger delta: the ledger itself accumulates across jobs so
-    // session-level totals survive multi-op queries (GNMF).
-    let ledger_mark = cluster.ledger().snapshot();
-    let payload_mark = cluster.transport_stats().payload_bytes();
-    let redelivered_mark = cluster.transport_stats().redelivered();
-    let retransmitted_mark = cluster.transport_stats().retransmitted_bytes();
+    // Per-job physical counters: the cluster-wide transport stats keep
+    // accumulating across jobs (session totals), while this job's numbers
+    // come from a job-local mirror. Snapshot-delta accounting would read
+    // concurrent jobs' traffic into this job's stats; a dedicated counter
+    // cannot.
+    let job_transport = TransportStats::default();
     let stores = cluster.stores();
     stores.begin_job();
+    // Operands stay resident for the whole job even when concurrent job
+    // completions advance the residency clock past the eviction window.
+    let _pin_a = stores.pin(a.uid());
+    let _pin_b = stores.pin(b.uid());
 
     // Broadcast variables are node-level: one shared copy per node must
     // fit. The admission check uses the *backend-local* encoded sizes (the
@@ -185,9 +196,18 @@ pub fn execute_plan(
     }
     stores.touch(a.uid());
     stores.touch(b.uid());
+    // The job's model bytes are accumulated locally from the same routing
+    // view the ledger is charged from — structurally identical sums, so
+    // per-job stats stay bit-exact under concurrent jobs without reading a
+    // shared snapshot that other jobs are mutating.
+    let mut model_shuffle = [0u64; Phase::COUNT];
+    let mut model_cross = [0u64; Phase::COUNT];
+    let mut model_broadcast = [0u64; Phase::COUNT];
     if let Some(bc) = plan.broadcast {
         // Table 2 accounting: every task fetches its own copy of B.
-        cluster.ledger().record_broadcast(
+        model_broadcast[Phase::Repartition.index()] = bc.bytes_per_copy.saturating_mul(bc.copies);
+        cluster.ledger().record_broadcast_for(
+            opts.tenant,
             Phase::Repartition,
             bc.bytes_per_copy,
             bc.copies as usize,
@@ -202,15 +222,25 @@ pub fn execute_plan(
     for stage in &plan.stages {
         for task in &stage.tasks {
             for m in &task.inputs {
-                cluster
-                    .ledger()
-                    .record_shuffle(stage.input_phase, m.from_node, m.to_node, m.bytes);
+                let i = stage.input_phase.index();
+                model_shuffle[i] += m.bytes;
+                if m.from_node != m.to_node {
+                    model_cross[i] += m.bytes;
+                }
+                cluster.ledger().record_shuffle_for(
+                    opts.tenant,
+                    stage.input_phase,
+                    m.from_node,
+                    m.to_node,
+                    m.bytes,
+                );
             }
         }
     }
 
     // Identity of this job's intermediate C copies in the stores.
     let c_uid = fresh_matrix_uid();
+    let _pin_c = stores.pin(c_uid);
     let uid_of = |op: Operand| match op {
         Operand::A => a.uid(),
         Operand::B => b.uid(),
@@ -231,7 +261,7 @@ pub fn execute_plan(
     // Physically execute the routing view of every pre-aggregation stage
     // (map-stage CRMM pre-moves + the mult stage's operand fetches): real
     // serialized bytes land in the consuming nodes' stores.
-    let transport = cluster.transport();
+    let transport = cluster.transport().with_job_counters(&job_transport);
     let fetch_lists: Vec<Vec<WireMove>> = plan
         .stages
         .iter()
@@ -243,7 +273,7 @@ pub fn execute_plan(
         })
         .filter(|l: &Vec<WireMove>| !l.is_empty())
         .collect();
-    let fetch = cluster.run_stage(fetch_lists, |ctx, moves| {
+    let fetch = cluster.run_stage_as(opts.tenant, opts.priority, fetch_lists, |ctx, moves| {
         for mv in moves {
             // A serialization buffer lives for the duration of the move.
             let payload = transport.execute(&mv, ctx.attempt)?;
@@ -260,7 +290,7 @@ pub fn execute_plan(
     let work: Vec<TaskWork> = mult_stage.tasks.iter().map(|t| t.work.clone()).collect();
     let broadcast_b = resolved.broadcast_b;
     let needs_agg = plan.stage(Phase::Aggregation).is_some();
-    let mult = cluster.run_stage(work, |ctx, item| {
+    let mult = cluster.run_stage_as(opts.tenant, opts.priority, work, |ctx, item| {
         debug_assert_eq!(mult_stage.tasks[ctx.task].node, ctx.node);
         let store = stores.node(ctx.node);
         let a_view = BlockView::new(store, a.uid(), &a_index);
@@ -392,40 +422,41 @@ pub fn execute_plan(
                 (moves, groups)
             })
             .collect();
-        let agg = cluster.run_stage(items, |ctx, (moves, groups)| {
-            debug_assert_eq!(stage.tasks[ctx.task].node, ctx.node);
-            for mv in moves {
-                let payload = transport.execute(&mv, ctx.attempt)?;
-                ctx.alloc(payload)?;
-                ctx.free(payload);
-            }
-            let store = stores.node(ctx.node);
-            let mut out: Vec<(BlockId, Block)> = Vec::new();
-            for (id, copies) in groups {
-                let mut acc: Option<Block> = None;
-                for copy in copies {
-                    match store.get(&StoreKey::replica(c_uid, id, copy)) {
-                        Some(part) => {
-                            ctx.alloc(part.mem_bytes())?;
-                            acc = Some(match acc {
-                                None => (*part).clone(),
-                                Some(prev) => prev.add(&part)?,
-                            });
+        let agg =
+            cluster.run_stage_as(opts.tenant, opts.priority, items, |ctx, (moves, groups)| {
+                debug_assert_eq!(stage.tasks[ctx.task].node, ctx.node);
+                for mv in moves {
+                    let payload = transport.execute(&mv, ctx.attempt)?;
+                    ctx.alloc(payload)?;
+                    ctx.free(payload);
+                }
+                let store = stores.node(ctx.node);
+                let mut out: Vec<(BlockId, Block)> = Vec::new();
+                for (id, copies) in groups {
+                    let mut acc: Option<Block> = None;
+                    for copy in copies {
+                        match store.get(&StoreKey::replica(c_uid, id, copy)) {
+                            Some(part) => {
+                                ctx.alloc(part.mem_bytes())?;
+                                acc = Some(match acc {
+                                    None => (*part).clone(),
+                                    Some(prev) => prev.add(&part)?,
+                                });
+                            }
+                            // A produced copy that never reached this node is a
+                            // routing bug; an unproduced one is an implicit zero.
+                            None if produced.contains(&(id, copy)) => {
+                                return Err(TaskError::MissingBlock { node: ctx.node, id });
+                            }
+                            None => {}
                         }
-                        // A produced copy that never reached this node is a
-                        // routing bug; an unproduced one is an implicit zero.
-                        None if produced.contains(&(id, copy)) => {
-                            return Err(TaskError::MissingBlock { node: ctx.node, id });
-                        }
-                        None => {}
+                    }
+                    if let Some(block) = acc {
+                        out.push((id, block.normalize()));
                     }
                 }
-                if let Some(block) = acc {
-                    out.push((id, block.normalize()));
-                }
-            }
-            Ok(out)
-        })?;
+                Ok(out)
+            })?;
         agg_peak = agg.peak_task_mem_bytes;
         agg_retries = agg.retries;
         agg_backoff = agg.backoff_secs;
@@ -470,26 +501,29 @@ pub fn execute_plan(
     stores.evict_stale(RESIDENCY_WINDOW_JOBS);
 
     // ------------- Statistics --------------------------------------------
-    let delta = cluster.ledger().since(&ledger_mark);
+    // Model bytes come from the job-local accumulators (charged to the
+    // shared ledger above from the identical routing view); physical bytes
+    // come from the job-local transport mirror. Neither reads shared state
+    // a concurrent job could be mutating.
     let agg_tasks = plan.stage(Phase::Aggregation).map_or(0, |s| s.tasks.len());
+    let rep = Phase::Repartition.index();
+    let agg_i = Phase::Aggregation.index();
     let mut stats = JobStats {
         elapsed_secs: rep_secs + mult_secs + agg_secs,
         peak_task_mem_bytes: fetch.peak_task_mem_bytes.max(mult_peak).max(agg_peak),
-        intermediate_bytes: delta.shuffle_bytes(Phase::Repartition)
-            + delta.shuffle_bytes(Phase::Aggregation),
+        intermediate_bytes: model_shuffle[rep] + model_shuffle[agg_i],
         gpu_utilization: None,
-        transport_payload_bytes: cluster.transport_stats().payload_bytes() - payload_mark,
+        transport_payload_bytes: job_transport.payload_bytes(),
         retries: fetch.retries + mult.retries + agg_retries,
-        redelivered_moves: cluster.transport_stats().redelivered() - redelivered_mark,
-        retransmitted_payload_bytes: cluster.transport_stats().retransmitted_bytes()
-            - retransmitted_mark,
+        redelivered_moves: job_transport.redelivered(),
+        retransmitted_payload_bytes: job_transport.retransmitted_bytes(),
         ..Default::default()
     };
     *stats.phase_mut(Phase::Repartition) = PhaseStats {
         secs: rep_secs,
-        shuffle_bytes: delta.shuffle_bytes(Phase::Repartition),
-        cross_node_bytes: delta.cross_node_bytes(Phase::Repartition),
-        broadcast_bytes: delta.broadcast_bytes(Phase::Repartition),
+        shuffle_bytes: model_shuffle[rep],
+        cross_node_bytes: model_cross[rep],
+        broadcast_bytes: model_broadcast[rep],
         tasks: plan.stage(Phase::Repartition).map_or(0, |s| s.tasks.len()),
     };
     *stats.phase_mut(Phase::LocalMult) = PhaseStats {
@@ -501,8 +535,8 @@ pub fn execute_plan(
     };
     *stats.phase_mut(Phase::Aggregation) = PhaseStats {
         secs: agg_secs,
-        shuffle_bytes: delta.shuffle_bytes(Phase::Aggregation),
-        cross_node_bytes: delta.cross_node_bytes(Phase::Aggregation),
+        shuffle_bytes: model_shuffle[agg_i],
+        cross_node_bytes: model_cross[agg_i],
         broadcast_bytes: 0,
         tasks: agg_tasks,
     };
@@ -604,6 +638,7 @@ mod tests {
         let opts = RealExecOptions {
             // Small θg: forces several subcuboid iterations per cuboid.
             gpu_task_mem_bytes: Some(40_000),
+            ..Default::default()
         };
         let (prod, _) = multiply_with(&c, &a, &b, MulMethod::CuboidAuto, opts).unwrap();
         assert!(prod.max_abs_diff(&reference).unwrap() < 1e-9);

@@ -16,7 +16,7 @@
 //! for the GNMF query").
 
 use crate::datasets::RatingDataset;
-use crate::session::{RealSession, SimSession};
+use crate::session::{RealOps, SimSession};
 use crate::systems::SystemProfile;
 use distme_cluster::{ClusterConfig, JobError, JobStats};
 use distme_matrix::elementwise::EwOp;
@@ -131,8 +131,8 @@ pub struct GnmfResult {
 ///
 /// # Errors
 /// Propagates operator failures (shape errors, O.O.M. under tight θt).
-pub fn run_real(
-    session: &mut RealSession,
+pub fn run_real<S: RealOps>(
+    session: &mut S,
     v: &BlockMatrix,
     cfg: &GnmfConfig,
     seed: u64,
@@ -147,15 +147,16 @@ pub fn run_real(
 ///
 /// # Errors
 /// Propagates operator failures and errors returned by the hook.
-pub fn run_real_with<F>(
-    session: &mut RealSession,
+pub fn run_real_with<S, F>(
+    session: &mut S,
     v: &BlockMatrix,
     cfg: &GnmfConfig,
     seed: u64,
     mut after_iteration: F,
 ) -> Result<GnmfResult, JobError>
 where
-    F: FnMut(&mut RealSession, usize) -> Result<(), JobError>,
+    S: RealOps,
+    F: FnMut(&mut S, usize) -> Result<(), JobError>,
 {
     let bs = v.meta().block_size;
     let f = cfg.factor_dim;
@@ -208,6 +209,7 @@ fn to_job(e: distme_matrix::MatrixError) -> JobError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::RealSession;
 
     fn tiny_v() -> BlockMatrix {
         // A small positive rating matrix.

@@ -10,6 +10,9 @@
 //!   simulated cluster, [`session::RealSession`] runs them with real
 //!   blocks on the thread-backed cluster — both are aliases of
 //!   [`session::Session`];
+//! * [`service`] — the multi-tenant front end on the real backend: jobs
+//!   from several tenants pass admission control and interleave on the
+//!   shared worker pool, bit-identical to their solo runs;
 //! * [`systems`] — planner profiles for every system in §6: DistME
 //!   (CuboidMM), SystemML (BMM/CPMM/RMM heuristic), MatFast-naive (CPMM),
 //!   DMac (CPMM + dependency-aware partitioning), each in CPU "(C)" and
@@ -30,10 +33,14 @@ pub mod datasets;
 pub mod expr;
 pub mod gnmf;
 pub mod ops;
+pub mod service;
 pub mod session;
 pub mod systems;
 
 pub use datasets::RatingDataset;
 pub use gnmf::{GnmfConfig, GnmfReport};
-pub use session::{EngineBackend, RealBackend, RealSession, Session, SimBackend, SimSession};
+pub use service::{JobHandle, JobOutput, JobService, JobSpec, JobStatus, TenantSession};
+pub use session::{
+    EngineBackend, RealBackend, RealOps, RealSession, Session, SimBackend, SimSession,
+};
 pub use systems::SystemProfile;

@@ -1,0 +1,454 @@
+//! The multi-tenant job service: one cluster, many concurrent callers.
+//!
+//! [`Session`](crate::session::Session) is a single-caller front end: one
+//! owner, one mutable borrow, one job at a time. [`JobService`] is the
+//! engine's shared front end on the same substrate — jobs from several
+//! tenants are submitted concurrently, pass the cluster scheduler's
+//! admission control (θt-style memory budgeting summed across admitted
+//! jobs: an over-budget submission *queues* rather than failing), and
+//! their stages interleave on the cluster's shared worker pool under the
+//! scheduler's priority/fair-share policy.
+//!
+//! Determinism contract: a job submitted through the service produces
+//! **bit-identical** results and per-job statistics to the same operators
+//! run directly through a `Session` on an identical cluster. Task indices
+//! within a stage are handed out in order regardless of which job's
+//! workers interleave between them, model bytes are computed from the
+//! plan's routing view, and physical payload counters are job-local —
+//! nothing a concurrent job does can leak into another job's results or
+//! stats (`crates/engine/tests/service.rs` enforces this).
+//!
+//! ```no_run
+//! use distme_engine::service::{JobService, JobSpec};
+//! use distme_engine::session::RealOps;
+//! use distme_engine::systems::SystemProfile;
+//! use distme_cluster::{ClusterConfig, TenantId};
+//! # let (a, b) = unimplemented!();
+//! let svc = JobService::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+//! let h = svc.submit(JobSpec::new(TenantId(1)), move |s| s.matmul(&a, &b));
+//! let out = h.wait().unwrap();
+//! println!("{} ops for {}", out.ops_run, out.tenant);
+//! ```
+
+use crate::session::{plan_key, RealOps};
+use crate::systems::SystemProfile;
+use distme_cluster::{
+    ClusterConfig, ElasticPolicy, JobError, JobStats, LedgerSnapshot, LocalCluster, QueueWaitStats,
+    RebalanceReport, Scheduler, SchedulerLoad, TenantId,
+};
+use distme_core::real_exec::{self, RealExecOptions};
+use distme_core::{JobPlan, MatmulProblem, PlanCache, PlanCacheStats};
+use distme_matrix::elementwise::EwOp;
+use distme_matrix::BlockMatrix;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread;
+
+/// What a submission declares about itself: identity, scheduling class,
+/// and the memory demand the admission controller holds against the
+/// cluster budget while the job runs.
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpec {
+    /// Tenant the job's traffic, leases and stats are attributed to.
+    pub tenant: TenantId,
+    /// Scheduler priority (higher wins freed slots first; clamped to the
+    /// cluster's configured `priority_levels`).
+    pub priority: u8,
+    /// Declared resident-memory demand, charged against
+    /// `SchedulerConfig::admission_budget_bytes` for the job's lifetime.
+    pub demand_bytes: u64,
+}
+
+impl JobSpec {
+    /// A spec for `tenant` at priority 0 with zero declared demand.
+    pub fn new(tenant: TenantId) -> Self {
+        JobSpec {
+            tenant,
+            priority: 0,
+            demand_bytes: 0,
+        }
+    }
+
+    /// Sets the scheduler priority.
+    #[must_use]
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the declared memory demand.
+    #[must_use]
+    pub fn demand_bytes(mut self, bytes: u64) -> Self {
+        self.demand_bytes = bytes;
+        self
+    }
+}
+
+/// Where a submitted job currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the submission queue for admission (memory budget).
+    Queued,
+    /// Admitted; its stages are running on the shared worker pool.
+    Running,
+    /// Completed successfully; [`JobHandle::wait`] returns the output.
+    Finished,
+    /// Rejected at submission or failed while running.
+    Failed,
+}
+
+/// A finished job: its value plus the service-side measurements.
+#[derive(Debug)]
+pub struct JobOutput<T> {
+    /// What the job closure returned.
+    pub value: T,
+    /// Statistics accumulated over the job's operators.
+    pub stats: JobStats,
+    /// Number of operators the job ran.
+    pub ops_run: usize,
+    /// Seconds the job waited in the submission queue before admission.
+    pub queue_wait_secs: f64,
+    /// The tenant the job ran as.
+    pub tenant: TenantId,
+}
+
+struct Slot<T> {
+    status: JobStatus,
+    result: Option<Result<JobOutput<T>, JobError>>,
+}
+
+struct HandleState<T> {
+    slot: Mutex<Slot<T>>,
+    cv: Condvar,
+}
+
+impl<T> HandleState<T> {
+    fn set_status(&self, status: JobStatus) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        slot.status = status;
+        self.cv.notify_all();
+    }
+
+    fn finish(&self, result: Result<JobOutput<T>, JobError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        slot.status = if result.is_ok() {
+            JobStatus::Finished
+        } else {
+            JobStatus::Failed
+        };
+        slot.result = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// A submitted job: poll it with [`status`](Self::status) or block on
+/// [`wait`](Self::wait). Dropping the handle detaches the job — it keeps
+/// running to completion.
+pub struct JobHandle<T> {
+    state: Arc<HandleState<T>>,
+}
+
+impl<T> JobHandle<T> {
+    /// The job's current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        self.state
+            .slot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .status
+    }
+
+    /// Blocks until the job finishes and returns its output.
+    ///
+    /// # Errors
+    /// The submission rejection ([`JobError::QueueFull`],
+    /// [`JobError::InvalidSubmission`]) or whatever the job's operators
+    /// failed with.
+    pub fn wait(self) -> Result<JobOutput<T>, JobError> {
+        let mut slot = self.state.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = slot.result.take() {
+                return result;
+            }
+            slot = self.state.cv.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+struct Shared {
+    /// Jobs hold read locks while running; membership changes (autoscale,
+    /// explicit resizes) take the write lock, so a resize waits for
+    /// in-flight jobs and new jobs see the post-resize epoch.
+    cluster: RwLock<LocalCluster>,
+    /// Clone of the cluster's scheduler handle, reachable without the
+    /// cluster lock: queued submissions must not block a resize and vice
+    /// versa.
+    scheduler: Scheduler,
+    /// One plan cache shared by every tenant's jobs (epoch-safe and
+    /// exactly-once under concurrency; see `core::plan_cache`).
+    plans: PlanCache<Arc<JobPlan>>,
+    profile: SystemProfile,
+}
+
+/// The multi-tenant engine front end: a shared cluster behind a
+/// submission queue. See the module docs for the determinism contract.
+pub struct JobService {
+    shared: Arc<Shared>,
+}
+
+impl JobService {
+    /// Builds a service on a fresh cluster for `cfg`, planning every
+    /// tenant's multiplies with `profile`.
+    pub fn new(cfg: ClusterConfig, profile: SystemProfile) -> Self {
+        let cluster = LocalCluster::new(cfg);
+        let scheduler = cluster.scheduler().clone();
+        JobService {
+            shared: Arc::new(Shared {
+                cluster: RwLock::new(cluster),
+                scheduler,
+                plans: PlanCache::new(),
+                profile,
+            }),
+        }
+    }
+
+    /// Submits `job` for `spec`'s tenant and returns immediately with a
+    /// handle. The job passes admission control on a driver thread: while
+    /// the declared demand would overshoot the cluster memory budget it
+    /// *queues* (status [`JobStatus::Queued`]); a full submission queue or
+    /// an out-of-range priority fails the handle instead.
+    pub fn submit<T, F>(&self, spec: JobSpec, job: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut TenantSession<'_>) -> Result<T, JobError> + Send + 'static,
+    {
+        let state = Arc::new(HandleState {
+            slot: Mutex::new(Slot {
+                status: JobStatus::Queued,
+                result: None,
+            }),
+            cv: Condvar::new(),
+        });
+        let shared = Arc::clone(&self.shared);
+        let thread_state = Arc::clone(&state);
+        thread::spawn(move || {
+            let ticket =
+                match shared
+                    .scheduler
+                    .submit(spec.tenant, spec.priority, spec.demand_bytes)
+                {
+                    Ok(t) => t,
+                    Err(e) => return thread_state.finish(Err(e)),
+                };
+            thread_state.set_status(JobStatus::Running);
+            let queue_wait_secs = ticket.queue_wait_secs;
+            let cluster = shared.cluster.read().unwrap_or_else(|p| p.into_inner());
+            let mut session = TenantSession {
+                cluster: &cluster,
+                shared: &shared,
+                tenant: spec.tenant,
+                priority: spec.priority,
+                stats: JobStats::default(),
+                ops_run: 0,
+            };
+            let value = job(&mut session);
+            let stats = session.stats;
+            let ops_run = session.ops_run;
+            drop(cluster);
+            // Admission released only now: the budget bounds *concurrent*
+            // resident jobs, so the ticket must outlive the work.
+            drop(ticket);
+            thread_state.finish(value.map(|value| JobOutput {
+                value,
+                stats,
+                ops_run,
+                queue_wait_secs,
+                tenant: spec.tenant,
+            }));
+        });
+        JobHandle { state }
+    }
+
+    /// The blocking compatibility path: [`submit`](Self::submit) +
+    /// [`JobHandle::wait`]. Call sites written against the synchronous
+    /// `Session` move over by wrapping their operators in one closure.
+    ///
+    /// # Errors
+    /// See [`JobHandle::wait`].
+    pub fn run<T, F>(&self, spec: JobSpec, job: F) -> Result<JobOutput<T>, JobError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut TenantSession<'_>) -> Result<T, JobError> + Send + 'static,
+    {
+        self.submit(spec, job).wait()
+    }
+
+    /// The scheduler's live load (queue depths, held slots, admitted
+    /// memory) — the autoscaler's pressure signal.
+    pub fn load(&self) -> SchedulerLoad {
+        self.shared.scheduler.load()
+    }
+
+    /// Queue-wait distribution over every admission so far.
+    pub fn queue_wait_stats(&self) -> QueueWaitStats {
+        self.shared.scheduler.queue_wait_stats()
+    }
+
+    /// Cluster-wide communication totals.
+    pub fn ledger_snapshot(&self) -> LedgerSnapshot {
+        self.read_cluster().ledger().snapshot()
+    }
+
+    /// Communication attributed to `tenant` (its jobs' ledger charges).
+    /// Tenant snapshots sum to the cluster total by construction.
+    pub fn tenant_comm(&self, tenant: TenantId) -> LedgerSnapshot {
+        self.read_cluster().ledger().tenant_snapshot(tenant)
+    }
+
+    /// Every tenant the ledger has seen traffic from.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        self.read_cluster().ledger().tenants()
+    }
+
+    /// Hit/miss/invalidation counters of the shared plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.shared.plans.stats()
+    }
+
+    /// A copy of the cluster configuration.
+    pub fn config(&self) -> ClusterConfig {
+        *self.read_cluster().config()
+    }
+
+    /// Current membership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.read_cluster().epoch()
+    }
+
+    /// Resizes the cluster once in-flight jobs drain (write lock); queued
+    /// submissions then plan against the new epoch.
+    ///
+    /// # Errors
+    /// Propagates transport failures during the resize's migration.
+    pub fn scale_to(&self, nodes: usize) -> Result<RebalanceReport, JobError> {
+        self.shared
+            .cluster
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .scale_to(nodes)
+    }
+
+    /// Applies `policy` to the scheduler's live load
+    /// ([`ElasticPolicy::recommend_from_load`]): the multi-tenant
+    /// replacement for the per-session autoscaler, seeing every
+    /// concurrent job's pressure instead of the last job's stats.
+    /// `Ok(None)` means the pool is inside the utilization band.
+    ///
+    /// # Errors
+    /// Propagates transport failures during the resize's migration.
+    pub fn autoscale(&self, policy: &ElasticPolicy) -> Result<Option<RebalanceReport>, JobError> {
+        let load = self.shared.scheduler.load();
+        let (nodes, tasks_per_node) = {
+            let cluster = self.read_cluster();
+            (cluster.config().nodes, cluster.config().tasks_per_node)
+        };
+        match policy.recommend_from_load(&load, nodes, tasks_per_node) {
+            Some(target) => self.scale_to(target).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn read_cluster(&self) -> std::sync::RwLockReadGuard<'_, LocalCluster> {
+        self.shared
+            .cluster
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// One job's view of the shared cluster: the [`RealOps`] operator surface
+/// with every stage tagged by the job's tenant and priority, and per-job
+/// statistics accumulated across its operators. Handed to the job closure
+/// by [`JobService::submit`]; holds the cluster read lock for the job's
+/// duration.
+pub struct TenantSession<'a> {
+    cluster: &'a LocalCluster,
+    shared: &'a Shared,
+    tenant: TenantId,
+    priority: u8,
+    stats: JobStats,
+    ops_run: usize,
+}
+
+impl TenantSession<'_> {
+    /// The tenant this job runs as.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Statistics accumulated over the job's operators so far.
+    pub fn stats(&self) -> &JobStats {
+        &self.stats
+    }
+
+    /// Number of operators run so far.
+    pub fn ops_run(&self) -> usize {
+        self.ops_run
+    }
+
+    /// The underlying cluster (read-only: ledger and store access).
+    pub fn cluster(&self) -> &LocalCluster {
+        self.cluster
+    }
+
+    fn absorb(&mut self, stats: JobStats) {
+        self.stats.merge(&stats);
+        self.ops_run += 1;
+    }
+}
+
+impl RealOps for TenantSession<'_> {
+    fn matmul(&mut self, a: &BlockMatrix, b: &BlockMatrix) -> Result<BlockMatrix, JobError> {
+        let problem =
+            MatmulProblem::new(*a.meta(), *b.meta()).map_err(|e| JobError::TaskFailed {
+                task: 0,
+                message: e.to_string(),
+            })?;
+        let resolved = self.shared.profile.resolve(&problem, self.cluster.config());
+        let epoch = self.cluster.epoch();
+        let plan = self
+            .shared
+            .plans
+            .get_or_insert(epoch, &plan_key(&problem, &resolved), || {
+                Arc::new(
+                    JobPlan::from_resolved(&problem, &resolved, self.cluster.config())
+                        .at_epoch(epoch),
+                )
+            });
+        let opts = RealExecOptions {
+            gpu_task_mem_bytes: None,
+            tenant: self.tenant,
+            priority: self.priority,
+        };
+        let (out, stats) = real_exec::execute_plan(self.cluster, a, b, &plan, opts)?;
+        self.absorb(stats);
+        Ok(out)
+    }
+
+    fn transpose(&mut self, x: &BlockMatrix) -> Result<BlockMatrix, JobError> {
+        let (out, stats) =
+            crate::ops::real_transpose(self.cluster, x, self.shared.profile.reuses_partitioning());
+        self.absorb(stats);
+        Ok(out)
+    }
+
+    fn elementwise(
+        &mut self,
+        x: &BlockMatrix,
+        op: EwOp,
+        y: &BlockMatrix,
+    ) -> Result<BlockMatrix, JobError> {
+        let (out, stats) = crate::ops::real_elementwise(x, op, y)?;
+        self.absorb(stats);
+        Ok(out)
+    }
+}

@@ -70,7 +70,7 @@ pub trait EngineBackend {
 /// Cache key for a multiply plan: the problem and the resolved method
 /// pin the routing completely for a given membership epoch (the epoch
 /// itself is the cache's invalidation axis, not part of the key).
-fn plan_key(problem: &MatmulProblem, resolved: &distme_core::ResolvedMethod) -> String {
+pub(crate) fn plan_key(problem: &MatmulProblem, resolved: &distme_core::ResolvedMethod) -> String {
     format!("{problem:?}|{resolved:?}")
 }
 
@@ -204,6 +204,56 @@ impl EngineBackend for RealBackend {
         y: &BlockMatrix,
     ) -> Result<(BlockMatrix, JobStats), JobError> {
         ops::real_elementwise(x, op, y)
+    }
+}
+
+/// The real-backend operator surface shared by [`Session<RealBackend>`]
+/// and the job service's [`TenantSession`]: algorithms written against it
+/// (GNMF, power iteration) run unchanged whether they are called directly
+/// by the session owner or submitted as a multi-tenant job.
+///
+/// [`TenantSession`]: crate::service::TenantSession
+pub trait RealOps {
+    /// Distributed multiply `a × b`.
+    ///
+    /// # Errors
+    /// Propagates shape errors and the cluster failure modes.
+    fn matmul(&mut self, a: &BlockMatrix, b: &BlockMatrix) -> Result<BlockMatrix, JobError>;
+
+    /// Distributed transpose.
+    ///
+    /// # Errors
+    /// Propagates cluster failure modes.
+    fn transpose(&mut self, x: &BlockMatrix) -> Result<BlockMatrix, JobError>;
+
+    /// Element-wise combination of co-partitioned matrices.
+    ///
+    /// # Errors
+    /// Returns a task failure on shape mismatch.
+    fn elementwise(
+        &mut self,
+        x: &BlockMatrix,
+        op: EwOp,
+        y: &BlockMatrix,
+    ) -> Result<BlockMatrix, JobError>;
+}
+
+impl RealOps for Session<RealBackend> {
+    fn matmul(&mut self, a: &BlockMatrix, b: &BlockMatrix) -> Result<BlockMatrix, JobError> {
+        Session::matmul(self, a, b)
+    }
+
+    fn transpose(&mut self, x: &BlockMatrix) -> Result<BlockMatrix, JobError> {
+        Session::transpose(self, x)
+    }
+
+    fn elementwise(
+        &mut self,
+        x: &BlockMatrix,
+        op: EwOp,
+        y: &BlockMatrix,
+    ) -> Result<BlockMatrix, JobError> {
+        Session::elementwise(self, x, op, y)
     }
 }
 

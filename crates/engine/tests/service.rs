@@ -1,0 +1,315 @@
+//! The job service's multi-tenancy contract (`make service-smoke`):
+//!
+//! * **Bit-parity** — a job submitted through the service, racing other
+//!   tenants' jobs on the shared worker pool, produces result bytes and
+//!   per-job byte statistics identical to the same job run solo;
+//! * **Attribution** — per-tenant ledger deltas sum exactly to the
+//!   cluster-wide totals;
+//! * **Admission** — a submission whose declared demand would overshoot
+//!   the cluster memory budget *queues* (bounding concurrent resident
+//!   memory) instead of failing or OOMing, and runs once capacity frees;
+//!   a full queue and an out-of-range priority are the only rejections.
+
+use distme_cluster::{ClusterConfig, JobStats, LedgerSnapshot, Phase, TenantId};
+use distme_engine::service::{JobService, JobSpec, JobStatus};
+use distme_engine::session::RealOps;
+use distme_engine::systems::SystemProfile;
+use distme_engine::{gnmf, GnmfConfig};
+use distme_matrix::elementwise::EwOp;
+use distme_matrix::{codec, BlockMatrix, MatrixGenerator, MatrixMeta};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn service() -> JobService {
+    JobService::new(ClusterConfig::laptop(), SystemProfile::DistMe)
+}
+
+fn dense(rows: u64, cols: u64, seed: u64) -> BlockMatrix {
+    MatrixGenerator::with_seed(seed)
+        .generate(&MatrixMeta::dense(rows, cols).with_block_size(16))
+        .unwrap()
+}
+
+/// Exact bytes of a matrix: block ids plus their codec encodings, in
+/// deterministic id order.
+fn fingerprint(m: &BlockMatrix) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (id, blk) in m.blocks() {
+        out.extend_from_slice(&id.row.to_le_bytes());
+        out.extend_from_slice(&id.col.to_le_bytes());
+        out.extend_from_slice(&codec::encode(blk));
+    }
+    out
+}
+
+/// Every deterministic byte/count field of a job's stats (timings are
+/// wall-clock and excluded).
+fn comm_signature(s: &JobStats) -> Vec<u64> {
+    let mut v = vec![
+        s.intermediate_bytes,
+        s.transport_payload_bytes,
+        s.redelivered_moves,
+        s.retransmitted_payload_bytes,
+        s.retries,
+        s.peak_task_mem_bytes,
+    ];
+    for &p in Phase::ALL.iter() {
+        let ph = s.phase(p);
+        v.extend([
+            ph.shuffle_bytes,
+            ph.cross_node_bytes,
+            ph.broadcast_bytes,
+            ph.tasks as u64,
+        ]);
+    }
+    v
+}
+
+fn spin_until(deadline: Duration, mut pred: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !pred() {
+        assert!(start.elapsed() < deadline, "condition not reached in time");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn concurrent_jobs_match_their_solo_runs_bit_for_bit() {
+    // Three job shapes: a plain multiply, a chained
+    // transpose→matmul→elementwise expression, and a short GNMF run.
+    let a = Arc::new(dense(80, 64, 5));
+    let b = Arc::new(dense(64, 48, 6));
+    let x = Arc::new(dense(48, 48, 7));
+    let v = Arc::new(
+        MatrixGenerator::with_seed(3)
+            .value_range(1.0, 5.0)
+            .generate(&MatrixMeta::sparse(96, 64, 0.2).with_block_size(16))
+            .unwrap(),
+    );
+    let gnmf_cfg = GnmfConfig {
+        factor_dim: 16,
+        iterations: 2,
+    };
+
+    let multiply_job = {
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        move |s: &mut distme_engine::TenantSession<'_>| s.matmul(&a, &b)
+    };
+    let chain_job = {
+        let x = Arc::clone(&x);
+        move |s: &mut distme_engine::TenantSession<'_>| {
+            let xt = s.transpose(&x)?;
+            let sym = s.matmul(&xt, &x)?;
+            s.elementwise(&sym, EwOp::Mul, &sym)
+        }
+    };
+    let gnmf_job = {
+        let v = Arc::clone(&v);
+        move |s: &mut distme_engine::TenantSession<'_>| {
+            let res = gnmf::run_real(s, &v, &gnmf_cfg, 99)?;
+            Ok(res.w)
+        }
+    };
+
+    // Solo baselines: each job alone on a fresh, idle service.
+    let solo_mul = service()
+        .run(JobSpec::new(TenantId(1)), multiply_job.clone())
+        .unwrap();
+    let solo_chain = service()
+        .run(JobSpec::new(TenantId(2)), chain_job.clone())
+        .unwrap();
+    let solo_gnmf = service()
+        .run(JobSpec::new(TenantId(3)), gnmf_job.clone())
+        .unwrap();
+
+    // The same three jobs racing on one shared cluster, twice over with
+    // mixed priorities, so stages genuinely interleave.
+    let svc = service();
+    let handles = vec![
+        svc.submit(JobSpec::new(TenantId(1)), multiply_job.clone()),
+        svc.submit(JobSpec::new(TenantId(2)).priority(1), chain_job.clone()),
+        svc.submit(JobSpec::new(TenantId(3)).priority(2), gnmf_job.clone()),
+        svc.submit(JobSpec::new(TenantId(1)).priority(3), multiply_job.clone()),
+        svc.submit(JobSpec::new(TenantId(2)), chain_job.clone()),
+    ];
+    let solos = [&solo_mul, &solo_chain, &solo_gnmf, &solo_mul, &solo_chain];
+    for (h, solo) in handles.into_iter().zip(solos) {
+        let out = h.wait().unwrap();
+        assert_eq!(
+            fingerprint(&out.value),
+            fingerprint(&solo.value),
+            "a job racing other tenants must produce its solo result bytes"
+        );
+        assert_eq!(
+            comm_signature(&out.stats),
+            comm_signature(&solo.stats),
+            "a job racing other tenants must report its solo byte stats"
+        );
+        assert_eq!(out.ops_run, solo.ops_run);
+    }
+}
+
+#[test]
+fn per_tenant_ledger_deltas_sum_to_the_cluster_total() {
+    let a = Arc::new(dense(80, 64, 11));
+    let b = Arc::new(dense(64, 48, 12));
+    let svc = service();
+    let handles: Vec<_> = (0..6u32)
+        .map(|i| {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            svc.submit(
+                JobSpec::new(TenantId(1 + i % 3)).priority(i as u8 % 4),
+                move |s| s.matmul(&a, &b),
+            )
+        })
+        .collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let total = svc.ledger_snapshot();
+    let tenants = svc.tenants();
+    assert_eq!(tenants, vec![TenantId(1), TenantId(2), TenantId(3)]);
+    let summed = tenants.iter().fold(LedgerSnapshot::default(), |acc, &t| {
+        acc.plus(&svc.tenant_comm(t))
+    });
+    assert_eq!(
+        summed, total,
+        "per-tenant attribution must account for every cluster byte"
+    );
+    for t in tenants {
+        assert!(svc.tenant_comm(t).shuffle_bytes(Phase::Repartition) > 0);
+    }
+}
+
+fn tight_budget_config(budget: u64, queue_depth: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::laptop();
+    cfg.scheduler.admission_budget_bytes = budget;
+    cfg.scheduler.queue_depth = queue_depth;
+    cfg
+}
+
+/// A job that parks holding its admission until `gate` flips, then
+/// returns — the tool for freezing the admission controller mid-state.
+fn gated_job(
+    gate: Arc<AtomicBool>,
+) -> impl FnOnce(&mut distme_engine::TenantSession<'_>) -> Result<u32, distme_cluster::JobError>
+       + Send
+       + 'static {
+    move |_s| {
+        while !gate.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(7)
+    }
+}
+
+#[test]
+fn over_budget_submission_queues_and_memory_stays_bounded() {
+    let budget = 100;
+    let svc = JobService::new(tight_budget_config(budget, 8), SystemProfile::DistMe);
+    let gate = Arc::new(AtomicBool::new(false));
+
+    let first = svc.submit(
+        JobSpec::new(TenantId(1)).demand_bytes(80),
+        gated_job(Arc::clone(&gate)),
+    );
+    spin_until(Duration::from_secs(10), || {
+        first.status() == JobStatus::Running
+    });
+
+    // 80 + 80 > 100: the second submission must queue, not fail — and the
+    // admitted resident demand must stay under the budget while it waits.
+    let second = svc.submit(
+        JobSpec::new(TenantId(2)).demand_bytes(80),
+        gated_job(Arc::clone(&gate)),
+    );
+    spin_until(Duration::from_secs(10), || svc.load().queued_jobs == 1);
+    assert_eq!(second.status(), JobStatus::Queued);
+    let load = svc.load();
+    assert_eq!(load.admitted_jobs, 1);
+    assert!(
+        load.admitted_mem_bytes <= budget,
+        "admission control must bound concurrent resident memory: {} > {budget}",
+        load.admitted_mem_bytes
+    );
+
+    // Capacity frees → the queued job is admitted and completes.
+    gate.store(true, Ordering::SeqCst);
+    assert_eq!(first.wait().unwrap().value, 7);
+    let out = second.wait().unwrap();
+    assert_eq!(out.value, 7);
+    assert!(
+        out.queue_wait_secs > 0.0,
+        "the queued job must report its admission wait"
+    );
+    assert_eq!(svc.load().admitted_jobs, 0);
+    assert_eq!(svc.queue_wait_stats().submissions, 2);
+}
+
+#[test]
+fn a_full_submission_queue_rejects_with_queue_full() {
+    // Depth 1: one job running (holding the whole budget), one queued —
+    // the third submission must be rejected, annotated Q.F.
+    let svc = JobService::new(tight_budget_config(100, 1), SystemProfile::DistMe);
+    let gate = Arc::new(AtomicBool::new(false));
+    let first = svc.submit(
+        JobSpec::new(TenantId(1)).demand_bytes(100),
+        gated_job(Arc::clone(&gate)),
+    );
+    spin_until(Duration::from_secs(10), || {
+        first.status() == JobStatus::Running
+    });
+    let second = svc.submit(
+        JobSpec::new(TenantId(2)).demand_bytes(100),
+        gated_job(Arc::clone(&gate)),
+    );
+    spin_until(Duration::from_secs(10), || svc.load().queued_jobs == 1);
+    let third = svc.submit(
+        JobSpec::new(TenantId(3)).demand_bytes(100),
+        gated_job(Arc::clone(&gate)),
+    );
+    spin_until(Duration::from_secs(10), || {
+        third.status() == JobStatus::Failed
+    });
+    let err = third.wait().unwrap_err();
+    assert_eq!(err.annotation(), "Q.F.");
+
+    gate.store(true, Ordering::SeqCst);
+    first.wait().unwrap();
+    second.wait().unwrap();
+}
+
+#[test]
+fn an_out_of_range_priority_fails_the_handle() {
+    let svc = service();
+    let levels = svc.config().scheduler.priority_levels;
+    let h = svc.submit(
+        JobSpec::new(TenantId(1)).priority(levels),
+        |_s: &mut distme_engine::TenantSession<'_>| Ok(0u8),
+    );
+    let err = h.wait().unwrap_err();
+    assert_eq!(err.annotation(), "INV");
+}
+
+#[test]
+fn the_shared_plan_cache_plans_identical_jobs_once() {
+    let a = Arc::new(dense(80, 64, 21));
+    let b = Arc::new(dense(64, 48, 22));
+    let svc = service();
+    let handles: Vec<_> = (0..4u32)
+        .map(|i| {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            svc.submit(JobSpec::new(TenantId(1 + i)), move |s| s.matmul(&a, &b))
+        })
+        .collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let st = svc.plan_cache_stats();
+    assert_eq!(
+        st.misses, 1,
+        "four identical jobs across tenants must share one plan"
+    );
+    assert_eq!(st.hits, 3);
+}

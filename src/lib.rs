@@ -57,12 +57,13 @@ pub mod prelude {
         Blackout, ClusterConfig, FaultPlan, FaultSpec, JobError, JobStats, LocalCluster, Phase,
         RetryPolicy, SimCluster,
     };
+    pub use distme_cluster::{ElasticPolicy, TenantId};
     pub use distme_core::{
         real_exec, sim_exec, CuboidSpec, MatmulProblem, MulMethod, OptimizerConfig,
     };
     pub use distme_engine::{
-        algorithms, expr::Expr, gnmf, GnmfConfig, RatingDataset, RealSession, SimSession,
-        SystemProfile,
+        algorithms, expr::Expr, gnmf, GnmfConfig, JobService, JobSpec, JobStatus, RatingDataset,
+        RealOps, RealSession, SimSession, SystemProfile,
     };
     pub use distme_matrix::{
         elementwise::EwOp, Block, BlockMatrix, CsrBlock, DenseBlock, MatrixGenerator, MatrixMeta,

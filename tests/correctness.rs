@@ -87,6 +87,7 @@ proptest! {
         let theta_g = budget_blocks * 8 * bs * bs;
         let opts = distme::core::real_exec::RealExecOptions {
             gpu_task_mem_bytes: Some(theta_g),
+            ..Default::default()
         };
         let (c, _) = distme::core::real_exec::multiply_with(
             &cluster, &a, &b, MulMethod::CuboidAuto, opts,

@@ -41,6 +41,7 @@ fn assert_parity(a: &BlockMatrix, b: &BlockMatrix, method: MulMethod, gpu: bool,
     let real_cluster = LocalCluster::new(ClusterConfig::laptop());
     let opts = RealExecOptions {
         gpu_task_mem_bytes: gpu.then_some(1 << 20),
+        ..Default::default()
     };
     let (_, real_stats) = real_exec::multiply_with(&real_cluster, a, b, method, opts)
         .unwrap_or_else(|e| panic!("{label}: real failed: {e}"));
