@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint test parity chaos-smoke elastic-smoke service-smoke build bench bench-json bench-smoke
+.PHONY: ci fmt lint test parity chaos-smoke elastic-smoke service-smoke overlap-smoke build bench bench-json bench-smoke
 
-ci: fmt lint test parity chaos-smoke elastic-smoke service-smoke bench-smoke
+ci: fmt lint test parity chaos-smoke elastic-smoke service-smoke overlap-smoke bench-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -41,6 +41,15 @@ elastic-smoke:
 # concurrent resident memory) rather than fail.
 service-smoke:
 	$(CARGO) test -q -p distme-engine --test service
+
+# The pipelined-execution contract: the streaming executor (communication
+# overlapped with compute via per-task block dependencies) must match the
+# barrier executor bit for bit — result bytes and ledger model bytes — for
+# every method, and must recover faults mid-stream just as exactly.
+overlap-smoke:
+	$(CARGO) test -q --test plan_parity pipelined_matches_barrier_parity
+	$(CARGO) test -q -p distme-cluster --test chaos pipelined_streaming_recovers_drops_and_corruption_bit_identically
+	$(CARGO) test -q -p distme-core pipelined
 
 build:
 	$(CARGO) build --release

@@ -14,7 +14,7 @@ use crate::config::ClusterConfig;
 use crate::failure::{JobError, TaskError};
 use crate::membership::{Membership, MembershipEvent};
 use crate::rebalance::{RebalancePlan, RebalanceReport};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Gang, Scheduler};
 use crate::shuffle::ShuffleLedger;
 use crate::stats::{JobStats, Phase, TenantId};
 use crate::store::{ClusterStores, StoreKey};
@@ -71,6 +71,22 @@ impl TaskCtx {
     /// Peak memory the task has charged so far.
     pub fn peak(&self) -> u64 {
         self.mem_peak.get()
+    }
+}
+
+/// Handle a gated stage's task closure uses to declare *other* tasks of
+/// the same stage ready for dispatch — the mechanism by which a producer
+/// task (a local multiply installing its C copies) unlocks its consumers
+/// (the aggregation task reducing them) inside one fused stage. Marking is
+/// idempotent, so a retried producer re-satisfying its dependents is safe.
+pub struct StageGate<'a> {
+    gang: &'a Gang,
+}
+
+impl StageGate<'_> {
+    /// Declares task `index` of this stage dispatchable.
+    pub fn mark_ready(&self, index: usize) {
+        self.gang.mark_ready(index);
     }
 }
 
@@ -435,6 +451,52 @@ impl LocalCluster {
         O: Send,
         F: Fn(&TaskCtx, I) -> Result<O, TaskError> + Sync,
     {
+        self.run_stage_inner(tenant, priority, inputs, None, |ctx, item, _gate| {
+            f(ctx, item)
+        })
+    }
+
+    /// Dependency-gated variant of [`Self::run_stage_as`]: only task
+    /// indices in `initially_ready` are dispatchable at the start; a task
+    /// closure unlocks further indices through the [`StageGate`] it is
+    /// handed, once it has installed the blocks they depend on. This is
+    /// the primitive the pipelined executor fuses
+    /// repartition/compute/aggregate into one streamed stage with —
+    /// aggregation tasks dispatch the moment their producers finish, while
+    /// unrelated multiplies are still running. Outputs are still collected
+    /// in task order, so readiness-driven dispatch cannot perturb result
+    /// determinism. A terminal task failure aborts the gang (waiters on
+    /// never-satisfied dependencies drain instead of deadlocking) and is
+    /// reported exactly like an ungated stage failure.
+    pub fn run_stage_gated<I, O, F>(
+        &self,
+        tenant: TenantId,
+        priority: u8,
+        inputs: Vec<I>,
+        initially_ready: Vec<usize>,
+        f: F,
+    ) -> Result<StageRun<O>, JobError>
+    where
+        I: Send + Clone,
+        O: Send,
+        F: Fn(&TaskCtx, I, &StageGate<'_>) -> Result<O, TaskError> + Sync,
+    {
+        self.run_stage_inner(tenant, priority, inputs, Some(initially_ready), f)
+    }
+
+    fn run_stage_inner<I, O, F>(
+        &self,
+        tenant: TenantId,
+        priority: u8,
+        inputs: Vec<I>,
+        gating: Option<Vec<usize>>,
+        f: F,
+    ) -> Result<StageRun<O>, JobError>
+    where
+        I: Send + Clone,
+        O: Send,
+        F: Fn(&TaskCtx, I, &StageGate<'_>) -> Result<O, TaskError> + Sync,
+    {
         let n = inputs.len();
         if n > self.cfg.max_tasks {
             return Err(JobError::TooManyTasks {
@@ -466,7 +528,14 @@ impl LocalCluster {
         // how many tasks run at once *across every concurrent job*. The
         // per-slot mutex below is only ever taken once per task and never
         // contended, because a grant hands out each index exactly once.
-        let gang = self.scheduler.register_gang(tenant, priority, n);
+        let gated = gating.is_some();
+        let gang = match gating {
+            None => self.scheduler.register_gang(tenant, priority, n),
+            Some(ready) => self
+                .scheduler
+                .register_gated_gang(tenant, priority, n, ready),
+        };
+        let gate = StageGate { gang: &gang };
         let slots: Vec<Mutex<Option<I>>> =
             inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
         type TaskReport<O> = (usize, u32, Result<O, TaskError>);
@@ -515,7 +584,7 @@ impl LocalCluster {
                                     // transmission payload accounting stays
                                     // bit-identical to a fault-free run) but
                                     // its result dies with the executor.
-                                    match (&fault_plan, f(&ctx, input)) {
+                                    match (&fault_plan, f(&ctx, input, &gate)) {
                                         (Some(p), Ok(_))
                                             if p.crash_task(idx, ctx.node, attempt) =>
                                         {
@@ -538,6 +607,13 @@ impl LocalCluster {
                                 res => break (attempt + 1, res),
                             }
                         };
+                        if gated && out.is_err() {
+                            // Readiness this task would have signalled
+                            // never comes: poison the gang so workers
+                            // blocked on gated indices drain instead of
+                            // deadlocking.
+                            gang.abort();
+                        }
                         local.push((idx, attempts, out));
                         drop(grant); // lease returns to the pool per task
                     }
@@ -550,11 +626,8 @@ impl LocalCluster {
 
         let mut collected = done.into_inner().expect("no worker panicked");
         collected.sort_unstable_by_key(|(idx, _, _)| *idx);
-        debug_assert_eq!(
-            collected.len(),
-            n,
-            "every claimed task reports exactly once"
-        );
+        // An aborted gated gang leaves its ungranted tasks unreported —
+        // the error below covers them; a clean stage reports all `n`.
         let mut outputs = Vec::with_capacity(n);
         for (idx, attempts, out) in collected {
             match out {
@@ -562,6 +635,11 @@ impl LocalCluster {
                 Err(e) => return Err(JobError::from_task_attempts(idx, e, attempts)),
             }
         }
+        debug_assert_eq!(
+            outputs.len(),
+            n,
+            "every task reports exactly once on a clean stage"
+        );
         Ok(StageRun {
             outputs,
             peak_task_mem_bytes: peak.load(Ordering::Relaxed),
@@ -841,6 +919,99 @@ mod tests {
         assert_eq!(run.retries, plan.crashed());
         c.clear_faults();
         assert!(c.fault_plan().is_none());
+    }
+
+    #[test]
+    fn gated_stage_streams_consumers_behind_their_producers() {
+        // Tasks 0..4 are producers (ready at once); task 4 is a consumer
+        // gated on all four. The consumer must observe every producer's
+        // write — dispatch readiness is the only synchronization.
+        let c = cluster();
+        let produced = Mutex::new(Vec::new());
+        let remaining = AtomicU64::new(4);
+        let run = c
+            .run_stage_gated(
+                TenantId::ANONYMOUS,
+                0,
+                (0..5).collect(),
+                (0..4).collect(),
+                |ctx, x: usize, gate| {
+                    assert_eq!(ctx.task, x);
+                    if x < 4 {
+                        produced.lock().unwrap().push(x);
+                        if remaining.fetch_sub(1, Ordering::Relaxed) == 1 {
+                            gate.mark_ready(4);
+                        }
+                        Ok(x * 10)
+                    } else {
+                        let seen = produced.lock().unwrap().len();
+                        assert_eq!(seen, 4, "consumer ran before its producers");
+                        Ok(seen)
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(run.outputs, vec![0, 10, 20, 30, 4]);
+    }
+
+    #[test]
+    fn gated_stage_failure_drains_instead_of_deadlocking() {
+        // Task 1 stays gated forever because its producer (task 0) fails
+        // terminally; the stage must return the error, not hang.
+        let c = cluster();
+        let err = c
+            .run_stage_gated(
+                TenantId::ANONYMOUS,
+                0,
+                vec![0usize, 1],
+                vec![0],
+                |_, x, gate| {
+                    if x == 0 {
+                        Err(TaskError::Compute("producer bug".into()))
+                    } else {
+                        gate.mark_ready(1); // unreachable
+                        Ok(x)
+                    }
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, JobError::TaskFailed { task: 0, .. }));
+    }
+
+    #[test]
+    fn gated_stage_retries_remark_readiness_idempotently() {
+        use crate::config::RetryPolicy;
+        let cfg = ClusterConfig::laptop().with_retry(RetryPolicy {
+            max_attempts: 3,
+            backoff_secs: 0.0,
+        });
+        let c = LocalCluster::new(cfg);
+        // The producer marks its consumer ready, then crashes; the retry
+        // marks again. The consumer must still run exactly once.
+        let consumer_runs = AtomicU64::new(0);
+        let run = c
+            .run_stage_gated(
+                TenantId::ANONYMOUS,
+                0,
+                vec![0usize, 1],
+                vec![0],
+                |ctx, x, gate| {
+                    if x == 0 {
+                        gate.mark_ready(1);
+                        if ctx.attempt == 0 {
+                            return Err(TaskError::Crashed { node: ctx.node });
+                        }
+                        Ok(100)
+                    } else {
+                        consumer_runs.fetch_add(1, Ordering::Relaxed);
+                        Ok(200)
+                    }
+                },
+            )
+            .unwrap();
+        assert_eq!(run.outputs, vec![100, 200]);
+        assert_eq!(consumer_runs.load(Ordering::Relaxed), 1);
+        assert_eq!(run.retries, 1);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod transport;
 pub use backend::ExecutionBackend;
 pub use chaos::{Blackout, FaultPlan, FaultSpec};
 pub use config::{ClusterConfig, RetryPolicy, SchedulerConfig};
-pub use executor::real::{LocalCluster, TaskCtx};
+pub use executor::real::{LocalCluster, StageGate, TaskCtx};
 pub use executor::sim::{ComputeWork, SimCluster, SimTask, StageOutcome};
 pub use failure::{JobError, TaskError};
 pub use membership::{ElasticPolicy, Membership, MembershipEvent};
@@ -64,4 +64,4 @@ pub use stats::{JobStats, Phase, PhaseStats, TenantId};
 pub use store::{
     BlockSource, BlockView, ClusterStores, NodeStore, PinGuard, StoreKey, RESIDENCY_WINDOW_JOBS,
 };
-pub use transport::{ScratchPool, Transport, TransportStats, WireMove};
+pub use transport::{DeliveryBoard, ScratchPool, Transport, TransportStats, WireMove};

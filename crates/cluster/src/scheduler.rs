@@ -42,6 +42,21 @@ use crate::config::SchedulerConfig;
 use crate::failure::JobError;
 use crate::stats::TenantId;
 
+/// Dependency-readiness bookkeeping of a *gated* gang: indices become
+/// dispatchable only when [`Gang::mark_ready`] declares their dependencies
+/// landed, instead of the strict in-order cursor.
+#[derive(Debug, Default)]
+struct ReadyState {
+    /// Indices ready for dispatch but not yet granted (granted smallest
+    /// first, so readiness never perturbs output ordering determinism —
+    /// outputs are collected by index regardless).
+    runnable: std::collections::BTreeSet<usize>,
+    /// Every index ever marked ready. Marking is idempotent against this
+    /// set, so a retried producer re-satisfying its dependents cannot
+    /// double-grant an index.
+    marked: std::collections::BTreeSet<usize>,
+}
+
 /// One stage's gang bookkeeping.
 #[derive(Debug)]
 struct GangState {
@@ -49,16 +64,34 @@ struct GangState {
     priority: u8,
     /// FIFO tie-breaker: registration order.
     seq: u64,
-    /// Next task index to hand out (the claim cursor).
+    /// Tasks granted so far. For an ungated gang this doubles as the claim
+    /// cursor (indices are handed out strictly in order).
     next_task: usize,
     n_tasks: usize,
     /// Worker threads currently inside `next_task`.
     waiters: usize,
+    /// `Some` for a dependency-gated gang (see [`ReadyState`]); `None`
+    /// keeps the legacy strict in-order dispatch.
+    ready: Option<ReadyState>,
+    /// Poisoned: a terminal task failure means pending dependencies will
+    /// never be satisfied; waiters must drain instead of deadlocking.
+    aborted: bool,
 }
 
 impl GangState {
     fn pending(&self) -> usize {
         self.n_tasks - self.next_task
+    }
+
+    /// Whether a grant could be handed out right now (ignoring slots).
+    fn dispatchable(&self) -> bool {
+        if self.aborted || self.pending() == 0 {
+            return false;
+        }
+        match &self.ready {
+            None => true,
+            Some(r) => !r.runnable.is_empty(),
+        }
     }
 }
 
@@ -92,7 +125,7 @@ impl State {
         let candidates = self
             .gangs
             .iter()
-            .filter(|(_, g)| g.pending() > 0 && g.waiters > 0);
+            .filter(|(_, g)| g.dispatchable() && g.waiters > 0);
         if fair_share > 0.0 {
             candidates
                 .min_by_key(|(_, g)| {
@@ -337,6 +370,8 @@ impl Scheduler {
                 next_task: 0,
                 n_tasks,
                 waiters: 0,
+                ready: None,
+                aborted: false,
             },
         );
         self.inner.cv.notify_all();
@@ -344,6 +379,72 @@ impl Scheduler {
             sched: self.clone(),
             id,
         }
+    }
+
+    /// Registers a *dependency-gated* stage: only task indices declared
+    /// ready (at registration via `initially_ready`, later via
+    /// [`Gang::mark_ready`]) are dispatched, smallest ready index first.
+    /// This is how the pipelined executor starts compute for early tasks
+    /// while later tasks' blocks are still in flight — dispatch follows the
+    /// plan's dependency-readiness view, not a stage barrier.
+    pub fn register_gated_gang(
+        &self,
+        tenant: TenantId,
+        priority: u8,
+        n_tasks: usize,
+        initially_ready: impl IntoIterator<Item = usize>,
+    ) -> Gang {
+        let gang = self.register_gang(tenant, priority, n_tasks);
+        {
+            let mut st = self.lock();
+            let g = st.gangs.get_mut(&gang.id).expect("gang just registered");
+            let mut ready = ReadyState::default();
+            for idx in initially_ready {
+                assert!(idx < n_tasks, "ready index {idx} outside gang of {n_tasks}");
+                if ready.marked.insert(idx) {
+                    ready.runnable.insert(idx);
+                }
+            }
+            g.ready = Some(ready);
+        }
+        self.inner.cv.notify_all();
+        gang
+    }
+
+    /// Declares task `index` of a gated gang dispatchable (its dependencies
+    /// landed). Idempotent: re-marking an index (a retried producer
+    /// re-satisfying dependents) is a no-op.
+    fn mark_ready(&self, gang: u64, index: usize) {
+        let mut st = self.lock();
+        let g = st
+            .gangs
+            .get_mut(&gang)
+            .expect("mark_ready on a retired gang");
+        assert!(
+            index < g.n_tasks,
+            "ready index {index} outside gang of {} tasks",
+            g.n_tasks
+        );
+        let ready = g
+            .ready
+            .as_mut()
+            .expect("mark_ready on an ungated gang — register with register_gated_gang");
+        if ready.marked.insert(index) {
+            ready.runnable.insert(index);
+            self.inner.cv.notify_all();
+        }
+    }
+
+    /// Poisons a gang: pending grants stop and every waiter drains with
+    /// `None`. Called when a terminal task failure means outstanding
+    /// dependencies will never be satisfied — the waiters must not
+    /// deadlock on readiness that cannot come.
+    fn abort_gang(&self, gang: u64) {
+        let mut st = self.lock();
+        if let Some(g) = st.gangs.get_mut(&gang) {
+            g.aborted = true;
+        }
+        self.inner.cv.notify_all();
     }
 
     fn next_task(&self, gang: u64) -> Option<TaskGrant> {
@@ -357,7 +458,7 @@ impl Scheduler {
         self.inner.cv.notify_all();
         loop {
             let g = &st.gangs[&gang];
-            if g.pending() == 0 {
+            if g.aborted || g.pending() == 0 {
                 st.gangs.get_mut(&gang).unwrap().waiters -= 1;
                 self.inner.cv.notify_all();
                 return None;
@@ -365,7 +466,16 @@ impl Scheduler {
             if st.held < st.total_slots && st.choose(self.inner.cfg.fair_share) == Some(gang) {
                 let tenant = g.tenant;
                 let g = st.gangs.get_mut(&gang).unwrap();
-                let index = g.next_task;
+                let index = match &mut g.ready {
+                    // Legacy: strict in-order cursor.
+                    None => g.next_task,
+                    // Gated: smallest ready ungranted index.
+                    Some(r) => {
+                        let idx = *r.runnable.iter().next().expect("dispatchable gated gang");
+                        r.runnable.remove(&idx);
+                        idx
+                    }
+                };
                 g.next_task += 1;
                 g.waiters -= 1;
                 st.held += 1;
@@ -432,9 +542,23 @@ impl Scheduler {
 
 impl Gang {
     /// Blocks until this gang is granted a slot, returning the next task
-    /// index (in order) — or `None` once every task has been handed out.
+    /// index (in order for an ungated gang; smallest ready index for a
+    /// gated one) — or `None` once every task has been handed out (or the
+    /// gang was aborted).
     pub fn next_task(&self) -> Option<TaskGrant> {
         self.sched.next_task(self.id)
+    }
+
+    /// Declares task `index` ready for dispatch (gated gangs only; see
+    /// [`Scheduler::register_gated_gang`]). Idempotent.
+    pub fn mark_ready(&self, index: usize) {
+        self.sched.mark_ready(self.id, index);
+    }
+
+    /// Poisons the gang so every waiting worker drains with `None` instead
+    /// of blocking on dependencies that will never be satisfied.
+    pub fn abort(&self) {
+        self.sched.abort_gang(self.id);
     }
 }
 
@@ -642,6 +766,66 @@ mod tests {
         let sched = Scheduler::new(1, cfg(100));
         let gang = sched.register_gang(TenantId(1), 0, 0);
         assert!(gang.next_task().is_none());
+    }
+
+    #[test]
+    fn gated_gang_dispatches_only_ready_indices() {
+        let sched = Scheduler::new(2, cfg(1000));
+        // Tasks 1 and 3 are ready at registration; 0 and 2 are gated.
+        let gang = sched.register_gated_gang(TenantId(1), 0, 4, [1, 3]);
+        let a = gang.next_task().unwrap();
+        let b = gang.next_task().unwrap();
+        assert_eq!((a.index, b.index), (1, 3), "smallest ready index first");
+        drop((a, b));
+        let granted = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while let Some(g) = gang.next_task() {
+                    granted.lock().unwrap().push(g.index);
+                }
+            });
+            spin_until(&sched, |l| l.waiting_workers == 1);
+            gang.mark_ready(2);
+            gang.mark_ready(2); // idempotent
+            spin_until(&sched, |l| l.pending_tasks == 1);
+            gang.mark_ready(0);
+        });
+        assert_eq!(granted.into_inner().unwrap(), vec![2, 0]);
+        assert!(gang.next_task().is_none(), "gang is exhausted");
+    }
+
+    #[test]
+    fn aborted_gang_drains_waiters_instead_of_deadlocking() {
+        let sched = Scheduler::new(2, cfg(1000));
+        let gang = sched.register_gated_gang(TenantId(1), 0, 3, [0]);
+        let first = gang.next_task().unwrap();
+        assert_eq!(first.index, 0);
+        drop(first);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| scope.spawn(|| gang.next_task().is_none()))
+                .collect();
+            // Both workers block: tasks 1 and 2 were never marked ready.
+            spin_until(&sched, |l| l.waiting_workers == 2);
+            gang.abort();
+            for h in handles {
+                assert!(h.join().unwrap(), "waiter must drain with None");
+            }
+        });
+    }
+
+    #[test]
+    fn gated_and_ungated_gangs_share_the_pool() {
+        let sched = Scheduler::new(1, cfg(1000));
+        let gated = sched.register_gated_gang(TenantId(1), 0, 1, []);
+        let plain = sched.register_gang(TenantId(2), 0, 1);
+        // The gated gang has nothing runnable; the plain gang must still
+        // get the slot rather than the pool stalling on the gated one.
+        let g = plain.next_task().unwrap();
+        assert_eq!(g.index, 0);
+        drop(g);
+        gated.mark_ready(0);
+        assert_eq!(gated.next_task().unwrap().index, 0);
     }
 
     #[test]

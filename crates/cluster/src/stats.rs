@@ -143,6 +143,19 @@ pub struct JobStats {
     /// `transport_payload_bytes` so per-job payload accounting is
     /// unaffected by resizes between jobs.
     pub rebalanced_payload_bytes: u64,
+    /// Fraction of communication time hidden behind compute by the
+    /// pipelined executor, `0..=1` (`None` for barrier-mode jobs, which
+    /// overlap nothing by construction). Computed as
+    /// `1 − stall_secs / comm_secs`.
+    pub overlap_ratio: Option<f64>,
+    /// k-panels whose blocks had already landed when the consuming compute
+    /// loop reached them (the prefetch ran ahead — Algorithm 1's double
+    /// buffering paying off).
+    pub prefetch_hits: u64,
+    /// k-panels the compute loop had to wait for — either pulling the
+    /// straggling blocks itself through the transport's one-sided fetch
+    /// path, or blocking on an in-flight prefetch.
+    pub prefetch_stalls: u64,
 }
 
 impl JobStats {
@@ -201,6 +214,12 @@ impl JobStats {
             (Some(a), Some(b)) => Some((a + b) / 2.0),
             (a, b) => a.or(b),
         };
+        self.overlap_ratio = match (self.overlap_ratio, other.overlap_ratio) {
+            (Some(a), Some(b)) => Some((a + b) / 2.0),
+            (a, b) => a.or(b),
+        };
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_stalls += other.prefetch_stalls;
     }
 }
 
@@ -304,5 +323,28 @@ mod tests {
         let mut c = JobStats::default();
         c.merge(&b);
         assert_eq!(c.gpu_utilization, Some(0.4));
+    }
+
+    #[test]
+    fn overlap_counters_merge() {
+        let mut a = JobStats {
+            overlap_ratio: Some(0.9),
+            prefetch_hits: 4,
+            prefetch_stalls: 1,
+            ..Default::default()
+        };
+        let b = JobStats {
+            overlap_ratio: Some(0.5),
+            prefetch_hits: 6,
+            prefetch_stalls: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert!((a.overlap_ratio.unwrap() - 0.7).abs() < 1e-12);
+        assert_eq!(a.prefetch_hits, 10);
+        assert_eq!(a.prefetch_stalls, 4);
+        let mut c = JobStats::default();
+        c.merge(&b);
+        assert_eq!(c.overlap_ratio, Some(0.5));
     }
 }

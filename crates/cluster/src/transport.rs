@@ -27,8 +27,10 @@ use crate::stats::Phase;
 use crate::store::{ClusterStores, StoreKey};
 use bytes::BytesMut;
 use distme_matrix::codec;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Upper bound on pooled scratch buffers: enough for every worker thread a
 /// stage can run, without pinning unbounded memory after a wide stage.
@@ -70,6 +72,72 @@ impl ScratchPool {
     /// How many takes were served from the pool instead of allocating.
     pub fn reuses(&self) -> u64 {
         self.reuses.load(Ordering::Relaxed)
+    }
+}
+
+/// The delivery-notification channel: every completed move publishes its
+/// `(destination node, destination key)` here, so dependency-gated
+/// consumers can ask "has block b landed where I run?" — the per-block
+/// readiness signal that replaces the phase barrier. A move of an
+/// implicitly-zero block publishes too (its *completion* is the event a
+/// dependent task waits on, even though no bytes shipped), so waiting on a
+/// sparse operand's key can never hang.
+#[derive(Debug, Default)]
+pub struct DeliveryBoard {
+    landed: Mutex<BTreeSet<(usize, StoreKey)>>,
+    cv: Condvar,
+}
+
+impl DeliveryBoard {
+    /// Records that the move installing `key` on `node` has completed, and
+    /// wakes every waiter.
+    pub fn publish(&self, node: usize, key: StoreKey) {
+        self.landed
+            .lock()
+            .expect("delivery board lock")
+            .insert((node, key));
+        self.cv.notify_all();
+    }
+
+    /// Whether the move installing `key` on `node` has completed.
+    pub fn is_landed(&self, node: usize, key: &StoreKey) -> bool {
+        self.landed
+            .lock()
+            .expect("delivery board lock")
+            .contains(&(node, *key))
+    }
+
+    /// Whether every listed key has landed on `node` (a whole prefetch
+    /// panel's readiness test).
+    pub fn all_landed(&self, node: usize, keys: &[StoreKey]) -> bool {
+        let landed = self.landed.lock().expect("delivery board lock");
+        keys.iter().all(|k| landed.contains(&(node, *k)))
+    }
+
+    /// Blocks until `key` lands on `node` or `timeout` elapses; returns
+    /// whether it landed.
+    pub fn wait_for(&self, node: usize, key: &StoreKey, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut landed = self.landed.lock().expect("delivery board lock");
+        loop {
+            if landed.contains(&(node, *key)) {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(landed, deadline - now)
+                .expect("delivery board lock");
+            landed = guard;
+        }
+    }
+
+    /// Number of distinct completed deliveries published so far.
+    pub fn landed_count(&self) -> usize {
+        self.landed.lock().expect("delivery board lock").len()
     }
 }
 
@@ -143,6 +211,9 @@ pub struct Transport<'a> {
     /// update lands in both.
     job_stats: Option<&'a TransportStats>,
     scratch: &'a ScratchPool,
+    /// Optional delivery-notification board: completed moves publish their
+    /// landed `(node, key)` for dependency-gated consumers.
+    board: Option<&'a DeliveryBoard>,
     faults: Option<Arc<FaultPlan>>,
     retry: RetryPolicy,
 }
@@ -163,6 +234,7 @@ impl<'a> Transport<'a> {
             stats,
             job_stats: None,
             scratch,
+            board: None,
             faults,
             retry,
         }
@@ -172,6 +244,13 @@ impl<'a> Transport<'a> {
     /// a concurrent job needs, since the shared stats mix all jobs.
     pub fn with_job_counters(mut self, job: &'a TransportStats) -> Self {
         self.job_stats = Some(job);
+        self
+    }
+
+    /// Publishes every completed move to `board` — the delivery
+    /// notifications the pipelined executor's readiness gating consumes.
+    pub fn with_delivery_board(mut self, board: &'a DeliveryBoard) -> Self {
+        self.board = Some(board);
         self
     }
 
@@ -198,6 +277,11 @@ impl<'a> Transport<'a> {
             s.moves.fetch_add(1, Ordering::Relaxed);
         });
         let Some(block) = self.stores.node(mv.from_node).get(&mv.src) else {
+            // Implicit zero: nothing ships, but the *move* is complete —
+            // publish so a consumer gated on this key cannot wait forever.
+            if let Some(board) = self.board {
+                board.publish(mv.to_node, mv.dst);
+            }
             return Ok(0);
         };
         // Real serialized bytes flow on every move, even node-local ones
@@ -249,6 +333,9 @@ impl<'a> Transport<'a> {
                     self.each_stats(|s| {
                         s.delivered.fetch_add(1, Ordering::Relaxed);
                     });
+                    if let Some(board) = self.board {
+                        board.publish(mv.to_node, mv.dst);
+                    }
                     return Ok(payload);
                 }
                 Err(_) if injected => {
@@ -269,6 +356,26 @@ impl<'a> Transport<'a> {
             }
         }
         unreachable!("delivery loop returns on its final iteration")
+    }
+
+    /// Pull-style one-sided fetch: a worker requests a straggling operand
+    /// block itself instead of waiting on the push wave. If the block is
+    /// already resident at the destination (the push delivered it first),
+    /// the fetch is a no-op that moves — and charges — nothing; otherwise
+    /// it is an ordinary [`Transport::execute`] read from the producer's
+    /// store. Returns the encoded payload length (0 when the block was
+    /// already resident or implicitly zero).
+    ///
+    /// # Errors
+    /// Same as [`Transport::execute`].
+    pub fn fetch(&self, mv: &WireMove, task_attempt: u32) -> Result<u64, TaskError> {
+        if self.stores.node(mv.to_node).contains(&mv.dst) {
+            if let Some(board) = self.board {
+                board.publish(mv.to_node, mv.dst);
+            }
+            return Ok(0);
+        }
+        self.execute(mv, task_attempt)
     }
 }
 
@@ -368,6 +475,64 @@ mod tests {
         assert_eq!(stats.moves(), 1);
         assert_eq!(stats.delivered(), 0);
         assert!(!stores.node(1).contains(&key));
+    }
+
+    #[test]
+    fn completed_moves_publish_to_the_delivery_board() {
+        let (stores, stats, scratch) = setup();
+        let board = DeliveryBoard::default();
+        let block = Block::Dense(DenseBlock::from_fn(2, 2, |i, j| (i + j) as f64));
+        let real = StoreKey::operand(4, BlockId::new(0, 0));
+        let zero = StoreKey::operand(4, BlockId::new(1, 1));
+        stores.node(0).install(real, Arc::new(block));
+        let t = clean(&stores, &stats, &scratch).with_delivery_board(&board);
+        let mv = |src: StoreKey| WireMove {
+            phase: Phase::Repartition,
+            from_node: 0,
+            to_node: 2,
+            wire_bytes: 8,
+            src,
+            dst: src,
+        };
+        assert!(!board.is_landed(2, &real));
+        t.execute(&mv(real), 0).unwrap();
+        assert!(board.is_landed(2, &real));
+        // The implicit-zero move ships nothing but still completes.
+        t.execute(&mv(zero), 0).unwrap();
+        assert!(board.is_landed(2, &zero));
+        assert!(board.all_landed(2, &[real, zero]));
+        assert!(!board.all_landed(1, &[real]));
+        assert_eq!(board.landed_count(), 2);
+        assert!(board.wait_for(2, &real, Duration::from_millis(1)));
+        let ghost = StoreKey::operand(4, BlockId::new(9, 9));
+        assert!(!board.wait_for(2, &ghost, Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn fetch_pulls_only_what_the_push_wave_missed() {
+        let (stores, stats, scratch) = setup();
+        let block = Block::Dense(DenseBlock::from_fn(4, 4, |i, j| (i * 4 + j) as f64));
+        let key = StoreKey::operand(9, BlockId::new(1, 0));
+        stores.node(0).install(key, Arc::new(block.clone()));
+        let t = clean(&stores, &stats, &scratch);
+        let mv = WireMove {
+            phase: Phase::Repartition,
+            from_node: 0,
+            to_node: 1,
+            wire_bytes: 64,
+            src: key,
+            dst: key,
+        };
+        // No push happened: the pull performs the delivery itself.
+        let payload = t.fetch(&mv, 0).unwrap();
+        assert_eq!(payload, codec::encoded_len(&block));
+        assert_eq!(&*stores.node(1).get(&key).unwrap(), &block);
+        // Push (or another consumer's pull) already landed it: the pull is
+        // free and charges no second payload.
+        let again = t.fetch(&mv, 0).unwrap();
+        assert_eq!(again, 0);
+        assert_eq!(stats.payload_bytes(), payload);
+        assert_eq!(stats.delivered(), 1);
     }
 
     #[test]

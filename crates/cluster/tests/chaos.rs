@@ -11,7 +11,7 @@
 //! failing case replays exactly from its printed seed.
 
 use distme_cluster::{Blackout, ClusterConfig, FaultSpec, JobError, JobStats, LocalCluster, Phase};
-use distme_core::real_exec;
+use distme_core::real_exec::{self, RealExecOptions};
 use distme_core::MulMethod;
 use distme_matrix::{BlockMatrix, MatrixGenerator, MatrixMeta};
 use proptest::prelude::*;
@@ -97,6 +97,68 @@ fn fixed_seed_drop_corruption_and_crashes_recover_bit_identically() {
     );
     assert_eq!(clean_stats.retries, 0);
     assert_eq!(clean_stats.retransmitted_payload_bytes, 0);
+}
+
+/// The same acceptance run through the pipelined executor: drops and
+/// corrupted frames must recover mid-stream — inside the fused
+/// dependency-gated stage, while panels prefetch and consumers wait on the
+/// delivery board — to the exact bytes of the fault-free *pipelined* twin.
+/// Physical payload bytes are not compared here: the streaming pull path
+/// skips blocks that already landed via another route, so payload (unlike
+/// the result and the ledger) is timing-dependent under pipelining.
+#[test]
+fn pipelined_streaming_recovers_drops_and_corruption_bit_identically() {
+    let (a, b) = operands(5, 4, 3);
+    let opts = RealExecOptions {
+        pipelined: true,
+        ..Default::default()
+    };
+    let spec = FaultSpec {
+        seed: 14,
+        drop_rate: 0.05,
+        corrupt_rate: 0.03,
+        crash_rate: 0.05,
+        blackouts: Vec::new(),
+    };
+    let clean_cluster = LocalCluster::new(ClusterConfig::laptop());
+    let (clean, clean_stats) =
+        real_exec::multiply_with(&clean_cluster, &a, &b, MulMethod::Cpmm, opts)
+            .expect("fault-free pipelined CPMM");
+    let cluster = LocalCluster::new(ClusterConfig::laptop());
+    cluster.inject_faults(spec);
+    let (faulted, stats) = real_exec::multiply_with(&cluster, &a, &b, MulMethod::Cpmm, opts)
+        .expect("faulted pipelined CPMM recovers");
+    let plan = cluster.fault_plan().expect("plan stays armed");
+
+    assert!(plan.dropped() > 0, "seed must drop at least one delivery");
+    assert!(plan.corrupted() > 0, "seed must corrupt at least one frame");
+    assert!(stats.retries + stats.redelivered_moves > 0, "recovery ran");
+    assert_eq!(clean_stats.retries, 0);
+    assert_eq!(clean_stats.retransmitted_payload_bytes, 0);
+
+    assert_eq!(
+        faulted.max_abs_diff(&clean).unwrap(),
+        0.0,
+        "recovered streamed result must be bit-identical"
+    );
+    for phase in Phase::ALL {
+        assert_eq!(
+            cluster.ledger().shuffle_bytes(phase),
+            clean_cluster.ledger().shuffle_bytes(phase),
+            "model bytes diverged in {}",
+            phase.label()
+        );
+        assert_eq!(
+            cluster.ledger().cross_node_bytes(phase),
+            clean_cluster.ledger().cross_node_bytes(phase),
+            "cross-node model bytes diverged in {}",
+            phase.label()
+        );
+    }
+    assert!(
+        stats.overlap_ratio.is_some(),
+        "streamed run reports overlap"
+    );
 }
 
 /// A node blacked out for the whole job is not recoverable by retries:

@@ -35,6 +35,9 @@
 //!   used to *prove* every method computes the same product as the
 //!   single-node reference — and that both backends report bit-identical
 //!   communication bytes;
+//! * [`pipelined`] — the dependency-driven streaming executor: fuses the
+//!   three phases into one gated stage with per-task k-panel prefetch so
+//!   communication overlaps compute, bit-identical to [`real_exec`];
 //! * [`summa`] — SUMMA on an MPI-style process grid, the ScaLAPACK/SciDB
 //!   comparison model of §6.5.
 
@@ -42,6 +45,7 @@ pub mod cuboid;
 pub mod gpu_local;
 pub mod methods;
 pub mod optimizer;
+pub mod pipelined;
 pub mod plan;
 pub mod plan_cache;
 pub mod problem;

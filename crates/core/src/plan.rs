@@ -40,7 +40,7 @@ use std::collections::BTreeMap;
 pub const RESIDENT_OUTPUT_FRACTION: f64 = 0.75;
 
 /// Which operand a routed block belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Operand {
     /// Left input.
     A,
@@ -68,6 +68,21 @@ pub struct BlockMove {
     /// Producer copy index: which mult task produced this intermediate
     /// (aggregation routing only; operand moves use 0). Distinguishes the
     /// `R` partial copies of one C block in the destination node's store.
+    pub copy: u32,
+}
+
+/// One block a task waits for, as a placement-independent identity. The
+/// `(operand, id, copy)` triple names exactly one routed [`BlockMove`]'s
+/// payload, so "all of a task's [`BlockDep`]s have landed" is the
+/// dependency-readiness condition the pipelined executor gates dispatch
+/// on — per task, instead of per phase barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockDep {
+    /// Operand space of the awaited block.
+    pub operand: Operand,
+    /// The awaited block.
+    pub id: BlockId,
+    /// Producer copy index (aggregation inputs only; operand moves use 0).
     pub copy: u32,
 }
 
@@ -102,6 +117,38 @@ pub struct TaskSpec {
     /// work); it drives simulated *time and memory*, while the routing
     /// view is the single source of truth for *communication bytes*.
     pub summary: SimTask,
+}
+
+impl TaskSpec {
+    /// The exact set of blocks this task consumes, derived from its routed
+    /// inputs. The task is runnable once every listed dependency has landed
+    /// on [`TaskSpec::node`] — the per-task readiness contract that
+    /// replaces the phase barrier. Duplicate moves of one identity (RMM
+    /// voxel buckets re-fetching a block for several voxels) collapse to a
+    /// single dependency.
+    pub fn dependencies(&self) -> std::collections::BTreeSet<BlockDep> {
+        self.inputs
+            .iter()
+            .map(|m| BlockDep {
+                operand: m.operand,
+                id: m.id,
+                copy: m.copy,
+            })
+            .collect()
+    }
+
+    /// For an aggregation task: the local-mult task indices producing its
+    /// inputs (a C move's `copy` field *is* the producer task index). An
+    /// aggregation task is dispatchable once these producers finished —
+    /// the coarser, crash-safe gate the pipelined executor uses for C
+    /// copies, since an implicit-zero intermediate never physically lands.
+    pub fn producer_tasks(&self) -> std::collections::BTreeSet<usize> {
+        self.inputs
+            .iter()
+            .filter(|m| m.operand == Operand::C)
+            .map(|m| m.copy as usize)
+            .collect()
+    }
 }
 
 /// One stage of the pipeline.
@@ -231,6 +278,16 @@ impl JobPlan {
     /// physical facts.
     pub fn home_of(&self, operand: Operand, id: BlockId) -> usize {
         operand_home(operand, id, self.nodes)
+    }
+
+    /// Per-task dependency sets for the stage executing `phase`: entry `t`
+    /// lists the exact blocks task `t` consumes, so the plan exposes
+    /// "task T is runnable once blocks {b…} have landed" instead of
+    /// "the previous phase is done". Empty when the plan has no such stage.
+    pub fn task_dependencies(&self, phase: Phase) -> Vec<std::collections::BTreeSet<BlockDep>> {
+        self.stage(phase)
+            .map(|s| s.tasks.iter().map(TaskSpec::dependencies).collect())
+            .unwrap_or_default()
     }
 }
 
@@ -833,6 +890,63 @@ mod tests {
         let before = crate::optimizer::instrument::optimize_calls();
         let _ = JobPlan::build(&p, MulMethod::CuboidAuto, &laptop());
         assert_eq!(crate::optimizer::instrument::optimize_calls() - before, 1);
+    }
+
+    #[test]
+    fn task_dependencies_name_exactly_the_routed_inputs() {
+        let p = MatmulProblem::dense(5_000, 5_000, 5_000);
+        let plan = JobPlan::build(&p, MulMethod::Cuboid(CuboidSpec::new(1, 1, 5)), &laptop());
+
+        // Local-mult deps are the task's routed operand blocks, copy 0.
+        let mult = plan.stage(Phase::LocalMult).unwrap();
+        let dep_sets = plan.task_dependencies(Phase::LocalMult);
+        assert_eq!(dep_sets.len(), mult.tasks.len());
+        for (task, deps) in mult.tasks.iter().zip(&dep_sets) {
+            assert_eq!(deps.len(), task.inputs.len(), "operand moves are distinct");
+            for m in &task.inputs {
+                assert!(deps.contains(&BlockDep {
+                    operand: m.operand,
+                    id: m.id,
+                    copy: 0,
+                }));
+            }
+            assert!(task.producer_tasks().is_empty(), "no C inputs here");
+        }
+
+        // Aggregation deps carry the producer copy index, and the
+        // producer-task view recovers exactly those mult-task indices.
+        let agg = plan.stage(Phase::Aggregation).unwrap();
+        for task in &agg.tasks {
+            let deps = task.dependencies();
+            assert_eq!(deps.len(), task.inputs.len());
+            let producers = task.producer_tasks();
+            for m in &task.inputs {
+                assert_eq!(m.operand, Operand::C);
+                assert!(producers.contains(&(m.copy as usize)));
+                assert!((m.copy as usize) < mult.tasks.len());
+            }
+        }
+
+        // A phase the plan does not stage has no dependency sets.
+        assert!(plan.task_dependencies(Phase::Rebalance).is_empty());
+    }
+
+    #[test]
+    fn rmm_voxel_dependencies_deduplicate_shared_blocks() {
+        // RMM routes one move per voxel-operand pair; a bucket with two
+        // voxels sharing an A block still depends on that block once.
+        let p = MatmulProblem::dense(5_000, 5_000, 5_000);
+        let plan = JobPlan::build(&p, MulMethod::Rmm, &laptop());
+        let mult = plan.stage(Phase::LocalMult).unwrap();
+        let mut saw_dedup = false;
+        for task in &mult.tasks {
+            let deps = task.dependencies();
+            assert!(deps.len() <= task.inputs.len());
+            if deps.len() < task.inputs.len() {
+                saw_dedup = true;
+            }
+        }
+        assert!(saw_dedup, "some bucket must share an operand block");
     }
 
     #[test]

@@ -29,8 +29,9 @@ use crate::methods::{MulMethod, ResolvedMethod};
 use crate::plan::{BlockMove, JobPlan, Operand, TaskWork};
 use crate::problem::MatmulProblem;
 use distme_cluster::{
-    BlockSource, BlockView, JobError, JobStats, LocalCluster, Phase, PhaseStats, StoreKey,
-    TaskError, TenantId, TransportStats, WireMove, RESIDENCY_WINDOW_JOBS,
+    BlockSource, BlockView, JobError, JobStats, LocalCluster, NodeStore, Phase, PhaseStats,
+    PinGuard, StoreKey, TaskCtx, TaskError, TenantId, TransportStats, WireMove,
+    RESIDENCY_WINDOW_JOBS,
 };
 use distme_matrix::{codec, fresh_matrix_uid, kernels, Block, BlockId, BlockMatrix, DenseBlock};
 use std::collections::{BTreeMap, BTreeSet};
@@ -51,6 +52,14 @@ pub struct RealExecOptions {
     /// Scheduler priority of this job's stages (clamped to the cluster's
     /// configured `priority_levels`; higher wins freed slots first).
     pub priority: u8,
+    /// Execute through the dependency-driven streaming path
+    /// ([`crate::pipelined`]): repartition, local multiplication and
+    /// aggregation fuse into one gated stage so communication overlaps
+    /// compute. Result bytes and ledger model bytes are bit-identical to
+    /// the barrier path; off by default because the barrier path's
+    /// per-stage fault-injection stage numbering is part of the chaos
+    /// tests' fixed-seed contract.
+    pub pipelined: bool,
 }
 
 /// Multiplies `a × b` distributed over `cluster` with `method`.
@@ -96,25 +105,54 @@ pub fn multiply_resolved(
     execute_plan(cluster, a, b, &plan, opts)
 }
 
-fn problem_of(a: &BlockMatrix, b: &BlockMatrix) -> Result<MatmulProblem, JobError> {
+pub(crate) fn problem_of(a: &BlockMatrix, b: &BlockMatrix) -> Result<MatmulProblem, JobError> {
     MatmulProblem::new(*a.meta(), *b.meta()).map_err(|e| JobError::TaskFailed {
         task: 0,
         message: e.to_string(),
     })
 }
 
-/// Executes `plan` against materialized operands.
-///
-/// # Errors
-/// See [`multiply`].
-pub fn execute_plan(
-    cluster: &LocalCluster,
+/// Everything both executors share before any stage runs: plan/epoch
+/// validation, broadcast admission, operand ingest at the plan's home
+/// nodes, and the driver-side model-byte charging from the plan's routing
+/// view. Keeping this in one place is what makes the pipelined path's
+/// ledger bytes structurally identical to the barrier path's.
+pub(crate) struct JobSetup<'a> {
+    /// Job-local mirror of the transport counters: the cluster-wide stats
+    /// keep accumulating across jobs (session totals) while this job's
+    /// numbers come from here. Snapshot-delta accounting would read
+    /// concurrent jobs' traffic into this job's stats; a dedicated counter
+    /// cannot.
+    pub(crate) job_transport: TransportStats,
+    /// Which A / B blocks exist at all (the "namenode index"): a view uses
+    /// this to tell an implicit zero from a locality violation.
+    pub(crate) a_index: BTreeSet<BlockId>,
+    pub(crate) b_index: BTreeSet<BlockId>,
+    /// The job's model bytes, accumulated locally from the same routing
+    /// view the ledger was charged from — structurally identical sums, so
+    /// per-job stats stay bit-exact under concurrent jobs without reading
+    /// a shared snapshot that other jobs are mutating.
+    pub(crate) model_shuffle: [u64; Phase::COUNT],
+    pub(crate) model_cross: [u64; Phase::COUNT],
+    pub(crate) model_broadcast: [u64; Phase::COUNT],
+    /// Identity of this job's intermediate C copies in the stores.
+    pub(crate) c_uid: u64,
+    /// Operands and the intermediate result stay resident for the whole
+    /// job even when concurrent job completions advance the residency
+    /// clock past the eviction window.
+    _pins: [PinGuard<'a>; 3],
+}
+
+/// Validates `plan` against the cluster, ingests the operands at their
+/// plan homes and charges the ledger from the routing view. Shared verbatim
+/// by the barrier and pipelined executors.
+pub(crate) fn prepare_job<'a>(
+    cluster: &'a LocalCluster,
     a: &BlockMatrix,
     b: &BlockMatrix,
     plan: &JobPlan,
-    opts: RealExecOptions,
-) -> Result<(BlockMatrix, JobStats), JobError> {
-    let problem = &plan.problem;
+    opts: &RealExecOptions,
+) -> Result<JobSetup<'a>, JobError> {
     let resolved = &plan.resolved;
     let nodes = cluster.config().nodes;
     if plan.nodes != nodes {
@@ -137,18 +175,10 @@ pub fn execute_plan(
         });
     }
 
-    // Per-job physical counters: the cluster-wide transport stats keep
-    // accumulating across jobs (session totals), while this job's numbers
-    // come from a job-local mirror. Snapshot-delta accounting would read
-    // concurrent jobs' traffic into this job's stats; a dedicated counter
-    // cannot.
-    let job_transport = TransportStats::default();
     let stores = cluster.stores();
     stores.begin_job();
-    // Operands stay resident for the whole job even when concurrent job
-    // completions advance the residency clock past the eviction window.
-    let _pin_a = stores.pin(a.uid());
-    let _pin_b = stores.pin(b.uid());
+    let pin_a = stores.pin(a.uid());
+    let pin_b = stores.pin(b.uid());
 
     // Broadcast variables are node-level: one shared copy per node must
     // fit. The admission check uses the *backend-local* encoded sizes (the
@@ -164,11 +194,6 @@ pub fn execute_plan(
         }
     }
 
-    // ------------- Stage 1: ingest + physical repartition -----------------
-    let rep_timer = Instant::now();
-
-    // Which blocks exist at all (the "namenode index"): a view uses this to
-    // tell an implicit zero from a locality violation.
     let a_index: BTreeSet<BlockId> = a.blocks().map(|(id, _)| id).collect();
     let b_index: BTreeSet<BlockId> = b.blocks().map(|(id, _)| id).collect();
 
@@ -196,10 +221,7 @@ pub fn execute_plan(
     }
     stores.touch(a.uid());
     stores.touch(b.uid());
-    // The job's model bytes are accumulated locally from the same routing
-    // view the ledger is charged from — structurally identical sums, so
-    // per-job stats stay bit-exact under concurrent jobs without reading a
-    // shared snapshot that other jobs are mutating.
+
     let mut model_shuffle = [0u64; Phase::COUNT];
     let mut model_cross = [0u64; Phase::COUNT];
     let mut model_broadcast = [0u64; Phase::COUNT];
@@ -219,6 +241,8 @@ pub fn execute_plan(
     // lineage redeliveries therefore cannot skew the model: sim/real byte
     // parity is structural (`tests/plan_parity.rs`), and the physically
     // retransmitted bytes show up only in the transport's own counters.
+    // The pipelined executor changes only *when* deliveries happen, never
+    // this charging, so its ledger bytes stay bit-identical.
     for stage in &plan.stages {
         for task in &stage.tasks {
             for m in &task.inputs {
@@ -238,30 +262,83 @@ pub fn execute_plan(
         }
     }
 
-    // Identity of this job's intermediate C copies in the stores.
     let c_uid = fresh_matrix_uid();
-    let _pin_c = stores.pin(c_uid);
-    let uid_of = |op: Operand| match op {
-        Operand::A => a.uid(),
-        Operand::B => b.uid(),
+    let pin_c = stores.pin(c_uid);
+    Ok(JobSetup {
+        job_transport: TransportStats::default(),
+        a_index,
+        b_index,
+        model_shuffle,
+        model_cross,
+        model_broadcast,
+        c_uid,
+        _pins: [pin_a, pin_b, pin_c],
+    })
+}
+
+/// Lowers a planned [`BlockMove`] to a physical [`WireMove`] keyed by the
+/// replica identity of the operand it carries.
+pub(crate) fn lower_move(
+    a_uid: u64,
+    b_uid: u64,
+    c_uid: u64,
+    phase: Phase,
+    m: &BlockMove,
+) -> WireMove {
+    let uid = match m.operand {
+        Operand::A => a_uid,
+        Operand::B => b_uid,
         Operand::C => c_uid,
     };
-    let lower = |phase: Phase, m: &BlockMove| {
-        let key = StoreKey::replica(uid_of(m.operand), m.id, m.copy);
-        WireMove {
-            phase,
-            from_node: m.from_node,
-            to_node: m.to_node,
-            wire_bytes: m.bytes,
-            src: key,
-            dst: key,
-        }
-    };
+    let key = StoreKey::replica(uid, m.id, m.copy);
+    WireMove {
+        phase,
+        from_node: m.from_node,
+        to_node: m.to_node,
+        wire_bytes: m.bytes,
+        src: key,
+        dst: key,
+    }
+}
+
+/// Executes `plan` against materialized operands.
+///
+/// # Errors
+/// See [`multiply`].
+pub fn execute_plan(
+    cluster: &LocalCluster,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    plan: &JobPlan,
+    opts: RealExecOptions,
+) -> Result<(BlockMatrix, JobStats), JobError> {
+    if opts.pipelined {
+        return crate::pipelined::execute_plan_pipelined(cluster, a, b, plan, opts);
+    }
+    let problem = &plan.problem;
+    let resolved = &plan.resolved;
+    let nodes = cluster.config().nodes;
+
+    // ------------- Stage 1: ingest + physical repartition -----------------
+    let rep_timer = Instant::now();
+    let setup = prepare_job(cluster, a, b, plan, &opts)?;
+    let JobSetup {
+        ref job_transport,
+        ref a_index,
+        ref b_index,
+        model_shuffle,
+        model_cross,
+        model_broadcast,
+        c_uid,
+        ..
+    } = setup;
+    let stores = cluster.stores();
+    let lower = |phase: Phase, m: &BlockMove| lower_move(a.uid(), b.uid(), c_uid, phase, m);
 
     // Physically execute the routing view of every pre-aggregation stage
     // (map-stage CRMM pre-moves + the mult stage's operand fetches): real
     // serialized bytes land in the consuming nodes' stores.
-    let transport = cluster.transport().with_job_counters(&job_transport);
+    let transport = cluster.transport().with_job_counters(job_transport);
     let fetch_lists: Vec<Vec<WireMove>> = plan
         .stages
         .iter()
@@ -293,8 +370,8 @@ pub fn execute_plan(
     let mult = cluster.run_stage_as(opts.tenant, opts.priority, work, |ctx, item| {
         debug_assert_eq!(mult_stage.tasks[ctx.task].node, ctx.node);
         let store = stores.node(ctx.node);
-        let a_view = BlockView::new(store, a.uid(), &a_index);
-        let b_view = BlockView::new(store, b.uid(), &b_index);
+        let a_view = BlockView::new(store, a.uid(), a_index);
+        let b_view = BlockView::new(store, b.uid(), b_index);
         // Finalize an intermediate copy: R = 1 products are final and get
         // the dense/sparse normalization the aggregation stage would apply.
         let finish = |blk: Block| if needs_agg { blk } else { blk.normalize() };
@@ -333,25 +410,7 @@ pub fn execute_plan(
                 Ok(produced)
             }
             TaskWork::Voxels(voxels) => {
-                // RMM: one isolated block product per voxel, no sharing.
-                // Same-(i, j) voxels of one bucket pre-accumulate into a
-                // single intermediate copy (the task produces one block
-                // per destination, like a combiner before the shuffle).
-                let mut acc: BTreeMap<BlockId, Block> = BTreeMap::new();
-                for (i, j, k) in voxels {
-                    let (Some(ab), Some(bb)) = (a_view.block(i, k)?, b_view.block(k, j)?) else {
-                        continue;
-                    };
-                    ctx.alloc(codec::encoded_len(&ab) + codec::encoded_len(&bb))?;
-                    let prod = kernels::multiply(&ab, &bb)?;
-                    ctx.alloc(prod.mem_bytes())?;
-                    let id = BlockId::new(i, j);
-                    let merged = match acc.remove(&id) {
-                        None => prod,
-                        Some(prev) => prev.add(&prod)?,
-                    };
-                    acc.insert(id, merged);
-                }
+                let acc = multiply_voxels(ctx, &voxels, &a_view, &b_view)?;
                 let mut produced = Vec::with_capacity(acc.len());
                 for (id, blk) in acc {
                     store.install(
@@ -431,31 +490,9 @@ pub fn execute_plan(
                     ctx.free(payload);
                 }
                 let store = stores.node(ctx.node);
-                let mut out: Vec<(BlockId, Block)> = Vec::new();
-                for (id, copies) in groups {
-                    let mut acc: Option<Block> = None;
-                    for copy in copies {
-                        match store.get(&StoreKey::replica(c_uid, id, copy)) {
-                            Some(part) => {
-                                ctx.alloc(part.mem_bytes())?;
-                                acc = Some(match acc {
-                                    None => (*part).clone(),
-                                    Some(prev) => prev.add(&part)?,
-                                });
-                            }
-                            // A produced copy that never reached this node is a
-                            // routing bug; an unproduced one is an implicit zero.
-                            None if produced.contains(&(id, copy)) => {
-                                return Err(TaskError::MissingBlock { node: ctx.node, id });
-                            }
-                            None => {}
-                        }
-                    }
-                    if let Some(block) = acc {
-                        out.push((id, block.normalize()));
-                    }
-                }
-                Ok(out)
+                reduce_groups(ctx, store, ctx.node, c_uid, groups, &|id, copy| {
+                    produced.contains(&(id, copy))
+                })
             })?;
         agg_peak = agg.peak_task_mem_bytes;
         agg_retries = agg.retries;
@@ -543,7 +580,7 @@ pub fn execute_plan(
     Ok((c, stats))
 }
 
-fn put_block(c: &mut BlockMatrix, id: BlockId, blk: Arc<Block>) -> Result<(), JobError> {
+pub(crate) fn put_block(c: &mut BlockMatrix, id: BlockId, blk: Arc<Block>) -> Result<(), JobError> {
     c.put_shared(id.row, id.col, blk)
         .map_err(|e| JobError::TaskFailed {
             task: 0,
@@ -551,7 +588,73 @@ fn put_block(c: &mut BlockMatrix, id: BlockId, blk: Arc<Block>) -> Result<(), Jo
         })
 }
 
-fn multiply_cuboid_cpu<A: BlockSource, B: BlockSource>(
+/// RMM voxel work: one isolated block product per voxel, no sharing.
+/// Same-(i, j) voxels of one bucket pre-accumulate into a single
+/// intermediate copy (the task produces one block per destination, like a
+/// combiner before the shuffle).
+pub(crate) fn multiply_voxels<A: BlockSource, B: BlockSource>(
+    ctx: &TaskCtx,
+    voxels: &[(u32, u32, u32)],
+    a: &A,
+    b: &B,
+) -> Result<BTreeMap<BlockId, Block>, TaskError> {
+    let mut acc: BTreeMap<BlockId, Block> = BTreeMap::new();
+    for &(i, j, k) in voxels {
+        let (Some(ab), Some(bb)) = (a.block(i, k)?, b.block(k, j)?) else {
+            continue;
+        };
+        ctx.alloc(codec::encoded_len(&ab) + codec::encoded_len(&bb))?;
+        let prod = kernels::multiply(&ab, &bb)?;
+        ctx.alloc(prod.mem_bytes())?;
+        let id = BlockId::new(i, j);
+        let merged = match acc.remove(&id) {
+            None => prod,
+            Some(prev) => prev.add(&prod)?,
+        };
+        acc.insert(id, merged);
+    }
+    Ok(acc)
+}
+
+/// One aggregation task's reduce: sums the planned intermediate copies of
+/// each output block resident on `node`. `produced` answers whether a
+/// (block, producer-copy) pair physically exists somewhere — a produced
+/// copy that never reached this node is a routing bug; an unproduced one
+/// is an implicit zero.
+pub(crate) fn reduce_groups(
+    ctx: &TaskCtx,
+    store: &NodeStore,
+    node: usize,
+    c_uid: u64,
+    groups: Vec<(BlockId, Vec<u32>)>,
+    produced: &dyn Fn(BlockId, u32) -> bool,
+) -> Result<Vec<(BlockId, Block)>, TaskError> {
+    let mut out: Vec<(BlockId, Block)> = Vec::new();
+    for (id, copies) in groups {
+        let mut acc: Option<Block> = None;
+        for copy in copies {
+            match store.get(&StoreKey::replica(c_uid, id, copy)) {
+                Some(part) => {
+                    ctx.alloc(part.mem_bytes())?;
+                    acc = Some(match acc {
+                        None => (*part).clone(),
+                        Some(prev) => prev.add(&part)?,
+                    });
+                }
+                None if produced(id, copy) => {
+                    return Err(TaskError::MissingBlock { node, id });
+                }
+                None => {}
+            }
+        }
+        if let Some(block) = acc {
+            out.push((id, block.normalize()));
+        }
+    }
+    Ok(out)
+}
+
+pub(crate) fn multiply_cuboid_cpu<A: BlockSource, B: BlockSource>(
     cuboid: &Cuboid,
     a: &A,
     b: &B,

@@ -428,6 +428,7 @@ impl RealOps for TenantSession<'_> {
             gpu_task_mem_bytes: None,
             tenant: self.tenant,
             priority: self.priority,
+            ..Default::default()
         };
         let (out, stats) = real_exec::execute_plan(self.cluster, a, b, &plan, opts)?;
         self.absorb(stats);

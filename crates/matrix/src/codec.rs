@@ -42,8 +42,12 @@ const TAG_SPARSE: u8 = 0x02;
 /// Version byte + trailing CRC-32: bytes a frame carries beyond its body.
 const FRAME_OVERHEAD: u64 = 5;
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// Eight CRC tables for slicing-by-8: `TABLES[0]` is the classic
+/// byte-at-a-time table; `TABLES[j][i]` extends it so that eight input
+/// bytes fold into the running CRC with eight independent lookups per
+/// iteration instead of eight serially dependent ones.
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -56,21 +60,67 @@ const fn crc32_table() -> [u32; 256] {
             };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[j - 1][i];
+            tables[j][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    tables
+}
+
+const CRC_TABLES: [[u32; 256]; 8] = crc32_tables();
+
+/// The reference byte-at-a-time update, kept for short inputs and tails
+/// (and as the oracle the slicing path is tested against).
+fn crc32_bytewise(mut crc: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Slicing-by-8 update: folds eight bytes per iteration through the eight
+/// precomputed tables, breaking the per-byte serial dependency chain.
+fn crc32_slice8(mut crc: u32, bytes: &[u8]) -> u32 {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    crc32_bytewise(crc, chunks.remainder())
 }
 
 /// CRC-32 (IEEE 802.3 polynomial) of `bytes` — the frame checksum. Detects
 /// every single-bit error, which is exactly the corruption class the chaos
 /// layer injects.
+///
+/// Dispatches at runtime on input length (the same pick-the-fast-path
+/// idiom as the GEMM kernels): frames big enough to amortize the wider
+/// loads take the slicing-by-8 path, tiny ones stay byte-at-a-time. Both
+/// paths compute the identical polynomial, so wire format v2 is unchanged
+/// byte for byte.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = crc32_table();
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
+    let crc = if bytes.len() >= 16 {
+        crc32_slice8(0xFFFF_FFFF, bytes)
+    } else {
+        crc32_bytewise(0xFFFF_FFFF, bytes)
+    };
     !crc
 }
 
@@ -500,6 +550,28 @@ mod tests {
         raw[3] ^= 0x80; // high byte of `rows`
         let err = decode_slice(&raw).unwrap_err();
         assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn slicing_by_8_matches_bytewise_reference_at_every_length() {
+        // The fast path must be a pure drop-in: same polynomial, same
+        // checksum for every input length across the dispatch threshold
+        // (including lengths that leave 1..=7 tail bytes).
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let data: Vec<u8> = (0..257)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect();
+        for len in 0..data.len() {
+            let reference = !crc32_bytewise(0xFFFF_FFFF, &data[..len]);
+            let sliced = !crc32_slice8(0xFFFF_FFFF, &data[..len]);
+            assert_eq!(reference, sliced, "mismatch at len {len}");
+            assert_eq!(crc32(&data[..len]), reference, "dispatch at len {len}");
+        }
+        // Known-answer check pinning the polynomial itself.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 
     #[test]

@@ -120,6 +120,83 @@ fn bytes_are_bit_identical_for_sparse_operands() {
 }
 
 #[test]
+fn pipelined_matches_barrier_parity() {
+    // The streaming executor meets the parity invariant from three sides:
+    // its result bytes are bit-identical to the barrier path's, its ledger
+    // is charged the exact model bytes (the routing view is shared, only
+    // delivery *timing* changes), and the pipelined overlap model of the
+    // simulator reports the same bytes again. Physical payload bytes are
+    // deliberately NOT compared: the pull path skips blocks another task's
+    // push already landed, so payload is timing-dependent under streaming.
+    let (a, b) = operands(5, 4, 3, 1.0);
+    let problem = MatmulProblem::new(*a.meta(), *b.meta()).expect("consistent operands");
+    for (method, name) in methods() {
+        let barrier_cluster = LocalCluster::new(ClusterConfig::laptop());
+        let (c_barrier, s_barrier) = real_exec::multiply(&barrier_cluster, &a, &b, method)
+            .unwrap_or_else(|e| panic!("{name} barrier: {e}"));
+
+        let streamed_cluster = LocalCluster::new(ClusterConfig::laptop());
+        let opts = RealExecOptions {
+            pipelined: true,
+            ..Default::default()
+        };
+        let (c_streamed, s_streamed) =
+            real_exec::multiply_with(&streamed_cluster, &a, &b, method, opts)
+                .unwrap_or_else(|e| panic!("{name} pipelined: {e}"));
+
+        assert_eq!(
+            c_streamed.max_abs_diff(&c_barrier).unwrap(),
+            0.0,
+            "{name}: streamed result must be bit-identical"
+        );
+        let mut sim = SimCluster::new(ClusterConfig::laptop());
+        let sim_stats = sim_exec::simulate_pipelined(&mut sim, &problem, method)
+            .unwrap_or_else(|e| panic!("{name} sim: {e}"));
+        for phase in Phase::ALL {
+            assert_eq!(
+                streamed_cluster.ledger().shuffle_bytes(phase),
+                barrier_cluster.ledger().shuffle_bytes(phase),
+                "{name}: ledger shuffle bytes diverge in {}",
+                phase.label()
+            );
+            assert_eq!(
+                streamed_cluster.ledger().cross_node_bytes(phase),
+                barrier_cluster.ledger().cross_node_bytes(phase),
+                "{name}: ledger cross-node bytes diverge in {}",
+                phase.label()
+            );
+            assert_eq!(
+                streamed_cluster.ledger().broadcast_bytes(phase),
+                barrier_cluster.ledger().broadcast_bytes(phase),
+                "{name}: ledger broadcast bytes diverge in {}",
+                phase.label()
+            );
+            assert_eq!(
+                s_streamed.phase(phase).shuffle_bytes,
+                s_barrier.phase(phase).shuffle_bytes,
+                "{name}: stats shuffle bytes diverge in {}",
+                phase.label()
+            );
+            assert_eq!(
+                sim_stats.phase(phase).shuffle_bytes,
+                s_streamed.phase(phase).shuffle_bytes,
+                "{name}: pipelined sim bytes diverge in {}",
+                phase.label()
+            );
+        }
+        let ratio = s_streamed
+            .overlap_ratio
+            .unwrap_or_else(|| panic!("{name}: pipelined jobs report overlap"));
+        assert!((0.0..=1.0).contains(&ratio), "{name}: ratio {ratio}");
+        assert!(
+            s_streamed.prefetch_hits + s_streamed.prefetch_stalls > 0,
+            "{name}: every panel is a hit or a stall"
+        );
+        assert_eq!(s_barrier.overlap_ratio, None, "{name}: barrier runs don't");
+    }
+}
+
+#[test]
 fn fault_recovery_preserves_parity() {
     // The recovery invariant meets the parity invariant: a run that drops,
     // corrupts, and crashes its way to completion must charge the exact
