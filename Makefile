@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint test parity chaos-smoke elastic-smoke service-smoke overlap-smoke build bench bench-json bench-smoke
+.PHONY: ci fmt lint test parity chaos-smoke elastic-smoke service-smoke overlap-smoke codec-smoke build bench bench-json bench-smoke
 
-ci: fmt lint test parity chaos-smoke elastic-smoke service-smoke overlap-smoke bench-smoke
+ci: fmt lint test parity chaos-smoke elastic-smoke service-smoke overlap-smoke bench-smoke codec-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -66,3 +66,10 @@ bench-json:
 # binary self-checks the document before writing). Tiny shapes, debug build.
 bench-smoke:
 	$(CARGO) run -q -p distme-bench --bin hotpath -- --smoke --out target/BENCH_smoke.json
+
+# CI gate: the wire-path hot loop must at least match the seed-style
+# per-element loop (`roundtrip_speedup >= 1.0` for dense AND sparse) — the
+# binary exits nonzero otherwise. Release build: comparing a CRC-fused bulk
+# copy against the element loop is meaningless unoptimized.
+codec-smoke:
+	$(CARGO) run --release -q -p distme-bench --bin hotpath -- --codec-only --check-codec --out target/BENCH_codec.json

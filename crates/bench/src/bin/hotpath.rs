@@ -5,12 +5,16 @@
 //!
 //! * packed GEMM / GEMM-TN throughput (GFLOP/s) across shapes that stress
 //!   the blocking edges;
-//! * codec throughput (GB/s) for dense and sparse blocks — both the bulk
-//!   hot path the transport uses (`encode_into` into a reused buffer +
-//!   `decode_slice`) and an in-binary replica of the original per-element
-//!   loop (fresh buffer + `freeze` + element-wise `Bytes` decode), so the
-//!   speedup is tracked against a fixed reference, not a moving one;
-//! * transport round-trip throughput through the scratch-pool path;
+//! * standalone CRC-32 throughput (GB/s) per dispatch tier (bytewise,
+//!   slicing-by-8, PCLMUL folding where available) plus the active tier,
+//!   so codec regressions are attributable to checksum vs copy vs framing;
+//! * codec throughput (GB/s) for dense and sparse blocks — the hot path
+//!   exactly as the transport ships each kind (dense: aligned fused
+//!   encode and zero-copy `decode_view`; sparse: `encode_into` a reused
+//!   buffer and `decode_slice`) against an in-binary replica of the
+//!   original per-element loop, so the speedup is tracked against a
+//!   fixed reference, not a moving one;
+//! * transport round-trip throughput through the wire path;
 //! * block-migration throughput of an elastic resize cycle (grow 4→9,
 //!   shrink 9→4) over a resident working set;
 //! * wall time of one fixed CuboidMM job on the real executor;
@@ -19,7 +23,10 @@
 //!
 //! Writes the results as JSON (default `BENCH_hotpath.json`, `--out` to
 //! override) and self-checks that the emitted document parses. `--smoke`
-//! shrinks every workload to a few milliseconds for CI.
+//! shrinks every workload to a few milliseconds for CI; `--codec-only`
+//! emits just the crc + codec sections, and `--check-codec` exits nonzero
+//! unless both dense and sparse `roundtrip_speedup` are ≥ 1.0 (the
+//! `make codec-smoke` CI gate).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use distme_cluster::stats::Phase;
@@ -35,13 +42,20 @@ use std::time::Instant;
 
 fn main() {
     let mut smoke = false;
+    let mut codec_only = false;
+    let mut check_codec = false;
     let mut out = String::from("BENCH_hotpath.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--codec-only" => codec_only = true,
+            "--check-codec" => check_codec = true,
             "--out" => out = args.next().expect("--out needs a path"),
-            other => panic!("unknown argument: {other} (expected --smoke / --out PATH)"),
+            other => panic!(
+                "unknown argument: {other} \
+                 (expected --smoke / --codec-only / --check-codec / --out PATH)"
+            ),
         }
     }
 
@@ -51,21 +65,47 @@ fn main() {
         "  \"mode\": \"{}\",\n",
         if smoke { "smoke" } else { "full" }
     ));
-    doc.push_str(&format!("  \"gemm\": {},\n", bench_gemm(smoke)));
-    doc.push_str(&format!("  \"codec\": {},\n", bench_codec(smoke)));
-    doc.push_str(&format!("  \"transport\": {},\n", bench_transport(smoke)));
-    doc.push_str(&format!("  \"rebalance\": {},\n", bench_rebalance(smoke)));
-    doc.push_str(&format!("  \"cuboid_job\": {},\n", bench_cuboid_job(smoke)));
-    doc.push_str(&format!(
-        "  \"cuboid_job_pipelined\": {},\n",
-        bench_cuboid_job_pipelined(smoke)
-    ));
-    doc.push_str(&format!("  \"service\": {}\n", bench_service(smoke)));
+    if !codec_only {
+        doc.push_str(&format!("  \"gemm\": {},\n", bench_gemm(smoke)));
+    }
+    doc.push_str(&format!("  \"crc\": {},\n", bench_crc(smoke)));
+    let codec = bench_codec(smoke);
+    if codec_only {
+        doc.push_str(&format!("  \"codec\": {}\n", codec.json));
+    } else {
+        doc.push_str(&format!("  \"codec\": {},\n", codec.json));
+        doc.push_str(&format!("  \"transport\": {},\n", bench_transport(smoke)));
+        doc.push_str(&format!("  \"rebalance\": {},\n", bench_rebalance(smoke)));
+        doc.push_str(&format!("  \"cuboid_job\": {},\n", bench_cuboid_job(smoke)));
+        doc.push_str(&format!(
+            "  \"cuboid_job_pipelined\": {},\n",
+            bench_cuboid_job_pipelined(smoke)
+        ));
+        doc.push_str(&format!("  \"service\": {}\n", bench_service(smoke)));
+    }
     doc.push('}');
 
     json_check(&doc).expect("emitted benchmark document must be valid JSON");
     std::fs::write(&out, format!("{doc}\n")).expect("write benchmark JSON");
     println!("wrote {out}");
+
+    if check_codec {
+        println!(
+            "codec check: dense roundtrip_speedup {:.4}, sparse roundtrip_speedup {:.4}",
+            codec.dense_speedup, codec.sparse_speedup
+        );
+        assert!(
+            codec.dense_speedup >= 1.0,
+            "dense hot path regressed below the seed-style loop: speedup {:.4} < 1.0",
+            codec.dense_speedup
+        );
+        assert!(
+            codec.sparse_speedup >= 1.0,
+            "sparse hot path regressed below the seed-style loop: speedup {:.4} < 1.0",
+            codec.sparse_speedup
+        );
+        println!("codec check: ok");
+    }
 }
 
 /// Formats an `f64` as a JSON number (non-finite values become 0).
@@ -192,24 +232,83 @@ fn gemm_tn_row(m: usize, k: usize, n: usize, smoke: bool) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// CRC: standalone checksum throughput per dispatch tier
+// ---------------------------------------------------------------------------
+
+/// GB/s of each available CRC tier over a frame-sized buffer, plus the tier
+/// the dispatcher actually picks — so a codec regression is attributable to
+/// checksum vs copy vs framing at a glance.
+fn bench_crc(smoke: bool) -> String {
+    use codec::CrcTier;
+    let n = if smoke { 64 * 1024 } else { 512 * 1024 };
+    let mut state = 0x0123_4567_89ab_cdefu64;
+    let data: Vec<u8> = (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 56) as u8
+        })
+        .collect();
+    let mut tiers = Vec::new();
+    for tier in CrcTier::ALL {
+        if !tier.available() {
+            continue;
+        }
+        // ~1 GB of input per tier in full mode (bytewise gets fewer reps).
+        let reps = if smoke {
+            4
+        } else if tier == CrcTier::Bytewise {
+            256
+        } else {
+            2048
+        };
+        let mut acc = 0u32;
+        let t = Instant::now();
+        for _ in 0..reps {
+            acc ^= codec::crc32_with_tier(tier, &data).expect("tier available");
+        }
+        let secs = t.elapsed().as_secs_f64();
+        std::hint::black_box(acc);
+        tiers.push(format!(
+            "{{\"tier\": \"{}\", \"gbps\": {}}}",
+            tier.name(),
+            num((n * reps) as f64 / secs / 1e9)
+        ));
+    }
+    format!(
+        "{{\"bytes\": {n}, \"active\": \"{}\", \"tiers\": [\n    {}\n  ]}}",
+        codec::active_crc_tier().name(),
+        tiers.join(",\n    ")
+    )
+}
+
+// ---------------------------------------------------------------------------
 // Codec
 // ---------------------------------------------------------------------------
 
-fn bench_codec(smoke: bool) -> String {
+/// The codec section's JSON plus the speedups `--check-codec` gates on.
+struct CodecBench {
+    json: String,
+    dense_speedup: f64,
+    sparse_speedup: f64,
+}
+
+fn bench_codec(smoke: bool) -> CodecBench {
     // Distributed jobs ship sub-matrix blocks, not whole operands; 256x256
     // (512 KB dense) matches the block-size regime of the executor's jobs,
     // so this is the traffic the transport actually serializes.
     let side = if smoke { 64 } else { 256 };
     let dense = Block::Dense(seeded_dense(side, side, 7));
     let sparse = Block::Sparse(seeded_sparse(side, side, 20, 9));
-    format!(
-        "{{\n    \"dense\": {},\n    \"sparse\": {}\n  }}",
-        codec_section(&dense, smoke),
-        codec_section(&sparse, smoke)
-    )
+    let (dense_json, dense_speedup) = codec_section(&dense, smoke);
+    let (sparse_json, sparse_speedup) = codec_section(&sparse, smoke);
+    CodecBench {
+        json: format!("{{\n    \"dense\": {dense_json},\n    \"sparse\": {sparse_json}\n  }}"),
+        dense_speedup,
+        sparse_speedup,
+    }
 }
 
-fn codec_section(block: &Block, smoke: bool) -> String {
+fn codec_section(block: &Block, smoke: bool) -> (String, f64) {
     let len = codec::encoded_len(block) as usize;
     // ~256 MB of traffic per direction in full mode.
     let reps = if smoke {
@@ -218,21 +317,47 @@ fn codec_section(block: &Block, smoke: bool) -> String {
         (256_000_000 / len.max(1)).clamp(8, 4096)
     };
 
-    // Hot path: bulk copies into a reused scratch buffer, decode in place.
-    let mut buf = BytesMut::default();
-    codec::encode_into(block, &mut buf);
-    let t = Instant::now();
-    for _ in 0..reps {
-        buf.clear();
-        codec::encode_into(block, &mut buf);
-    }
-    let hot_enc = t.elapsed().as_secs_f64();
-    let t = Instant::now();
-    for _ in 0..reps {
-        let b = codec::decode_slice(&buf).expect("round-trips");
-        std::hint::black_box(&b);
-    }
-    let hot_dec = t.elapsed().as_secs_f64();
+    // Hot path, exactly as the transport ships each block kind: dense takes
+    // the zero-copy route (fresh exact-size buffer, aligned fused encode,
+    // freeze, `decode_view` aliasing the frame); sparse reuses one scratch
+    // buffer and materializes with `decode_slice`.
+    let (hot_enc, hot_dec) = match block {
+        Block::Dense(_) => {
+            let t = Instant::now();
+            for _ in 0..reps {
+                let mut buf = BytesMut::with_capacity(len + 7);
+                codec::encode_aligned(block, &mut buf);
+                std::hint::black_box(&buf);
+            }
+            let hot_enc = t.elapsed().as_secs_f64();
+            let mut buf = BytesMut::with_capacity(len + 7);
+            let pad = codec::encode_aligned(block, &mut buf);
+            let wire = buf.freeze();
+            let frame = wire.slice(pad..wire.len());
+            let t = Instant::now();
+            for _ in 0..reps {
+                let b = codec::decode_view(&frame).expect("round-trips");
+                std::hint::black_box(&b);
+            }
+            (hot_enc, t.elapsed().as_secs_f64())
+        }
+        Block::Sparse(_) => {
+            let mut buf = BytesMut::default();
+            codec::encode_into(block, &mut buf);
+            let t = Instant::now();
+            for _ in 0..reps {
+                buf.clear();
+                codec::encode_into(block, &mut buf);
+            }
+            let hot_enc = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            for _ in 0..reps {
+                let b = codec::decode_slice(&buf).expect("round-trips");
+                std::hint::black_box(&b);
+            }
+            (hot_enc, t.elapsed().as_secs_f64())
+        }
+    };
 
     // Reference path: the original per-element loop into a fresh buffer
     // (frozen into `Bytes`, as the transport used to ship), decoded
@@ -254,7 +379,8 @@ fn codec_section(block: &Block, smoke: bool) -> String {
     let gbps = |secs: f64| moved / secs / 1e9;
     let hot_rt = gbps(hot_enc + hot_dec);
     let ref_rt = gbps(ref_enc + ref_dec);
-    format!(
+    let speedup = hot_rt / ref_rt;
+    let json = format!(
         "{{\"bytes\": {len}, \"reps\": {reps}, \
          \"hot\": {{\"encode_gbps\": {}, \"decode_gbps\": {}, \"roundtrip_gbps\": {}}}, \
          \"seed_style\": {{\"encode_gbps\": {}, \"decode_gbps\": {}, \"roundtrip_gbps\": {}}}, \
@@ -265,8 +391,9 @@ fn codec_section(block: &Block, smoke: bool) -> String {
         num(gbps(ref_enc)),
         num(gbps(ref_dec)),
         num(ref_rt),
-        num(hot_rt / ref_rt)
-    )
+        num(speedup)
+    );
+    (json, speedup)
 }
 
 /// The seed codec's encoder: one `put_*` per element, frozen to `Bytes`.

@@ -530,6 +530,36 @@ mod tests {
     }
 
     #[test]
+    fn shared_view_blocks_live_and_die_with_the_store() {
+        // The transport installs dense blocks that alias their wire buffer
+        // (`DenseBlock::is_shared()`); the store must treat them like any
+        // other block — readable, counted, and freed on removal (dropping
+        // the last Arc releases the wire buffer itself).
+        use bytes::BytesMut;
+        use distme_matrix::codec;
+
+        let owned = Block::Dense(DenseBlock::from_fn(4, 4, |i, j| (i * 4 + j) as f64));
+        let mut buf = BytesMut::default();
+        let pad = codec::encode_aligned(&owned, &mut buf);
+        let wire = buf.freeze();
+        let shared = codec::decode_view(&wire.slice(pad..wire.len())).unwrap();
+        match &shared {
+            Block::Dense(d) => assert!(d.is_shared()),
+            Block::Sparse(_) => panic!("dense frame decoded as sparse"),
+        }
+
+        let s = NodeStore::new(0);
+        let k = StoreKey::operand(9, BlockId::new(0, 0));
+        s.install(k, Arc::new(shared));
+        let got = s.get(&k).unwrap();
+        assert_eq!(&*got, &owned);
+        assert!(s.resident_bytes() > 0);
+        drop(got);
+        assert!(s.remove(&k));
+        assert!(s.is_empty());
+    }
+
+    #[test]
     fn view_distinguishes_zero_from_missing() {
         let store = NodeStore::new(3);
         let uid = 42;

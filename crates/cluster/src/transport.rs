@@ -36,6 +36,12 @@ use std::time::Duration;
 /// stage can run, without pinning unbounded memory after a wide stage.
 const SCRATCH_POOL_CAP: usize = 64;
 
+/// Largest allocation a returned scratch buffer may keep. A rebalance move
+/// of a max-size block would otherwise park a block-sized buffer in the
+/// pool forever; anything bigger than this is dropped on recycle and the
+/// next take re-allocates to fit.
+pub const SCRATCH_RETAIN_BYTES: usize = 4 << 20;
+
 /// A pool of reusable serialization buffers shared by the transport's
 /// callers (the stage workers): each move borrows one scratch [`BytesMut`],
 /// encodes into it, decodes straight out of it, and returns it — so a
@@ -61,8 +67,14 @@ impl ScratchPool {
         }
     }
 
-    /// Returns a buffer to the pool (dropped once the pool is full).
+    /// Returns a buffer to the pool. Dropped once the pool is full, and
+    /// dropped when its allocation exceeds [`SCRATCH_RETAIN_BYTES`] — a
+    /// one-off giant move must not pin a giant buffer for the pool's
+    /// lifetime.
     pub fn recycle(&self, buf: BytesMut) {
+        if buf.capacity() > SCRATCH_RETAIN_BYTES {
+            return;
+        }
         let mut bufs = self.bufs.lock().expect("scratch pool lock");
         if bufs.len() < SCRATCH_POOL_CAP {
             bufs.push(buf);
@@ -261,12 +273,53 @@ impl<'a> Transport<'a> {
         }
     }
 
+    /// Charges one transmission's physical bytes: the very first
+    /// transmission lands in `payload_bytes` (identical between a faulted
+    /// run and its fault-free twin); everything after it — whether a
+    /// transport-level redelivery or a re-run task re-fetching — is
+    /// recovery traffic, kept out of `payload_bytes` so the fault-free
+    /// accounting stays bit-identical.
+    fn charge_transmission(&self, payload: u64, first: bool) {
+        if first {
+            self.each_stats(|s| {
+                s.payload_bytes.fetch_add(payload, Ordering::Relaxed);
+            });
+        } else {
+            self.each_stats(|s| {
+                s.redelivered.fetch_add(1, Ordering::Relaxed);
+                s.retransmitted_bytes.fetch_add(payload, Ordering::Relaxed);
+            });
+        }
+    }
+
+    /// Installs a decoded block at the move's destination and publishes the
+    /// delivery.
+    fn install(&self, mv: &WireMove, decoded: distme_matrix::Block) {
+        self.stores
+            .node(mv.to_node)
+            .install(mv.dst, std::sync::Arc::new(decoded));
+        self.each_stats(|s| {
+            s.delivered.fetch_add(1, Ordering::Relaxed);
+        });
+        if let Some(board) = self.board {
+            board.publish(mv.to_node, mv.dst);
+        }
+    }
+
     /// Executes one move on behalf of task attempt `task_attempt`. The
     /// physical encode/wire/decode round-trip happens only when the source
     /// block exists (implicit zeros ship nothing). A delivery the fault
     /// plan drops or corrupts is re-read from the producer's store and
     /// re-sent, up to the retry policy's attempt bound. Returns the
     /// encoded payload length (0 for an implicit zero).
+    ///
+    /// Dense blocks take a zero-copy receive path: the frame is encoded
+    /// with its payload 8-byte aligned, the wire buffer is frozen, and
+    /// `decode_view` installs a block that aliases the frame's `f64`
+    /// section in place — the buffer *becomes* the installed block's
+    /// storage (so it is not pooled; its lifetime is the block's). Sparse
+    /// frames keep the pooled encode → `decode_slice` → recycle loop, since
+    /// their CSR arrays are materialized on decode either way.
     ///
     /// # Errors
     /// [`TaskError::LostBlock`] / [`TaskError::CorruptBlock`] when
@@ -286,28 +339,84 @@ impl<'a> Transport<'a> {
         };
         // Real serialized bytes flow on every move, even node-local ones
         // (Spark serializes through shuffle files regardless of locality).
-        // The wire buffer is borrowed from the scratch pool and decoded
-        // in place, so steady-state shuffles never allocate for the bytes.
+        match &*block {
+            distme_matrix::Block::Dense(_) => self.deliver_dense(&block, mv, task_attempt),
+            distme_matrix::Block::Sparse(_) => self.deliver_sparse(&block, mv, task_attempt),
+        }
+    }
+
+    /// Dense delivery: fresh exact-size buffer per transmission, aligned
+    /// encode, frozen into the installed block's backing storage.
+    fn deliver_dense(
+        &self,
+        block: &distme_matrix::Block,
+        mv: &WireMove,
+        task_attempt: u32,
+    ) -> Result<u64, TaskError> {
+        let deliveries = self.retry.max_attempts.max(1);
+        for delivery in 0..deliveries {
+            let mut buf = BytesMut::with_capacity(codec::encoded_len(block) as usize + 7);
+            let pad = codec::encode_aligned(block, &mut buf);
+            let payload = (buf.len() - pad) as u64;
+            self.charge_transmission(payload, task_attempt == 0 && delivery == 0);
+            if let Some(faults) = &self.faults {
+                if faults.drop_delivery(mv, task_attempt, delivery) {
+                    if delivery + 1 == deliveries {
+                        return Err(TaskError::LostBlock {
+                            node: mv.to_node,
+                            id: mv.dst.id,
+                        });
+                    }
+                    continue;
+                }
+            }
+            // Corruption strikes the frame, never the pad — a flip landing
+            // in alignment filler would be invisible to the checksum.
+            let injected = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.corrupt_payload(mv, task_attempt, delivery, &mut buf[pad..]));
+            let wire = buf.freeze();
+            let frame = wire.slice(pad..wire.len());
+            match codec::decode_view(&frame) {
+                Ok(decoded) => {
+                    self.install(mv, decoded);
+                    return Ok(payload);
+                }
+                Err(_) if injected => {
+                    // The CRC gate caught the injected flip; re-read the
+                    // block from the producer (lineage) and re-send.
+                    if delivery + 1 == deliveries {
+                        return Err(TaskError::CorruptBlock {
+                            node: mv.to_node,
+                            id: mv.dst.id,
+                        });
+                    }
+                }
+                Err(e) => {
+                    return Err(TaskError::Compute(format!("transport: {e}")));
+                }
+            }
+        }
+        unreachable!("delivery loop returns on its final iteration")
+    }
+
+    /// Sparse delivery: the wire buffer is borrowed from the scratch pool
+    /// and decoded out of in place, so steady-state sparse shuffles never
+    /// allocate for the bytes.
+    fn deliver_sparse(
+        &self,
+        block: &distme_matrix::Block,
+        mv: &WireMove,
+        task_attempt: u32,
+    ) -> Result<u64, TaskError> {
         let mut buf = self.scratch.take();
         let deliveries = self.retry.max_attempts.max(1);
         for delivery in 0..deliveries {
             buf.clear();
-            codec::encode_into(&block, &mut buf);
+            codec::encode_into(block, &mut buf);
             let payload = buf.len() as u64;
-            if task_attempt == 0 && delivery == 0 {
-                self.each_stats(|s| {
-                    s.payload_bytes.fetch_add(payload, Ordering::Relaxed);
-                });
-            } else {
-                // Everything after the very first transmission — whether a
-                // transport-level redelivery or a re-run task re-fetching —
-                // is recovery traffic, kept out of `payload_bytes` so the
-                // fault-free accounting stays bit-identical.
-                self.each_stats(|s| {
-                    s.redelivered.fetch_add(1, Ordering::Relaxed);
-                    s.retransmitted_bytes.fetch_add(payload, Ordering::Relaxed);
-                });
-            }
+            self.charge_transmission(payload, task_attempt == 0 && delivery == 0);
             if let Some(faults) = &self.faults {
                 if faults.drop_delivery(mv, task_attempt, delivery) {
                     if delivery + 1 == deliveries {
@@ -327,15 +436,7 @@ impl<'a> Transport<'a> {
             match codec::decode_slice(&buf) {
                 Ok(decoded) => {
                     self.scratch.recycle(buf);
-                    self.stores
-                        .node(mv.to_node)
-                        .install(mv.dst, std::sync::Arc::new(decoded));
-                    self.each_stats(|s| {
-                        s.delivered.fetch_add(1, Ordering::Relaxed);
-                    });
-                    if let Some(board) = self.board {
-                        board.publish(mv.to_node, mv.dst);
-                    }
+                    self.install(mv, decoded);
                     return Ok(payload);
                 }
                 Err(_) if injected => {
@@ -432,9 +533,13 @@ mod tests {
     }
 
     #[test]
-    fn repeat_moves_reuse_the_scratch_buffer() {
+    fn repeat_sparse_moves_reuse_the_scratch_buffer() {
+        // Sparse is the pooled path; dense buffers become block storage and
+        // are deliberately never recycled (see the zero-copy test below).
         let (stores, stats, scratch) = setup();
-        let block = Block::Dense(DenseBlock::from_fn(8, 8, |i, j| (i + j) as f64));
+        let block = Block::Sparse(
+            distme_matrix::CsrBlock::from_triplets(8, 8, vec![(0, 1, 1.0), (7, 7, -3.0)]).unwrap(),
+        );
         let key = StoreKey::operand(7, BlockId::new(0, 0));
         stores.node(0).install(key, Arc::new(block));
         let t = clean(&stores, &stats, &scratch);
@@ -451,6 +556,54 @@ mod tests {
         t.execute(&mv, 0).unwrap();
         t.execute(&mv, 0).unwrap();
         assert_eq!(scratch.reuses(), 2, "sequential moves share one buffer");
+    }
+
+    #[test]
+    fn dense_delivery_installs_a_zero_copy_view() {
+        let (stores, stats, scratch) = setup();
+        let block = Block::Dense(DenseBlock::from_fn(16, 16, |i, j| (i * 16 + j) as f64));
+        let key = StoreKey::operand(11, BlockId::new(0, 0));
+        stores.node(0).install(key, Arc::new(block.clone()));
+        let t = clean(&stores, &stats, &scratch);
+        let mv = WireMove {
+            phase: Phase::Repartition,
+            from_node: 0,
+            to_node: 2,
+            wire_bytes: 64,
+            src: key,
+            dst: key,
+        };
+        let payload = t.execute(&mv, 0).unwrap();
+        assert_eq!(payload, codec::encoded_len(&block));
+        let installed = stores.node(2).get(&key).unwrap();
+        assert_eq!(&*installed, &block);
+        match &*installed {
+            Block::Dense(d) => assert!(
+                d.is_shared(),
+                "the installed block must alias the wire buffer, not copy it"
+            ),
+            Block::Sparse(_) => panic!("dense move installed sparse"),
+        }
+        // Dense buffers become block storage: nothing returns to the pool.
+        t.execute(&mv, 0).unwrap();
+        assert_eq!(scratch.reuses(), 0);
+    }
+
+    #[test]
+    fn recycle_drops_oversized_buffers() {
+        let pool = ScratchPool::default();
+        let mut big = BytesMut::with_capacity(SCRATCH_RETAIN_BYTES + 1);
+        big.extend_from_slice(&[1]);
+        pool.recycle(big);
+        pool.take();
+        assert_eq!(pool.reuses(), 0, "an oversized buffer must not be pooled");
+
+        let mut small = BytesMut::with_capacity(1024);
+        small.extend_from_slice(&[1]);
+        pool.recycle(small);
+        let took = pool.take();
+        assert_eq!(pool.reuses(), 1, "a bounded buffer is reused");
+        assert!(took.is_empty(), "recycled buffers come back cleared");
     }
 
     #[test]

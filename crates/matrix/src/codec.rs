@@ -106,22 +106,264 @@ fn crc32_slice8(mut crc: u32, bytes: &[u8]) -> u32 {
     crc32_bytewise(crc, chunks.remainder())
 }
 
+/// PCLMULQDQ-folded CRC-32 over the same reflected IEEE polynomial: four
+/// 128-bit lanes of carry-less multiplication fold 64 input bytes per
+/// iteration, then Barrett reduction collapses the folded remainder to the
+/// 32-bit CRC. Constants and fold order follow Intel's "Fast CRC
+/// Computation for Generic Polynomials Using PCLMULQDQ" (the same schedule
+/// zlib and the Linux kernel ship). Identical output to the table paths at
+/// every length, so wire format v2 is unchanged byte for byte.
+#[cfg(target_arch = "x86_64")]
+mod pclmul {
+    use std::arch::x86_64::*;
+
+    // Folding constants for the reflected polynomial 0xEDB88320:
+    // x^(4·128+32), x^(4·128-32), x^(128+32), x^(128-32), x^64 mod P, and
+    // the Barrett pair (P', μ).
+    const K1: i64 = 0x01_5444_2bd4;
+    const K2: i64 = 0x01_c6e4_1596;
+    const K3: i64 = 0x01_7519_97d0;
+    const K4: i64 = 0x00_ccaa_009e;
+    const K5: i64 = 0x01_63cd_6124;
+    const POLY: i64 = 0x01_db71_0641;
+    const MU: i64 = 0x01_f701_1641;
+
+    /// Whether this CPU can run the folded kernel.
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("pclmulqdq")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+    }
+
+    /// Folds as many whole 16-byte lanes of `bytes` as possible into `crc`,
+    /// returning the updated running CRC and the number of bytes consumed
+    /// (a multiple of 16; the caller finishes the tail with a table path).
+    ///
+    /// # Safety
+    /// Requires `pclmulqdq` and `sse4.1` (checked via [`available`]) and
+    /// `bytes.len() >= 64`.
+    #[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+    pub unsafe fn fold(crc: u32, bytes: &[u8]) -> (u32, usize) {
+        debug_assert!(bytes.len() >= 64);
+        let mut p = bytes.as_ptr();
+        let mut len = bytes.len();
+
+        let k1k2 = _mm_set_epi64x(K2, K1);
+        let mut x1 = _mm_loadu_si128(p.cast());
+        let mut x2 = _mm_loadu_si128(p.add(16).cast());
+        let mut x3 = _mm_loadu_si128(p.add(32).cast());
+        let mut x4 = _mm_loadu_si128(p.add(48).cast());
+        x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(crc as i32));
+        p = p.add(64);
+        len -= 64;
+
+        // Four independent lanes, 64 bytes per step.
+        while len >= 64 {
+            let f = |x: __m128i, next: __m128i| {
+                _mm_xor_si128(
+                    _mm_xor_si128(
+                        _mm_clmulepi64_si128(x, k1k2, 0x00),
+                        _mm_clmulepi64_si128(x, k1k2, 0x11),
+                    ),
+                    next,
+                )
+            };
+            x1 = f(x1, _mm_loadu_si128(p.cast()));
+            x2 = f(x2, _mm_loadu_si128(p.add(16).cast()));
+            x3 = f(x3, _mm_loadu_si128(p.add(32).cast()));
+            x4 = f(x4, _mm_loadu_si128(p.add(48).cast()));
+            p = p.add(64);
+            len -= 64;
+        }
+
+        // Fold the four lanes into one, then any remaining 16-byte lanes.
+        let k3k4 = _mm_set_epi64x(K4, K3);
+        let fold1 = |a: __m128i, b: __m128i| {
+            _mm_xor_si128(
+                _mm_xor_si128(
+                    _mm_clmulepi64_si128(a, k3k4, 0x00),
+                    _mm_clmulepi64_si128(a, k3k4, 0x11),
+                ),
+                b,
+            )
+        };
+        let mut x = fold1(x1, x2);
+        x = fold1(x, x3);
+        x = fold1(x, x4);
+        while len >= 16 {
+            x = fold1(x, _mm_loadu_si128(p.cast()));
+            p = p.add(16);
+            len -= 16;
+        }
+
+        // Reduce 128 → 64 bits, then Barrett-reduce to the 32-bit CRC.
+        let mask32 = _mm_setr_epi32(!0, 0, !0, 0);
+        let t = _mm_clmulepi64_si128(x, k3k4, 0x10);
+        x = _mm_xor_si128(_mm_srli_si128(x, 8), t);
+        let k5v = _mm_set_epi64x(0, K5);
+        let t2 = _mm_srli_si128(x, 4);
+        x = _mm_and_si128(x, mask32);
+        x = _mm_clmulepi64_si128(x, k5v, 0x00);
+        x = _mm_xor_si128(x, t2);
+
+        let polymu = _mm_set_epi64x(MU, POLY);
+        let mut t3 = _mm_and_si128(x, mask32);
+        t3 = _mm_clmulepi64_si128(t3, polymu, 0x10);
+        t3 = _mm_and_si128(t3, mask32);
+        t3 = _mm_clmulepi64_si128(t3, polymu, 0x00);
+        x = _mm_xor_si128(x, t3);
+
+        (_mm_extract_epi32(x, 1) as u32, bytes.len() - len)
+    }
+}
+
+/// One CRC implementation tier. The dispatcher picks the fastest available
+/// at runtime (the same `is_x86_feature_detected!` + `#[target_feature]`
+/// idiom as the GEMM kernels); all tiers compute the identical polynomial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrcTier {
+    /// Reference byte-at-a-time table loop.
+    Bytewise,
+    /// Slicing-by-8 table loop (8 bytes per step).
+    Slice8,
+    /// PCLMULQDQ 4-lane folding (64 bytes per step, x86-64 only).
+    Pclmul,
+}
+
+impl CrcTier {
+    /// Every tier, slowest first.
+    pub const ALL: [CrcTier; 3] = [CrcTier::Bytewise, CrcTier::Slice8, CrcTier::Pclmul];
+
+    /// Whether this tier can run on the current CPU.
+    pub fn available(self) -> bool {
+        match self {
+            CrcTier::Bytewise | CrcTier::Slice8 => true,
+            #[cfg(target_arch = "x86_64")]
+            CrcTier::Pclmul => pclmul::available(),
+            #[cfg(not(target_arch = "x86_64"))]
+            CrcTier::Pclmul => false,
+        }
+    }
+
+    /// Stable lowercase name (bench/diagnostic labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrcTier::Bytewise => "bytewise",
+            CrcTier::Slice8 => "slice8",
+            CrcTier::Pclmul => "pclmul",
+        }
+    }
+}
+
+/// The tier large frames use on this machine (small inputs still take a
+/// table path below the fold threshold regardless of the active tier).
+pub fn active_crc_tier() -> CrcTier {
+    if CrcTier::Pclmul.available() {
+        CrcTier::Pclmul
+    } else {
+        CrcTier::Slice8
+    }
+}
+
+/// Streaming CRC state update (no init/final inversion): dispatches to the
+/// fastest available tier by input length. The fused frame encoder feeds
+/// each section it writes through this, so a frame is checksummed as it is
+/// produced rather than by a second full-frame scan.
+fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if bytes.len() >= 64 && pclmul::available() {
+        // SAFETY: feature support checked on this CPU; length >= 64.
+        let (crc, consumed) = unsafe { pclmul::fold(crc, bytes) };
+        return crc32_update_tables(crc, &bytes[consumed..]);
+    }
+    crc32_update_tables(crc, bytes)
+}
+
+/// Table-path state update (slicing-by-8 with a bytewise tail).
+fn crc32_update_tables(crc: u32, bytes: &[u8]) -> u32 {
+    if bytes.len() >= 16 {
+        crc32_slice8(crc, bytes)
+    } else {
+        crc32_bytewise(crc, bytes)
+    }
+}
+
 /// CRC-32 (IEEE 802.3 polynomial) of `bytes` — the frame checksum. Detects
 /// every single-bit error, which is exactly the corruption class the chaos
-/// layer injects.
-///
-/// Dispatches at runtime on input length (the same pick-the-fast-path
-/// idiom as the GEMM kernels): frames big enough to amortize the wider
-/// loads take the slicing-by-8 path, tiny ones stay byte-at-a-time. Both
-/// paths compute the identical polynomial, so wire format v2 is unchanged
-/// byte for byte.
+/// layer injects. Every tier computes the identical polynomial, so wire
+/// format v2 is unchanged byte for byte regardless of CPU.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let crc = if bytes.len() >= 16 {
-        crc32_slice8(0xFFFF_FFFF, bytes)
-    } else {
-        crc32_bytewise(0xFFFF_FFFF, bytes)
+    !crc32_update(0xFFFF_FFFF, bytes)
+}
+
+/// CRC-32 of `bytes` computed with a specific tier (tests and the bench
+/// prove the tiers identical and attribute throughput per tier). Returns
+/// `None` when the tier is unavailable on this CPU.
+pub fn crc32_with_tier(tier: CrcTier, bytes: &[u8]) -> Option<u32> {
+    if !tier.available() {
+        return None;
+    }
+    let crc = match tier {
+        CrcTier::Bytewise => crc32_bytewise(0xFFFF_FFFF, bytes),
+        CrcTier::Slice8 => {
+            if bytes.len() >= 16 {
+                crc32_slice8(0xFFFF_FFFF, bytes)
+            } else {
+                crc32_bytewise(0xFFFF_FFFF, bytes)
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        CrcTier::Pclmul => {
+            if bytes.len() >= 64 {
+                // SAFETY: availability checked above; length >= 64.
+                let (crc, consumed) = unsafe { pclmul::fold(0xFFFF_FFFF, bytes) };
+                crc32_update_tables(crc, &bytes[consumed..])
+            } else {
+                crc32_update_tables(0xFFFF_FFFF, bytes)
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        CrcTier::Pclmul => unreachable!("gated by available()"),
     };
-    !crc
+    Some(!crc)
+}
+
+/// Byte offset of the `f64` payload inside a dense frame: version byte,
+/// dense tag, and the two `u32` dimension fields. [`encode_aligned`] pads
+/// the buffer so the payload at this offset lands on an 8-byte boundary,
+/// which is what lets [`decode_view`] alias it as `&[f64]` without a copy.
+pub const DENSE_PAYLOAD_OFFSET: usize = 10;
+
+/// Fused frame writer: appends sections to the buffer and folds each one
+/// into the running CRC while its bytes are still cache-hot, so sealing a
+/// frame costs one pass over the data instead of a write pass plus a
+/// second full-frame checksum scan.
+struct FrameWriter<'a> {
+    buf: &'a mut BytesMut,
+    crc: u32,
+}
+
+impl<'a> FrameWriter<'a> {
+    fn begin(buf: &'a mut BytesMut) -> Self {
+        FrameWriter {
+            buf,
+            crc: 0xFFFF_FFFF,
+        }
+    }
+
+    /// Appends one section via `write`, then checksums exactly the bytes it
+    /// appended (endian-proof: the CRC sees the wire bytes, not the source
+    /// values).
+    fn section(&mut self, write: impl FnOnce(&mut BytesMut)) {
+        let start = self.buf.len();
+        write(self.buf);
+        self.crc = crc32_update(self.crc, &self.buf[start..]);
+    }
+
+    /// Appends the CRC-32 trailer, completing the frame.
+    fn seal(self) {
+        let checksum = !self.crc;
+        self.buf.put_u32_le(checksum);
+    }
 }
 
 /// Serializes a block into a fresh buffer.
@@ -133,29 +375,61 @@ pub fn encode(block: &Block) -> Bytes {
 
 /// Serializes a block, appending to a caller-owned buffer (the transport
 /// reuses one scratch buffer across moves instead of allocating per block).
+/// Checksumming is fused into the write: each section is folded into the
+/// running CRC as it lands in the buffer, so no second full-frame scan.
 pub fn encode_into(block: &Block, buf: &mut BytesMut) {
     buf.reserve(encoded_len(block) as usize);
-    let frame_start = buf.len();
-    buf.put_u8(WIRE_VERSION);
+    let mut w = FrameWriter::begin(buf);
     match block {
         Block::Dense(d) => {
-            buf.put_u8(TAG_DENSE);
-            buf.put_u32_le(d.rows() as u32);
-            buf.put_u32_le(d.cols() as u32);
-            put_f64_slice(buf, d.data());
+            w.section(|b| {
+                b.put_u8(WIRE_VERSION);
+                b.put_u8(TAG_DENSE);
+                b.put_u32_le(d.rows() as u32);
+                b.put_u32_le(d.cols() as u32);
+            });
+            w.section(|b| put_f64_slice(b, d.data()));
         }
         Block::Sparse(s) => {
-            buf.put_u8(TAG_SPARSE);
-            buf.put_u32_le(s.rows() as u32);
-            buf.put_u32_le(s.cols() as u32);
-            buf.put_u32_le(s.nnz() as u32);
-            put_u32_slice(buf, s.row_ptr());
-            put_u32_slice(buf, s.col_idx());
-            put_f64_slice(buf, s.values());
+            w.section(|b| {
+                b.put_u8(WIRE_VERSION);
+                b.put_u8(TAG_SPARSE);
+                b.put_u32_le(s.rows() as u32);
+                b.put_u32_le(s.cols() as u32);
+                b.put_u32_le(s.nnz() as u32);
+            });
+            w.section(|b| put_u32_slice(b, s.row_ptr()));
+            w.section(|b| put_u32_slice(b, s.col_idx()));
+            w.section(|b| put_f64_slice(b, s.values()));
         }
     }
-    let checksum = crc32(&buf[frame_start..]);
-    buf.put_u32_le(checksum);
+    w.seal();
+}
+
+/// Serializes a block with the dense payload 8-byte aligned, returning the
+/// number of zero pad bytes written *before* the frame. The frame itself
+/// (`&buf[pad..]`) is byte-identical to [`encode_into`]'s output; the pad
+/// only shifts where it starts so that the `f64` section at
+/// [`DENSE_PAYLOAD_OFFSET`] lands on an 8-byte boundary and [`decode_view`]
+/// can alias it in place. Sparse blocks never pad (their payload is decoded
+/// by copy either way).
+///
+/// The full padded size is reserved up front, so the buffer's base address
+/// — which the pad is computed from — cannot move mid-encode.
+pub fn encode_aligned(block: &Block, buf: &mut BytesMut) -> usize {
+    buf.reserve(encoded_len(block) as usize + 7);
+    let pad = match block {
+        Block::Dense(_) => {
+            let payload_addr = buf.as_ref().as_ptr() as usize + buf.len() + DENSE_PAYLOAD_OFFSET;
+            payload_addr.wrapping_neg() & 7
+        }
+        Block::Sparse(_) => 0,
+    };
+    for _ in 0..pad {
+        buf.put_u8(0);
+    }
+    encode_into(block, buf);
+    pad
 }
 
 /// Exact serialized size in bytes without encoding.
@@ -260,28 +534,24 @@ pub fn decode(buf: Bytes) -> Result<Block> {
     decode_slice(buf.as_ref())
 }
 
-/// Deserializes a block straight from a byte slice (no `Bytes` wrapper —
-/// the transport decodes out of its reusable scratch buffer).
-///
-/// # Errors
-/// See [`decode`].
-pub fn decode_slice(mut buf: &[u8]) -> Result<Block> {
-    // All size prechecks run in u64: the header fields are
-    // attacker-controlled u32s, and expressions like `4 * (rows + 1) +
-    // 12 * nnz` overflow usize on 32-bit targets.
-    fn need(buf: &[u8], n: u64, what: &str) -> Result<()> {
-        if (buf.len() as u64) < n {
-            return Err(MatrixError::Codec(format!(
-                "truncated input reading {what}: need {n} bytes, have {}",
-                buf.len()
-            )));
-        }
-        Ok(())
+/// All size prechecks run in u64: the header fields are
+/// attacker-controlled u32s, and expressions like `4 * (rows + 1) +
+/// 12 * nnz` overflow usize on 32-bit targets.
+fn need(buf: &[u8], n: u64, what: &str) -> Result<()> {
+    if (buf.len() as u64) < n {
+        return Err(MatrixError::Codec(format!(
+            "truncated input reading {what}: need {n} bytes, have {}",
+            buf.len()
+        )));
     }
+    Ok(())
+}
 
-    // The checksum is verified over the whole frame before a single header
-    // field is parsed, so a flipped length byte can never drive an
-    // allocation — corruption of any kind is a clean error here.
+/// Verifies the frame checksum and version byte, returning the body (tag
+/// onward). The checksum is verified over the whole frame before a single
+/// header field is parsed, so a flipped length byte can never drive an
+/// allocation — corruption of any kind is a clean error here.
+fn checked_body(buf: &[u8]) -> Result<&[u8]> {
     need(buf, FRAME_OVERHEAD + 1, "frame")?;
     let (body, trailer) = buf.split_at(buf.len() - 4);
     let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte crc trailer"));
@@ -291,14 +561,27 @@ pub fn decode_slice(mut buf: &[u8]) -> Result<Block> {
             "frame checksum mismatch: stored 0x{stored:08x}, computed 0x{computed:08x}"
         )));
     }
-    buf = body;
-    let version = buf.get_u8();
+    let version = body[0];
     if version != WIRE_VERSION {
         return Err(MatrixError::Codec(format!(
             "unsupported wire version 0x{version:02x} (expected 0x{WIRE_VERSION:02x})"
         )));
     }
+    Ok(&body[1..])
+}
 
+/// Deserializes a block straight from a byte slice (no `Bytes` wrapper —
+/// the transport decodes out of its reusable scratch buffer).
+///
+/// # Errors
+/// See [`decode`].
+pub fn decode_slice(buf: &[u8]) -> Result<Block> {
+    parse_body(checked_body(buf)?)
+}
+
+/// Deserializes a checksum-verified body (the bytes after the version
+/// byte), materializing every payload section into owned storage.
+fn parse_body(mut buf: &[u8]) -> Result<Block> {
     need(buf, 1, "tag")?;
     let tag = buf.get_u8();
     match tag {
@@ -338,6 +621,39 @@ pub fn decode_slice(mut buf: &[u8]) -> Result<Block> {
             "unknown block tag 0x{other:02x}"
         ))),
     }
+}
+
+/// Deserializes a block as a zero-copy view into `frame` where possible.
+///
+/// For a dense frame whose `f64` payload sits on an 8-byte boundary (which
+/// [`encode_aligned`] arranges), the returned block aliases the frame's
+/// payload bytes through the `Bytes` refcount instead of copying them out —
+/// the wire buffer *becomes* the block's storage and stays alive exactly as
+/// long as the block does. Falls back to [`decode_slice`]'s materializing
+/// path for sparse frames, empty blocks, misaligned payloads, and
+/// big-endian targets; the decoded value is identical either way.
+///
+/// # Errors
+/// See [`decode`]. The checksum is verified before any view is taken.
+pub fn decode_view(frame: &Bytes) -> Result<Block> {
+    let body = checked_body(frame.as_ref())?;
+    #[cfg(target_endian = "little")]
+    if body.first() == Some(&TAG_DENSE) && body.len() >= 9 {
+        let rows = u32::from_le_bytes(body[1..5].try_into().expect("rows")) as usize;
+        let cols = u32::from_le_bytes(body[5..9].try_into().expect("cols")) as usize;
+        if let Some(n) = rows.checked_mul(cols) {
+            let payload = (n as u64).checked_mul(8);
+            if n > 0 && payload == Some(body.len() as u64 - 9) {
+                let view = frame.slice(DENSE_PAYLOAD_OFFSET..DENSE_PAYLOAD_OFFSET + n * 8);
+                // Misalignment is the only way this errors (length and
+                // endianness are checked above) — materialize instead.
+                if let Ok(d) = DenseBlock::from_shared_bytes(rows, cols, view) {
+                    return Ok(Block::Dense(d));
+                }
+            }
+        }
+    }
+    parse_body(body)
 }
 
 #[cfg(test)]
@@ -528,6 +844,10 @@ mod tests {
         // detects all single-bit errors, so every position in the frame —
         // header, payload, version byte, or the checksum itself — must
         // yield a clean decode error, never a panic or accepted garbage.
+        // The guarantee must hold on *every* dispatch tier: a SIMD CRC that
+        // missed a flip the scalar one catches would make corruption
+        // detection machine-dependent.
+        let tiers: Vec<CrcTier> = CrcTier::ALL.into_iter().filter(|t| t.available()).collect();
         for block in [dense_block(), sparse_block()] {
             let clean = encode(&block).to_vec();
             for byte in 0..clean.len() {
@@ -536,9 +856,100 @@ mod tests {
                     raw[byte] ^= 1 << bit;
                     let err = decode_slice(&raw);
                     assert!(err.is_err(), "flip at byte {byte} bit {bit} was accepted");
+                    let (body, trailer) = raw.split_at(raw.len() - 4);
+                    let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+                    for &tier in &tiers {
+                        assert_ne!(
+                            crc32_with_tier(tier, body).unwrap(),
+                            stored,
+                            "{} tier missed flip at byte {byte} bit {bit}",
+                            tier.name()
+                        );
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn decode_view_of_aligned_frame_is_zero_copy() {
+        let b = dense_block();
+        let mut buf = BytesMut::with_capacity(16);
+        let pad = encode_aligned(&b, &mut buf);
+        // The frame after the pad is byte-identical to a plain encode.
+        assert_eq!(&buf[pad..], encode(&b).as_ref());
+        let wire = buf.freeze();
+        let frame = wire.slice(pad..wire.len());
+        let payload_ptr = frame.as_ref()[DENSE_PAYLOAD_OFFSET..].as_ptr();
+        assert_eq!(payload_ptr as usize % 8, 0, "pad must align the payload");
+        let back = decode_view(&frame).unwrap();
+        assert_eq!(back, b);
+        match &back {
+            Block::Dense(d) => {
+                assert!(d.is_shared(), "aligned dense decode must alias the frame");
+                assert_eq!(
+                    d.data().as_ptr().cast::<u8>(),
+                    payload_ptr,
+                    "view must point into the wire buffer"
+                );
+            }
+            Block::Sparse(_) => panic!("dense frame decoded as sparse"),
+        }
+    }
+
+    #[test]
+    fn decode_view_falls_back_to_a_copy_when_misaligned() {
+        let b = dense_block();
+        let plain = encode(&b).to_vec();
+        // Re-host the frame at every offset 0..8: whatever the payload
+        // alignment lands on, the decode must succeed and agree.
+        for shift in 0..8usize {
+            let mut host = vec![0u8; shift];
+            host.extend_from_slice(&plain);
+            let wire = Bytes::from(host);
+            let frame = wire.slice(shift..wire.len());
+            let back = decode_view(&frame).unwrap();
+            assert_eq!(back, b, "shift {shift}");
+            let aligned =
+                (frame.as_ref()[DENSE_PAYLOAD_OFFSET..].as_ptr() as usize).is_multiple_of(8);
+            match &back {
+                Block::Dense(d) => assert_eq!(d.is_shared(), aligned, "shift {shift}"),
+                Block::Sparse(_) => panic!("dense frame decoded as sparse"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_view_materializes_sparse_and_empty_frames() {
+        for b in [
+            sparse_block(),
+            Block::Dense(DenseBlock::zeros(0, 0)),
+            Block::Sparse(CsrBlock::empty(3, 3)),
+        ] {
+            let mut buf = BytesMut::with_capacity(16);
+            let pad = encode_aligned(&b, &mut buf);
+            if matches!(b, Block::Sparse(_)) {
+                assert_eq!(pad, 0, "sparse frames never pad");
+            }
+            let wire = buf.freeze();
+            let frame = wire.slice(pad..wire.len());
+            let back = decode_view(&frame).unwrap();
+            assert_eq!(back, b);
+            if let Block::Dense(d) = &back {
+                assert!(!d.is_shared(), "empty dense must not alias");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_view_rejects_corruption() {
+        let mut buf = BytesMut::with_capacity(16);
+        let pad = encode_aligned(&dense_block(), &mut buf);
+        buf[pad + DENSE_PAYLOAD_OFFSET + 3] ^= 0x40;
+        let wire = buf.freeze();
+        let frame = wire.slice(pad..wire.len());
+        let err = decode_view(&frame).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
     }
 
     #[test]
@@ -553,10 +964,11 @@ mod tests {
     }
 
     #[test]
-    fn slicing_by_8_matches_bytewise_reference_at_every_length() {
-        // The fast path must be a pure drop-in: same polynomial, same
-        // checksum for every input length across the dispatch threshold
-        // (including lengths that leave 1..=7 tail bytes).
+    fn every_tier_matches_the_bytewise_reference_at_every_length() {
+        // Each fast path must be a pure drop-in: same polynomial, same
+        // checksum for every input length across every dispatch threshold
+        // (slice8's 8-byte steps, pclmul's 64-byte entry and 16-byte lanes,
+        // and every 1..=15-byte tail in between).
         let mut state = 0x1234_5678_9abc_def0u64;
         let data: Vec<u8> = (0..257)
             .map(|_| {
@@ -564,14 +976,34 @@ mod tests {
                 (state >> 56) as u8
             })
             .collect();
-        for len in 0..data.len() {
+        for len in 0..=data.len() {
             let reference = !crc32_bytewise(0xFFFF_FFFF, &data[..len]);
-            let sliced = !crc32_slice8(0xFFFF_FFFF, &data[..len]);
-            assert_eq!(reference, sliced, "mismatch at len {len}");
+            for tier in CrcTier::ALL {
+                match crc32_with_tier(tier, &data[..len]) {
+                    Some(crc) => {
+                        assert_eq!(crc, reference, "{} at len {len}", tier.name())
+                    }
+                    None => assert!(!tier.available()),
+                }
+            }
             assert_eq!(crc32(&data[..len]), reference, "dispatch at len {len}");
         }
         // Known-answer check pinning the polynomial itself.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn a_tier_is_always_active_and_named() {
+        let active = active_crc_tier();
+        assert!(active.available());
+        assert!(!active.name().is_empty());
+        // Table tiers exist everywhere; pclmul only where detected.
+        assert!(CrcTier::Bytewise.available());
+        assert!(CrcTier::Slice8.available());
+        assert_eq!(
+            crc32_with_tier(CrcTier::Pclmul, b"xyz").is_some(),
+            CrcTier::Pclmul.available()
+        );
     }
 
     #[test]

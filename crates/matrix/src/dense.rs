@@ -1,16 +1,40 @@
-//! Dense block storage: a row-major `Vec<f64>` of `rows × cols` elements.
+//! Dense block storage: a row-major buffer of `rows × cols` `f64`s, either
+//! owned (`Vec<f64>`) or a zero-copy view into a shared wire buffer.
 
 use crate::error::{MatrixError, Result};
+use bytes::Bytes;
+
+/// Backing storage of a dense block.
+///
+/// `Shared` aliases an 8-byte-aligned region of a reference-counted wire
+/// buffer (the codec's `decode_view` path): the block's elements are the
+/// received bytes themselves, never copied out of the frame. The `Bytes`
+/// clone keeps the whole receive buffer alive for as long as the block is
+/// resident; any mutation first materializes into `Owned` (copy-on-write),
+/// so shared storage is observationally identical to owned storage.
+#[derive(Debug, Clone)]
+enum Storage {
+    Owned(Vec<f64>),
+    /// Invariants (checked at construction): the view's base address is
+    /// 8-byte aligned and its length is exactly `rows * cols * 8` bytes.
+    Shared(Bytes),
+}
 
 /// A dense matrix block in row-major order.
 ///
 /// Blocks at the right/bottom edge of a matrix may be smaller than the
 /// nominal block size, so `rows`/`cols` are stored per block.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DenseBlock {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Storage,
+}
+
+impl PartialEq for DenseBlock {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.data() == other.data()
+    }
 }
 
 impl DenseBlock {
@@ -19,7 +43,7 @@ impl DenseBlock {
         DenseBlock {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: Storage::Owned(vec![0.0; rows * cols]),
         }
     }
 
@@ -34,7 +58,53 @@ impl DenseBlock {
                 data.len()
             )));
         }
-        Ok(DenseBlock { rows, cols, data })
+        Ok(DenseBlock {
+            rows,
+            cols,
+            data: Storage::Owned(data),
+        })
+    }
+
+    /// Wraps a shared byte buffer as the block's element storage without
+    /// copying: the little-endian `f64` payload of a wire frame becomes the
+    /// block's row-major data in place. Only valid on little-endian targets
+    /// (the wire encoding there *is* the in-memory representation).
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::InvalidParameter`] when the view is not
+    /// 8-byte aligned, its length is not exactly `rows * cols * 8`, or the
+    /// target is big-endian — callers fall back to a copying decode.
+    pub fn from_shared_bytes(rows: usize, cols: usize, bytes: Bytes) -> Result<Self> {
+        if cfg!(not(target_endian = "little")) {
+            return Err(MatrixError::InvalidParameter(
+                "shared wire views require a little-endian target".into(),
+            ));
+        }
+        let n = rows.checked_mul(cols).ok_or_else(|| {
+            MatrixError::InvalidParameter(format!("{rows}x{cols} block overflows usize"))
+        })?;
+        if bytes.len() != n * 8 {
+            return Err(MatrixError::InvalidParameter(format!(
+                "view of {} bytes cannot back a {rows}x{cols} block",
+                bytes.len()
+            )));
+        }
+        if !(bytes.as_ref().as_ptr() as usize).is_multiple_of(std::mem::align_of::<f64>()) {
+            return Err(MatrixError::InvalidParameter(
+                "shared view is not 8-byte aligned".into(),
+            ));
+        }
+        Ok(DenseBlock {
+            rows,
+            cols,
+            data: Storage::Shared(bytes),
+        })
+    }
+
+    /// Whether this block's storage is a zero-copy view into a shared wire
+    /// buffer (diagnostics/tests; semantics are identical either way).
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, Storage::Shared(_))
     }
 
     /// Builds a block from a closure over `(row, col)`.
@@ -45,7 +115,11 @@ impl DenseBlock {
                 data.push(f(i, j));
             }
         }
-        DenseBlock { rows, cols, data }
+        DenseBlock {
+            rows,
+            cols,
+            data: Storage::Owned(data),
+        }
     }
 
     /// An identity block (ones on the main diagonal).
@@ -68,68 +142,93 @@ impl DenseBlock {
     /// Immutable view of the row-major element buffer.
     #[inline]
     pub fn data(&self) -> &[f64] {
-        &self.data
+        match &self.data {
+            Storage::Owned(v) => v,
+            // SAFETY: `from_shared_bytes` established that the view is
+            // 8-byte aligned and exactly `rows * cols * 8` bytes long; the
+            // bytes are immutable for the `Bytes` lifetime, every bit
+            // pattern is a valid `f64`, and the returned slice borrows
+            // `self`, which keeps the `Bytes` (and its Arc) alive.
+            Storage::Shared(b) => unsafe {
+                std::slice::from_raw_parts(b.as_ref().as_ptr().cast::<f64>(), b.len() / 8)
+            },
+        }
     }
 
-    /// Mutable view of the row-major element buffer.
+    /// Mutable view of the row-major element buffer. A shared wire view is
+    /// first materialized into owned storage (copy-on-write), so mutation
+    /// never writes through a shared receive buffer.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f64] {
-        &mut self.data
+        if self.is_shared() {
+            self.data = Storage::Owned(self.data().to_vec());
+        }
+        match &mut self.data {
+            Storage::Owned(v) => v,
+            Storage::Shared(_) => unreachable!("shared storage materialized above"),
+        }
     }
 
-    /// Consumes the block, returning its buffer.
+    /// Consumes the block, returning its buffer (copying a shared view out).
     pub fn into_vec(self) -> Vec<f64> {
-        self.data
+        match self.data {
+            Storage::Owned(v) => v,
+            Storage::Shared(_) => self.data().to_vec(),
+        }
     }
 
     /// Element accessor (debug/tests; kernels index the raw slice).
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         debug_assert!(i < self.rows && j < self.cols);
-        self.data[i * self.cols + j]
+        self.data()[i * self.cols + j]
     }
 
     /// Element mutator.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
         debug_assert!(i < self.rows && j < self.cols);
-        self.data[i * self.cols + j] = v;
+        let cols = self.cols;
+        self.data_mut()[i * cols + j] = v;
     }
 
     /// Number of stored elements (`rows × cols`).
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.rows * self.cols
     }
 
     /// True when the block has zero elements.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// Number of non-zero elements (exact scan).
     pub fn nnz(&self) -> usize {
-        self.data.iter().filter(|v| **v != 0.0).count()
+        self.data().iter().filter(|v| **v != 0.0).count()
     }
 
     /// In-memory footprint in bytes (element payload only).
     pub fn mem_bytes(&self) -> u64 {
-        (self.data.len() * std::mem::size_of::<f64>()) as u64
+        (self.len() * std::mem::size_of::<f64>()) as u64
     }
 
     /// Returns the transposed block.
     pub fn transpose(&self) -> DenseBlock {
         let mut out = DenseBlock::zeros(self.cols, self.rows);
+        let (rows, cols) = (self.rows, self.cols);
+        let src = self.data();
+        let dst = out.data_mut();
         // Tile the transpose to stay cache-friendly for 1000x1000 blocks.
         const TILE: usize = 32;
-        for ib in (0..self.rows).step_by(TILE) {
-            for jb in (0..self.cols).step_by(TILE) {
-                let imax = (ib + TILE).min(self.rows);
-                let jmax = (jb + TILE).min(self.cols);
+        for ib in (0..rows).step_by(TILE) {
+            for jb in (0..cols).step_by(TILE) {
+                let imax = (ib + TILE).min(rows);
+                let jmax = (jb + TILE).min(cols);
                 for i in ib..imax {
                     for j in jb..jmax {
-                        out.data[j * self.rows + i] = self.data[i * self.cols + j];
+                        dst[j * rows + i] = src[i * cols + j];
                     }
                 }
             }
@@ -149,7 +248,7 @@ impl DenseBlock {
                 rhs: (other.rows as u64, other.cols as u64),
             });
         }
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, b) in self.data_mut().iter_mut().zip(other.data().iter()) {
             *a += *b;
         }
         Ok(())
@@ -157,7 +256,7 @@ impl DenseBlock {
 
     /// Scales every element by `alpha`.
     pub fn scale(&mut self, alpha: f64) {
-        for v in &mut self.data {
+        for v in self.data_mut() {
             *v *= alpha;
         }
     }
@@ -169,9 +268,9 @@ impl DenseBlock {
             return None;
         }
         Some(
-            self.data
+            self.data()
                 .iter()
-                .zip(other.data.iter())
+                .zip(other.data().iter())
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f64::max),
         )
@@ -179,7 +278,7 @@ impl DenseBlock {
 
     /// Frobenius norm of the block.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+        self.data().iter().map(|v| v * v).sum::<f64>().sqrt()
     }
 }
 
@@ -258,6 +357,61 @@ mod tests {
         assert_eq!(id.nnz(), 5);
         assert_eq!(id.get(3, 3), 1.0);
         assert_eq!(id.get(3, 2), 0.0);
+    }
+
+    /// An 8-byte-aligned `Bytes` view carrying `vals` little-endian.
+    fn aligned_bytes(vals: &[f64]) -> Bytes {
+        let mut raw = vec![0u8; vals.len() * 8 + 8];
+        let off = (8 - raw.as_ptr() as usize % 8) % 8;
+        for (i, v) in vals.iter().enumerate() {
+            raw[off + i * 8..off + (i + 1) * 8].copy_from_slice(&v.to_le_bytes());
+        }
+        Bytes::from(raw).slice(off..off + vals.len() * 8)
+    }
+
+    #[test]
+    fn shared_view_reads_like_owned_storage() {
+        let vals = [1.5, -2.0, 0.0, 9.25, 4.0, -0.5];
+        let shared = DenseBlock::from_shared_bytes(2, 3, aligned_bytes(&vals)).unwrap();
+        assert!(shared.is_shared());
+        let owned = DenseBlock::from_vec(2, 3, vals.to_vec()).unwrap();
+        assert!(!owned.is_shared());
+        assert_eq!(shared, owned);
+        assert_eq!(shared.data(), owned.data());
+        assert_eq!(shared.get(1, 0), 9.25);
+        assert_eq!(shared.mem_bytes(), 48);
+        assert_eq!(shared.transpose(), owned.transpose());
+        assert_eq!(shared.clone().into_vec(), vals.to_vec());
+    }
+
+    #[test]
+    fn mutating_a_shared_view_copies_on_write() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let bytes = aligned_bytes(&vals);
+        let mut block = DenseBlock::from_shared_bytes(2, 2, bytes.clone()).unwrap();
+        let twin = DenseBlock::from_shared_bytes(2, 2, bytes).unwrap();
+        block.set(0, 0, 99.0);
+        assert!(!block.is_shared(), "mutation materializes owned storage");
+        assert_eq!(block.get(0, 0), 99.0);
+        // The shared buffer itself is untouched: the twin still reads 1.0.
+        assert!(twin.is_shared());
+        assert_eq!(twin.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn misaligned_or_missized_views_are_rejected() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let aligned = aligned_bytes(&vals);
+        // Wrong length for the shape.
+        assert!(DenseBlock::from_shared_bytes(3, 2, aligned.clone()).is_err());
+        // Knock the view off 8-byte alignment by one byte.
+        let mut raw = vec![0u8; vals.len() * 8 + 9];
+        let off = (8 - raw.as_ptr() as usize % 8) % 8 + 1;
+        for (i, v) in vals.iter().enumerate() {
+            raw[off + i * 8..off + (i + 1) * 8].copy_from_slice(&v.to_le_bytes());
+        }
+        let misaligned = Bytes::from(raw).slice(off..off + vals.len() * 8);
+        assert!(DenseBlock::from_shared_bytes(2, 2, misaligned).is_err());
     }
 
     #[test]

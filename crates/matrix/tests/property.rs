@@ -252,6 +252,45 @@ proptest! {
     }
 
     #[test]
+    fn every_crc_tier_agrees_on_random_large_buffers(len in 0usize..65536, seed in any::<u64>()) {
+        // The dispatch tiers (bytewise / slicing-by-8 / PCLMUL folding)
+        // must compute the identical IEEE CRC-32 on arbitrary inputs well
+        // past every fold threshold — a SIMD divergence here would make
+        // wire frames machine-dependent.
+        let mut state = seed | 1;
+        let data: Vec<u8> = (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect();
+        let reference = codec::crc32_with_tier(codec::CrcTier::Bytewise, &data).expect("bytewise");
+        prop_assert_eq!(codec::crc32(&data), reference);
+        for tier in codec::CrcTier::ALL {
+            match codec::crc32_with_tier(tier, &data) {
+                Some(crc) => prop_assert_eq!(crc, reference, "{} diverged", tier.name()),
+                None => prop_assert!(!tier.available()),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_view_agrees_with_decode_slice(b in dense_block(), shift in 0usize..8) {
+        // However the frame lands in memory, the zero-copy view decode and
+        // the materializing decode must produce equal blocks.
+        let block = Block::Dense(b);
+        let plain = codec::encode(&block);
+        let mut host = vec![0u8; shift];
+        host.extend_from_slice(plain.as_ref());
+        let wire = bytes::Bytes::from(host);
+        let frame = wire.slice(shift..wire.len());
+        let viewed = codec::decode_view(&frame).expect("view decodes");
+        let copied = codec::decode_slice(frame.as_ref()).expect("slice decodes");
+        prop_assert_eq!(&viewed, &copied);
+        prop_assert_eq!(viewed, block);
+    }
+
+    #[test]
     fn csr_dense_csr_roundtrip(s in sparse_block()) {
         let back = CsrBlock::from_dense(&s.to_dense());
         prop_assert_eq!(s, back);

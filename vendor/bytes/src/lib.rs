@@ -45,9 +45,15 @@ pub trait BufMut {
 }
 
 /// An immutable, reference-counted byte view with a read cursor.
+///
+/// Backed by an `Arc<Vec<u8>>` so that [`BytesMut::freeze`] and
+/// [`Bytes::slice`] are zero-copy: the heap buffer a builder filled is the
+/// buffer every view reads, at its original address. Decoded zero-copy
+/// block views rely on that address stability — the payload they alias
+/// stays where the encoder wrote it for as long as any clone is alive.
 #[derive(Debug, Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -55,11 +61,7 @@ pub struct Bytes {
 impl Bytes {
     /// Wraps a static slice without copying semantics concerns.
     pub fn from_static(s: &'static [u8]) -> Self {
-        Bytes {
-            data: Arc::from(s),
-            start: 0,
-            end: s.len(),
-        }
+        Bytes::from(s.to_vec())
     }
 
     /// Length of the unread view.
@@ -115,7 +117,9 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: Arc::from(v.into_boxed_slice()),
+            // `Arc::new` moves the vector by pointer: the heap bytes are
+            // not copied and keep their address (zero-copy freeze).
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -351,6 +355,21 @@ mod tests {
         let mut s: &[u8] = frozen.as_ref();
         assert_eq!(s.get_f64_le(), -2.75);
         assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn freeze_and_slice_are_zero_copy() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_slice(&[1, 2, 3, 4]);
+        let ptr = b.as_ref().as_ptr() as usize;
+        let frozen = b.freeze();
+        assert_eq!(
+            frozen.as_ref().as_ptr() as usize,
+            ptr,
+            "freeze must not move the heap buffer"
+        );
+        let s = frozen.slice(1..3);
+        assert_eq!(s.as_ref().as_ptr() as usize, ptr + 1);
     }
 
     #[test]
