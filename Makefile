@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint test parity chaos-smoke elastic-smoke service-smoke overlap-smoke codec-smoke build bench bench-json bench-smoke
+.PHONY: ci fmt lint test parity chaos-smoke elastic-smoke coded-smoke service-smoke overlap-smoke codec-smoke build bench bench-json bench-smoke
 
-ci: fmt lint test parity chaos-smoke elastic-smoke service-smoke overlap-smoke bench-smoke codec-smoke
+ci: fmt lint test parity chaos-smoke elastic-smoke coded-smoke service-smoke overlap-smoke bench-smoke codec-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -35,6 +35,16 @@ elastic-smoke:
 	$(CARGO) test -q -p distme-cluster --test elastic
 	$(CARGO) test -q -p distme-engine -- gnmf::tests::gnmf_grown_mid_run_matches_a_fixed_grid_bit_for_bit gnmf::tests::gnmf_shrunk_mid_run_drains_live_blocks_without_drift gnmf::tests::autoscaler_grows_the_cluster_during_gnmf
 
+# The coded-replication contract (chaos + elastic combined): mid-GNMF loss
+# of a node holding sole-copy blocks, with transport faults active, must
+# complete bit-identical to fault-free under ReplicationPolicy::Xor (parity
+# decode exercised, lineage fallback still counted) — and must keep failing
+# with the typed NodeDecommissioned error when coding is off or the
+# erasure budget is exceeded.
+coded-smoke:
+	$(CARGO) test -q -p distme-cluster --test coded
+	$(CARGO) test -q -p distme-cluster --lib coding
+
 # The multi-tenancy contract: concurrent jobs through the job service must
 # match their solo runs bit for bit, per-tenant ledger deltas must sum to
 # the cluster totals, and over-budget submissions must queue (bounding
@@ -58,9 +68,11 @@ bench:
 	$(CARGO) bench --workspace
 
 # Regenerates the tracked hot-path baseline (BENCH_hotpath.json at the repo
-# root): GEMM GFLOP/s, codec GB/s, transport throughput, one CuboidMM job.
+# root): GEMM GFLOP/s, codec GB/s, transport throughput, one CuboidMM job,
+# and the coded-replication section (parity encode GB/s, recovery bytes
+# saved vs pure redelivery at 1% drop + one decommission).
 bench-json:
-	$(CARGO) run --release -q -p distme-bench --bin hotpath -- --out BENCH_hotpath.json
+	$(CARGO) run --release -q -p distme-bench --bin hotpath -- --coded --out BENCH_hotpath.json
 
 # CI gate: the hotpath bench must run end to end and emit valid JSON (the
 # binary self-checks the document before writing). Tiny shapes, debug build.

@@ -44,6 +44,7 @@ fn main() {
     let mut smoke = false;
     let mut codec_only = false;
     let mut check_codec = false;
+    let mut coded = false;
     let mut out = String::from("BENCH_hotpath.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,10 +52,11 @@ fn main() {
             "--smoke" => smoke = true,
             "--codec-only" => codec_only = true,
             "--check-codec" => check_codec = true,
+            "--coded" => coded = true,
             "--out" => out = args.next().expect("--out needs a path"),
             other => panic!(
                 "unknown argument: {other} \
-                 (expected --smoke / --codec-only / --check-codec / --out PATH)"
+                 (expected --smoke / --codec-only / --check-codec / --coded / --out PATH)"
             ),
         }
     }
@@ -81,6 +83,9 @@ fn main() {
             "  \"cuboid_job_pipelined\": {},\n",
             bench_cuboid_job_pipelined(smoke)
         ));
+        if coded {
+            doc.push_str(&format!("  \"coded\": {},\n", bench_coded(smoke)));
+        }
         doc.push_str(&format!("  \"service\": {}\n", bench_service(smoke)));
     }
     doc.push('}');
@@ -623,6 +628,134 @@ fn bench_cuboid_job_pipelined(smoke: bool) -> String {
         num(best),
         num(flops / best / 1e9),
         num(overlap)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Coded replication: parity encode throughput and recovery bytes saved
+// ---------------------------------------------------------------------------
+
+/// Three measurements behind `--coded`: XOR parity encode GB/s over a
+/// dual-homed working set; a decommission of a node holding sole-copy
+/// blocks (typed loss with coding off vs parity-decoded recovery with it
+/// on); and a fixed-seed 1%-drop chaos job where coding turns lineage
+/// retransmissions of coded blocks into local reconstructions — the
+/// `retransmitted_bytes_saved` delta.
+fn bench_coded(smoke: bool) -> String {
+    use distme_cluster::rebalance::home_node;
+    use distme_cluster::{coding, FaultSpec, JobError, ReplicationPolicy};
+    use std::sync::Arc;
+
+    let side = if smoke { 32 } else { 256 };
+    let blocks: u64 = if smoke { 8 } else { 96 };
+    // A dual-homed resident working set, as a finished job leaves it.
+    let build = |policy: ReplicationPolicy| {
+        let cluster = LocalCluster::new(ClusterConfig::laptop().with_replication(policy));
+        for i in 0..blocks {
+            let id = BlockId::new((i % 12) as u32, (i / 12) as u32);
+            let key = StoreKey::operand(1, id);
+            let blk = Arc::new(Block::Dense(seeded_dense(side, side, 17 + i)));
+            cluster
+                .stores()
+                .ingest(home_node(id, 0, 4), key, Arc::clone(&blk));
+            cluster.stores().ingest(home_node(id, 1, 4), key, blk);
+        }
+        cluster
+    };
+
+    // Parity encode throughput: GB/s of member payload scanned per pass
+    // (each pass re-encodes the full set after an eviction, as a resize
+    // does).
+    let mut xor_cluster = build(ReplicationPolicy::Xor);
+    let block_bytes = codec::encoded_len(&Block::Dense(seeded_dense(side, side, 17)));
+    let payload = block_bytes * blocks;
+    let reps: u64 = if smoke { 2 } else { 16 };
+    let mut parity_blocks = 0;
+    let mut secs = 0.0;
+    for _ in 0..reps {
+        coding::evict_all_parity(xor_cluster.stores());
+        let t = Instant::now();
+        parity_blocks = xor_cluster.encode_parity(1);
+        secs += t.elapsed().as_secs_f64();
+    }
+    let encode_gbps = (payload * reps) as f64 / secs / 1e9;
+
+    // One decommission of a node holding a sole-copy block: with coding
+    // off the loss is typed and the matrix is evicted; with XOR parity
+    // the same loss decodes from group survivors.
+    let victim = xor_cluster
+        .stores()
+        .resident_keys()
+        .into_iter()
+        .find(|(k, holders)| !k.is_parity() && holders.len() == 1)
+        .map(|(_, holders)| *holders.iter().next().unwrap());
+    let mut off_cluster = build(ReplicationPolicy::Off);
+    let (off_lost, xor_reconstructed, xor_reconstruction_bytes) = match victim {
+        Some(node) => {
+            let off_lost = match off_cluster.decommission_node(node) {
+                Err(JobError::NodeDecommissioned { lost_blocks, .. }) => lost_blocks as u64,
+                _ => 0,
+            };
+            match xor_cluster.decommission_node(node) {
+                Ok(report) => (
+                    off_lost,
+                    report.stats.reconstructed_blocks,
+                    report.stats.reconstruction_payload_bytes,
+                ),
+                Err(_) => (off_lost, 0, 0),
+            }
+        }
+        None => (0, 0, 0),
+    };
+
+    // Fixed-seed chaos: the same CuboidMM job at a 1% drop rate, coding
+    // off vs on. Dropped deliveries of coded (copy-0) blocks decode from
+    // group survivors instead of re-riding the wire.
+    let bs: u64 = if smoke { 16 } else { 64 };
+    let (m, k, n) = (6 * bs, 5 * bs, 4 * bs);
+    let a = MatrixGenerator::with_seed(11)
+        .value_range(-1.0, 1.0)
+        .generate(&MatrixMeta::dense(m, k).with_block_size(bs))
+        .expect("generates");
+    let b = MatrixGenerator::with_seed(22)
+        .value_range(-1.0, 1.0)
+        .generate(&MatrixMeta::dense(k, n).with_block_size(bs))
+        .expect("generates");
+    let chaos = |policy: ReplicationPolicy| {
+        let cluster = LocalCluster::new(ClusterConfig::laptop().with_replication(policy));
+        cluster.inject_faults(FaultSpec {
+            seed: 77,
+            drop_rate: 0.01,
+            corrupt_rate: 0.0,
+            crash_rate: 0.0,
+            blackouts: Vec::new(),
+        });
+        let (prod, stats) =
+            multiply(&cluster, &a, &b, MulMethod::CuboidAuto).expect("recovers under faults");
+        std::hint::black_box(&prod);
+        stats
+    };
+    let off_stats = chaos(ReplicationPolicy::Off);
+    let xor_stats = chaos(ReplicationPolicy::Xor);
+    let saved = off_stats
+        .retransmitted_payload_bytes
+        .saturating_sub(xor_stats.retransmitted_payload_bytes);
+
+    format!(
+        "{{\n    \"parity_encode\": {{\"blocks\": {blocks}, \"block_bytes\": {block_bytes}, \
+         \"parity_blocks\": {parity_blocks}, \"reps\": {reps}, \"encode_gbps\": {}}},\n    \
+         \"decommission\": {{\"off_lost_blocks\": {off_lost}, \
+         \"xor_reconstructed_blocks\": {xor_reconstructed}, \
+         \"xor_reconstruction_bytes\": {xor_reconstruction_bytes}}},\n    \
+         \"chaos_drop\": {{\"drop_rate\": 0.01, \
+         \"retransmitted_bytes_off\": {}, \"retransmitted_bytes_xor\": {}, \
+         \"reconstructed_blocks_xor\": {}, \"reconstruction_bytes_xor\": {}, \
+         \"retransmitted_bytes_saved\": {saved}}}\n  }}",
+        num(encode_gbps),
+        off_stats.retransmitted_payload_bytes,
+        xor_stats.retransmitted_payload_bytes,
+        xor_stats.reconstructed_blocks,
+        xor_stats.reconstruction_payload_bytes,
     )
 }
 

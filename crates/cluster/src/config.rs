@@ -12,6 +12,7 @@
 //! Changing any constant rescales absolute seconds but preserves orderings
 //! and crossovers (tested by `tests/shape_invariance.rs`).
 
+use crate::coding::ReplicationPolicy;
 use distme_gpu::GpuConfig;
 
 /// Per-task retry policy for the real executor's fault recovery.
@@ -218,6 +219,11 @@ pub struct ClusterConfig {
     /// Shared job-scheduler tuning: submission queue depth, admission
     /// memory budget, priority range, fair-share strength.
     pub scheduler: SchedulerConfig,
+    /// Coded-replication policy (`cluster::coding`): off by default so
+    /// placement, wire frames, and ledger bytes stay byte-identical to the
+    /// pre-coding engine; `Xor`/`RsLite` materialize parity groups that
+    /// recovery decodes instead of replaying lineage.
+    pub replication: ReplicationPolicy,
 }
 
 impl ClusterConfig {
@@ -246,6 +252,7 @@ impl ClusterConfig {
             host_worker_oversubscription: 2,
             retry: RetryPolicy::spark_like(),
             scheduler: SchedulerConfig::for_cluster(9, 64_000_000_000),
+            replication: ReplicationPolicy::Off,
         }
     }
 
@@ -285,6 +292,7 @@ impl ClusterConfig {
             host_worker_oversubscription: 2,
             retry: RetryPolicy::spark_like(),
             scheduler: SchedulerConfig::for_cluster(4, 1 << 30),
+            replication: ReplicationPolicy::Off,
         }
     }
 
@@ -314,6 +322,12 @@ impl ClusterConfig {
     /// Overrides the retry policy (builder style).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Overrides the coded-replication policy (builder style).
+    pub fn with_replication(mut self, replication: ReplicationPolicy) -> Self {
+        self.replication = replication;
         self
     }
 
@@ -479,6 +493,21 @@ mod tests {
         let mut c = ClusterConfig::laptop();
         c.scheduler.fair_share = 1.5;
         c.assert_valid();
+    }
+
+    #[test]
+    fn replication_defaults_off_and_overrides_via_builder() {
+        assert_eq!(ClusterConfig::laptop().replication, ReplicationPolicy::Off);
+        assert_eq!(
+            ClusterConfig::paper_cluster().replication,
+            ReplicationPolicy::Off
+        );
+        let c = ClusterConfig::laptop().with_replication(ReplicationPolicy::Xor);
+        assert_eq!(c.replication, ReplicationPolicy::Xor);
+        c.assert_valid();
+        assert_eq!(ReplicationPolicy::Off.parity_count(), 0);
+        assert_eq!(ReplicationPolicy::Xor.parity_count(), 1);
+        assert_eq!(ReplicationPolicy::RsLite.parity_count(), 2);
     }
 
     #[test]

@@ -195,6 +195,22 @@ impl LocalCluster {
             self.fault_plan(),
             self.cfg.retry,
         )
+        .with_replication(self.cfg.replication)
+    }
+
+    /// Materializes parity for `matrix` under the active
+    /// [`ReplicationPolicy`](crate::coding::ReplicationPolicy): copy-0
+    /// blocks are grouped by canonical home and each group's parity is
+    /// installed on a node holding none of its members (see
+    /// [`crate::coding`]). Idempotent; a no-op when replication is off.
+    /// Returns the number of parity blocks installed.
+    pub fn encode_parity(&self, matrix: u64) -> u64 {
+        crate::coding::encode_matrix_parity(
+            &self.stores,
+            matrix,
+            self.cfg.nodes,
+            self.cfg.replication,
+        )
     }
 
     /// Virtual node a stage-task index runs on (round-robin, matching
@@ -241,6 +257,13 @@ impl LocalCluster {
         if n > from_nodes {
             self.stores.grow_to(n);
         }
+        // Parity groups are a function of the node count, so resize
+        // invalidates every parity block: drop them before deriving the
+        // plan (data rebalances normally) and re-encode under the new grid
+        // afterwards. Re-encoding installs directly — no transport, no
+        // ledger traffic — so the elastic ledger deltas stay data-only.
+        let coded = crate::coding::matrices_with_parity(&self.stores);
+        crate::coding::evict_all_parity(&self.stores);
         let snapshot = self.stores.resident_keys();
         let plan = RebalancePlan::derive(&snapshot, n);
         debug_assert!(plan.lost.is_empty(), "graceful resize cannot lose blocks");
@@ -254,21 +277,31 @@ impl LocalCluster {
             from: from_nodes,
             to: n,
         });
-        Ok(Self::rebalance_report(epoch, from_nodes, n, traffic, 0))
+        let mut report = Self::rebalance_report(epoch, from_nodes, n, traffic, 0);
+        for uid in &coded {
+            report.stats.parity_blocks_encoded += self.encode_parity(*uid);
+        }
+        Ok(report)
     }
 
     /// Permanently decommissions `node`: its store is lost, not drained.
-    /// Resident blocks with a replica on a surviving node (the lineage the
-    /// executor leaves by homing every result block at both placement
-    /// hashes) are re-homed onto the shrunk grid from those copies; the
-    /// surviving nodes renumber down to stay contiguous and the epoch
-    /// bumps.
+    /// Recovery runs in precedence order. Blocks with a replica on a
+    /// surviving node (the lineage the executor leaves by homing every
+    /// result block at both placement hashes) are re-homed from those
+    /// copies. Sole-copy blocks are next reconstructed by parity decode
+    /// from their coding group's survivors when a
+    /// [`ReplicationPolicy`](crate::coding::ReplicationPolicy) is active —
+    /// no lineage recompute, counted in the report's
+    /// `reconstructed_blocks` / `reconstruction_payload_bytes`. The
+    /// surviving nodes renumber down to stay contiguous, parity is
+    /// re-encoded for the shrunk grid, and the epoch bumps.
     ///
     /// # Errors
-    /// [`JobError::NodeDecommissioned`] when any resident block's only
-    /// copy lived on `node` — the affected matrices are evicted everywhere
-    /// (re-running their producing jobs re-materializes them) and the
-    /// surviving blocks are still rebalanced, so the cluster stays usable.
+    /// [`JobError::NodeDecommissioned`] when a sole-copy block exceeds its
+    /// group's erasure budget (or no policy is active) — the affected
+    /// matrices are evicted everywhere (re-running their producing jobs
+    /// re-materializes them) and the surviving blocks are still
+    /// rebalanced, so the cluster stays usable.
     pub fn decommission_node(&mut self, node: usize) -> Result<RebalanceReport, JobError> {
         assert!(
             node < self.cfg.nodes,
@@ -278,13 +311,19 @@ impl LocalCluster {
         assert!(self.cfg.nodes > 1, "cannot decommission the last node");
         let from_nodes = self.cfg.nodes;
         let new_nodes = from_nodes - 1;
+        let coded = crate::coding::matrices_with_parity(&self.stores);
 
-        // Partition the resident keys by whether a surviving replica
+        // Partition the resident data keys by whether a surviving replica
         // exists, remapping holder ids through the renumbering (old id j
-        // becomes j-1 for j > node).
+        // becomes j-1 for j > node). Parity keys are derived state: losing
+        // one is not a loss, and the survivors are re-encoded for the new
+        // grid below, so they stay out of both sides of the partition.
         let mut lost_keys: Vec<StoreKey> = Vec::new();
         let mut survivors: BTreeMap<StoreKey, BTreeSet<usize>> = BTreeMap::new();
         for (key, holders) in self.stores.resident_keys() {
+            if key.is_parity() {
+                continue;
+            }
             let remapped: BTreeSet<usize> = holders
                 .into_iter()
                 .filter(|&h| h != node)
@@ -296,7 +335,33 @@ impl LocalCluster {
                 survivors.insert(key, remapped);
             }
         }
+
+        // Parity decode, while the dying node is still addressable (its
+        // store is excluded from every read — reconstruction must succeed
+        // from group survivors alone). Rebuilt blocks are installed on a
+        // surviving node and rejoin the survivor set; recoveries install
+        // as they land, so an RS-lite group with two members on `node`
+        // decodes the first from P+Q and the second from the now-resident
+        // first. Whatever remains lost exceeded its group's budget.
+        let (mut reconstructed, mut reconstruction_bytes) = (0u64, 0u64);
+        if self.cfg.replication.parity_count() > 0 {
+            lost_keys.retain(|key| {
+                match crate::coding::reconstruct_block(&self.stores, *key, Some(node)) {
+                    Some((block, bytes)) => {
+                        let host = (node + 1) % from_nodes;
+                        self.stores.ingest(host, *key, Arc::new(block));
+                        let remapped = if host > node { host - 1 } else { host };
+                        survivors.insert(*key, BTreeSet::from([remapped]));
+                        reconstructed += 1;
+                        reconstruction_bytes += bytes;
+                        false
+                    }
+                    None => true,
+                }
+            });
+        }
         self.stores.remove_node(node);
+        crate::coding::evict_all_parity(&self.stores);
 
         // A matrix with an unrecoverable block is unusable as a resident
         // placement: evict it everywhere so the next job re-ingests (or
@@ -314,10 +379,19 @@ impl LocalCluster {
         let epoch = self
             .membership
             .record(MembershipEvent::Decommission { node });
+        // Re-encode parity for the shrunk grid — even on the error path,
+        // so surviving coded matrices keep their protection. Evicted
+        // matrices have no resident blocks and encode to nothing.
+        let mut parity_encoded = 0u64;
+        for uid in &coded {
+            parity_encoded += self.encode_parity(*uid);
+        }
         if lost_keys.is_empty() {
-            Ok(Self::rebalance_report(
-                epoch, from_nodes, new_nodes, traffic, 0,
-            ))
+            let mut report = Self::rebalance_report(epoch, from_nodes, new_nodes, traffic, 0);
+            report.stats.reconstructed_blocks = reconstructed;
+            report.stats.reconstruction_payload_bytes = reconstruction_bytes;
+            report.stats.parity_blocks_encoded = parity_encoded;
+            Ok(report)
         } else {
             Err(JobError::NodeDecommissioned {
                 node,

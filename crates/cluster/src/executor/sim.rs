@@ -439,6 +439,7 @@ mod tests {
             host_worker_oversubscription: 2,
             retry: crate::config::RetryPolicy::no_retry(),
             scheduler: crate::config::SchedulerConfig::for_cluster(2, 100_000),
+            replication: crate::coding::ReplicationPolicy::Off,
         }
     }
 

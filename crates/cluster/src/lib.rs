@@ -33,10 +33,16 @@
 //!   epoch-tracked node commissioning/decommissioning with deterministic
 //!   block re-homing onto the resized grid ([`Phase::Rebalance`] traffic),
 //!   lineage recovery from surviving replicas, and a utilization-band
-//!   autoscaler ([`ElasticPolicy`]).
+//!   autoscaler ([`ElasticPolicy`]);
+//! * [`coding`] — coded replication ([`ReplicationPolicy`]): XOR /
+//!   Reed–Solomon-lite parity groups materialized at placement time so
+//!   recovery reconstructs a lost block from any k-of-n group survivors
+//!   instead of requiring the producer copy (recovery precedence: parity
+//!   decode → lineage → typed failure).
 
 pub mod backend;
 pub mod chaos;
+pub mod coding;
 pub mod config;
 pub mod executor;
 pub mod failure;
@@ -51,6 +57,7 @@ pub mod transport;
 
 pub use backend::ExecutionBackend;
 pub use chaos::{Blackout, FaultPlan, FaultSpec};
+pub use coding::{CodingError, ParityMember, ParityPayload, ReplicationPolicy};
 pub use config::{ClusterConfig, RetryPolicy, SchedulerConfig};
 pub use executor::real::{LocalCluster, StageGate, TaskCtx};
 pub use executor::sim::{ComputeWork, SimCluster, SimTask, StageOutcome};
@@ -62,6 +69,7 @@ pub use scheduler::{AdmissionTicket, Gang, QueueWaitStats, Scheduler, SchedulerL
 pub use shuffle::{LedgerSnapshot, ShuffleLedger};
 pub use stats::{JobStats, Phase, PhaseStats, TenantId};
 pub use store::{
-    BlockSource, BlockView, ClusterStores, NodeStore, PinGuard, StoreKey, RESIDENCY_WINDOW_JOBS,
+    BlockSource, BlockView, ClusterStores, NodeStore, PinGuard, StoreKey, StoreKind,
+    RESIDENCY_WINDOW_JOBS,
 };
 pub use transport::{DeliveryBoard, ScratchPool, Transport, TransportStats, WireMove};

@@ -143,6 +143,18 @@ pub struct JobStats {
     /// `transport_payload_bytes` so per-job payload accounting is
     /// unaffected by resizes between jobs.
     pub rebalanced_payload_bytes: u64,
+    /// Parity blocks materialized by coded replication
+    /// (`cluster::coding`) — at operand/result ingest and at the re-encode
+    /// after a membership change.
+    pub parity_blocks_encoded: u64,
+    /// Blocks rebuilt by a k-of-n parity decode instead of lineage
+    /// redelivery or a typed loss — in the transport's recovery path and
+    /// in `decommission_node`.
+    pub reconstructed_blocks: u64,
+    /// Physical frame bytes of reconstructed blocks. Kept apart from
+    /// `retransmitted_payload_bytes`: a decode reads survivors locally,
+    /// so these bytes are exactly the retransmissions coding avoided.
+    pub reconstruction_payload_bytes: u64,
     /// Fraction of communication time hidden behind compute by the
     /// pipelined executor, `0..=1` (`None` for barrier-mode jobs, which
     /// overlap nothing by construction). Computed as
@@ -210,6 +222,9 @@ impl JobStats {
         self.retransmitted_payload_bytes += other.retransmitted_payload_bytes;
         self.rebalanced_moves += other.rebalanced_moves;
         self.rebalanced_payload_bytes += other.rebalanced_payload_bytes;
+        self.parity_blocks_encoded += other.parity_blocks_encoded;
+        self.reconstructed_blocks += other.reconstructed_blocks;
+        self.reconstruction_payload_bytes += other.reconstruction_payload_bytes;
         self.gpu_utilization = match (self.gpu_utilization, other.gpu_utilization) {
             (Some(a), Some(b)) => Some((a + b) / 2.0),
             (a, b) => a.or(b),
@@ -288,6 +303,22 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.rebalanced_moves, 10);
         assert_eq!(a.rebalanced_payload_bytes, 1280);
+    }
+
+    #[test]
+    fn coding_counters_merge() {
+        let mut a = JobStats::default();
+        let b = JobStats {
+            parity_blocks_encoded: 3,
+            reconstructed_blocks: 2,
+            reconstruction_payload_bytes: 512,
+            ..Default::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.parity_blocks_encoded, 6);
+        assert_eq!(a.reconstructed_blocks, 4);
+        assert_eq!(a.reconstruction_payload_bytes, 1024);
     }
 
     #[test]

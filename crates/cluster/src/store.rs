@@ -18,18 +18,35 @@ use std::sync::{Arc, Mutex};
 /// before [`ClusterStores::evict_stale`] reclaims it.
 pub const RESIDENCY_WINDOW_JOBS: u64 = 64;
 
+/// What a store entry holds: matrix content, or derived parity over a
+/// coded group of content blocks (see `crate::coding`). Parity entries are
+/// never operands — `BlockView` resolves only `Data` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum StoreKind {
+    /// A matrix block: operand, result, or partial product.
+    #[default]
+    Data,
+    /// An erasure-coding parity block over a group of `Data` blocks.
+    Parity,
+}
+
 /// Store key: which content version, which grid position, which producer
 /// copy. `copy` distinguishes partial products that share a `(row, col)`
 /// destination before aggregation (the plan's aggregation routing tags each
 /// partial with its producing mult task); ingested operand blocks use 0.
+/// The `kind` field sits last so the derived ordering stays
+/// matrix → id → copy for the `Data` keys every pre-coding caller iterates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct StoreKey {
     /// Matrix content version (see `distme_matrix::fresh_matrix_uid`).
     pub matrix: u64,
-    /// Grid position.
+    /// Grid position (for parity: the group leader's position).
     pub id: BlockId,
-    /// Producer copy index (0 for operands and final results).
+    /// Producer copy index (0 for operands and final results; for parity:
+    /// the parity index within the group, 0 = XOR/P, 1 = RS/Q).
     pub copy: u32,
+    /// Content block or derived parity.
+    pub kind: StoreKind,
 }
 
 impl StoreKey {
@@ -39,12 +56,33 @@ impl StoreKey {
             matrix,
             id,
             copy: 0,
+            kind: StoreKind::Data,
         }
     }
 
     /// Key for a partial product produced by mult task `copy`.
     pub fn replica(matrix: u64, id: BlockId, copy: u32) -> Self {
-        StoreKey { matrix, id, copy }
+        StoreKey {
+            matrix,
+            id,
+            copy,
+            kind: StoreKind::Data,
+        }
+    }
+
+    /// Key for parity block `copy` of the coded group led by `id`.
+    pub fn parity(matrix: u64, id: BlockId, copy: u32) -> Self {
+        StoreKey {
+            matrix,
+            id,
+            copy,
+            kind: StoreKind::Parity,
+        }
+    }
+
+    /// Whether this key names derived parity rather than matrix content.
+    pub fn is_parity(&self) -> bool {
+        self.kind == StoreKind::Parity
     }
 }
 
@@ -408,6 +446,15 @@ mod tests {
         assert!(a < b);
         let c = StoreKey::replica(1, BlockId::new(5, 5), 10);
         assert!(a < c);
+    }
+
+    #[test]
+    fn parity_keys_order_after_the_data_key_with_the_same_copy() {
+        let d = StoreKey::operand(1, BlockId::new(0, 0));
+        let p = StoreKey::parity(1, BlockId::new(0, 0), 0);
+        assert!(d < p);
+        assert!(p.is_parity());
+        assert!(!d.is_parity());
     }
 
     #[test]

@@ -181,6 +181,8 @@ pub struct TransportStats {
     payload_bytes: AtomicU64,
     redelivered: AtomicU64,
     retransmitted_bytes: AtomicU64,
+    reconstructed: AtomicU64,
+    reconstruction_bytes: AtomicU64,
 }
 
 impl TransportStats {
@@ -211,6 +213,18 @@ impl TransportStats {
     pub fn retransmitted_bytes(&self) -> u64 {
         self.retransmitted_bytes.load(Ordering::Relaxed)
     }
+
+    /// Deliveries recovered by a k-of-n parity decode from coded-group
+    /// survivors instead of a lineage retransmission.
+    pub fn reconstructed(&self) -> u64 {
+        self.reconstructed.load(Ordering::Relaxed)
+    }
+
+    /// Frame bytes of those reconstructions — the retransmissions coded
+    /// replication avoided.
+    pub fn reconstruction_bytes(&self) -> u64 {
+        self.reconstruction_bytes.load(Ordering::Relaxed)
+    }
 }
 
 /// Executes [`WireMove`]s against a set of node stores.
@@ -228,6 +242,7 @@ pub struct Transport<'a> {
     board: Option<&'a DeliveryBoard>,
     faults: Option<Arc<FaultPlan>>,
     retry: RetryPolicy,
+    replication: crate::coding::ReplicationPolicy,
 }
 
 impl<'a> Transport<'a> {
@@ -249,7 +264,18 @@ impl<'a> Transport<'a> {
             board: None,
             faults,
             retry,
+            replication: crate::coding::ReplicationPolicy::Off,
         }
+    }
+
+    /// Arms coded-replication recovery: a dropped or corrupted delivery
+    /// whose source is a coded copy-0 block is first rebuilt by a k-of-n
+    /// parity decode from its group's survivors, falling back to lineage
+    /// redelivery only when no parity covers it or the erasure budget is
+    /// exceeded.
+    pub fn with_replication(mut self, replication: crate::coding::ReplicationPolicy) -> Self {
+        self.replication = replication;
+        self
     }
 
     /// Mirrors every counter update into `job` as well — the per-job view
@@ -290,6 +316,26 @@ impl<'a> Transport<'a> {
                 s.retransmitted_bytes.fetch_add(payload, Ordering::Relaxed);
             });
         }
+    }
+
+    /// Recovery precedence step 1: rebuild the lost delivery by a parity
+    /// decode over the source block's coded group, reading only survivor
+    /// frames (the source is treated as erased — a success is a genuine
+    /// k-of-n decode). On success the rebuilt block — bit-identical content
+    /// to the original — is installed at the destination and the bytes are
+    /// charged to the reconstruction counters, *not* the retransmission
+    /// counters. `None` sends the caller down the lineage path.
+    fn try_reconstruct(&self, mv: &WireMove) -> Option<u64> {
+        if self.replication.parity_count() == 0 {
+            return None;
+        }
+        let (block, bytes) = crate::coding::reconstruct_block(self.stores, mv.src, None)?;
+        self.each_stats(|s| {
+            s.reconstructed.fetch_add(1, Ordering::Relaxed);
+            s.reconstruction_bytes.fetch_add(bytes, Ordering::Relaxed);
+        });
+        self.install(mv, block);
+        Some(bytes)
     }
 
     /// Installs a decoded block at the move's destination and publishes the
@@ -361,6 +407,9 @@ impl<'a> Transport<'a> {
             self.charge_transmission(payload, task_attempt == 0 && delivery == 0);
             if let Some(faults) = &self.faults {
                 if faults.drop_delivery(mv, task_attempt, delivery) {
+                    if self.try_reconstruct(mv).is_some() {
+                        return Ok(payload);
+                    }
                     if delivery + 1 == deliveries {
                         return Err(TaskError::LostBlock {
                             node: mv.to_node,
@@ -384,8 +433,11 @@ impl<'a> Transport<'a> {
                     return Ok(payload);
                 }
                 Err(_) if injected => {
-                    // The CRC gate caught the injected flip; re-read the
-                    // block from the producer (lineage) and re-send.
+                    // The CRC gate caught the injected flip: parity decode
+                    // first, then re-read from the producer (lineage).
+                    if self.try_reconstruct(mv).is_some() {
+                        return Ok(payload);
+                    }
                     if delivery + 1 == deliveries {
                         return Err(TaskError::CorruptBlock {
                             node: mv.to_node,
@@ -419,6 +471,10 @@ impl<'a> Transport<'a> {
             self.charge_transmission(payload, task_attempt == 0 && delivery == 0);
             if let Some(faults) = &self.faults {
                 if faults.drop_delivery(mv, task_attempt, delivery) {
+                    if self.try_reconstruct(mv).is_some() {
+                        self.scratch.recycle(buf);
+                        return Ok(payload);
+                    }
                     if delivery + 1 == deliveries {
                         self.scratch.recycle(buf);
                         return Err(TaskError::LostBlock {
@@ -440,8 +496,12 @@ impl<'a> Transport<'a> {
                     return Ok(payload);
                 }
                 Err(_) if injected => {
-                    // The CRC gate caught the injected flip; re-read the
-                    // block from the producer (lineage) and re-send.
+                    // The CRC gate caught the injected flip: parity decode
+                    // first, then re-read from the producer (lineage).
+                    if self.try_reconstruct(mv).is_some() {
+                        self.scratch.recycle(buf);
+                        return Ok(payload);
+                    }
                     if delivery + 1 == deliveries {
                         self.scratch.recycle(buf);
                         return Err(TaskError::CorruptBlock {

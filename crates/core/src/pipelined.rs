@@ -146,6 +146,7 @@ pub fn execute_plan_pipelined(
         model_cross,
         model_broadcast,
         c_uid,
+        parity_blocks_encoded,
         ..
     } = setup;
     let stores = cluster.stores();
@@ -628,6 +629,8 @@ pub fn execute_plan_pipelined(
     }
     stores.touch(c.uid());
     stores.evict_stale(RESIDENCY_WINDOW_JOBS);
+    // Same coded-replication epilogue as the barrier path.
+    let parity_blocks_encoded = parity_blocks_encoded + cluster.encode_parity(c.uid());
 
     // ------------- Statistics --------------------------------------------
     // Bytes come from the shared routing-view accumulators — identical to
@@ -657,6 +660,9 @@ pub fn execute_plan_pipelined(
         overlap_ratio,
         prefetch_hits: hits.load(Ordering::Relaxed),
         prefetch_stalls: stalls.load(Ordering::Relaxed),
+        parity_blocks_encoded,
+        reconstructed_blocks: job_transport.reconstructed(),
+        reconstruction_payload_bytes: job_transport.reconstruction_bytes(),
         ..Default::default()
     };
     *stats.phase_mut(Phase::Repartition) = PhaseStats {

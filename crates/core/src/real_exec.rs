@@ -137,6 +137,9 @@ pub(crate) struct JobSetup<'a> {
     pub(crate) model_broadcast: [u64; Phase::COUNT],
     /// Identity of this job's intermediate C copies in the stores.
     pub(crate) c_uid: u64,
+    /// Parity blocks materialized for the operands at ingest (coded
+    /// replication; 0 when [`ReplicationPolicy::Off`](distme_cluster::ReplicationPolicy)).
+    pub(crate) parity_blocks_encoded: u64,
     /// Operands and the intermediate result stay resident for the whole
     /// job even when concurrent job completions advance the residency
     /// clock past the eviction window.
@@ -221,6 +224,11 @@ pub(crate) fn prepare_job<'a>(
     }
     stores.touch(a.uid());
     stores.touch(b.uid());
+    // Coded replication: materialize parity for the operands now that
+    // placement is final, so a node loss during this job can be decoded
+    // from group survivors instead of forcing a re-ingest. Idempotent —
+    // an operand already coded by an earlier job encodes to nothing.
+    let parity_blocks_encoded = cluster.encode_parity(a.uid()) + cluster.encode_parity(b.uid());
 
     let mut model_shuffle = [0u64; Phase::COUNT];
     let mut model_cross = [0u64; Phase::COUNT];
@@ -272,6 +280,7 @@ pub(crate) fn prepare_job<'a>(
         model_cross,
         model_broadcast,
         c_uid,
+        parity_blocks_encoded,
         _pins: [pin_a, pin_b, pin_c],
     })
 }
@@ -330,6 +339,7 @@ pub fn execute_plan(
         model_cross,
         model_broadcast,
         c_uid,
+        parity_blocks_encoded,
         ..
     } = setup;
     let stores = cluster.stores();
@@ -536,6 +546,9 @@ pub fn execute_plan(
     }
     stores.touch(c.uid());
     stores.evict_stale(RESIDENCY_WINDOW_JOBS);
+    // Result blocks whose two placement hashes collide are sole copies;
+    // parity over the result keeps those recoverable too.
+    let parity_blocks_encoded = parity_blocks_encoded + cluster.encode_parity(c.uid());
 
     // ------------- Statistics --------------------------------------------
     // Model bytes come from the job-local accumulators (charged to the
@@ -554,6 +567,9 @@ pub fn execute_plan(
         retries: fetch.retries + mult.retries + agg_retries,
         redelivered_moves: job_transport.redelivered(),
         retransmitted_payload_bytes: job_transport.retransmitted_bytes(),
+        parity_blocks_encoded,
+        reconstructed_blocks: job_transport.reconstructed(),
+        reconstruction_payload_bytes: job_transport.reconstruction_bytes(),
         ..Default::default()
     };
     *stats.phase_mut(Phase::Repartition) = PhaseStats {

@@ -55,7 +55,7 @@ pub use distme_sim as sim;
 pub mod prelude {
     pub use distme_cluster::{
         Blackout, ClusterConfig, FaultPlan, FaultSpec, JobError, JobStats, LocalCluster, Phase,
-        RetryPolicy, SimCluster,
+        ReplicationPolicy, RetryPolicy, SimCluster,
     };
     pub use distme_cluster::{ElasticPolicy, TenantId};
     pub use distme_core::{

@@ -340,3 +340,85 @@ fn ragged_grids_keep_parity() {
         );
     }
 }
+
+/// Coded replication must be invisible when off — the default — and
+/// byte-transparent when on: for every method, a fault-free run under
+/// `ReplicationPolicy::Xor` produces the same result bits, the same
+/// per-phase ledger model bytes, the same physical payload, and the same
+/// data-key placements as the `Off` run. Parity only *adds* keys (under
+/// its own `StoreKind`); it never perturbs the data path.
+#[test]
+fn replication_off_is_the_default_and_xor_is_byte_transparent() {
+    assert_eq!(ClusterConfig::laptop().replication, ReplicationPolicy::Off);
+    assert_eq!(
+        ClusterConfig::paper_cluster().replication,
+        ReplicationPolicy::Off
+    );
+
+    let (a, b) = operands(5, 4, 3, 1.0);
+    // Matrix uids come off a process-global counter, so the two runs name
+    // the *same* result matrix differently: compare placements with uids
+    // normalized to their order of appearance.
+    let data_placements = |cluster: &LocalCluster| {
+        let mut uid_rank = std::collections::BTreeMap::new();
+        cluster
+            .stores()
+            .resident_keys()
+            .into_iter()
+            .filter(|(k, _)| !k.is_parity())
+            .map(|(k, holders)| {
+                let next = uid_rank.len();
+                let rank = *uid_rank.entry(k.matrix).or_insert(next);
+                (rank, k.id, k.copy, holders)
+            })
+            .collect::<Vec<_>>()
+    };
+    for (method, name) in methods() {
+        let off = LocalCluster::new(ClusterConfig::laptop());
+        let (c_off, s_off) =
+            real_exec::multiply(&off, &a, &b, method).unwrap_or_else(|e| panic!("{name} off: {e}"));
+        let xor =
+            LocalCluster::new(ClusterConfig::laptop().with_replication(ReplicationPolicy::Xor));
+        let (c_xor, s_xor) =
+            real_exec::multiply(&xor, &a, &b, method).unwrap_or_else(|e| panic!("{name} xor: {e}"));
+
+        assert_eq!(
+            c_off.max_abs_diff(&c_xor).unwrap(),
+            0.0,
+            "{name}: result bits must not depend on the replication policy"
+        );
+        for phase in Phase::ALL {
+            assert_eq!(
+                off.ledger().shuffle_bytes(phase),
+                xor.ledger().shuffle_bytes(phase),
+                "{name}: ledger bytes diverge in {}",
+                phase.label()
+            );
+            assert_eq!(
+                off.ledger().broadcast_bytes(phase),
+                xor.ledger().broadcast_bytes(phase),
+                "{name}: broadcast bytes diverge in {}",
+                phase.label()
+            );
+        }
+        assert_eq!(
+            s_off.transport_payload_bytes, s_xor.transport_payload_bytes,
+            "{name}: parity installs must not ride the transport"
+        );
+        assert_eq!(
+            data_placements(&off),
+            data_placements(&xor),
+            "{name}: data placement hashes must be untouched by parity"
+        );
+        assert!(
+            off.stores().resident_keys().keys().all(|k| !k.is_parity()),
+            "{name}: an Off cluster must hold no parity keys"
+        );
+        assert_eq!(s_off.parity_blocks_encoded, 0);
+        assert!(s_xor.parity_blocks_encoded > 0, "{name}: parity must exist");
+        // Fault-free: neither recovery tier has anything to do.
+        assert_eq!(s_off.reconstructed_blocks, 0);
+        assert_eq!(s_xor.reconstructed_blocks, 0);
+        assert_eq!(s_xor.retransmitted_payload_bytes, 0);
+    }
+}
