@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci fmt lint test parity chaos-smoke elastic-smoke coded-smoke service-smoke overlap-smoke codec-smoke build bench bench-json bench-smoke
+.PHONY: ci fmt lint test parity chaos-smoke elastic-smoke coded-smoke service-smoke overlap-smoke sparse-smoke codec-smoke build bench bench-json bench-smoke
 
-ci: fmt lint test parity chaos-smoke elastic-smoke coded-smoke service-smoke overlap-smoke bench-smoke codec-smoke
+ci: fmt lint test parity chaos-smoke elastic-smoke coded-smoke service-smoke overlap-smoke sparse-smoke bench-smoke codec-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -61,6 +61,18 @@ overlap-smoke:
 	$(CARGO) test -q -p distme-cluster --test chaos pipelined_streaming_recovers_drops_and_corruption_bit_identically
 	$(CARGO) test -q -p distme-core pipelined
 
+# The sparse-method contract: SDDMM/SpMM local kernels bit-match their
+# dense references, both methods hold sim/real byte parity (SDDMM also
+# across node counts), ALS converges with factors bit-identical across
+# elastic resizes and under the multi-tenant service, and blackout-window
+# losses of coded operands decode from parity.
+sparse-smoke:
+	$(CARGO) test -q -p distme-matrix sddmm
+	$(CARGO) test -q --test plan_parity sddmm_keeps_parity_across_ragged_grids
+	$(CARGO) test -q -p distme-engine als
+	$(CARGO) test -q -p distme-engine --test service concurrent_als_matches_its_solo_run_bit_for_bit
+	$(CARGO) test -q -p distme-cluster --test chaos blackout_window_losses_decode_from_parity_before_lineage
+
 build:
 	$(CARGO) build --release
 
@@ -69,8 +81,9 @@ bench:
 
 # Regenerates the tracked hot-path baseline (BENCH_hotpath.json at the repo
 # root): GEMM GFLOP/s, codec GB/s, transport throughput, one CuboidMM job,
-# and the coded-replication section (parity encode GB/s, recovery bytes
-# saved vs pure redelivery at 1% drop + one decommission).
+# the coded-replication section (parity encode GB/s, recovery bytes saved
+# vs pure redelivery at 1% drop + one decommission), and the sparse section
+# (SDDMM/SpMM GFLOP/s, ALS iterations/s).
 bench-json:
 	$(CARGO) run --release -q -p distme-bench --bin hotpath -- --coded --out BENCH_hotpath.json
 

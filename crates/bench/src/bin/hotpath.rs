@@ -18,6 +18,9 @@
 //! * block-migration throughput of an elastic resize cycle (grow 4→9,
 //!   shrink 9→4) over a resident working set;
 //! * wall time of one fixed CuboidMM job on the real executor;
+//! * sparse ML kernel throughput — SDDMM and SpMM GFLOP/s over the
+//!   entries the kernels actually visit — plus end-to-end ALS
+//!   iterations/s on the real backend;
 //! * job-service throughput (jobs/s) at 1/4/16 concurrent submissions,
 //!   with the admission queue-wait p50/p95.
 //!
@@ -86,6 +89,7 @@ fn main() {
         if coded {
             doc.push_str(&format!("  \"coded\": {},\n", bench_coded(smoke)));
         }
+        doc.push_str(&format!("  \"sparse\": {},\n", bench_sparse(smoke)));
         doc.push_str(&format!("  \"service\": {}\n", bench_service(smoke)));
     }
     doc.push('}');
@@ -756,6 +760,96 @@ fn bench_coded(smoke: bool) -> String {
         xor_stats.retransmitted_payload_bytes,
         xor_stats.reconstructed_blocks,
         xor_stats.reconstruction_payload_bytes,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Sparse ML kernels: SDDMM / SpMM throughput and the ALS iteration rate
+// ---------------------------------------------------------------------------
+
+/// Local sparse-kernel throughput in GFLOP/s — flops counted over the
+/// entries the kernels actually visit (`2·k` per sampled SDDMM entry,
+/// `2·n` per stored SpMM entry) — plus end-to-end ALS iterations/s on the
+/// real backend, where each iteration runs two SpMM jobs, two dense
+/// Grams, two driver-side `f × f` ridge solves, and an SDDMM-sampled
+/// objective.
+fn bench_sparse(smoke: bool) -> String {
+    use distme_engine::{als, AlsConfig, RealSession, SystemProfile};
+    use distme_matrix::kernels::{sddmm, spmm};
+
+    let (m, k, n) = if smoke { (64, 48, 64) } else { (512, 256, 512) };
+    let every = 16; // ~6% density
+    let a = seeded_dense(m, k, 3);
+    let b = seeded_dense(k, n, 5);
+    let reps = if smoke { 2 } else { 20 };
+
+    let mask = seeded_sparse(m, n, every, 9);
+    let mask_nnz = mask.nnz();
+    let mut sddmm_best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let c = sddmm::sddmm(&a, &b, &mask).expect("dims agree");
+        sddmm_best = sddmm_best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(&c);
+    }
+    let sddmm_gflops = 2.0 * k as f64 * mask_nnz as f64 / sddmm_best / 1e9;
+
+    let sa = seeded_sparse(m, k, every, 13);
+    let sa_nnz = sa.nnz();
+    let mut spmm_best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let c = spmm::csr_dense(&sa, &b).expect("dims agree");
+        spmm_best = spmm_best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(&c);
+    }
+    let spmm_gflops = 2.0 * sa_nnz as f64 * n as f64 / spmm_best / 1e9;
+
+    // The transpose-aware variant: Aᵀ·B scattered without materializing
+    // the transpose (`at` is k-major storage of the same logical operand).
+    let at = seeded_sparse(k, m, every, 13);
+    let bt = seeded_dense(k, n, 5);
+    let mut spmm_t_best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let c = sddmm::csr_t_dense(&at, &bt).expect("dims agree");
+        spmm_t_best = spmm_t_best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(&c);
+    }
+    let spmm_t_gflops = 2.0 * at.nnz() as f64 * n as f64 / spmm_t_best / 1e9;
+
+    // End-to-end ALS on the real backend.
+    let (users, items, factor_dim) = (96u64, 64u64, 16u64);
+    let v = MatrixGenerator::with_seed(3)
+        .value_range(1.0, 5.0)
+        .generate(&MatrixMeta::sparse(users, items, 0.2).with_block_size(16))
+        .expect("generates");
+    let iterations = if smoke { 2 } else { 8 };
+    let cfg = AlsConfig {
+        factor_dim,
+        iterations,
+        lambda: 0.1,
+    };
+    let mut session = RealSession::new(ClusterConfig::laptop(), SystemProfile::DistMe);
+    let t = Instant::now();
+    let res = als::run_real(&mut session, &v, &cfg, 42).expect("ALS runs");
+    let als_secs = t.elapsed().as_secs_f64();
+    let final_objective = res.objective.last().copied().unwrap_or(0.0);
+    std::hint::black_box(&res.w);
+
+    format!(
+        "{{\n    \"sddmm\": {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"nnz\": {mask_nnz}, \
+         \"gflops\": {}}},\n    \
+         \"spmm\": {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"nnz\": {sa_nnz}, \
+         \"gflops\": {}}},\n    \
+         \"spmm_transpose\": {{\"gflops\": {}}},\n    \
+         \"als\": {{\"users\": {users}, \"items\": {items}, \"factor_dim\": {factor_dim}, \
+         \"iterations\": {iterations}, \"iters_per_sec\": {}, \"final_objective\": {}}}\n  }}",
+        num(sddmm_gflops),
+        num(spmm_gflops),
+        num(spmm_t_gflops),
+        num(iterations as f64 / als_secs),
+        num(final_objective),
     )
 }
 

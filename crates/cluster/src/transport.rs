@@ -325,11 +325,27 @@ impl<'a> Transport<'a> {
     /// to the original — is installed at the destination and the bytes are
     /// charged to the reconstruction counters, *not* the retransmission
     /// counters. `None` sends the caller down the lineage path.
+    /// Blackout windows bound what the decode may touch: a dark
+    /// *destination* cannot accept the rebuilt block at all (the caller
+    /// falls through to lineage redelivery, which keeps failing until the
+    /// window passes or retries exhaust), and a dark *source* is excluded
+    /// from the survivor scan so the decode never reads frames the outage
+    /// says are unreachable — a success is an honest k-of-n rebuild from
+    /// reachable nodes only.
     fn try_reconstruct(&self, mv: &WireMove) -> Option<u64> {
         if self.replication.parity_count() == 0 {
             return None;
         }
-        let (block, bytes) = crate::coding::reconstruct_block(self.stores, mv.src, None)?;
+        let mut exclude = None;
+        if let Some(faults) = &self.faults {
+            if faults.node_down(mv.to_node) {
+                return None;
+            }
+            if faults.node_down(mv.from_node) {
+                exclude = Some(mv.from_node);
+            }
+        }
+        let (block, bytes) = crate::coding::reconstruct_block(self.stores, mv.src, exclude)?;
         self.each_stats(|s| {
             s.reconstructed.fetch_add(1, Ordering::Relaxed);
             s.reconstruction_bytes.fetch_add(bytes, Ordering::Relaxed);

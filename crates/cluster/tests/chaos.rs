@@ -10,7 +10,9 @@
 //! Faults are deterministic functions of `(seed, event identity)`, so any
 //! failing case replays exactly from its printed seed.
 
-use distme_cluster::{Blackout, ClusterConfig, FaultSpec, JobError, JobStats, LocalCluster, Phase};
+use distme_cluster::{
+    Blackout, ClusterConfig, FaultSpec, JobError, JobStats, LocalCluster, Phase, ReplicationPolicy,
+};
 use distme_core::real_exec::{self, RealExecOptions};
 use distme_core::MulMethod;
 use distme_matrix::{BlockMatrix, MatrixGenerator, MatrixMeta};
@@ -180,6 +182,61 @@ fn whole_job_blackout_fails_cleanly() {
     };
     let msg = err.to_string();
     assert!(msg.contains("unreachable"), "got: {msg}");
+}
+
+/// A blackout window over the shuffle stages, with XOR parity armed:
+/// deliveries sourced from the dark node are rebuilt by a parity decode
+/// over the *reachable* survivors (the dark node's frames are excluded
+/// from the scan), so the job completes bit-identically without lineage
+/// ever reaching the dead store. The dark node hosts operand blocks but
+/// no tasks here — the row-sharded SpMM schedule has fewer tasks than
+/// nodes — which is exactly the loss parity covers and retries cannot.
+#[test]
+fn blackout_window_losses_decode_from_parity_before_lineage() {
+    let am = MatrixMeta::sparse(3 * BS, 2 * BS, 0.08).with_block_size(BS);
+    let bm = MatrixMeta::dense(2 * BS, 2 * BS).with_block_size(BS);
+    let a = MatrixGenerator::with_seed(31).generate(&am).unwrap();
+    let b = MatrixGenerator::with_seed(32).generate(&bm).unwrap();
+    let spec = FaultSpec {
+        blackouts: vec![Blackout {
+            node: 3,
+            from_stage: 0,
+            until_stage: 1,
+        }],
+        ..FaultSpec::quiet(7)
+    };
+
+    let clean_cluster = LocalCluster::new(ClusterConfig::laptop());
+    let (clean, _) =
+        real_exec::multiply(&clean_cluster, &a, &b, MulMethod::SpmmShift).expect("fault-free SpMM");
+
+    let coded = LocalCluster::new(ClusterConfig::laptop().with_replication(ReplicationPolicy::Xor));
+    coded.inject_faults(spec.clone());
+    let (c, stats) = real_exec::multiply(&coded, &a, &b, MulMethod::SpmmShift)
+        .expect("coded run must ride out the blackout");
+    assert!(
+        stats.reconstructed_blocks > 0,
+        "losses inside the window must be parity decodes"
+    );
+    assert!(stats.reconstruction_payload_bytes > 0);
+    assert_eq!(
+        stats.redelivered_moves, 0,
+        "lineage must never touch the dark store"
+    );
+    assert_eq!(
+        c.max_abs_diff(&clean).unwrap(),
+        0.0,
+        "decoded result must be bit-identical"
+    );
+
+    // The control: the identical window without parity is unrecoverable —
+    // lineage redelivery keeps hitting the dark node until retries
+    // exhaust, and the typed error names the lost block.
+    let uncoded = LocalCluster::new(ClusterConfig::laptop());
+    uncoded.inject_faults(spec);
+    let err = real_exec::multiply(&uncoded, &a, &b, MulMethod::SpmmShift)
+        .expect_err("no parity, no recovery");
+    assert!(matches!(err, JobError::TaskFailed { .. }), "got: {err}");
 }
 
 /// Certain corruption defeats every redelivery; the exhausted retry

@@ -30,6 +30,17 @@ pub enum MulMethod {
     /// Marlin's CRMM (§7): RMM over larger *cubic* logical blocks formed by
     /// an extra shuffle.
     Crmm,
+    /// Sampled dense–dense MM: row-partition the dense left factor,
+    /// broadcast the dense right factor, and gather each task's output into
+    /// the row-stripe of a stationary CSR mask (the mask never moves — it
+    /// is sharded by rows exactly like A, so sampling is node-local).
+    Sddmm,
+    /// Sparse × dense MM with the sparse operand sharded by rows and the
+    /// dense factor's row panels rotated through the shuffle (the
+    /// shift-based schedule of distributed SpMM; communication-wise a
+    /// row-partitioned cuboid whose B panels repartition instead of
+    /// broadcast).
+    SpmmShift,
 }
 
 impl MulMethod {
@@ -42,6 +53,8 @@ impl MulMethod {
             MulMethod::Cuboid(_) => "CuboidMM",
             MulMethod::CuboidAuto => "CuboidMM",
             MulMethod::Crmm => "CRMM",
+            MulMethod::Sddmm => "SDDMM",
+            MulMethod::SpmmShift => "SpMM-shift",
         }
     }
 }
@@ -178,6 +191,36 @@ impl ResolvedMethod {
                     gpu_cost_based: true,
                 }
             }
+            // SDDMM is communication-shaped like BMM — row-stripes of the
+            // dense left factor stay put, the dense right factor torrents
+            // to every task — while the mask rides with A's row partition
+            // and never crosses the wire.
+            MulMethod::Sddmm => ResolvedMethod {
+                method,
+                spec: CuboidSpec::new(i, 1, 1),
+                tasks: i as u64,
+                broadcast_b: true,
+                voxel_hash: false,
+                pre_shuffle_bytes: 0,
+                output_resident: false,
+                ser_overhead: 1.0,
+                gpu_cost_based: true,
+            },
+            // Shift-SpMM keeps the sparse operand's row-stripes stationary
+            // and repartitions the dense factor's row panels to the stripe
+            // that needs them — the shuffle-based rendering of the rotation
+            // schedule (each task still sees every panel exactly once).
+            MulMethod::SpmmShift => ResolvedMethod {
+                method,
+                spec: CuboidSpec::new(i, 1, 1),
+                tasks: i as u64,
+                broadcast_b: false,
+                voxel_hash: false,
+                pre_shuffle_bytes: 0,
+                output_resident: false,
+                ser_overhead: 1.0,
+                gpu_cost_based: true,
+            },
             MulMethod::Crmm => {
                 // Cubic logical blocks: the smallest side s with s^3 >= M·Tc
                 // parallelism, clamped to the model dims. The re-blocking
@@ -287,9 +330,43 @@ mod tests {
     }
 
     #[test]
+    fn sddmm_resolves_like_bmm_over_the_mask_rows() {
+        use distme_matrix::MatrixMeta;
+        let p = MatmulProblem::sddmm(
+            MatrixMeta::dense(70_000, 200),
+            MatrixMeta::dense(200, 50_000),
+            MatrixMeta::sparse(70_000, 50_000, 0.01),
+        )
+        .unwrap();
+        let r = ResolvedMethod::resolve(MulMethod::Sddmm, &p, &cfg());
+        assert_eq!(r.spec, CuboidSpec::new(70, 1, 1));
+        assert_eq!(r.tasks, 70);
+        assert!(r.broadcast_b, "right factor torrents like BMM");
+        assert!(!r.voxel_hash);
+        assert_eq!(r.pre_shuffle_bytes, 0, "mask never crosses the wire");
+    }
+
+    #[test]
+    fn spmm_shift_row_shards_without_broadcast() {
+        use distme_matrix::MatrixMeta;
+        let p = MatmulProblem::new(
+            MatrixMeta::sparse(70_000, 70_000, 0.001),
+            MatrixMeta::dense(70_000, 200),
+        )
+        .unwrap();
+        let r = ResolvedMethod::resolve(MulMethod::SpmmShift, &p, &cfg());
+        assert_eq!(r.spec, CuboidSpec::new(70, 1, 1));
+        assert_eq!(r.tasks, 70);
+        assert!(!r.broadcast_b, "dense panels repartition, not broadcast");
+        assert!(!r.voxel_hash);
+    }
+
+    #[test]
     fn names() {
         assert_eq!(MulMethod::Bmm.name(), "BMM");
         assert_eq!(MulMethod::CuboidAuto.name(), "CuboidMM");
         assert_eq!(MulMethod::Crmm.name(), "CRMM");
+        assert_eq!(MulMethod::Sddmm.name(), "SDDMM");
+        assert_eq!(MulMethod::SpmmShift.name(), "SpMM-shift");
     }
 }

@@ -17,6 +17,10 @@ pub struct MatmulProblem {
     /// Output (the `ij`-plane), sized with the paper's worst-case density
     /// estimate (§2.2.2).
     pub c: MatrixMeta,
+    /// Sampling mask over the `ij`-plane for SDDMM problems: only the
+    /// mask's stored pattern is computed and `c` inherits the mask's shape
+    /// and sparsity. `None` for ordinary multiplications.
+    pub mask: Option<MatrixMeta>,
 }
 
 impl MatmulProblem {
@@ -37,7 +41,32 @@ impl MatmulProblem {
             a,
             b,
             c: a.multiply_meta(&b),
+            mask: None,
         })
+    }
+
+    /// Builds an SDDMM problem: `C = mask ⊙ (A · B)` where only the mask's
+    /// stored pattern is evaluated. The output descriptor takes the mask's
+    /// shape and sparsity (the result lives in the mask's CSR pattern), and
+    /// the per-voxel FLOP estimate is scaled by the mask density.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::DimensionMismatch`] when the operands
+    /// disagree, or when the mask is not `a.rows × b.cols` at the operands'
+    /// block size.
+    pub fn sddmm(a: MatrixMeta, b: MatrixMeta, mask: MatrixMeta) -> Result<Self, MatrixError> {
+        let mut p = Self::new(a, b)?;
+        if mask.rows != a.rows || mask.cols != b.cols || mask.block_size != a.block_size {
+            return Err(MatrixError::DimensionMismatch {
+                op: "sddmm_problem",
+                lhs: (a.rows, b.cols),
+                rhs: (mask.rows, mask.cols),
+            });
+        }
+        p.c = MatrixMeta::sparse(mask.rows, mask.cols, mask.sparsity)
+            .with_block_size(mask.block_size);
+        p.mask = Some(mask);
+        Ok(p)
     }
 
     /// Block-grid dimensions `(I, J, K)` of the voxel model.
@@ -81,7 +110,10 @@ impl MatmulProblem {
         } else {
             self.b.sparsity
         };
-        da * db
+        // An SDDMM kernel only visits the mask's stored entries, so the
+        // sampled fraction scales the work regardless of operand storage.
+        let dm = self.mask.map_or(1.0, |m| m.sparsity);
+        da * db * dm
     }
 
     /// Total FLOPs of the multiplication — identical for every method ("the
@@ -92,9 +124,10 @@ impl MatmulProblem {
     }
 
     /// Whether either operand is stored sparse (selects csrmm-style
-    /// kernels).
+    /// kernels). SDDMM problems always run a sparse kernel: the output is
+    /// gathered into the mask's CSR pattern.
     pub fn uses_sparse_kernels(&self) -> bool {
-        !self.a.is_dense_storage() || !self.b.is_dense_storage()
+        !self.a.is_dense_storage() || !self.b.is_dense_storage() || self.mask.is_some()
     }
 
     /// Average serialized bytes of one block of `A` — exact for uniformly

@@ -33,7 +33,9 @@ use distme_cluster::{
     PinGuard, StoreKey, TaskCtx, TaskError, TenantId, TransportStats, WireMove,
     RESIDENCY_WINDOW_JOBS,
 };
-use distme_matrix::{codec, fresh_matrix_uid, kernels, Block, BlockId, BlockMatrix, DenseBlock};
+use distme_matrix::{
+    codec, fresh_matrix_uid, kernels, Block, BlockId, BlockMatrix, CsrBlock, DenseBlock,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -88,6 +90,47 @@ pub fn multiply_with(
     let problem = problem_of(a, b)?;
     let plan = JobPlan::build(&problem, method, cluster.config()).at_epoch(cluster.epoch());
     execute_plan(cluster, a, b, &plan, opts)
+}
+
+/// Distributed SDDMM: `C = mask ⊙ (A · B)` gathered into the mask's CSR
+/// pattern, `A` row-sharded, `B` broadcast ([`MulMethod::Sddmm`]).
+///
+/// The mask is the *sampling pattern*, not an operand: it is sharded by
+/// rows exactly like `A`'s stripes and never crosses the wire, so it adds
+/// nothing to the routing view — sim/real byte parity over the plan is
+/// unchanged. Stored mask entries (explicit zeros included) mark sampled
+/// positions; mask values are ignored.
+///
+/// # Errors
+/// See [`multiply`]; additionally fails when the mask is not
+/// `a.rows × b.cols` at the operands' block size.
+pub fn sddmm(
+    cluster: &LocalCluster,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    mask: &BlockMatrix,
+) -> Result<(BlockMatrix, JobStats), JobError> {
+    sddmm_with(cluster, a, b, mask, RealExecOptions::default())
+}
+
+/// [`sddmm`] with explicit options (`pipelined` is ignored: the sampled
+/// path always runs the barrier executor).
+pub fn sddmm_with(
+    cluster: &LocalCluster,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    mask: &BlockMatrix,
+    opts: RealExecOptions,
+) -> Result<(BlockMatrix, JobStats), JobError> {
+    let problem = MatmulProblem::sddmm(*a.meta(), *b.meta(), *mask.meta()).map_err(|e| {
+        JobError::TaskFailed {
+            task: 0,
+            message: e.to_string(),
+        }
+    })?;
+    let plan =
+        JobPlan::build(&problem, MulMethod::Sddmm, cluster.config()).at_epoch(cluster.epoch());
+    execute_plan_masked(cluster, a, b, Some(mask), &plan, opts)
 }
 
 /// [`multiply`] with a pre-resolved method (system profiles with legacy
@@ -321,7 +364,25 @@ pub fn execute_plan(
     plan: &JobPlan,
     opts: RealExecOptions,
 ) -> Result<(BlockMatrix, JobStats), JobError> {
-    if opts.pipelined {
+    execute_plan_masked(cluster, a, b, None, plan, opts)
+}
+
+/// [`execute_plan`] with an optional SDDMM sampling mask. With a mask, the
+/// local-multiplication stage gathers each task's output into the mask's
+/// row-stripe CSR pattern ([`multiply_cuboid_sddmm`]) instead of running
+/// the dense accumulator, and the result skips density normalization so
+/// the pattern survives verbatim. Everything else — ingest, routing,
+/// ledger charging, aggregation, placement — is byte-for-byte the dense
+/// path.
+pub fn execute_plan_masked(
+    cluster: &LocalCluster,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    mask: Option<&BlockMatrix>,
+    plan: &JobPlan,
+    opts: RealExecOptions,
+) -> Result<(BlockMatrix, JobStats), JobError> {
+    if opts.pipelined && mask.is_none() {
         return crate::pipelined::execute_plan_pipelined(cluster, a, b, plan, opts);
     }
     let problem = &plan.problem;
@@ -401,20 +462,34 @@ pub fn execute_plan(
                     }
                 }
                 ctx.alloc(in_bytes)?;
-                let blocks = match opts.gpu_task_mem_bytes {
-                    Some(theta_g) => {
-                        gpu_local::execute_cuboid_real(&cuboid, &a_view, &b_view, problem, theta_g)?
-                            .blocks
+                // A sampled task gathers into the mask's CSR pattern and
+                // installs it verbatim — no density normalization, the
+                // pattern (explicit zeros included) is the contract.
+                let blocks: Vec<(BlockId, Block)> = match mask {
+                    Some(mask) => multiply_cuboid_sddmm(&cuboid, &a_view, &b_view, mask)?
+                        .into_iter()
+                        .map(|(id, csr)| (id, Block::Sparse(csr)))
+                        .collect(),
+                    None => {
+                        let dense = match opts.gpu_task_mem_bytes {
+                            Some(theta_g) => {
+                                gpu_local::execute_cuboid_real(
+                                    &cuboid, &a_view, &b_view, problem, theta_g,
+                                )?
+                                .blocks
+                            }
+                            None => multiply_cuboid_cpu(&cuboid, &a_view, &b_view, problem)?,
+                        };
+                        dense
+                            .into_iter()
+                            .map(|(id, d)| (id, finish(Block::Dense(d))))
+                            .collect()
                     }
-                    None => multiply_cuboid_cpu(&cuboid, &a_view, &b_view, problem)?,
                 };
                 let mut produced = Vec::with_capacity(blocks.len());
-                for (id, dense) in blocks {
-                    ctx.alloc(dense.mem_bytes())?;
-                    store.install(
-                        StoreKey::replica(c_uid, id, ctx.task as u32),
-                        Arc::new(finish(Block::Dense(dense))),
-                    );
+                for (id, blk) in blocks {
+                    ctx.alloc(blk.mem_bytes())?;
+                    store.install(StoreKey::replica(c_uid, id, ctx.task as u32), Arc::new(blk));
                     produced.push(id);
                 }
                 Ok(produced)
@@ -670,6 +745,48 @@ pub(crate) fn reduce_groups(
     Ok(out)
 }
 
+/// Sampled cuboid multiplication: each output block of the cuboid's
+/// `ij`-face gathers `A·B` into the co-located mask block's CSR pattern.
+/// Mask blocks are read straight off the stationary mask matrix — they
+/// ride with the cuboid's row stripe by construction and never shuffle.
+/// Dot products accumulate over `k` ascending, so block results are
+/// bit-deterministic for a fixed cuboid grid.
+pub(crate) fn multiply_cuboid_sddmm<A: BlockSource, B: BlockSource>(
+    cuboid: &Cuboid,
+    a: &A,
+    b: &B,
+    mask: &BlockMatrix,
+) -> Result<Vec<(BlockId, CsrBlock)>, TaskError> {
+    let mut out = Vec::new();
+    for i in cuboid.i0..cuboid.i1 {
+        for j in cuboid.j0..cuboid.j1 {
+            let Some(mblk) = mask.get(i, j) else {
+                continue; // no sampled positions in this block
+            };
+            let pattern = mblk.to_sparse();
+            if pattern.nnz() == 0 {
+                continue;
+            }
+            let mut values = vec![0.0; pattern.nnz()];
+            for k in cuboid.k0..cuboid.k1 {
+                let (Some(ab), Some(bb)) = (a.block(i, k)?, b.block(k, j)?) else {
+                    continue;
+                };
+                kernels::sddmm::sddmm_acc(&ab.to_dense(), &bb.to_dense(), &pattern, &mut values)?;
+            }
+            let csr = CsrBlock::from_raw_parts(
+                pattern.rows(),
+                pattern.cols(),
+                pattern.row_ptr().to_vec(),
+                pattern.col_idx().to_vec(),
+                values,
+            )?;
+            out.push((BlockId::new(i, j), csr));
+        }
+    }
+    Ok(out)
+}
+
 pub(crate) fn multiply_cuboid_cpu<A: BlockSource, B: BlockSource>(
     cuboid: &Cuboid,
     a: &A,
@@ -915,6 +1032,66 @@ mod tests {
         // two membership changes gone.
         let err = execute_plan(&c, &a, &b, &plan, RealExecOptions::default()).unwrap_err();
         assert!(err.to_string().contains("stale"), "got: {err}");
+    }
+
+    #[test]
+    fn spmm_shift_computes_the_reference_product() {
+        let am = MatrixMeta::sparse(5 * 16, 4 * 16, 0.06).with_block_size(16);
+        let bm = MatrixMeta::dense(4 * 16, 2 * 16).with_block_size(16);
+        let a = MatrixGenerator::with_seed(31).generate(&am).unwrap();
+        let b = MatrixGenerator::with_seed(32).generate(&bm).unwrap();
+        let reference = a.multiply(&b).unwrap();
+        let c = cluster();
+        let (prod, stats) = multiply(&c, &a, &b, MulMethod::SpmmShift).unwrap();
+        assert!(prod.max_abs_diff(&reference).unwrap() < 1e-9);
+        // Row stripes stay put; the dense factor repartitions (no torrent).
+        assert_eq!(stats.total_broadcast_bytes(), 0);
+        assert!(stats.total_shuffle_bytes() > 0);
+    }
+
+    #[test]
+    fn sddmm_gathers_the_masked_product_into_the_mask_pattern() {
+        let am = MatrixMeta::dense(5 * 16, 3 * 16).with_block_size(16);
+        let bm = MatrixMeta::dense(3 * 16, 4 * 16).with_block_size(16);
+        let mm = MatrixMeta::sparse(5 * 16, 4 * 16, 0.12).with_block_size(16);
+        let a = MatrixGenerator::with_seed(41).generate(&am).unwrap();
+        let b = MatrixGenerator::with_seed(42).generate(&bm).unwrap();
+        let mask = MatrixGenerator::with_seed(43).generate(&mm).unwrap();
+        let full = a.multiply(&b).unwrap();
+        let c = cluster();
+        let (prod, stats) = sddmm(&c, &a, &b, &mask).unwrap();
+        // Every sampled position carries the dense product's value...
+        let mut sampled = 0usize;
+        for (id, blk) in prod.blocks() {
+            let Block::Sparse(s) = blk else {
+                panic!("SDDMM output blocks stay in the mask's CSR pattern");
+            };
+            for (i, j, v) in s.iter() {
+                let gi = id.row as u64 * 16 + i as u64;
+                let gj = id.col as u64 * 16 + j as u64;
+                let expect = full.get_element(gi, gj);
+                assert!((v - expect).abs() < 1e-9, "({gi}, {gj})");
+                sampled += 1;
+            }
+        }
+        // ...and only the sampled positions exist.
+        assert_eq!(sampled as u64, mask.nnz());
+        // The mask is stationary: communication is B's broadcast only.
+        assert!(stats.total_broadcast_bytes() > 0);
+        assert_eq!(stats.phase(Phase::Aggregation).shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn sddmm_rejects_a_mismatched_mask() {
+        let am = MatrixMeta::dense(32, 32).with_block_size(16);
+        let a = MatrixGenerator::with_seed(1).generate(&am).unwrap();
+        let b = MatrixGenerator::with_seed(2).generate(&am).unwrap();
+        let mm = MatrixMeta::sparse(48, 32, 0.1).with_block_size(16);
+        let mask = MatrixGenerator::with_seed(3).generate(&mm).unwrap();
+        assert!(matches!(
+            sddmm(&cluster(), &a, &b, &mask),
+            Err(JobError::TaskFailed { .. })
+        ));
     }
 
     #[test]

@@ -23,12 +23,16 @@
 //!   the paper's complex-query benchmark, with a real numeric
 //!   implementation (multiplicative updates, monotone objective) and a
 //!   paper-scale simulation;
+//! * [`als`] — an Alternating Least Squares recommender on the sparse
+//!   method family: `V Hᵀ`/`Vᵀ W` as SpMM jobs, the sampled objective as
+//!   an SDDMM job, driver-side `f × f` ridge solves;
 //! * [`datasets`] — the Table 3 rating datasets (MovieLens, Netflix,
 //!   YahooMusic) as synthetic equivalents with matching shape and nnz;
 //! * [`algorithms`] — more of §1's motivating workloads on the engine:
 //!   power iteration, PageRank, ridge regression.
 
 pub mod algorithms;
+pub mod als;
 pub mod datasets;
 pub mod expr;
 pub mod gnmf;
@@ -37,6 +41,7 @@ pub mod service;
 pub mod session;
 pub mod systems;
 
+pub use als::{AlsConfig, AlsReport, AlsResult};
 pub use datasets::RatingDataset;
 pub use gnmf::{GnmfConfig, GnmfReport};
 pub use service::{JobHandle, JobOutput, JobService, JobSpec, JobStatus, TenantSession};

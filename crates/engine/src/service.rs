@@ -37,7 +37,9 @@ use distme_cluster::{
     RebalanceReport, Scheduler, SchedulerLoad, TenantId,
 };
 use distme_core::real_exec::{self, RealExecOptions};
-use distme_core::{JobPlan, MatmulProblem, PlanCache, PlanCacheStats};
+use distme_core::{
+    JobPlan, MatmulProblem, MulMethod, OptimizerConfig, PlanCache, PlanCacheStats, ResolvedMethod,
+};
 use distme_matrix::elementwise::EwOp;
 use distme_matrix::BlockMatrix;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -404,6 +406,53 @@ impl TenantSession<'_> {
         self.stats.merge(&stats);
         self.ops_run += 1;
     }
+
+    /// Plans a sparse-family multiply through the shared epoch-safe cache
+    /// (`SpmmShift` without a mask, `Sddmm` with one) and the per-job
+    /// execution options.
+    fn sparse_plan(
+        &self,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        mask: Option<&BlockMatrix>,
+    ) -> Result<(Arc<JobPlan>, RealExecOptions), JobError> {
+        let (problem, method) = match mask {
+            Some(m) => (
+                MatmulProblem::sddmm(*a.meta(), *b.meta(), *m.meta()),
+                MulMethod::Sddmm,
+            ),
+            None => (
+                MatmulProblem::new(*a.meta(), *b.meta()),
+                MulMethod::SpmmShift,
+            ),
+        };
+        let problem = problem.map_err(|e| JobError::TaskFailed {
+            task: 0,
+            message: e.to_string(),
+        })?;
+        let resolved = ResolvedMethod::resolve(
+            method,
+            &problem,
+            &OptimizerConfig::from_cluster(self.cluster.config()),
+        );
+        let epoch = self.cluster.epoch();
+        let plan = self
+            .shared
+            .plans
+            .get_or_insert(epoch, &plan_key(&problem, &resolved), || {
+                Arc::new(
+                    JobPlan::from_resolved(&problem, &resolved, self.cluster.config())
+                        .at_epoch(epoch),
+                )
+            });
+        let opts = RealExecOptions {
+            gpu_task_mem_bytes: None,
+            tenant: self.tenant,
+            priority: self.priority,
+            ..Default::default()
+        };
+        Ok((plan, opts))
+    }
 }
 
 impl RealOps for TenantSession<'_> {
@@ -449,6 +498,26 @@ impl RealOps for TenantSession<'_> {
         y: &BlockMatrix,
     ) -> Result<BlockMatrix, JobError> {
         let (out, stats) = crate::ops::real_elementwise(x, op, y)?;
+        self.absorb(stats);
+        Ok(out)
+    }
+
+    fn spmm(&mut self, a: &BlockMatrix, b: &BlockMatrix) -> Result<BlockMatrix, JobError> {
+        let (plan, opts) = self.sparse_plan(a, b, None)?;
+        let (out, stats) = real_exec::execute_plan(self.cluster, a, b, &plan, opts)?;
+        self.absorb(stats);
+        Ok(out)
+    }
+
+    fn sddmm(
+        &mut self,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        mask: &BlockMatrix,
+    ) -> Result<BlockMatrix, JobError> {
+        let (plan, opts) = self.sparse_plan(a, b, Some(mask))?;
+        let (out, stats) =
+            real_exec::execute_plan_masked(self.cluster, a, b, Some(mask), &plan, opts)?;
         self.absorb(stats);
         Ok(out)
     }

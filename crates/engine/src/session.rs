@@ -14,7 +14,9 @@ use distme_cluster::{
     RebalanceReport, SimCluster,
 };
 use distme_core::real_exec::{self, RealExecOptions};
-use distme_core::{sim_exec, JobPlan, MatmulProblem, PlanCache};
+use distme_core::{
+    sim_exec, JobPlan, MatmulProblem, MulMethod, OptimizerConfig, PlanCache, ResolvedMethod,
+};
 use distme_matrix::elementwise::EwOp;
 use distme_matrix::{BlockMatrix, MatrixMeta};
 use std::sync::Arc;
@@ -65,6 +67,33 @@ pub trait EngineBackend {
         op: EwOp,
         y: &Self::Value,
     ) -> Result<(Self::Value, JobStats), JobError>;
+
+    /// Distributed sparse × dense multiply via the shift schedule
+    /// ([`MulMethod::SpmmShift`]): the sparse operand's row stripes stay
+    /// put, the dense factor's panels repartition to them. The sparse
+    /// method family is profile-independent — every system runs the same
+    /// schedule.
+    ///
+    /// # Errors
+    /// Propagates shape errors and the cluster failure modes.
+    fn spmm(
+        &mut self,
+        a: &Self::Value,
+        b: &Self::Value,
+    ) -> Result<(Self::Value, JobStats), JobError>;
+
+    /// Distributed SDDMM `mask ⊙ (a · b)` ([`MulMethod::Sddmm`]): the
+    /// sampling mask rides with `a`'s row partition and never moves.
+    ///
+    /// # Errors
+    /// Propagates shape errors (including a mask/operand mismatch) and the
+    /// cluster failure modes.
+    fn sddmm(
+        &mut self,
+        a: &Self::Value,
+        b: &Self::Value,
+        mask: &Self::Value,
+    ) -> Result<(Self::Value, JobStats), JobError>;
 }
 
 /// Cache key for a multiply plan: the problem and the resolved method
@@ -79,6 +108,33 @@ pub(crate) fn plan_key(problem: &MatmulProblem, resolved: &distme_core::Resolved
 pub struct SimBackend {
     cluster: SimCluster,
     plans: PlanCache<Arc<JobPlan>>,
+}
+
+impl SimBackend {
+    /// Lowers a directly-resolved sparse-family method (no profile
+    /// dispatch) onto the simulated cluster through the shared plan cache.
+    fn run_sparse(
+        &mut self,
+        problem: MatmulProblem,
+        method: MulMethod,
+    ) -> Result<(MatrixMeta, JobStats), JobError> {
+        let resolved = ResolvedMethod::resolve(
+            method,
+            &problem,
+            &OptimizerConfig::from_cluster(self.cluster.config()),
+        );
+        let epoch = self.cluster.epoch();
+        let plan = self
+            .plans
+            .get_or_insert(epoch, &plan_key(&problem, &resolved), || {
+                Arc::new(
+                    JobPlan::from_resolved(&problem, &resolved, self.cluster.config())
+                        .at_epoch(epoch),
+                )
+            });
+        let stats = sim_exec::simulate_plan(&mut self.cluster, &plan)?;
+        Ok((problem.c, stats))
+    }
 }
 
 impl EngineBackend for SimBackend {
@@ -136,6 +192,27 @@ impl EngineBackend for SimBackend {
     ) -> Result<(MatrixMeta, JobStats), JobError> {
         // The sim cost model is op-independent: one arithmetic pass.
         ops::sim_elementwise(&mut self.cluster, x, y)
+    }
+
+    fn spmm(&mut self, a: &MatrixMeta, b: &MatrixMeta) -> Result<(MatrixMeta, JobStats), JobError> {
+        let problem = MatmulProblem::new(*a, *b).map_err(|e| JobError::TaskFailed {
+            task: 0,
+            message: e.to_string(),
+        })?;
+        self.run_sparse(problem, MulMethod::SpmmShift)
+    }
+
+    fn sddmm(
+        &mut self,
+        a: &MatrixMeta,
+        b: &MatrixMeta,
+        mask: &MatrixMeta,
+    ) -> Result<(MatrixMeta, JobStats), JobError> {
+        let problem = MatmulProblem::sddmm(*a, *b, *mask).map_err(|e| JobError::TaskFailed {
+            task: 0,
+            message: e.to_string(),
+        })?;
+        self.run_sparse(problem, MulMethod::Sddmm)
     }
 }
 
@@ -205,6 +282,73 @@ impl EngineBackend for RealBackend {
     ) -> Result<(BlockMatrix, JobStats), JobError> {
         ops::real_elementwise(x, op, y)
     }
+
+    fn spmm(
+        &mut self,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+    ) -> Result<(BlockMatrix, JobStats), JobError> {
+        let plan = self.sparse_plan_of(a, b, None)?;
+        real_exec::execute_plan(&self.cluster, a, b, &plan, RealExecOptions::default())
+    }
+
+    fn sddmm(
+        &mut self,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        mask: &BlockMatrix,
+    ) -> Result<(BlockMatrix, JobStats), JobError> {
+        let plan = self.sparse_plan_of(a, b, Some(mask))?;
+        real_exec::execute_plan_masked(
+            &self.cluster,
+            a,
+            b,
+            Some(mask),
+            &plan,
+            RealExecOptions::default(),
+        )
+    }
+}
+
+impl RealBackend {
+    /// Plans a sparse-family multiply (cached per epoch): `SpmmShift`
+    /// without a mask, `Sddmm` with one.
+    fn sparse_plan_of(
+        &mut self,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        mask: Option<&BlockMatrix>,
+    ) -> Result<Arc<JobPlan>, JobError> {
+        let (problem, method) = match mask {
+            Some(m) => (
+                MatmulProblem::sddmm(*a.meta(), *b.meta(), *m.meta()),
+                MulMethod::Sddmm,
+            ),
+            None => (
+                MatmulProblem::new(*a.meta(), *b.meta()),
+                MulMethod::SpmmShift,
+            ),
+        };
+        let problem = problem.map_err(|e| JobError::TaskFailed {
+            task: 0,
+            message: e.to_string(),
+        })?;
+        let resolved = ResolvedMethod::resolve(
+            method,
+            &problem,
+            &OptimizerConfig::from_cluster(self.cluster.config()),
+        );
+        let epoch = self.cluster.epoch();
+        let plan = self
+            .plans
+            .get_or_insert(epoch, &plan_key(&problem, &resolved), || {
+                Arc::new(
+                    JobPlan::from_resolved(&problem, &resolved, self.cluster.config())
+                        .at_epoch(epoch),
+                )
+            });
+        Ok(plan)
+    }
 }
 
 /// The real-backend operator surface shared by [`Session<RealBackend>`]
@@ -236,6 +380,23 @@ pub trait RealOps {
         op: EwOp,
         y: &BlockMatrix,
     ) -> Result<BlockMatrix, JobError>;
+
+    /// Distributed sparse × dense multiply (shift schedule).
+    ///
+    /// # Errors
+    /// Propagates shape errors and the cluster failure modes.
+    fn spmm(&mut self, a: &BlockMatrix, b: &BlockMatrix) -> Result<BlockMatrix, JobError>;
+
+    /// Distributed SDDMM `mask ⊙ (a · b)` into the mask's CSR pattern.
+    ///
+    /// # Errors
+    /// Propagates shape errors and the cluster failure modes.
+    fn sddmm(
+        &mut self,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        mask: &BlockMatrix,
+    ) -> Result<BlockMatrix, JobError>;
 }
 
 impl RealOps for Session<RealBackend> {
@@ -254,6 +415,19 @@ impl RealOps for Session<RealBackend> {
         y: &BlockMatrix,
     ) -> Result<BlockMatrix, JobError> {
         Session::elementwise(self, x, op, y)
+    }
+
+    fn spmm(&mut self, a: &BlockMatrix, b: &BlockMatrix) -> Result<BlockMatrix, JobError> {
+        Session::spmm(self, a, b)
+    }
+
+    fn sddmm(
+        &mut self,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        mask: &BlockMatrix,
+    ) -> Result<BlockMatrix, JobError> {
+        Session::sddmm(self, a, b, mask)
     }
 }
 
@@ -342,6 +516,32 @@ impl<B: EngineBackend> Session<B> {
         y: &B::Value,
     ) -> Result<B::Value, JobError> {
         let (out, stats) = self.backend.elementwise(x, op, y)?;
+        self.absorb(stats);
+        Ok(out)
+    }
+
+    /// Distributed sparse × dense multiply via the shift schedule (the
+    /// sparse method family plans identically under every profile).
+    ///
+    /// # Errors
+    /// Propagates shape errors and the cluster failure modes.
+    pub fn spmm(&mut self, a: &B::Value, b: &B::Value) -> Result<B::Value, JobError> {
+        let (out, stats) = self.backend.spmm(a, b)?;
+        self.absorb(stats);
+        Ok(out)
+    }
+
+    /// Distributed SDDMM `mask ⊙ (a · b)` into the mask's CSR pattern.
+    ///
+    /// # Errors
+    /// Propagates shape errors and the cluster failure modes.
+    pub fn sddmm(
+        &mut self,
+        a: &B::Value,
+        b: &B::Value,
+        mask: &B::Value,
+    ) -> Result<B::Value, JobError> {
+        let (out, stats) = self.backend.sddmm(a, b, mask)?;
         self.absorb(stats);
         Ok(out)
     }

@@ -150,6 +150,75 @@ fn concurrent_jobs_match_their_solo_runs_bit_for_bit() {
     }
 }
 
+/// The sparse family under multi-tenancy: an ALS run — SpMM and SDDMM
+/// jobs interleaved with dense Grams and transposes — racing other
+/// tenants' jobs must produce factors, objective series, and per-job byte
+/// stats bit-identical to its solo run.
+#[test]
+fn concurrent_als_matches_its_solo_run_bit_for_bit() {
+    use distme_engine::{als, AlsConfig};
+    let a = Arc::new(dense(80, 64, 5));
+    let b = Arc::new(dense(64, 48, 6));
+    let v = Arc::new(
+        MatrixGenerator::with_seed(3)
+            .value_range(1.0, 5.0)
+            .generate(&MatrixMeta::sparse(96, 64, 0.2).with_block_size(16))
+            .unwrap(),
+    );
+    let als_cfg = AlsConfig {
+        factor_dim: 16,
+        iterations: 2,
+        lambda: 0.1,
+    };
+    let als_job = {
+        let v = Arc::clone(&v);
+        move |s: &mut distme_engine::TenantSession<'_>| {
+            let res = als::run_real(s, &v, &als_cfg, 99)?;
+            Ok((res.w, res.h, res.objective))
+        }
+    };
+    let multiply_job = {
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        move |s: &mut distme_engine::TenantSession<'_>| s.matmul(&a, &b)
+    };
+
+    let solo = service()
+        .run(JobSpec::new(TenantId(1)), als_job.clone())
+        .unwrap();
+
+    // Two ALS runs race each other and a stream of dense multiplies.
+    let svc = service();
+    let h_als_a = svc.submit(JobSpec::new(TenantId(1)), als_job.clone());
+    let h_mul_a = svc.submit(JobSpec::new(TenantId(2)).priority(1), multiply_job.clone());
+    let h_als_b = svc.submit(JobSpec::new(TenantId(3)).priority(2), als_job.clone());
+    let h_mul_b = svc.submit(JobSpec::new(TenantId(2)).priority(3), multiply_job);
+    let als_a = h_als_a.wait().unwrap();
+    h_mul_a.wait().unwrap();
+    let als_b = h_als_b.wait().unwrap();
+    h_mul_b.wait().unwrap();
+    for out in [&als_a, &als_b] {
+        let (w, h, objective) = &out.value;
+        assert_eq!(
+            fingerprint(w),
+            fingerprint(&solo.value.0),
+            "racing ALS must produce its solo W bytes"
+        );
+        assert_eq!(
+            fingerprint(h),
+            fingerprint(&solo.value.1),
+            "racing ALS must produce its solo H bytes"
+        );
+        let bits = |o: &[f64]| o.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(objective), bits(&solo.value.2));
+        assert_eq!(
+            comm_signature(&out.stats),
+            comm_signature(&solo.stats),
+            "racing ALS must report its solo byte stats"
+        );
+        assert_eq!(out.ops_run, solo.ops_run);
+    }
+}
+
 #[test]
 fn per_tenant_ledger_deltas_sum_to_the_cluster_total() {
     let a = Arc::new(dense(80, 64, 11));

@@ -6,6 +6,7 @@
 //! formats exactly like DistME's local-multiplication step.
 
 pub mod gemm;
+pub mod sddmm;
 pub mod spgemm;
 pub mod spmm;
 

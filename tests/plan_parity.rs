@@ -85,7 +85,8 @@ fn methods() -> Vec<(MulMethod, &'static str)> {
         (MulMethod::Cuboid(CuboidSpec::new(2, 2, 1)), "Cuboid R=1"),
         (MulMethod::Cuboid(CuboidSpec::new(2, 2, 2)), "Cuboid R>1"),
         (MulMethod::CuboidAuto, "CuboidMM"),
-        (MulMethod::Crmm, "CRMM"), // pre-shuffle
+        (MulMethod::Crmm, "CRMM"),            // pre-shuffle
+        (MulMethod::SpmmShift, "SpMM-shift"), // row shards, rotating panels
     ]
 }
 
@@ -337,6 +338,71 @@ fn ragged_grids_keep_parity() {
             MulMethod::Cuboid(spec),
             false,
             &format!("ragged {spec:?}"),
+        );
+    }
+}
+
+/// SDDMM meets the parity invariant: the masked problem routes through
+/// the same repartition/broadcast machinery, so sim and real per-phase
+/// bytes must be bit-identical on every grid — including ragged ones —
+/// and because the sampled schedule shards by mask rows (`(I, 1, 1)`,
+/// node-count independent), the gathered values themselves must be
+/// bit-identical across cluster sizes.
+#[test]
+fn sddmm_keeps_parity_across_ragged_grids() {
+    // Exact bit pattern of a sampled result: ids plus every stored f64.
+    let result_bits = |m: &BlockMatrix| {
+        let mut out = Vec::new();
+        for (id, blk) in m.blocks() {
+            out.push(u64::from(id.row));
+            out.push(u64::from(id.col));
+            out.extend(blk.to_dense().data().iter().map(|x| x.to_bits()));
+        }
+        out
+    };
+    for (ib, kb, jb) in [(5, 4, 3), (2, 6, 2), (5, 3, 5)] {
+        let am = MatrixMeta::dense(ib * BS, kb * BS).with_block_size(BS);
+        let bm = MatrixMeta::dense(kb * BS, jb * BS).with_block_size(BS);
+        let mm = MatrixMeta::sparse(ib * BS, jb * BS, 0.12).with_block_size(BS);
+        let a = MatrixGenerator::with_seed(101).generate(&am).unwrap();
+        let b = MatrixGenerator::with_seed(202).generate(&bm).unwrap();
+        let mask = MatrixGenerator::with_seed(303).generate(&mm).unwrap();
+        let problem =
+            MatmulProblem::sddmm(*a.meta(), *b.meta(), *mask.meta()).expect("consistent mask");
+
+        let mut grids = Vec::new();
+        for nodes in [4, 9] {
+            let label = format!("{ib}x{kb}x{jb} sddmm on {nodes} nodes");
+            let cfg = ClusterConfig {
+                nodes,
+                ..ClusterConfig::laptop()
+            };
+            let mut sim = SimCluster::new(cfg);
+            let sim_stats = sim_exec::simulate(&mut sim, &problem, MulMethod::Sddmm)
+                .unwrap_or_else(|e| panic!("{label}: sim failed: {e}"));
+            let real_cluster = LocalCluster::new(cfg);
+            let (c, _) = real_exec::sddmm(&real_cluster, &a, &b, &mask)
+                .unwrap_or_else(|e| panic!("{label}: real failed: {e}"));
+            for phase in Phase::ALL {
+                let s = sim_stats.phase(phase);
+                assert_eq!(
+                    s.shuffle_bytes,
+                    real_cluster.ledger().shuffle_bytes(phase),
+                    "{label}: shuffle bytes diverge in {}",
+                    phase.label()
+                );
+                assert_eq!(
+                    s.broadcast_bytes,
+                    real_cluster.ledger().broadcast_bytes(phase),
+                    "{label}: broadcast bytes diverge in {}",
+                    phase.label()
+                );
+            }
+            grids.push(result_bits(&c));
+        }
+        assert_eq!(
+            grids[0], grids[1],
+            "{ib}x{kb}x{jb}: sampled values must not depend on the node count"
         );
     }
 }
